@@ -1,0 +1,132 @@
+// Command assign is the power-aware assignment application of Section 5:
+// it profiles the given benchmarks, trains the power model, estimates the
+// processor power of every process-to-core mapping with the combined
+// model, and prints the ranking. With -verify, the best and worst
+// assignments are also simulated and their measured powers compared.
+//
+// Usage:
+//
+//	assign -machine server -benches mcf,art,gzip,vpr [-verify] [-top 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpmc/internal/cli"
+	"mpmc/internal/core"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+func main() {
+	machineName := flag.String("machine", "server", "server | workstation | laptop")
+	benches := flag.String("benches", "mcf,art,gzip,vpr", "comma-separated benchmarks to place")
+	verify := flag.Bool("verify", false, "simulate the best and worst assignments")
+	top := flag.Int("top", 5, "how many assignments to print")
+	seed := flag.Uint64("seed", 1, "seed")
+	quick := flag.Bool("quick", true, "short profiling/training runs")
+	flag.Parse()
+
+	m, err := cli.MachineByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	specs, err := cli.ParseBenches(*benches)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	popts := core.ProfileOptions{Seed: *seed}
+	topts := core.PowerTrainOptions{Seed: *seed}
+	if *quick {
+		popts.Warmup, popts.Duration = 1.5, 3
+		topts.Warmup, topts.Duration, topts.MicrobenchWindows = 1, 3, 6
+	}
+	fmt.Printf("training the power model on %s...\n", m.Name)
+	pm, err := core.TrainPowerModel(m, workload.ModelSet(), topts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cm := core.NewCombinedModel(m, pm)
+
+	features := make([]*core.FeatureVector, len(specs))
+	for i, s := range specs {
+		fmt.Printf("profiling %s...\n", s.Name)
+		popts.Seed = *seed + uint64(i)*101
+		f, err := core.Profile(m, s, popts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		features[i] = f
+	}
+
+	results, err := cm.BestAssignment(features, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d distinct assignments evaluated with the combined model:\n", len(results))
+	show := *top
+	if show > len(results) {
+		show = len(results)
+	}
+	for i := 0; i < show; i++ {
+		fmt.Printf("  #%d  %6.2f W   %s\n", i+1, results[i].Watts, layout(results[i].Assignment))
+	}
+	if len(results) > show {
+		last := results[len(results)-1]
+		fmt.Printf("  ...\n  worst %6.2f W   %s\n", last.Watts, layout(last.Assignment))
+	}
+
+	if !*verify {
+		return
+	}
+	fmt.Println("\nverifying best and worst by simulation...")
+	for _, which := range []struct {
+		name string
+		r    core.AssignmentResult
+	}{{"best", results[0]}, {"worst", results[len(results)-1]}} {
+		procs := make([][]*workload.Spec, m.NumCores)
+		for c, fs := range which.r.Assignment {
+			for _, f := range fs {
+				procs[c] = append(procs[c], workload.ByName(f.Name))
+			}
+		}
+		opts := sim.Options{Warmup: 3, Duration: 8, Seed: *seed + 5000}
+		if *quick {
+			opts.Warmup, opts.Duration = 2, 4
+		}
+		run, err := sim.Run(m, sim.Assignment{Procs: procs}, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		meas := run.AvgMeasuredPower()
+		fmt.Printf("  %-5s estimated %6.2f W, measured %6.2f W (err %+.2f%%)\n",
+			which.name, which.r.Watts, meas, 100*(which.r.Watts-meas)/meas)
+	}
+}
+
+// layout renders an assignment as core→benchmark lists.
+func layout(asg core.Assignment) string {
+	var parts []string
+	for c, fs := range asg {
+		if len(fs) == 0 {
+			parts = append(parts, fmt.Sprintf("c%d:idle", c))
+			continue
+		}
+		var names []string
+		for _, f := range fs {
+			names = append(names, f.Name)
+		}
+		parts = append(parts, fmt.Sprintf("c%d:%s", c, strings.Join(names, "+")))
+	}
+	return strings.Join(parts, " ")
+}

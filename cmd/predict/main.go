@@ -1,0 +1,124 @@
+// Command predict runs the performance model for a co-run group: it
+// profiles the named benchmarks (or uses analytic oracle features), solves
+// the cache-contention equilibrium, and optionally verifies the prediction
+// against a simulated co-run.
+//
+// Usage:
+//
+//	predict -machine server -benches mcf,art [-verify] [-truth] [-solver auto]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mpmc/internal/cli"
+	"mpmc/internal/core"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+func main() {
+	machineName := flag.String("machine", "server", "server | workstation | laptop")
+	benches := flag.String("benches", "mcf,art", "comma-separated benchmark names sharing one cache")
+	verify := flag.Bool("verify", false, "also simulate the co-run and compare")
+	truth := flag.Bool("truth", false, "use analytic oracle features instead of profiling")
+	solverName := flag.String("solver", "auto", "auto | newton | window")
+	seed := flag.Uint64("seed", 1, "seed")
+	quick := flag.Bool("quick", false, "short runs")
+	load := flag.String("load", "", "directory of saved <bench>.json feature vectors (see profiler -json)")
+	flag.Parse()
+
+	m, err := cli.MachineByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	solver, err := cli.SolverByName(*solverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	specs, err := cli.ParseBenches(*benches)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	group := m.Groups[0]
+	if len(specs) > len(group) {
+		fmt.Fprintf(os.Stderr, "%d benchmarks exceed the %d cores sharing a cache on %s\n",
+			len(specs), len(group), m.Name)
+		os.Exit(2)
+	}
+
+	features := make([]*core.FeatureVector, len(specs))
+	for i, s := range specs {
+		if *truth {
+			features[i] = core.TruthFeature(s, m)
+			continue
+		}
+		if *load != "" {
+			path := filepath.Join(*load, s.Name+".json")
+			if data, err := os.ReadFile(path); err == nil {
+				var f core.FeatureVector
+				if err := json.Unmarshal(data, &f); err != nil {
+					fmt.Fprintf(os.Stderr, "loading %s: %v\n", path, err)
+					os.Exit(1)
+				}
+				fmt.Printf("loaded %s from %s\n", s.Name, path)
+				features[i] = &f
+				continue
+			}
+		}
+		opts := core.ProfileOptions{Seed: *seed + uint64(i)}
+		if *quick {
+			opts.Warmup, opts.Duration = 1.5, 3
+		}
+		fmt.Printf("profiling %s...\n", s.Name)
+		f, err := core.Profile(m, s, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		features[i] = f
+	}
+
+	preds, err := core.PredictGroup(features, m.Assoc, solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nequilibrium prediction on %s (%d-way shared L2):\n", m.Name, m.Assoc)
+	fmt.Printf("  %-8s %8s %10s %14s\n", "bench", "S(ways)", "MPA", "SPI(s/instr)")
+	for _, p := range preds {
+		fmt.Printf("  %-8s %8.2f %10.4f %14.4g\n", p.Feature.Name, p.S, p.MPA, p.SPI)
+	}
+
+	if !*verify {
+		return
+	}
+	procs := make([][]*workload.Spec, m.NumCores)
+	for i, s := range specs {
+		procs[group[i]] = []*workload.Spec{s}
+	}
+	opts := sim.Options{Warmup: 3, Duration: 8, Seed: *seed + 1000}
+	if *quick {
+		opts.Warmup, opts.Duration = 2, 4
+	}
+	fmt.Println("\nsimulating the co-run for verification...")
+	run, err := sim.Run(m, sim.Assignment{Procs: procs}, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  %-8s %8s %10s %14s %10s %9s\n", "bench", "S(ways)", "MPA", "SPI(s/instr)", "MPA err", "SPI err")
+	for i, p := range run.Procs {
+		mpaErr := preds[i].MPA - p.MPA()
+		spiErr := 100 * (preds[i].SPI - p.SPI()) / p.SPI()
+		fmt.Printf("  %-8s %8.2f %10.4f %14.4g %+10.4f %+8.2f%%\n",
+			p.Spec.Name, p.AvgWays, p.MPA(), p.SPI(), mpaErr, spiErr)
+	}
+}

@@ -1,0 +1,88 @@
+// Command profiler runs the Section 3.4 automated profiling for one
+// benchmark and prints its feature vector: the measured MPA curve, the
+// reconstructed reuse-distance histogram, the Eq. 3 line, and the
+// power-profiling vector.
+//
+// Usage:
+//
+//	profiler -machine server -bench mcf [-method stressmark|ideal] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mpmc/internal/cli"
+	"mpmc/internal/core"
+	"mpmc/internal/workload"
+)
+
+func main() {
+	machineName := flag.String("machine", "server", "server | workstation | laptop")
+	benchName := flag.String("bench", "mcf", "benchmark name (gzip, vpr, mcf, ...)")
+	method := flag.String("method", "stressmark", "stressmark (paper) | ideal (partitioned)")
+	seed := flag.Uint64("seed", 1, "profiling seed")
+	quick := flag.Bool("quick", false, "short profiling runs")
+	jsonOut := flag.String("json", "", "write the feature vector to this file as JSON")
+	flag.Parse()
+
+	m, err := cli.MachineByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec := workload.ByName(*benchName)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *benchName)
+		os.Exit(2)
+	}
+	opts := core.ProfileOptions{Seed: *seed}
+	if *quick {
+		opts.Warmup, opts.Duration = 1.5, 3
+	}
+	switch *method {
+	case "stressmark":
+		opts.Method = core.ProfileStressmark
+	case "ideal":
+		opts.Method = core.ProfileIdeal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	fmt.Printf("profiling %s on %s (%s, %d-way shared L2)...\n",
+		spec.Name, m.Name, *method, m.Assoc)
+	f, err := core.Profile(m, spec, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nfeature vector for %s:\n", f.Name)
+	fmt.Printf("  Eq. 3:  SPI = %.4g · MPA + %.4g   (API = %.4f refs/instr)\n", f.Alpha, f.Beta, f.API)
+	fmt.Printf("  power profile: P_alone = %.2f W, L1RPI=%.3f BRPI=%.3f FPPI=%.3f\n",
+		f.PAloneProcessor, f.L1RPI, f.BRPI, f.FPPI)
+	fmt.Printf("\n  %4s %10s %12s %12s\n", "S", "MPA(S)", "analytic", "hist P(d=S)")
+	for s := 0; s <= m.Assoc; s++ {
+		analytic := spec.EffectiveMPA(float64(s))
+		fmt.Printf("  %4d %10.4f %12.4f %12.4f\n", s, f.MPACurve[s], analytic, f.Hist.P(s))
+	}
+	fmt.Printf("  overflow (d > %d): %.4f\n", m.Assoc, f.Hist.Overflow())
+	fmt.Printf("\n  growth curve: G(10)=%.2f  G(100)=%.2f  G(1000)=%.2f  G(max)=%.2f ways\n",
+		f.G(10), f.G(100), f.G(1000), f.GMax())
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nfeature vector written to %s\n", *jsonOut)
+	}
+}

@@ -1,0 +1,61 @@
+package mpmc_test
+
+import (
+	"fmt"
+	"log"
+
+	"mpmc"
+)
+
+// ExamplePredictGroup predicts how a memory-bound and a CPU-bound process
+// partition a shared 16-way cache, using analytic oracle features (the
+// profiled path produces the same structure; see examples/quickstart).
+func ExamplePredictGroup() {
+	m := mpmc.FourCoreServer()
+	features := []*mpmc.FeatureVector{
+		mpmc.TruthFeature(mpmc.WorkloadByName("mcf"), m),
+		mpmc.TruthFeature(mpmc.WorkloadByName("gzip"), m),
+	}
+	preds, err := mpmc.PredictGroup(features, m.Assoc, mpmc.SolverAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range preds {
+		fmt.Printf("%s: %.1f ways, MPA %.2f\n", p.Feature.Name, p.S, p.MPA)
+	}
+	// Output:
+	// mcf: 14.0 ways, MPA 0.66
+	// gzip: 2.0 ways, MPA 0.31
+}
+
+// ExampleFeatureVector_G walks the Eq. 4–5 growth curve: the expected
+// number of ways a process occupies after n accesses to a set.
+func ExampleFeatureVector_G() {
+	m := mpmc.FourCoreServer()
+	f := mpmc.TruthFeature(mpmc.WorkloadByName("twolf"), m)
+	for _, n := range []float64{1, 10, 100} {
+		fmt.Printf("G(%.0f) = %.1f ways\n", n, f.G(n))
+	}
+	// Output:
+	// G(1) = 1.0 ways
+	// G(10) = 6.2 ways
+	// G(100) = 14.3 ways
+}
+
+// ExampleSDC runs a Chandra-style baseline for comparison with the
+// paper's equilibrium model.
+func ExampleSDC() {
+	m := mpmc.TwoCoreWorkstation()
+	features := []*mpmc.FeatureVector{
+		mpmc.TruthFeature(mpmc.WorkloadByName("mcf"), m),
+		mpmc.TruthFeature(mpmc.WorkloadByName("twolf"), m),
+	}
+	preds, err := mpmc.SDC(features, m.Assoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SDC allocates %s %.1f ways and %s %.1f ways\n",
+		preds[0].Feature.Name, preds[0].S, preds[1].Feature.Name, preds[1].S)
+	// Output:
+	// SDC allocates mcf 0.5 ways and twolf 8.0 ways
+}

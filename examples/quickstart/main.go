@@ -1,0 +1,62 @@
+// Quickstart: the paper's pipeline end to end on two benchmarks.
+//
+//  1. Profile mcf and twolf with the stressmark (Section 3.4) — the only
+//     measurements the models ever see.
+//  2. Predict their co-run behaviour with the equilibrium model
+//     (Section 3): effective cache sizes, miss rates, throughputs.
+//  3. Verify against the simulated machine.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpmc"
+)
+
+func main() {
+	m := mpmc.TwoCoreWorkstation()
+	fmt.Printf("machine: %s (%d cores, %d-way shared L2)\n\n", m.Name, m.NumCores, m.Assoc)
+
+	// 1. Profile. One Profile call per process — O(k) total cost for k
+	// processes, versus 2^k−1 co-run measurements without the model.
+	var features []*mpmc.FeatureVector
+	for i, name := range []string{"mcf", "twolf"} {
+		fmt.Printf("profiling %s with the stressmark sweep...\n", name)
+		f, err := mpmc.Profile(m, mpmc.WorkloadByName(name), mpmc.ProfileOptions{
+			Warmup: 2, Duration: 4, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  SPI = %.3g·MPA + %.3g, API = %.4f\n", f.Alpha, f.Beta, f.API)
+		features = append(features, f)
+	}
+
+	// 2. Predict the co-run.
+	preds, err := mpmc.PredictGroup(features, m.Assoc, mpmc.SolverAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted equilibrium when sharing the cache:")
+	for _, p := range preds {
+		fmt.Printf("  %-6s S=%.2f ways  MPA=%.4f  SPI=%.4g s/instr\n",
+			p.Feature.Name, p.S, p.MPA, p.SPI)
+	}
+
+	// 3. Verify on the simulated machine.
+	res, err := mpmc.Run(m,
+		mpmc.SingleAssignment(mpmc.WorkloadByName("mcf"), mpmc.WorkloadByName("twolf")),
+		mpmc.SimOptions{Warmup: 3, Duration: 6, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmeasured co-run:")
+	for i, p := range res.Procs {
+		fmt.Printf("  %-6s S=%.2f ways  MPA=%.4f  SPI=%.4g  (MPA err %+.4f, SPI err %+.2f%%)\n",
+			p.Spec.Name, p.AvgWays, p.MPA(), p.SPI(),
+			preds[i].MPA-p.MPA(), 100*(preds[i].SPI-p.SPI())/p.SPI())
+	}
+}

@@ -1,0 +1,93 @@
+// Scheduler: the paper's run-time resource-management loop in action.
+//
+// Processes arrive one at a time. The manager profiles each workload the
+// first time it appears ("force it to run alone on an idle machine"),
+// then places every arrival with the Figure 1 combined-model estimate.
+// After a burst of departures leaves the layout stale, Rebalance migrates
+// processes when the predicted saving justifies it. A round-robin manager
+// handles the same arrival trace for comparison, and both final layouts
+// are measured on the simulated machine.
+//
+// Run with: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpmc"
+)
+
+func main() {
+	m := mpmc.FourCoreServer()
+	fmt.Printf("runtime power-aware scheduling on %s\n\n", m.Name)
+
+	fmt.Println("training the power model once (Section 4.1)...")
+	pm, err := mpmc.TrainPowerModel(m, mpmc.ModelSet(), mpmc.PowerTrainOptions{
+		Warmup: 1, Duration: 4, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profileCache := map[string]*mpmc.FeatureVector{}
+	newManager := func(policy mpmc.PlacementPolicy) *mpmc.Manager {
+		return mpmc.NewManager(m, pm, mpmc.ManagerOptions{
+			Policy:  policy,
+			Profile: mpmc.ProfileOptions{Warmup: 2, Duration: 4, Seed: 31},
+			// Unconstrained power minimization would pile everything onto
+			// one core (idle cores are cheap); a throughput SLA caps
+			// time-sharing depth, so the manager's real decision is WHICH
+			// processes share a die.
+			MaxPerCore:     2,
+			SharedProfiles: profileCache, // profiles survive across managers
+		})
+	}
+
+	arrivals := []string{"mcf", "gzip", "art", "vpr", "equake", "twolf"}
+	run := func(policy mpmc.PlacementPolicy) (*mpmc.Manager, float64) {
+		mgr := newManager(policy)
+		fmt.Printf("\n--- %v placement ---\n", policy)
+		var placed []string
+		for _, name := range arrivals {
+			inst, c, watts, err := mgr.Place(mpmc.WorkloadByName(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			placed = append(placed, inst)
+			fmt.Printf("  %-8s → core %d   (estimated %6.2f W)\n", name, c, watts)
+		}
+		// Two departures leave the layout stale.
+		for _, victim := range []string{placed[1], placed[3]} { // gzip, vpr exit
+			if err := mgr.Remove(victim); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("  departures: %s, %s\n", placed[1], placed[3])
+		if policy == mpmc.PowerAware {
+			moved, watts, err := mgr.Rebalance(0.05)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  rebalance migrated %d processes (estimated %6.2f W)\n", moved, watts)
+		}
+		// Measure the final layout.
+		runRes, err := mpmc.Run(m, mpmc.SimAssignment{Procs: mgr.Procs()},
+			mpmc.SimOptions{Warmup: 2, Duration: 6, Seed: 88})
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas := runRes.AvgMeasuredPower()
+		est, err := mgr.EstimatedPower()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  final layout: estimated %6.2f W, measured %6.2f W\n", est, meas)
+		return mgr, meas
+	}
+
+	_, pa := run(mpmc.PowerAware)
+	_, rr := run(mpmc.RoundRobin)
+	fmt.Printf("\npower-aware %6.2f W vs round-robin %6.2f W (Δ %+.2f W)\n", pa, rr, pa-rr)
+	fmt.Println("profiling ran once per distinct workload and is shared by both managers.")
+}

@@ -1,0 +1,3 @@
+module mpmc
+
+go 1.22

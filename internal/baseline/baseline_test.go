@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+func features(t *testing.T, names ...string) []*core.FeatureVector {
+	t.Helper()
+	m := machine.TwoCoreWorkstation()
+	var out []*core.FeatureVector
+	for _, n := range names {
+		out = append(out, core.TruthFeature(workload.ByName(n), m))
+	}
+	return out
+}
+
+func TestFOASymmetric(t *testing.T) {
+	fs := features(t, "mcf", "mcf")
+	preds, err := FOA(fs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(preds[0].S-4) > 1e-9 || math.Abs(preds[1].S-4) > 1e-9 {
+		t.Fatalf("symmetric FOA split %v/%v", preds[0].S, preds[1].S)
+	}
+}
+
+func TestFOACapacity(t *testing.T) {
+	fs := features(t, "mcf", "gzip")
+	preds, err := FOA(fs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(preds[0].S+preds[1].S-8) > 1e-9 {
+		t.Fatal("FOA does not fill the cache")
+	}
+	if preds[0].S <= preds[1].S {
+		t.Fatal("FOA should favour the frequent accessor")
+	}
+}
+
+func TestSDCCapacityAndOrdering(t *testing.T) {
+	fs := features(t, "mcf", "twolf")
+	preds, err := SDC(fs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := preds[0].S + preds[1].S
+	// SDC allocates whole ways (plus the 0.5 starvation floor).
+	if sum < 7.5 || sum > 9 {
+		t.Fatalf("SDC total allocation %v", sum)
+	}
+	for _, p := range preds {
+		if p.S <= 0 {
+			t.Fatal("non-positive allocation")
+		}
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	if _, err := FOA(nil, 4); err == nil {
+		t.Fatal("FOA accepted empty group")
+	}
+	if _, err := SDC(nil, 4); err == nil {
+		t.Fatal("SDC accepted empty group")
+	}
+	fs := features(t, "mcf")
+	if _, err := FOA(fs, 0); err == nil {
+		t.Fatal("FOA accepted zero assoc")
+	}
+	if _, err := SDC(fs, 0); err == nil {
+		t.Fatal("SDC accepted zero assoc")
+	}
+}
+
+func TestOurModelBeatsBaselinesOnAverage(t *testing.T) {
+	// The reason the paper improves on Chandra et al.: feeding solo
+	// frequencies into FOA/SDC misses the APS feedback the equilibrium
+	// model captures. Averaged over heterogeneous pairs, the paper's
+	// model should have lower MPA error.
+	m := machine.TwoCoreWorkstation()
+	pairs := [][2]string{{"mcf", "gzip"}, {"mcf", "twolf"}, {"art", "vpr"}, {"equake", "bzip2"}}
+	var errOurs, errFOA, errSDC float64
+	for _, pair := range pairs {
+		fs := features(t, pair[0], pair[1])
+		ours, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		foa, err := FOA(fs, m.Assoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sdc, err := SDC(fs, m.Assoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(m, sim.Single(workload.ByName(pair[0]), workload.ByName(pair[1])),
+			sim.Options{Warmup: 3, Duration: 6, Seed: 31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fs {
+			meas := res.Procs[i].MPA()
+			errOurs += math.Abs(ours[i].MPA - meas)
+			errFOA += math.Abs(foa[i].MPA - meas)
+			errSDC += math.Abs(sdc[i].MPA - meas)
+		}
+	}
+	if errOurs >= errFOA {
+		t.Errorf("equilibrium model (%.3f) not better than FOA (%.3f)", errOurs, errFOA)
+	}
+	if errOurs >= errSDC {
+		t.Errorf("equilibrium model (%.3f) not better than SDC (%.3f)", errOurs, errSDC)
+	}
+}
+
+func TestProbSymmetric(t *testing.T) {
+	fs := features(t, "twolf", "twolf")
+	preds, err := Prob(fs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(preds[0].MPA-preds[1].MPA) > 1e-9 {
+		t.Fatalf("symmetric Prob MPAs differ: %v vs %v", preds[0].MPA, preds[1].MPA)
+	}
+	// Contention must raise the miss rate above the solo full-cache level.
+	if preds[0].MPA <= fs[0].MPA(8) {
+		t.Fatalf("Prob MPA %v not above solo %v", preds[0].MPA, fs[0].MPA(8))
+	}
+}
+
+func TestProbBounds(t *testing.T) {
+	fs := features(t, "mcf", "gzip")
+	preds, err := Prob(fs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		if p.MPA < 0 || p.MPA > 1 {
+			t.Fatalf("MPA %v out of bounds", p.MPA)
+		}
+		if p.S <= 0 || p.S > 8 {
+			t.Fatalf("S %v out of bounds", p.S)
+		}
+	}
+}
+
+func TestProbErrors(t *testing.T) {
+	if _, err := Prob(nil, 8); err == nil {
+		t.Fatal("accepted empty group")
+	}
+	fs := features(t, "mcf")
+	if _, err := Prob(fs, 0); err == nil {
+		t.Fatal("accepted zero assoc")
+	}
+}
+
+func TestSDCExhaustedProfiles(t *testing.T) {
+	// Profiles with max distance 2 exhaust their stack counters before 8
+	// ways are assigned; the remainder goes to the most frequent accessor.
+	short := []float64{1, 0.5, 0.2}
+	fa, err := core.NewFeatureVector("a", short, 1e-6, 1e-6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := core.NewFeatureVector("b", short, 1e-6, 1e-6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := SDC([]*core.FeatureVector{fa, fb}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fa is 5× more frequent: it receives the leftover ways.
+	if preds[0].S <= preds[1].S {
+		t.Fatalf("leftover ways should favour the frequent accessor: %v vs %v",
+			preds[0].S, preds[1].S)
+	}
+}

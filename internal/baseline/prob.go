@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"mpmc/internal/core"
+)
+
+// Prob implements the third Chandra et al. model, the inductive
+// probability model: for each access of process i at reuse distance d,
+// estimate how many distinct lines every co-runner inserts into the set
+// during the reuse interval, and declare a miss when the effective stack
+// position d + Σ_j D_j exceeds the associativity.
+//
+// The co-runner's distinct-line count over an interval of n_i accesses by
+// process i is its own cache-occupancy growth curve evaluated at the
+// access-rate ratio: D_j = G_j(d · APS_j / APS_i) — the same Eq. 4/5
+// machinery the paper's model uses, but evaluated at *solo* access rates
+// with no equilibrium feedback, which is exactly the gap the paper's
+// contribution closes.
+func Prob(features []*core.FeatureVector, assoc int) ([]Prediction, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("baseline: empty group")
+	}
+	if assoc <= 0 {
+		return nil, fmt.Errorf("baseline: non-positive associativity")
+	}
+	freqs := make([]float64, len(features))
+	for i, f := range features {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		freqs[i] = soloFrequency(f)
+	}
+	a := float64(assoc)
+	out := make([]Prediction, len(features))
+	for i, f := range features {
+		// Walk the reuse-distance histogram; an access at distance d
+		// hits iff its inflated stack position stays within the ways.
+		missMass := f.Hist.Overflow()
+		deepest := 0.0
+		for d := 1; d <= f.Hist.MaxDistance(); d++ {
+			p := f.Hist.P(d)
+			if p == 0 {
+				continue
+			}
+			pos := float64(d)
+			for j, g := range features {
+				if j == i {
+					continue
+				}
+				interleaved := g.G(float64(d) * freqs[j] / freqs[i])
+				pos += math.Min(interleaved, a)
+			}
+			if pos > a {
+				missMass += p
+			} else if float64(d) > deepest {
+				deepest = float64(d)
+			}
+		}
+		if missMass > 1 {
+			missMass = 1
+		}
+		// Effective size: the deepest own stack position that still hits
+		// (at least one way is always retained).
+		s := math.Max(deepest, 0.5)
+		out[i] = Prediction{Feature: f, S: s, MPA: missMass, SPI: f.SPI(missMass)}
+	}
+	return out, nil
+}

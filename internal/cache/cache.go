@@ -1,0 +1,375 @@
+// Package cache implements the set-associative last-level cache model that
+// stands in for the paper's hardware (Intel Core 2 shared L2 caches).
+//
+// The cache identifies lines by (owner, lineID): co-scheduled processes
+// have disjoint address spaces, so two owners never share a line, but they
+// do contend for the ways of the sets their lines map into — exactly the
+// contention the paper models. Line lineID maps to set lineID mod NumSets.
+//
+// True LRU replacement is the paper's modeling assumption; random and
+// tree-PLRU policies are provided for the "assumptions violated" ablation.
+// An optional next-line prefetcher supports the Section 3.1 prefetching
+// study.
+package cache
+
+import (
+	"fmt"
+
+	"mpmc/internal/xrand"
+)
+
+// Policy selects the replacement policy of a Cache.
+type Policy int
+
+const (
+	// LRU is true least-recently-used replacement (the paper's assumption).
+	LRU Policy = iota
+	// Random evicts a uniformly random way.
+	Random
+	// PLRU is tree-based pseudo-LRU, the policy real Core 2 L2 caches
+	// approximate; used to test the model when the LRU assumption is bent.
+	PLRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case Random:
+		return "Random"
+	case PLRU:
+		return "PLRU"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// MaxOwners bounds the number of distinct processes a cache tracks.
+const MaxOwners = 64
+
+type way struct {
+	valid      bool
+	owner      uint8
+	id         uint64
+	prefetched bool
+}
+
+type set struct {
+	ways []way
+	// recency holds way indices from MRU (front) to LRU (back); LRU policy
+	// only. len == number of valid ways.
+	recency []uint8
+	// plruBits holds the PLRU tree state; PLRU policy only.
+	plruBits uint32
+}
+
+// OwnerStats aggregates the demand-access statistics for one owner.
+type OwnerStats struct {
+	Accesses     uint64 // demand accesses
+	Misses       uint64 // demand misses
+	PrefetchFill uint64 // lines installed by the prefetcher
+	PrefetchHit  uint64 // demand hits on prefetched lines
+}
+
+// MPA returns demand misses per demand access, or 0 with no accesses.
+func (s OwnerStats) MPA() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Config describes a cache geometry and behaviour.
+type Config struct {
+	NumSets  int    // number of sets (> 0)
+	Assoc    int    // ways per set (> 0)
+	Policy   Policy // replacement policy
+	Prefetch bool   // enable next-line prefetch on demand misses
+	Seed     uint64 // RNG seed (Random policy and tie-breaking)
+}
+
+// Cache is a set-associative cache with per-owner statistics.
+// It is not safe for concurrent use; the simulator is single-threaded per
+// machine (hardware is inherently serialized at the shared cache).
+type Cache struct {
+	cfg       Config
+	sets      []set
+	rng       *xrand.Rand
+	stats     [MaxOwners]OwnerStats
+	occupancy [MaxOwners]int // lines currently resident per owner
+}
+
+// New constructs a cache. It panics on invalid geometry (these are static
+// experiment configurations, not runtime inputs).
+func New(cfg Config) *Cache {
+	if cfg.NumSets <= 0 || cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %d sets × %d ways", cfg.NumSets, cfg.Assoc))
+	}
+	if cfg.Assoc > 255 {
+		panic("cache: associativity above 255 unsupported")
+	}
+	c := &Cache{
+		cfg:  cfg,
+		sets: make([]set, cfg.NumSets),
+		rng:  xrand.New(cfg.Seed ^ 0xcafef00d),
+	}
+	for i := range c.sets {
+		c.sets[i].ways = make([]way, cfg.Assoc)
+		c.sets[i].recency = make([]uint8, 0, cfg.Assoc)
+	}
+	return c
+}
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.cfg.NumSets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.cfg.Assoc }
+
+// SetIndex returns the set a line maps to.
+func (c *Cache) SetIndex(lineID uint64) int {
+	return int(lineID % uint64(c.cfg.NumSets))
+}
+
+// Access performs a demand access by owner to lineID and reports whether it
+// hit. A miss installs the line (evicting per policy) and, if prefetching
+// is enabled, also fills lineID+1.
+func (c *Cache) Access(owner int, lineID uint64) bool {
+	c.checkOwner(owner)
+	st := &c.stats[owner]
+	st.Accesses++
+	hit := c.touch(owner, lineID, false)
+	if hit {
+		return true
+	}
+	st.Misses++
+	if c.cfg.Prefetch {
+		c.prefetchFill(owner, lineID+1)
+	}
+	return false
+}
+
+// prefetchFill installs lineID for owner if absent, without touching demand
+// statistics (beyond the PrefetchFill counter).
+func (c *Cache) prefetchFill(owner int, lineID uint64) {
+	s := &c.sets[c.SetIndex(lineID)]
+	if c.find(s, owner, lineID) >= 0 {
+		return
+	}
+	c.install(s, owner, lineID, true)
+	c.stats[owner].PrefetchFill++
+}
+
+// touch looks up (owner, lineID); on hit it promotes the line, on miss it
+// installs it. Returns hit.
+func (c *Cache) touch(owner int, lineID uint64, prefetched bool) bool {
+	s := &c.sets[c.SetIndex(lineID)]
+	if w := c.find(s, owner, lineID); w >= 0 {
+		if s.ways[w].prefetched {
+			s.ways[w].prefetched = false
+			c.stats[owner].PrefetchHit++
+		}
+		c.promote(s, w)
+		return true
+	}
+	c.install(s, owner, lineID, prefetched)
+	return false
+}
+
+func (c *Cache) find(s *set, owner int, lineID uint64) int {
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.id == lineID && w.owner == uint8(owner) {
+			return i
+		}
+	}
+	return -1
+}
+
+// promote updates replacement metadata after a hit on way w.
+func (c *Cache) promote(s *set, w int) {
+	switch c.cfg.Policy {
+	case LRU:
+		moveToFront(s.recency, uint8(w))
+	case PLRU:
+		c.plruTouch(s, w)
+	case Random:
+		// stateless
+	}
+}
+
+// install places (owner, lineID) into s, evicting if the set is full.
+func (c *Cache) install(s *set, owner int, lineID uint64, prefetched bool) {
+	victim := -1
+	for i := range s.ways {
+		if !s.ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.chooseVictim(s)
+		c.occupancy[s.ways[victim].owner]--
+	}
+	wasValid := s.ways[victim].valid
+	s.ways[victim] = way{valid: true, owner: uint8(owner), id: lineID, prefetched: prefetched}
+	c.occupancy[owner]++
+	switch c.cfg.Policy {
+	case LRU:
+		if wasValid {
+			removeVal(&s.recency, uint8(victim))
+		}
+		if prefetched {
+			// Speculative fills enter at the LRU end: a wrong prefetch
+			// is evicted first and barely pollutes the set.
+			s.recency = append(s.recency, uint8(victim))
+		} else {
+			s.recency = append(s.recency, 0)
+			copy(s.recency[1:], s.recency)
+			s.recency[0] = uint8(victim)
+		}
+	case PLRU:
+		c.plruTouch(s, victim)
+	case Random:
+		// stateless
+	}
+}
+
+// chooseVictim picks a way to evict from a full set per the policy.
+func (c *Cache) chooseVictim(s *set) int {
+	switch c.cfg.Policy {
+	case LRU:
+		return int(s.recency[len(s.recency)-1])
+	case Random:
+		return c.rng.Intn(len(s.ways))
+	case PLRU:
+		return c.plruVictim(s)
+	}
+	panic("cache: unknown policy")
+}
+
+// plruTouch flips the tree bits on the path to way w so the path points
+// away from it.
+func (c *Cache) plruTouch(s *set, w int) {
+	n := len(s.ways)
+	node := 0
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w < mid {
+			s.plruBits |= 1 << uint(node) // point right (away from w)
+			node = 2*node + 1
+			hi = mid
+		} else {
+			s.plruBits &^= 1 << uint(node) // point left (away from w)
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// plruVictim walks the tree bits toward the pseudo-LRU way.
+func (c *Cache) plruVictim(s *set) int {
+	n := len(s.ways)
+	node := 0
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.plruBits&(1<<uint(node)) != 0 {
+			// bit set → go right
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Stats returns the accumulated statistics for owner.
+func (c *Cache) Stats(owner int) OwnerStats {
+	c.checkOwner(owner)
+	return c.stats[owner]
+}
+
+// ResetStats clears access statistics (occupancy is preserved: it reflects
+// cache contents, not history). Used to discard warm-up transients.
+func (c *Cache) ResetStats() {
+	for i := range c.stats {
+		c.stats[i] = OwnerStats{}
+	}
+}
+
+// Occupancy returns the number of lines owner currently holds.
+func (c *Cache) Occupancy(owner int) int {
+	c.checkOwner(owner)
+	return c.occupancy[owner]
+}
+
+// AvgWays returns the average number of ways per set owner currently holds
+// — the instantaneous effective cache size S_i of the paper.
+func (c *Cache) AvgWays(owner int) float64 {
+	return float64(c.Occupancy(owner)) / float64(c.cfg.NumSets)
+}
+
+// Flush invalidates all lines and clears occupancy (statistics persist).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		s := &c.sets[i]
+		for j := range s.ways {
+			s.ways[j] = way{}
+		}
+		s.recency = s.recency[:0]
+		s.plruBits = 0
+	}
+	for i := range c.occupancy {
+		c.occupancy[i] = 0
+	}
+}
+
+// FlushOwner invalidates every line belonging to owner (process exit).
+func (c *Cache) FlushOwner(owner int) {
+	c.checkOwner(owner)
+	for i := range c.sets {
+		s := &c.sets[i]
+		for j := range s.ways {
+			if s.ways[j].valid && s.ways[j].owner == uint8(owner) {
+				s.ways[j] = way{}
+				if c.cfg.Policy == LRU {
+					removeVal(&s.recency, uint8(j))
+				}
+			}
+		}
+	}
+	c.occupancy[owner] = 0
+}
+
+func (c *Cache) checkOwner(owner int) {
+	if owner < 0 || owner >= MaxOwners {
+		panic(fmt.Sprintf("cache: owner %d out of range", owner))
+	}
+}
+
+// moveToFront moves value v to the front of order; v must be present.
+func moveToFront(order []uint8, v uint8) {
+	for i, x := range order {
+		if x == v {
+			copy(order[1:i+1], order[:i])
+			order[0] = v
+			return
+		}
+	}
+	panic("cache: recency list corrupt")
+}
+
+// removeVal deletes value v from *order if present.
+func removeVal(order *[]uint8, v uint8) {
+	o := *order
+	for i, x := range o {
+		if x == v {
+			*order = append(o[:i], o[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpmc/internal/xrand"
+)
+
+func newLRU(sets, assoc int) *Cache {
+	return New(Config{NumSets: sets, Assoc: assoc, Policy: LRU, Seed: 1})
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := newLRU(1, 2)
+	if c.Access(0, 0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0, 0) {
+		t.Fatal("warm access missed")
+	}
+	st := c.Stats(0)
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MPA() != 0.5 {
+		t.Fatalf("MPA %v", st.MPA())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 1 set, 2 ways: lines 0,1 fill it; accessing 0 makes 1 the LRU;
+	// inserting 2 must evict 1.
+	c := newLRU(1, 2)
+	c.Access(0, 0)
+	c.Access(0, 1)
+	c.Access(0, 0)
+	c.Access(0, 2) // evicts 1
+	if !c.Access(0, 0) {
+		t.Fatal("line 0 should have survived")
+	}
+	if c.Access(0, 1) {
+		t.Fatal("line 1 should have been evicted")
+	}
+}
+
+func TestLRUCyclicPathology(t *testing.T) {
+	// Classic LRU property: cycling over assoc+1 lines in one set misses
+	// every access after warm-up.
+	c := newLRU(1, 4)
+	for warm := 0; warm < 5; warm++ {
+		for id := uint64(0); id < 5; id++ {
+			c.Access(0, id)
+		}
+	}
+	c.ResetStats()
+	for rep := 0; rep < 10; rep++ {
+		for id := uint64(0); id < 5; id++ {
+			c.Access(0, id)
+		}
+	}
+	st := c.Stats(0)
+	if st.Misses != st.Accesses {
+		t.Fatalf("expected all misses, got %d/%d", st.Misses, st.Accesses)
+	}
+}
+
+func TestLRUWorkingSetFits(t *testing.T) {
+	// Cycling over exactly assoc lines hits every access after warm-up.
+	c := newLRU(1, 4)
+	for id := uint64(0); id < 4; id++ {
+		c.Access(0, id)
+	}
+	c.ResetStats()
+	for rep := 0; rep < 10; rep++ {
+		for id := uint64(0); id < 4; id++ {
+			if !c.Access(0, id) {
+				t.Fatalf("unexpected miss on line %d rep %d", id, rep)
+			}
+		}
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	c := newLRU(4, 1)
+	// Lines 0 and 4 map to set 0 and conflict; lines 1,2,3 do not.
+	c.Access(0, 0)
+	c.Access(0, 1)
+	c.Access(0, 2)
+	c.Access(0, 3)
+	if !c.Access(0, 0) {
+		t.Fatal("distinct sets should not conflict")
+	}
+	c.Access(0, 4) // evicts 0 in set 0
+	if c.Access(0, 0) {
+		t.Fatal("conflicting line should have evicted 0")
+	}
+}
+
+func TestOwnersAreDisjoint(t *testing.T) {
+	c := newLRU(1, 2)
+	c.Access(0, 7)
+	if c.Access(1, 7) {
+		t.Fatal("owner 1 hit on owner 0's line")
+	}
+	if !c.Access(0, 7) || !c.Access(1, 7) {
+		t.Fatal("both owners should now hit their own copies")
+	}
+}
+
+func TestContentionEviction(t *testing.T) {
+	// Owner 1 streaming through a set pushes owner 0's line out.
+	c := newLRU(1, 2)
+	c.Access(0, 0)
+	c.Access(1, 1)
+	c.Access(1, 2) // set full of owner 1... wait: way count 2; 0 evicted here
+	if c.Access(0, 0) {
+		t.Fatal("owner 0's line should have been evicted by owner 1's stream")
+	}
+}
+
+func TestOccupancyAccounting(t *testing.T) {
+	c := newLRU(2, 2)
+	c.Access(0, 0) // set 0
+	c.Access(0, 1) // set 1
+	c.Access(1, 2) // set 0
+	if c.Occupancy(0) != 2 || c.Occupancy(1) != 1 {
+		t.Fatalf("occupancy %d %d", c.Occupancy(0), c.Occupancy(1))
+	}
+	if c.AvgWays(0) != 1.0 {
+		t.Fatalf("avg ways %v", c.AvgWays(0))
+	}
+	// Fill set 0 and push owner 0's line out.
+	c.Access(1, 4) // set 0: ways now hold owner1:{2,4}, owner0's 0 evicted
+	if c.Occupancy(0) != 1 || c.Occupancy(1) != 2 {
+		t.Fatalf("after eviction: occupancy %d %d", c.Occupancy(0), c.Occupancy(1))
+	}
+}
+
+func TestOccupancyInvariantProperty(t *testing.T) {
+	// Σ occupancy == number of valid lines ≤ sets × assoc, for random
+	// access streams across policies.
+	for _, pol := range []Policy{LRU, Random, PLRU} {
+		pol := pol
+		if err := quick.Check(func(seed uint64) bool {
+			r := xrand.New(seed)
+			c := New(Config{NumSets: 4, Assoc: 4, Policy: pol, Seed: seed})
+			owners := 3
+			for i := 0; i < 2000; i++ {
+				c.Access(r.Intn(owners), uint64(r.Intn(64)))
+			}
+			total := 0
+			for o := 0; o < owners; o++ {
+				total += c.Occupancy(o)
+			}
+			if total > 4*4 {
+				return false
+			}
+			// Recount from actual contents.
+			count := 0
+			for i := range c.sets {
+				for _, w := range c.sets[i].ways {
+					if w.valid {
+						count++
+					}
+				}
+			}
+			return count == total
+		}, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+	}
+}
+
+func TestNoDuplicateLinesProperty(t *testing.T) {
+	// A (owner, lineID) pair never occupies two ways of a set.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		c := New(Config{NumSets: 2, Assoc: 4, Policy: LRU, Seed: seed, Prefetch: seed%2 == 0})
+		for i := 0; i < 3000; i++ {
+			c.Access(r.Intn(2), uint64(r.Intn(24)))
+		}
+		for i := range c.sets {
+			seen := map[[2]uint64]bool{}
+			for _, w := range c.sets[i].ways {
+				if !w.valid {
+					continue
+				}
+				key := [2]uint64{uint64(w.owner), w.id}
+				if seen[key] {
+					return false
+				}
+				seen[key] = true
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRURecencyConsistencyProperty(t *testing.T) {
+	// The recency list always holds exactly the valid ways, each once.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		c := newLRU(2, 8)
+		for i := 0; i < 5000; i++ {
+			c.Access(r.Intn(3), uint64(r.Intn(48)))
+		}
+		for i := range c.sets {
+			s := &c.sets[i]
+			valid := 0
+			for _, w := range s.ways {
+				if w.valid {
+					valid++
+				}
+			}
+			if len(s.recency) != valid {
+				return false
+			}
+			seen := map[uint8]bool{}
+			for _, w := range s.recency {
+				if seen[w] || !s.ways[w].valid {
+					return false
+				}
+				seen[w] = true
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchNextLine(t *testing.T) {
+	c := New(Config{NumSets: 4, Assoc: 2, Policy: LRU, Prefetch: true, Seed: 1})
+	c.Access(0, 0) // miss; prefetches line 1 (set 1)
+	if !c.Access(0, 1) {
+		t.Fatal("next line should have been prefetched")
+	}
+	st := c.Stats(0)
+	if st.PrefetchFill == 0 || st.PrefetchHit == 0 {
+		t.Fatalf("prefetch counters %+v", st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("prefetch hit should not count as miss: %+v", st)
+	}
+}
+
+func TestPrefetchHelpsStreaming(t *testing.T) {
+	// Sequential streaming: with prefetch, steady-state misses halve
+	// (every other line comes from the prefetcher).
+	run := func(prefetch bool) float64 {
+		c := New(Config{NumSets: 16, Assoc: 4, Policy: LRU, Prefetch: prefetch, Seed: 1})
+		for id := uint64(0); id < 100000; id++ {
+			c.Access(0, id)
+		}
+		return c.Stats(0).MPA()
+	}
+	without := run(false)
+	with := run(true)
+	if without < 0.99 {
+		t.Fatalf("streaming without prefetch should always miss, MPA=%v", without)
+	}
+	if with > 0.55 {
+		t.Fatalf("next-line prefetch should roughly halve misses, MPA=%v", with)
+	}
+}
+
+func TestRandomPolicyStillBounded(t *testing.T) {
+	c := New(Config{NumSets: 2, Assoc: 2, Policy: Random, Seed: 3})
+	r := xrand.New(4)
+	for i := 0; i < 1000; i++ {
+		c.Access(0, uint64(r.Intn(8)))
+	}
+	if c.Occupancy(0) > 4 {
+		t.Fatalf("occupancy %d exceeds capacity", c.Occupancy(0))
+	}
+}
+
+func TestPLRUApproximatesLRU(t *testing.T) {
+	// On a small working set that fits, PLRU must also converge to all
+	// hits (it never evicts the just-touched line).
+	c := New(Config{NumSets: 1, Assoc: 8, Policy: PLRU, Seed: 5})
+	for rep := 0; rep < 3; rep++ {
+		for id := uint64(0); id < 8; id++ {
+			c.Access(0, id)
+		}
+	}
+	c.ResetStats()
+	for rep := 0; rep < 10; rep++ {
+		for id := uint64(0); id < 8; id++ {
+			c.Access(0, id)
+		}
+	}
+	if st := c.Stats(0); st.Misses != 0 {
+		t.Fatalf("PLRU evicted resident working set: %+v", st)
+	}
+}
+
+func TestFlushAndFlushOwner(t *testing.T) {
+	c := newLRU(2, 2)
+	c.Access(0, 0)
+	c.Access(1, 1)
+	c.FlushOwner(0)
+	if c.Occupancy(0) != 0 {
+		t.Fatal("FlushOwner left lines")
+	}
+	if !c.Access(1, 1) {
+		t.Fatal("FlushOwner removed other owner's lines")
+	}
+	c.Flush()
+	if c.Occupancy(1) != 0 {
+		t.Fatal("Flush left lines")
+	}
+	if c.Access(1, 1) {
+		t.Fatal("hit after full flush")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := newLRU(1, 2)
+	c.Access(0, 0)
+	c.ResetStats()
+	if st := c.Stats(0); st.Accesses != 0 || st.Misses != 0 {
+		t.Fatal("stats not cleared")
+	}
+	if !c.Access(0, 0) {
+		t.Fatal("contents should survive ResetStats")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{{NumSets: 0, Assoc: 1}, {NumSets: 1, Assoc: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestOwnerRangePanics(t *testing.T) {
+	c := newLRU(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Access(MaxOwners, 0)
+}
+
+func TestSoloMPAMatchesStackDistance(t *testing.T) {
+	// Ground-truth check that underpins the whole performance model: a
+	// process whose accesses have reuse distance d hits in an A-way cache
+	// iff d ≤ A. Generate a stream with known distances and verify.
+	const assoc = 4
+	c := newLRU(1, assoc)
+	// Prime lines 0..5 (6 lines, distances will exceed assoc for the deep ones).
+	for id := uint64(0); id < 6; id++ {
+		c.Access(0, id)
+	}
+	c.ResetStats()
+	// Access line 5's neighbourhood: line 5 has distance 1 (hit), line 2
+	// has distance 4 (boundary hit), line 0 now has distance 6 (miss).
+	if !c.Access(0, 5) {
+		t.Fatal("distance-1 access missed")
+	}
+	if !c.Access(0, 2) {
+		t.Fatal("distance-4 access should hit in 4-way set")
+	}
+	if c.Access(0, 0) {
+		t.Fatal("distance-6 access should miss in 4-way set")
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B) {
+	c := New(Config{NumSets: 64, Assoc: 16, Policy: LRU, Seed: 1})
+	r := xrand.New(2)
+	ids := make([]uint64, 4096)
+	for i := range ids {
+		ids[i] = uint64(r.Intn(64 * 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, ids[i&4095])
+	}
+}
+
+func BenchmarkAccessPLRU(b *testing.B) {
+	c := New(Config{NumSets: 64, Assoc: 16, Policy: PLRU, Seed: 1})
+	r := xrand.New(2)
+	ids := make([]uint64, 4096)
+	for i := range ids {
+		ids[i] = uint64(r.Intn(64 * 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, ids[i&4095])
+	}
+}
+
+func TestPLRUNeverEvictsJustTouched(t *testing.T) {
+	// Tree-PLRU invariant: the way touched most recently is never the
+	// next victim.
+	c := New(Config{NumSets: 1, Assoc: 8, Policy: PLRU, Seed: 7})
+	r := xrand.New(11)
+	// Fill the set.
+	for id := uint64(0); id < 8; id++ {
+		c.Access(0, id)
+	}
+	resident := map[uint64]bool{}
+	for id := uint64(0); id < 8; id++ {
+		resident[id] = true
+	}
+	next := uint64(8)
+	for i := 0; i < 5000; i++ {
+		// Touch a random resident line, then insert a fresh one; the
+		// fresh insertion must not evict the just-touched line.
+		var touch uint64
+		k := r.Intn(len(resident))
+		for id := range resident {
+			if k == 0 {
+				touch = id
+				break
+			}
+			k--
+		}
+		if !c.Access(0, touch) {
+			t.Fatalf("resident line %d missed", touch)
+		}
+		c.Access(0, next)
+		resident[next] = true
+		next++
+		if c.Access(0, touch) {
+			// still resident — fine; re-touch counted, carry on
+		} else {
+			t.Fatalf("iteration %d: PLRU evicted the just-touched line", i)
+		}
+		// Rebuild the resident set from actual contents to stay in sync.
+		for id := range resident {
+			delete(resident, id)
+		}
+		s := &c.sets[0]
+		for _, w := range s.ways {
+			if w.valid {
+				resident[w.id] = true
+			}
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || Random.String() != "Random" || PLRU.String() != "PLRU" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy should still format")
+	}
+}

@@ -1,0 +1,63 @@
+// Package cli holds the small amount of parsing shared by the command-line
+// tools: machine and solver selection and benchmark-list parsing, with
+// error messages that name the valid choices.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// MachineByName maps the CLI machine names to presets.
+func MachineByName(name string) (*machine.Machine, error) {
+	switch name {
+	case "server":
+		return machine.FourCoreServer(), nil
+	case "workstation":
+		return machine.TwoCoreWorkstation(), nil
+	case "laptop":
+		return machine.TwoCoreLaptop(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (want server, workstation, or laptop)", name)
+}
+
+// SolverByName maps CLI solver names to methods.
+func SolverByName(name string) (core.SolverMethod, error) {
+	switch name {
+	case "auto":
+		return core.SolverAuto, nil
+	case "newton":
+		return core.SolverNewton, nil
+	case "window":
+		return core.SolverWindow, nil
+	}
+	return 0, fmt.Errorf("unknown solver %q (want auto, newton, or window)", name)
+}
+
+// ParseBenches resolves a comma-separated benchmark list.
+func ParseBenches(list string) ([]*workload.Spec, error) {
+	var out []*workload.Spec
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s := workload.ByName(name)
+		if s == nil {
+			var known []string
+			for _, w := range workload.Suite() {
+				known = append(known, w.Name)
+			}
+			return nil, fmt.Errorf("unknown benchmark %q (want one of %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty benchmark list")
+	}
+	return out, nil
+}

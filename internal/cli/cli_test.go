@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"testing"
+
+	"mpmc/internal/core"
+)
+
+func TestMachineByName(t *testing.T) {
+	for name, cores := range map[string]int{"server": 4, "workstation": 2, "laptop": 2} {
+		m, err := MachineByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.NumCores != cores {
+			t.Fatalf("%s has %d cores, want %d", name, m.NumCores, cores)
+		}
+	}
+	if _, err := MachineByName("mainframe"); err == nil {
+		t.Fatal("accepted unknown machine")
+	}
+}
+
+func TestSolverByName(t *testing.T) {
+	cases := map[string]core.SolverMethod{
+		"auto": core.SolverAuto, "newton": core.SolverNewton, "window": core.SolverWindow,
+	}
+	for name, want := range cases {
+		got, err := SolverByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s resolved to %v", name, got)
+		}
+	}
+	if _, err := SolverByName("magic"); err == nil {
+		t.Fatal("accepted unknown solver")
+	}
+}
+
+func TestParseBenches(t *testing.T) {
+	specs, err := ParseBenches("mcf, art ,gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[0].Name != "mcf" || specs[2].Name != "gzip" {
+		t.Fatalf("parsed %v", specs)
+	}
+	if _, err := ParseBenches("mcf,notabench"); err == nil {
+		t.Fatal("accepted unknown benchmark")
+	}
+	if _, err := ParseBenches(" , "); err == nil {
+		t.Fatal("accepted empty list")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AssignmentResult pairs a candidate assignment with its estimated power.
+type AssignmentResult struct {
+	Assignment Assignment
+	Watts      float64
+}
+
+// BestAssignment exhaustively searches process-to-core mappings of the
+// given processes and returns them sorted by estimated average processor
+// power — the power-aware assignment application of Section 5. The search
+// space is coreCount^k, reduced by the estimation cost being linear in
+// profiling effort rather than exponential in co-run measurements (the
+// paper's headline complexity win).
+//
+// maxResults bounds the returned slice (0 = all).
+func (cm *CombinedModel) BestAssignment(procs []*FeatureVector, maxResults int) ([]AssignmentResult, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("core: no processes to assign")
+	}
+	n := cm.Machine.NumCores
+	total := 1
+	for range procs {
+		total *= n
+	}
+	if total > 1<<20 {
+		return nil, fmt.Errorf("core: %d processes on %d cores: search space too large", len(procs), n)
+	}
+	var results []AssignmentResult
+	choice := make([]int, len(procs))
+	for idx := 0; idx < total; idx++ {
+		v := idx
+		for i := range choice {
+			choice[i] = v % n
+			v /= n
+		}
+		if !canonicalChoice(choice, cm.Machine.Groups) {
+			continue
+		}
+		asg := make(Assignment, n)
+		for i, c := range choice {
+			asg[c] = append(asg[c], procs[i])
+		}
+		watts, err := cm.EstimateAssignment(asg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, AssignmentResult{Assignment: asg, Watts: watts})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Watts < results[j].Watts })
+	if maxResults > 0 && len(results) > maxResults {
+		results = results[:maxResults]
+	}
+	return results, nil
+}
+
+// canonicalChoice suppresses assignments equivalent under permuting cores
+// within a cache group (the model is symmetric in them): it keeps only the
+// representative where, within each group, cores are "used" in order and
+// the first process index on each used core increases.
+func canonicalChoice(choice []int, groups [][]int) bool {
+	for _, g := range groups {
+		// first[i] = index of the first process assigned to g[i], or -1.
+		first := make([]int, len(g))
+		for i := range first {
+			first[i] = -1
+		}
+		for pi, c := range choice {
+			for i, gc := range g {
+				if gc == c && first[i] < 0 {
+					first[i] = pi
+				}
+			}
+		}
+		// Cores inside a group must be used in increasing first-process
+		// order, with unused cores trailing.
+		prev := -1
+		seenEmpty := false
+		for _, f := range first {
+			if f < 0 {
+				seenEmpty = true
+				continue
+			}
+			if seenEmpty || f < prev {
+				return false
+			}
+			prev = f
+		}
+	}
+	return true
+}
+
+// SpreadBaseline assigns processes round-robin across cores (the naive
+// load balancer), for comparison against the power-aware choice.
+func SpreadBaseline(machineCores int, procs []*FeatureVector) Assignment {
+	asg := make(Assignment, machineCores)
+	for i, f := range procs {
+		c := i % machineCores
+		asg[c] = append(asg[c], f)
+	}
+	return asg
+}
+
+// EnergyEstimate converts an assignment's power estimate and the procs'
+// predicted throughputs into an energy-per-work figure: watts divided by
+// aggregate predicted instructions per second. Lower is better when
+// choosing assignments for energy rather than power.
+func (cm *CombinedModel) EnergyEstimate(asg Assignment) (joulesPerGigaInstr float64, err error) {
+	watts, err := cm.EstimateAssignment(asg)
+	if err != nil {
+		return 0, err
+	}
+	ips := 0.0
+	for _, group := range cm.Machine.Groups {
+		var members []*FeatureVector
+		var share []float64 // time share of each member on its core
+		for _, c := range group {
+			k := len(asg[c])
+			for _, f := range asg[c] {
+				members = append(members, f)
+				share = append(share, 1/float64(k))
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		preds, err := PredictGroup(members, cm.Machine.Assoc, cm.Solver)
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range preds {
+			ips += share[i] / p.SPI
+		}
+	}
+	if ips == 0 {
+		return math.Inf(1), nil
+	}
+	return watts / ips * 1e9, nil
+}

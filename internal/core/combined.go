@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"mpmc/internal/hpc"
+	"mpmc/internal/machine"
+)
+
+// CombinedModel integrates the performance model and the power model
+// (Section 5): it estimates the processor power of any tentative
+// process-to-core assignment *before the processes run*, using only each
+// process's profiling feature vector.
+//
+// The decomposition behind it: process power splits into
+//
+//	P1 = P_idle + (c1·L1RPI + c2·L2RPI + c4·BRPI + c5·FPPI)/SPI
+//	P2 = c3·L2RPI·L2MPR/SPI
+//
+// where the instruction-related rates are contention-invariant process
+// properties, and SPI and L2MPR come from the performance model's
+// equilibrium solution for the co-running group.
+type CombinedModel struct {
+	Machine *machine.Machine
+	Power   *PowerModel
+	// Solver selects the equilibrium algorithm (SolverAuto by default).
+	Solver SolverMethod
+}
+
+// NewCombinedModel wires a trained power model to a machine description.
+func NewCombinedModel(m *machine.Machine, pm *PowerModel) *CombinedModel {
+	return &CombinedModel{Machine: m, Power: pm, Solver: SolverAuto}
+}
+
+// PredictedRates converts a performance prediction into the five Eq. 9
+// event rates: each instruction-related event count divided by the
+// predicted time per instruction.
+func PredictedRates(p Prediction) hpc.Rates {
+	f := p.Feature
+	return hpc.Rates{
+		L1RPS: f.L1RPI / p.SPI,
+		L2RPS: f.API / p.SPI,
+		L2MPS: f.API * p.MPA / p.SPI,
+		BRPS:  f.BRPI / p.SPI,
+		FPPS:  f.FPPI / p.SPI,
+	}
+}
+
+// P1 returns the contention-invariant-part power of a predicted process
+// (everything but the miss term), and P2 the miss term; their sum is the
+// modeled core power while the process runs.
+func (cm *CombinedModel) P1(p Prediction) float64 {
+	c := cm.Power.Coefficients()
+	f := p.Feature
+	return cm.Power.PIdle() + (c[0]*f.L1RPI+c[1]*f.API+c[3]*f.BRPI+c[4]*f.FPPI)/p.SPI
+}
+
+// P2 returns the L2-miss power term of a predicted process (negative on
+// every machine studied: stalled cores draw less).
+func (cm *CombinedModel) P2(p Prediction) float64 {
+	c := cm.Power.Coefficients()
+	return c[2] * p.Feature.API * p.MPA / p.SPI
+}
+
+// ProcessCorePower returns the modeled power of a core while the
+// predicted process runs on it: P1 + P2 = Eq. 9 at the predicted rates.
+func (cm *CombinedModel) ProcessCorePower(p Prediction) float64 {
+	return cm.Power.CorePower(PredictedRates(p))
+}
+
+// Assignment maps each core to the feature vectors of the processes
+// time-sharing it (nil/empty = idle core). Index = core ID.
+type Assignment [][]*FeatureVector
+
+// Validate checks the assignment fits the machine.
+func (cm *CombinedModel) validate(asg Assignment) error {
+	if len(asg) != cm.Machine.NumCores {
+		return fmt.Errorf("core: assignment covers %d cores, machine has %d", len(asg), cm.Machine.NumCores)
+	}
+	for c, procs := range asg {
+		for _, f := range procs {
+			if f == nil {
+				return fmt.Errorf("core: nil feature on core %d", c)
+			}
+			if err := f.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EstimateAssignment returns the estimated average processor power of the
+// assignment: Eq. 10's combination averaging within every cache group plus
+// P_idle for idle cores — the quantity Table 4 validates. Only profiling
+// data is consumed.
+func (cm *CombinedModel) EstimateAssignment(asg Assignment) (float64, error) {
+	if err := cm.validate(asg); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, group := range cm.Machine.Groups {
+		watts, err := cm.estimateGroup(asg, group)
+		if err != nil {
+			return 0, err
+		}
+		total += watts
+	}
+	return total, nil
+}
+
+// estimateGroup averages the modeled power of one cache group over all
+// process combinations (Eq. 10). Idle cores contribute P_idle.
+func (cm *CombinedModel) estimateGroup(asg Assignment, group []int) (float64, error) {
+	var busy []int
+	idle := 0
+	for _, c := range group {
+		if len(asg[c]) > 0 {
+			busy = append(busy, c)
+		} else {
+			idle++
+		}
+	}
+	watts := float64(idle) * cm.Power.PIdle()
+	if len(busy) == 0 {
+		return watts, nil
+	}
+	// Enumerate the cross product of per-core process choices.
+	combo := make([]*FeatureVector, len(busy))
+	var sum float64
+	var count int
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(busy) {
+			preds, err := PredictGroup(combo, cm.Machine.Assoc, cm.Solver)
+			if err != nil {
+				return err
+			}
+			for _, p := range preds {
+				sum += cm.ProcessCorePower(p)
+			}
+			count++
+			return nil
+		}
+		for _, f := range asg[busy[i]] {
+			combo[i] = f
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return watts + sum/float64(count), nil
+}
+
+// EstimateAddition implements the Figure 1 algorithm: the estimated
+// processor power after assigning process k to core c, given the current
+// assignment. The partner-set case analysis of the paper reduces to
+// re-estimating c's cache group with k added while every other group's
+// estimate is unchanged (its P_rest).
+func (cm *CombinedModel) EstimateAddition(asg Assignment, k *FeatureVector, c int) (float64, error) {
+	if c < 0 || c >= cm.Machine.NumCores {
+		return 0, fmt.Errorf("core: core %d out of range", c)
+	}
+	next := make(Assignment, len(asg))
+	for i, procs := range asg {
+		next[i] = append([]*FeatureVector(nil), procs...)
+	}
+	next[c] = append(next[c], k)
+	return cm.EstimateAssignment(next)
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpmc/internal/linalg"
+)
+
+// Prediction is the performance model's output for one process in a
+// co-running group (Section 3): its equilibrium effective cache size, the
+// resulting miss rate, and the Eq. 3 throughput.
+type Prediction struct {
+	Feature *FeatureVector
+	S       float64 // effective cache size, ways per set
+	MPA     float64 // misses per access at S (== the paper's L2MPR)
+	SPI     float64 // seconds per instruction
+}
+
+// MPI returns predicted L2 misses per instruction (API · MPA).
+func (p Prediction) MPI() float64 { return p.Feature.API * p.MPA }
+
+// SolverMethod selects the equilibrium solving algorithm.
+type SolverMethod int
+
+const (
+	// SolverAuto runs the paper's Newton–Raphson and falls back to the
+	// window bisection when it fails to converge.
+	SolverAuto SolverMethod = iota
+	// SolverNewton is the paper's formulation: Newton–Raphson on the k
+	// equations of Eq. 7 plus the Eq. 1 capacity constraint.
+	SolverNewton
+	// SolverWindow is the equivalent scalar formulation: bisection on the
+	// shared time window T of Section 3.3, with S_i(T) as the largest
+	// fixed point of S = G_i(APS_i(S)·T). Monotonicity of every piece
+	// makes it unconditionally convergent.
+	SolverWindow
+)
+
+// PredictGroup predicts the steady-state behaviour of the processes whose
+// feature vectors are given, co-running on cores that share one A-way
+// cache. A solo process simply receives the whole cache.
+func PredictGroup(features []*FeatureVector, assoc int, method SolverMethod) ([]Prediction, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("core: empty co-run group")
+	}
+	if assoc <= 0 {
+		return nil, fmt.Errorf("core: non-positive associativity")
+	}
+	if method != SolverAuto && method != SolverNewton && method != SolverWindow {
+		return nil, fmt.Errorf("core: unknown solver method %d", method)
+	}
+	for _, f := range features {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	a := float64(assoc)
+	if len(features) == 1 {
+		f := features[0]
+		s := math.Min(f.GMax(), a)
+		return []Prediction{predAt(f, s)}, nil
+	}
+	// If the combined appetites cannot fill the cache there is no
+	// contention: everyone gets their asymptotic size.
+	total := 0.0
+	for _, f := range features {
+		total += f.GMax()
+	}
+	if total <= a {
+		out := make([]Prediction, len(features))
+		for i, f := range features {
+			out[i] = predAt(f, f.GMax())
+		}
+		return out, nil
+	}
+
+	var sizes []float64
+	var err error
+	switch method {
+	case SolverWindow:
+		sizes, err = solveWindow(features, a)
+	case SolverNewton:
+		sizes, err = solveNewton(features, a)
+	case SolverAuto:
+		sizes, err = solveNewton(features, a)
+		if err != nil {
+			sizes, err = solveWindow(features, a)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown solver method %d", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(features))
+	for i, f := range features {
+		out[i] = predAt(f, sizes[i])
+	}
+	return out, nil
+}
+
+func predAt(f *FeatureVector, s float64) Prediction {
+	mpa := f.MPA(s)
+	return Prediction{Feature: f, S: s, MPA: mpa, SPI: f.SPI(mpa)}
+}
+
+// sizeAtWindow returns S_i(T): the largest fixed point of
+// S = G_i(APS_i(S)·T), found by monotone iteration from S = GMax.
+func sizeAtWindow(f *FeatureVector, t, assoc float64) float64 {
+	s := math.Min(f.GMax(), assoc)
+	for iter := 0; iter < 200; iter++ {
+		n := f.APS(f.MPA(s)) * t
+		next := f.G(n)
+		if next > assoc {
+			next = assoc
+		}
+		if math.Abs(next-s) < 1e-10 {
+			return next
+		}
+		s = next
+	}
+	return s
+}
+
+// solveWindow finds the shared window T with Σ S_i(T) = A by bisection.
+func solveWindow(features []*FeatureVector, assoc float64) ([]float64, error) {
+	sum := func(t float64) float64 {
+		total := 0.0
+		for _, f := range features {
+			total += sizeAtWindow(f, t, assoc)
+		}
+		return total
+	}
+	lo, hi := 0.0, 1e-6
+	for iter := 0; sum(hi) < assoc; iter++ {
+		lo = hi
+		hi *= 4
+		if iter > 80 {
+			return nil, fmt.Errorf("core: window solver could not bracket the capacity constraint")
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-14*hi; iter++ {
+		mid := (lo + hi) / 2
+		if sum(mid) < assoc {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (lo + hi) / 2
+	sizes := make([]float64, len(features))
+	total := 0.0
+	for i, f := range features {
+		sizes[i] = sizeAtWindow(f, t, assoc)
+		total += sizes[i]
+	}
+	// Distribute the residual rounding so Eq. 1 holds exactly.
+	if total > 0 {
+		scale := assoc / total
+		if scale < 1 { // only shrink; growing could exceed a GMax
+			for i := range sizes {
+				sizes[i] *= scale
+			}
+		}
+	}
+	return sizes, nil
+}
+
+// solveNewton is the paper's Eq. 7 Newton–Raphson: unknowns S_1..S_k,
+// equations f_1 = ΣS_i − A and, for i ≥ 2,
+//
+//	f_i = G₁⁻¹(S₁)/G_i⁻¹(S_i) − API₁·(α_i·MPA_i(S_i)+β_i) /
+//	      (API_i·(α₁·MPA₁(S₁)+β₁))
+//
+// with a numerically differenced Jacobian, damped steps, and box
+// constraints keeping every S_i in (0, min(A, GMax_i)].
+func solveNewton(features []*FeatureVector, assoc float64) ([]float64, error) {
+	k := len(features)
+	upper := make([]float64, k)
+	for i, f := range features {
+		upper[i] = math.Min(assoc, f.GMax())
+	}
+	// Start from a proportional-appetite split.
+	s := make([]float64, k)
+	total := 0.0
+	for i := range features {
+		total += upper[i]
+	}
+	for i := range s {
+		s[i] = upper[i] / total * assoc
+		if s[i] > upper[i] {
+			s[i] = upper[i]
+		}
+		if s[i] < 0.05 {
+			s[i] = 0.05
+		}
+	}
+	// The Eq. 7 residuals are ratios whose scales differ by orders of
+	// magnitude across heterogeneous processes; taking logarithms turns
+	// them into well-conditioned differences with the same roots.
+	resid := func(s []float64) []float64 {
+		r := make([]float64, k)
+		sum := 0.0
+		for _, v := range s {
+			sum += v
+		}
+		r[0] = sum - assoc
+		f1 := features[0]
+		inv1 := f1.GInverse(s[0])
+		spi1 := f1.SPI(f1.MPA(s[0]))
+		for i := 1; i < k; i++ {
+			fi := features[i]
+			invi := fi.GInverse(s[i])
+			spii := fi.SPI(fi.MPA(s[i]))
+			r[i] = math.Log(inv1/invi) - math.Log((f1.API*spii)/(fi.API*spi1))
+		}
+		return r
+	}
+	const tol = 1e-9
+	for iter := 0; iter < 100; iter++ {
+		r := resid(s)
+		if linalg.NormInf(r) < tol {
+			return s, nil
+		}
+		// Forward-difference Jacobian.
+		jac := linalg.NewMatrix(k, k)
+		for j := 0; j < k; j++ {
+			h := 1e-6 * math.Max(1, s[j])
+			if s[j]+h > upper[j] {
+				h = -h
+			}
+			sp := append([]float64(nil), s...)
+			sp[j] += h
+			rp := resid(sp)
+			for i := 0; i < k; i++ {
+				jac.Set(i, j, (rp[i]-r[i])/h)
+			}
+		}
+		step, err := linalg.SolveLU(jac, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: Newton–Raphson Jacobian singular: %w", err)
+		}
+		// Damped update with box clamping.
+		lambda := 1.0
+		for j := 0; j < k; j++ {
+			ns := s[j] - step[j]
+			if ns < 0.02 {
+				lambda = math.Min(lambda, (s[j]-0.02)/step[j])
+			}
+			if ns > upper[j] {
+				lambda = math.Min(lambda, (s[j]-upper[j])/step[j])
+			}
+		}
+		if lambda <= 0 || math.IsNaN(lambda) {
+			lambda = 0.1
+		}
+		improved := false
+		base := linalg.NormInf(r)
+		for ; lambda > 1e-4; lambda /= 2 {
+			trial := append([]float64(nil), s...)
+			ok := true
+			for j := 0; j < k; j++ {
+				trial[j] -= lambda * step[j]
+				if trial[j] < 0.02 || trial[j] > upper[j]+1e-12 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if linalg.NormInf(resid(trial)) < base {
+				copy(s, trial)
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return nil, fmt.Errorf("core: Newton–Raphson stalled at residual %.3g", base)
+		}
+	}
+	return nil, fmt.Errorf("core: Newton–Raphson did not converge")
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// simpleFeature builds a small feature vector for unit tests: a 4-way
+// cache with a known MPA curve.
+func simpleFeature(t *testing.T) *FeatureVector {
+	t.Helper()
+	// hist: h(1)=0.4 h(2)=0.2 h(3)=0.1 h(4)=0.1 overflow=0.2
+	curve := []float64{1, 0.6, 0.4, 0.3, 0.2}
+	f, err := NewFeatureVector("test", curve, 2e-5*0.02, 1e-6, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFeatureVectorValidates(t *testing.T) {
+	if _, err := NewFeatureVector("x", []float64{1}, 1, 1, 1); err == nil {
+		t.Fatal("accepted 1-point curve")
+	}
+	if _, err := NewFeatureVector("x", []float64{1, 0.5, 0.2}, 1, 1, 0); err == nil {
+		t.Fatal("accepted zero API")
+	}
+	if _, err := NewFeatureVector("x", []float64{1, 0.5, 0.2}, 1, 0, 0.1); err == nil {
+		t.Fatal("accepted zero beta")
+	}
+	if _, err := NewFeatureVector("x", []float64{1, 2, 0.2}, 1, 1, 0.1); err == nil {
+		t.Fatal("accepted MPA > 1")
+	}
+}
+
+func TestFeatureMPAInterpolates(t *testing.T) {
+	f := simpleFeature(t)
+	if got := f.MPA(0); got != 1 {
+		t.Fatalf("MPA(0) = %v", got)
+	}
+	if got := f.MPA(1); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("MPA(1) = %v", got)
+	}
+	if got := f.MPA(1.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MPA(1.5) = %v", got)
+	}
+	if got := f.MPA(10); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MPA(10) = %v", got)
+	}
+}
+
+func TestSPIAndAPS(t *testing.T) {
+	f := simpleFeature(t)
+	if got := f.SPI(0); got != f.Beta {
+		t.Fatal("SPI(0) != beta")
+	}
+	if got := f.SPI(1); math.Abs(got-(f.Alpha+f.Beta)) > 1e-18 {
+		t.Fatal("SPI(1) != alpha+beta")
+	}
+	if got := f.APS(0); math.Abs(got-f.API/f.Beta) > 1e-9 {
+		t.Fatalf("APS(0) = %v", got)
+	}
+}
+
+func TestGBasicProperties(t *testing.T) {
+	f := simpleFeature(t)
+	if got := f.G(0); got != 0 {
+		t.Fatalf("G(0) = %v", got)
+	}
+	if got := f.G(1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("G(1) = %v", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for n := 0.5; n < 10000; n *= 1.3 {
+		g := f.G(n)
+		if g < prev-1e-12 {
+			t.Fatalf("G not monotone at n=%v: %v < %v", n, g, prev)
+		}
+		if g > float64(f.Assoc)+1e-9 {
+			t.Fatalf("G(%v) = %v exceeds associativity", n, g)
+		}
+		prev = g
+	}
+	// With overflow mass 0.2 the process eventually fills the cache.
+	if f.GMax() < float64(f.Assoc)-0.01 {
+		t.Fatalf("GMax = %v, want ~%d", f.GMax(), f.Assoc)
+	}
+}
+
+func TestGMatchesHandComputedRecursion(t *testing.T) {
+	// Tiny 2-way case computed by hand from Eq. 4.
+	// curve: MPA(0)=1, MPA(1)=0.5, MPA(2)=0.25.
+	f, err := NewFeatureVector("hand", []float64{1, 0.5, 0.25}, 1e-6, 1e-6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=1: P1=1 → G=1.
+	// n=2: P1 = 1·(1−0.5) = 0.5; P2 = 1·0.5 = 0.5 → G = 1.5.
+	// n=3: P1 = 0.5·0.5 = 0.25; P2 = 0.5·0.5 + 0.5 = 0.75 → G = 1.75.
+	cases := map[float64]float64{1: 1, 2: 1.5, 3: 1.75}
+	for n, want := range cases {
+		if got := f.G(n); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("G(%v) = %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestGInverseRoundTrip(t *testing.T) {
+	f := simpleFeature(t)
+	for _, s := range []float64{0.5, 1, 1.7, 2.5, 3.2, 3.9} {
+		n := f.GInverse(s)
+		if math.IsInf(n, 1) {
+			t.Fatalf("GInverse(%v) infinite below GMax %v", s, f.GMax())
+		}
+		back := f.G(n)
+		if math.Abs(back-s) > 0.02 {
+			t.Fatalf("G(GInverse(%v)) = %v", s, back)
+		}
+	}
+	if got := f.GInverse(0); got != 0 {
+		t.Fatalf("GInverse(0) = %v", got)
+	}
+	if !math.IsInf(f.GInverse(float64(f.Assoc)+1), 1) {
+		t.Fatal("GInverse above GMax should be +Inf")
+	}
+}
+
+func TestGMaxBoundedByWorkingSet(t *testing.T) {
+	// No overflow mass beyond distance 2: the process can never occupy
+	// more than 2 ways, so GMax must stop there even in a 4-way cache.
+	f, err := NewFeatureVector("small", []float64{1, 0.5, 0, 0, 0}, 1e-6, 1e-6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GMax() > 2+1e-9 {
+		t.Fatalf("GMax %v exceeds working set", f.GMax())
+	}
+}
+
+func TestTruthFeatureConsistency(t *testing.T) {
+	m := machine.FourCoreServer()
+	for _, spec := range workload.ModelSet() {
+		f := TruthFeature(spec, m)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		// The reconstructed histogram must reproduce the analytic curve.
+		for s := 0; s <= m.Assoc; s++ {
+			want := spec.EffectiveMPA(float64(s))
+			if got := f.MPA(float64(s)); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s: MPA(%d) = %v want %v", spec.Name, s, got, want)
+			}
+		}
+		// The Eq. 3 line must track the true (mildly concave) SPI curve
+		// closely over the operating range.
+		for s := 1; s <= m.Assoc; s++ {
+			mpa := f.MPA(float64(s))
+			want := spec.TrueSPI(m.MemLatency, m.MLPOverlap, mpa)
+			if got := f.SPI(mpa); math.Abs(got-want)/want > 0.03 {
+				t.Fatalf("%s: Eq.3 at S=%d: %v vs true %v", spec.Name, s, got, want)
+			}
+		}
+	}
+}
+
+func TestGTableInterpolationAccuracy(t *testing.T) {
+	// The growth table thins its storage geometrically beyond n=1024;
+	// interpolated values must stay close to a directly computed dense
+	// recursion. Use a slow-growing feature so large n matters.
+	curve := []float64{1, 0.3, 0.1, 0.04, 0.02, 0.012, 0.008, 0.005, 0.003}
+	f, err := NewFeatureVector("slow", curve, 1e-6, 1e-6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense reference recursion.
+	a := f.Assoc
+	mpaAt := make([]float64, a+1)
+	for i := 0; i <= a; i++ {
+		mpaAt[i] = f.Hist.MPA(float64(i))
+	}
+	p := make([]float64, a+1)
+	q := make([]float64, a+1)
+	p[1] = 1
+	dense := map[int]float64{1: 1}
+	maxN := 60000
+	for n := 2; n <= maxN; n++ {
+		for i := 1; i <= a; i++ {
+			stay := p[i] * (1 - mpaAt[i])
+			if i == a {
+				stay = p[i]
+			}
+			grow := 0.0
+			if i > 1 {
+				grow = p[i-1] * mpaAt[i-1]
+			}
+			q[i] = stay + grow
+		}
+		p, q = q, p
+		g := 0.0
+		for i := 1; i <= a; i++ {
+			g += float64(i) * p[i]
+		}
+		dense[n] = g
+	}
+	for _, n := range []int{10, 100, 1000, 5000, 20000, 55000} {
+		want := dense[n]
+		got := f.G(float64(n))
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("G(%d) interpolated %.5f, dense %.5f", n, got, want)
+		}
+	}
+}

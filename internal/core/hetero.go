@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Heterogeneous-processor support (the paper's contribution list claims
+// the models "are general enough to accommodate heterogeneous tasks and
+// processors").
+//
+// A feature vector is profiled on a reference core (speed factor 1). On a
+// core with speed factor s, the compute part of every instruction takes
+// 1/s as long while the memory-stall part is unchanged, so the Eq. 3 line
+// becomes SPI = α·MPA + β/s: α is pure miss cost, β is pure compute.
+// Rescaling β is therefore the entire adjustment — the equilibrium solver,
+// the growth curves, and the power decomposition all consume the adjusted
+// feature unchanged.
+
+// OnCore returns a copy of the feature vector adjusted to a core with the
+// given speed factor. Speed 1 returns the receiver itself.
+func (f *FeatureVector) OnCore(speed float64) *FeatureVector {
+	if speed == 1 {
+		return f
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		panic(fmt.Sprintf("core: invalid core speed %v", speed))
+	}
+	nf := *f
+	nf.Beta = f.Beta / speed
+	nf.gtab = nil // growth tables do not depend on β, but stay safe
+	return &nf
+}
+
+// PredictGroupOnCores predicts a co-running group where process i runs on
+// a core with speed factor speeds[i]; it is PredictGroup with the Eq. 3
+// heterogeneity adjustment applied per process.
+func PredictGroupOnCores(features []*FeatureVector, speeds []float64, assoc int, method SolverMethod) ([]Prediction, error) {
+	if len(speeds) != len(features) {
+		return nil, fmt.Errorf("core: %d speeds for %d features", len(speeds), len(features))
+	}
+	adjusted := make([]*FeatureVector, len(features))
+	for i, f := range features {
+		if speeds[i] <= 0 {
+			return nil, fmt.Errorf("core: non-positive speed for process %d", i)
+		}
+		adjusted[i] = f.OnCore(speeds[i])
+	}
+	preds, err := PredictGroup(adjusted, assoc, method)
+	if err != nil {
+		return nil, err
+	}
+	// Report against the original features (the adjusted copies are an
+	// internal device).
+	for i := range preds {
+		preds[i].Feature = features[i]
+		preds[i].SPI = adjusted[i].SPI(preds[i].MPA)
+	}
+	return preds, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+func TestOnCoreScalesBetaOnly(t *testing.T) {
+	f := simpleFeature(t)
+	fast := f.OnCore(2)
+	if fast.Beta != f.Beta/2 || fast.Alpha != f.Alpha || fast.API != f.API {
+		t.Fatalf("OnCore(2): alpha=%v beta=%v", fast.Alpha, fast.Beta)
+	}
+	if f.OnCore(1) != f {
+		t.Fatal("OnCore(1) should be the identity")
+	}
+	// The original is untouched.
+	if f.Beta == fast.Beta {
+		t.Fatal("OnCore mutated the receiver")
+	}
+}
+
+func TestOnCorePanicsOnBadSpeed(t *testing.T) {
+	f := simpleFeature(t)
+	for _, s := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("speed %v accepted", s)
+				}
+			}()
+			f.OnCore(s)
+		}()
+	}
+}
+
+// heteroWorkstation builds a big.LITTLE-style variant of the workstation:
+// core 0 is the reference, core 1 runs compute at 60% speed.
+func heteroWorkstation() *machine.Machine {
+	m := machine.TwoCoreWorkstation()
+	m.CoreSpeed = []float64{1.0, 0.6}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestHeteroSimSlowsCompute(t *testing.T) {
+	// gzip (compute-bound) on the slow core runs ~1/0.6 slower; mcf
+	// (memory-bound) is barely affected because stalls dominate.
+	m := heteroWorkstation()
+	homo := machine.TwoCoreWorkstation()
+	for _, tc := range []struct {
+		name    string
+		minSlow float64
+		maxSlow float64
+	}{
+		{"gzip", 1.5, 1.7}, // ≈ 1/0.6 = 1.67 for pure compute
+		{"mcf", 1.0, 1.25}, // memory-dominated
+	} {
+		spec := workload.ByName(tc.name)
+		slowAsg := sim.Assignment{Procs: [][]*workload.Spec{nil, {spec}}}
+		rSlow, err := sim.Run(m, slowAsg, sim.Options{Warmup: 2, Duration: 4, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rFast, err := sim.Run(homo, sim.Single(spec, nil), sim.Options{Warmup: 2, Duration: 4, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowdown := rSlow.Procs[0].SPI() / rFast.Procs[0].SPI()
+		if slowdown < tc.minSlow || slowdown > tc.maxSlow {
+			t.Errorf("%s: slow-core slowdown %.3f outside [%.2f, %.2f]",
+				tc.name, slowdown, tc.minSlow, tc.maxSlow)
+		}
+	}
+}
+
+func TestHeteroPredictionMatchesSimulation(t *testing.T) {
+	// The contribution-(4) claim end to end: a pair co-running on a
+	// heterogeneous machine, predicted with the β-rescaling adjustment.
+	m := heteroWorkstation()
+	a, b := workload.ByName("twolf"), workload.ByName("art")
+	homo := machine.TwoCoreWorkstation()
+	fa := TruthFeature(a, homo) // profiled on the reference core
+	fb := TruthFeature(b, homo)
+	preds, err := PredictGroupOnCores(
+		[]*FeatureVector{fa, fb}, []float64{1.0, 0.6}, m.Assoc, SolverAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(m, sim.Single(a, b), sim.Options{Warmup: 3, Duration: 6, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"twolf", "art"} {
+		meas := res.ProcByName(name)
+		if d := math.Abs(preds[i].MPA - meas.MPA()); d > 0.05 {
+			t.Errorf("%s: MPA predicted %.4f measured %.4f", name, preds[i].MPA, meas.MPA())
+		}
+		// Heterogeneity adds a layer of approximation on top of the base
+		// model; hold it to a slightly wider band.
+		if rel := math.Abs(preds[i].SPI-meas.SPI()) / meas.SPI(); rel > 0.09 {
+			t.Errorf("%s: SPI predicted %.4g measured %.4g (%.1f%%)",
+				name, preds[i].SPI, meas.SPI(), rel*100)
+		}
+	}
+	// Ignoring heterogeneity must hurt the slow-core process's SPI badly.
+	naive, err := PredictGroup([]*FeatureVector{fa, fb}, m.Assoc, SolverAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := res.ProcByName("art")
+	naiveErr := math.Abs(naive[1].SPI-meas.SPI()) / meas.SPI()
+	adjErr := math.Abs(preds[1].SPI-meas.SPI()) / meas.SPI()
+	if adjErr >= naiveErr {
+		t.Errorf("adjustment did not help: adjusted %.1f%% vs naive %.1f%%",
+			adjErr*100, naiveErr*100)
+	}
+}
+
+func TestPredictGroupOnCoresErrors(t *testing.T) {
+	f := simpleFeature(t)
+	if _, err := PredictGroupOnCores([]*FeatureVector{f}, []float64{1, 1}, 4, SolverAuto); err == nil {
+		t.Fatal("accepted mismatched speeds")
+	}
+	if _, err := PredictGroupOnCores([]*FeatureVector{f}, []float64{0}, 4, SolverAuto); err == nil {
+		t.Fatal("accepted zero speed")
+	}
+}

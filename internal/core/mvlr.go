@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"mpmc/internal/hpc"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/stats"
+	"mpmc/internal/workload"
+)
+
+// PowerModel is the Eq. 9 per-core power model:
+//
+//	P_core = P_idle + c1·L1RPS + c2·L2RPS + c3·L2MPS + c4·BRPS + c5·FPPS
+//
+// trained by multi-variable linear regression on measured (rates, power)
+// samples. The intercept P_idle absorbs the per-core share of always-on
+// uncore power, so summing CorePower over all cores estimates total
+// processor power.
+type PowerModel struct {
+	fit *stats.MVLRFit
+}
+
+// PIdle returns the fitted idle power per core (the Eq. 9 intercept).
+func (pm *PowerModel) PIdle() float64 { return pm.fit.Coef[0] }
+
+// Coefficients returns c1..c5 in Eq. 9 order.
+func (pm *PowerModel) Coefficients() []float64 {
+	return append([]float64(nil), pm.fit.Coef[1:]...)
+}
+
+// R2 returns the training-set coefficient of determination.
+func (pm *PowerModel) R2() float64 { return pm.fit.R2 }
+
+// CorePower estimates one core's power from its event rates.
+func (pm *PowerModel) CorePower(r hpc.Rates) float64 {
+	return pm.fit.Predict(r.Vector())
+}
+
+// ProcessorPower estimates total processor power from per-core rates
+// (idle cores contribute P_idle via zero rates).
+func (pm *PowerModel) ProcessorPower(cores []hpc.Rates) float64 {
+	total := 0.0
+	for _, r := range cores {
+		total += pm.CorePower(r)
+	}
+	return total
+}
+
+// PowerTrainOptions controls power-model training data collection.
+type PowerTrainOptions struct {
+	// Warmup and Duration apply to each homogeneous benchmark run.
+	// Zero selects defaults (2 s and 8 s).
+	Warmup   float64
+	Duration float64
+	Seed     uint64
+	// SkipMicrobench omits the synthetic micro-benchmark phases
+	// (Section 4.1); used by ablations only.
+	SkipMicrobench bool
+	// MicrobenchWindows is the number of sampling windows measured per
+	// micro-benchmark step (default 12).
+	MicrobenchWindows int
+}
+
+func (o *PowerTrainOptions) withDefaults() PowerTrainOptions {
+	out := *o
+	if out.Warmup == 0 {
+		out.Warmup = 2
+	}
+	if out.Duration == 0 {
+		out.Duration = 8
+	}
+	if out.MicrobenchWindows == 0 {
+		out.MicrobenchWindows = 12
+	}
+	return out
+}
+
+// PowerDataset is a measured training set for power models: each row is a
+// per-core rate vector in Eq. 9 order with the corresponding per-core
+// measured power (total processor power divided by core count, per the
+// paper's homogeneous-run assumption).
+type PowerDataset struct {
+	Features [][]float64
+	Watts    []float64
+}
+
+// CollectPowerDataset gathers the Section 4.1 model-construction data:
+// for every benchmark, N instances run on the N cores while the sensor
+// records processor power; the micro-benchmark then sweeps each monitored
+// component across eight access frequencies.
+func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerTrainOptions) (*PowerDataset, error) {
+	o := opts.withDefaults()
+	ds := &PowerDataset{}
+	n := float64(m.NumCores)
+	for bi, spec := range specs {
+		asg := sim.Assignment{Procs: make([][]*workload.Spec, m.NumCores)}
+		for c := 0; c < m.NumCores; c++ {
+			asg.Procs[c] = []*workload.Spec{spec}
+		}
+		res, err := sim.Run(m, asg, sim.Options{
+			Warmup:   o.Warmup,
+			Duration: o.Duration,
+			Seed:     o.Seed + uint64(bi)*7919,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: power training run %s: %w", spec.Name, err)
+		}
+		windows := res.WindowRates(m.NumCores)
+		if len(windows) != len(res.MeasuredPower) {
+			return nil, fmt.Errorf("core: power training %s: %d rate windows vs %d power samples",
+				spec.Name, len(windows), len(res.MeasuredPower))
+		}
+		for w, cores := range windows {
+			// Homogeneous run: average the per-core rates (they are
+			// statistically identical) and attribute power/N per core.
+			var avg hpc.Rates
+			for _, r := range cores {
+				avg = avg.Add(r)
+			}
+			avg = avg.Scale(1 / n)
+			ds.Features = append(ds.Features, avg.Vector())
+			ds.Watts = append(ds.Watts, res.MeasuredPower[w].Power/n)
+		}
+	}
+	if !o.SkipMicrobench {
+		maxRates := microbenchPeaks(specs)
+		for si, step := range workload.Microbench(maxRates) {
+			r := hpc.FromVector(step[:])
+			// The paper's phases are equal length: the idle phase runs a
+			// full 80 s while each component frequency gets 10 s, so the
+			// idle operating point carries 8× the weight of one step.
+			// That weight is what anchors the P_idle intercept.
+			windows := o.MicrobenchWindows
+			if si == 0 {
+				windows *= 8
+			}
+			watts := sim.MeasureSyntheticRates(m, r, windows, o.Seed+uint64(si)*104729)
+			for _, wv := range watts {
+				ds.Features = append(ds.Features, r.Vector())
+				ds.Watts = append(ds.Watts, wv/n)
+			}
+		}
+	}
+	if len(ds.Features) == 0 {
+		return nil, fmt.Errorf("core: empty power training set")
+	}
+	return ds, nil
+}
+
+// microbenchPeaks derives the micro-benchmark's peak event rates from the
+// benchmark suite so the training set covers the rate ranges validation
+// assignments will occupy.
+func microbenchPeaks(specs []*workload.Spec) [5]float64 {
+	var peak [5]float64
+	for _, s := range specs {
+		// Rates at full speed (no misses): events/instr ÷ BaseSPI.
+		cand := [5]float64{
+			s.L1RPI / s.BaseSPI,
+			s.L2RPI / s.BaseSPI,
+			s.L2RPI / s.BaseSPI, // misses bounded by references
+			s.BRPI / s.BaseSPI,
+			s.FPPI / s.BaseSPI,
+		}
+		for i, v := range cand {
+			if v > peak[i] {
+				peak[i] = v
+			}
+		}
+	}
+	for i := range peak {
+		peak[i] *= 1.2 // headroom above any benchmark
+	}
+	return peak
+}
+
+// FitPowerModel fits the Eq. 9 MVLR model to a dataset.
+func FitPowerModel(ds *PowerDataset) (*PowerModel, error) {
+	fit, err := stats.FitMVLR(ds.Features, ds.Watts)
+	if err != nil {
+		return nil, fmt.Errorf("core: MVLR power fit: %w", err)
+	}
+	return &PowerModel{fit: fit}, nil
+}
+
+// TrainPowerModel is the one-call Section 4.1 pipeline: collect the
+// dataset and fit the MVLR model.
+func TrainPowerModel(m *machine.Machine, specs []*workload.Spec, opts PowerTrainOptions) (*PowerModel, error) {
+	ds, err := CollectPowerDataset(m, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return FitPowerModel(ds)
+}
+
+// Accuracy evaluates a power predictor on a dataset, returning the
+// paper's accuracy figure (100 − mean absolute percentage error).
+func (ds *PowerDataset) Accuracy(predict func(hpc.Rates) float64) float64 {
+	pred := make([]float64, len(ds.Watts))
+	for i, f := range ds.Features {
+		pred[i] = predict(hpc.FromVector(f))
+	}
+	return stats.Accuracy(pred, ds.Watts)
+}

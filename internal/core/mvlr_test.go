@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpmc/internal/hpc"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+// trainTestModel trains a power model quickly for tests.
+func trainTestModel(t *testing.T, m *machine.Machine) (*PowerModel, *PowerDataset) {
+	t.Helper()
+	ds, err := CollectPowerDataset(m, workload.ModelSet(), PowerTrainOptions{
+		Warmup: 1, Duration: 3, Seed: 202, MicrobenchWindows: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := FitPowerModel(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, ds
+}
+
+func TestPowerModelShape(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	pm, ds := trainTestModel(t, m)
+
+	// The intercept approximates per-core idle power plus the per-core
+	// share of uncore power.
+	wantIdle := m.Oracle.CoreIdle + m.Oracle.Uncore/float64(m.NumCores)
+	if math.Abs(pm.PIdle()-wantIdle)/wantIdle > 0.15 {
+		t.Errorf("P_idle %.2f want ~%.2f", pm.PIdle(), wantIdle)
+	}
+	// The L2-miss coefficient must come out negative (Section 4.2).
+	coef := pm.Coefficients()
+	if coef[2] >= 0 {
+		t.Errorf("c3 (L2MPS) = %v, want negative", coef[2])
+	}
+	// Training accuracy in the paper's ballpark (~96%).
+	acc := ds.Accuracy(pm.CorePower)
+	if acc < 92 || acc > 99.9 {
+		t.Errorf("MVLR accuracy %.1f%% outside plausible band", acc)
+	}
+	if pm.R2() < 0.9 {
+		t.Errorf("R² %.3f too low", pm.R2())
+	}
+}
+
+func TestPowerModelPredictsHeldOutAssignment(t *testing.T) {
+	// Validate like Table 2: a heterogeneous assignment the model never
+	// saw, compared window by window.
+	m := machine.TwoCoreWorkstation()
+	pm, _ := trainTestModel(t, m)
+	res, err := sim.Run(m, sim.Single(workload.ByName("mcf"), workload.ByName("gzip")),
+		sim.Options{Warmup: 2, Duration: 5, Seed: 404})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := res.WindowRates(m.NumCores)
+	var sumErr, maxErr float64
+	for w, cores := range windows {
+		est := pm.ProcessorPower(cores)
+		meas := res.MeasuredPower[w].Power
+		e := math.Abs(est-meas) / meas
+		sumErr += e
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	avg := sumErr / float64(len(windows))
+	if avg > 0.08 {
+		t.Errorf("sample-based avg error %.1f%% too high", avg*100)
+	}
+	// Average power comparison.
+	var estAvg float64
+	for _, cores := range windows {
+		estAvg += pm.ProcessorPower(cores)
+	}
+	estAvg /= float64(len(windows))
+	if rel := math.Abs(estAvg-res.AvgMeasuredPower()) / res.AvgMeasuredPower(); rel > 0.06 {
+		t.Errorf("avg power est %.2f vs measured %.2f (%.1f%%)",
+			estAvg, res.AvgMeasuredPower(), rel*100)
+	}
+}
+
+func TestPowerModelIdleCores(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	pm, _ := trainTestModel(t, m)
+	est := pm.ProcessorPower([]hpc.Rates{{}, {}})
+	want := m.Oracle.Uncore + 2*m.Oracle.CoreIdle
+	if math.Abs(est-want)/want > 0.2 {
+		t.Errorf("idle estimate %.2f want ~%.2f", est, want)
+	}
+}
+
+func TestNNModelBeatsOrMatchesMVLR(t *testing.T) {
+	// E8's shape: the NN captures the oracle's saturation nonlinearity,
+	// so its training accuracy is at least MVLR's.
+	m := machine.TwoCoreWorkstation()
+	pm, ds := trainTestModel(t, m)
+	nn, err := TrainNNModel(ds, NNOptions{Seed: 5, Epochs: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accMVLR := ds.Accuracy(pm.CorePower)
+	accNN := ds.Accuracy(nn.CorePower)
+	if accNN < accMVLR-0.5 {
+		t.Errorf("NN accuracy %.2f%% below MVLR %.2f%%", accNN, accMVLR)
+	}
+	if accNN < 90 {
+		t.Errorf("NN accuracy %.2f%% implausibly low", accNN)
+	}
+}
+
+func TestNNDeterministic(t *testing.T) {
+	ds := &PowerDataset{}
+	// Tiny synthetic dataset: y = 1 + x0.
+	for i := 0; i < 32; i++ {
+		x := float64(i) / 32
+		ds.Features = append(ds.Features, []float64{x, 0, 0, 0, 0})
+		ds.Watts = append(ds.Watts, 1+x)
+	}
+	a, err := TrainNNModel(ds, NNOptions{Seed: 7, Epochs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainNNModel(ds, NNOptions{Seed: 7, Epochs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hpc.Rates{L1RPS: 0.3}
+	if a.CorePower(r) != b.CorePower(r) {
+		t.Fatal("NN training not deterministic")
+	}
+	// And it should fit the linear function decently.
+	if math.Abs(a.CorePower(hpc.Rates{L1RPS: 0.5})-1.5) > 0.1 {
+		t.Fatalf("NN fit poor: %v", a.CorePower(hpc.Rates{L1RPS: 0.5}))
+	}
+}
+
+func TestNNErrors(t *testing.T) {
+	if _, err := TrainNNModel(&PowerDataset{}, NNOptions{}); err == nil {
+		t.Fatal("accepted empty dataset")
+	}
+	ds := &PowerDataset{
+		Features: [][]float64{{1, 0, 0, 0, 0}, {2, 0, 0, 0, 0}},
+		Watts:    []float64{5, 5},
+	}
+	if _, err := TrainNNModel(ds, NNOptions{}); err == nil {
+		t.Fatal("accepted constant-power dataset")
+	}
+}
+
+func TestMicrobenchPeaksCoverSuite(t *testing.T) {
+	peaks := microbenchPeaks(workload.ModelSet())
+	for _, s := range workload.ModelSet() {
+		if s.L1RPI/s.BaseSPI > peaks[0] {
+			t.Fatalf("%s L1 rate exceeds microbench peak", s.Name)
+		}
+		if s.FPPI/s.BaseSPI > peaks[4] {
+			t.Fatalf("%s FP rate exceeds microbench peak", s.Name)
+		}
+	}
+}
+
+func TestCollectPowerDatasetSkipMicrobench(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	full, err := CollectPowerDataset(m, workload.ModelSet()[:2], PowerTrainOptions{
+		Warmup: 0.5, Duration: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean, err := CollectPowerDataset(m, workload.ModelSet()[:2], PowerTrainOptions{
+		Warmup: 0.5, Duration: 1, Seed: 1, SkipMicrobench: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lean.Features) >= len(full.Features) {
+		t.Fatal("SkipMicrobench did not reduce the dataset")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mpmc/internal/hist"
+	"mpmc/internal/stats"
+)
+
+// Profiling is expensive (A co-runs per process), so deployed systems
+// persist feature vectors and power models between sessions. Both types
+// round-trip through JSON; the reuse-distance histogram and growth tables
+// are derived state and are rebuilt on load.
+
+// featureJSON is the wire form of a FeatureVector.
+type featureJSON struct {
+	Name            string    `json:"name"`
+	MPACurve        []float64 `json:"mpa_curve"`
+	Alpha           float64   `json:"alpha"`
+	Beta            float64   `json:"beta"`
+	API             float64   `json:"api"`
+	PAloneProcessor float64   `json:"p_alone_w,omitempty"`
+	L1RPI           float64   `json:"l1rpi,omitempty"`
+	BRPI            float64   `json:"brpi,omitempty"`
+	FPPI            float64   `json:"fppi,omitempty"`
+}
+
+// MarshalJSON encodes the measured quantities; derived state (histogram,
+// growth table) is omitted.
+func (f *FeatureVector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(featureJSON{
+		Name:            f.Name,
+		MPACurve:        f.MPACurve,
+		Alpha:           f.Alpha,
+		Beta:            f.Beta,
+		API:             f.API,
+		PAloneProcessor: f.PAloneProcessor,
+		L1RPI:           f.L1RPI,
+		BRPI:            f.BRPI,
+		FPPI:            f.FPPI,
+	})
+}
+
+// UnmarshalJSON decodes and revalidates a feature vector, rebuilding the
+// histogram from the MPA curve (Eq. 8).
+func (f *FeatureVector) UnmarshalJSON(data []byte) error {
+	var w featureJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: decoding feature vector: %w", err)
+	}
+	h, err := hist.FromMPACurve(w.MPACurve)
+	if err != nil {
+		return fmt.Errorf("core: decoding feature vector %q: %w", w.Name, err)
+	}
+	*f = FeatureVector{
+		Name:            w.Name,
+		Assoc:           len(w.MPACurve) - 1,
+		MPACurve:        w.MPACurve,
+		Hist:            h,
+		Alpha:           w.Alpha,
+		Beta:            w.Beta,
+		API:             w.API,
+		PAloneProcessor: w.PAloneProcessor,
+		L1RPI:           w.L1RPI,
+		BRPI:            w.BRPI,
+		FPPI:            w.FPPI,
+	}
+	return f.Validate()
+}
+
+// powerModelJSON is the wire form of a PowerModel.
+type powerModelJSON struct {
+	Coef []float64 `json:"coef"` // intercept followed by c1..c5
+	R2   float64   `json:"r2"`
+}
+
+// MarshalJSON encodes the fitted coefficients.
+func (pm *PowerModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(powerModelJSON{Coef: pm.fit.Coef, R2: pm.fit.R2})
+}
+
+// UnmarshalJSON decodes a fitted model.
+func (pm *PowerModel) UnmarshalJSON(data []byte) error {
+	var w powerModelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: decoding power model: %w", err)
+	}
+	if len(w.Coef) != 6 {
+		return fmt.Errorf("core: power model has %d coefficients, want 6", len(w.Coef))
+	}
+	pm.fit = &stats.MVLRFit{Coef: w.Coef, R2: w.R2}
+	return nil
+}

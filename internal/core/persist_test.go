@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mpmc/internal/hpc"
+	"mpmc/internal/machine"
+	"mpmc/internal/stats"
+	"mpmc/internal/workload"
+)
+
+func TestFeatureVectorJSONRoundTrip(t *testing.T) {
+	m := machine.FourCoreServer()
+	orig := TruthFeature(workload.ByName("twolf"), m)
+	orig.PAloneProcessor = 51.2
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FeatureVector
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Assoc != orig.Assoc {
+		t.Fatal("identity fields lost")
+	}
+	if back.Alpha != orig.Alpha || back.Beta != orig.Beta || back.API != orig.API {
+		t.Fatal("Eq. 3 parameters lost")
+	}
+	if back.PAloneProcessor != 51.2 || back.L1RPI != orig.L1RPI {
+		t.Fatal("power profile lost")
+	}
+	// Derived state must be rebuilt identically: MPA and G agree.
+	for s := 0.0; s <= float64(m.Assoc); s += 0.5 {
+		if math.Abs(back.MPA(s)-orig.MPA(s)) > 1e-12 {
+			t.Fatalf("MPA(%v) differs after round trip", s)
+		}
+	}
+	if math.Abs(back.G(100)-orig.G(100)) > 1e-9 {
+		t.Fatal("growth curve differs after round trip")
+	}
+	// And it still predicts.
+	if _, err := PredictGroup([]*FeatureVector{&back, orig}, m.Assoc, SolverAuto); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureVectorJSONRejectsBad(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","mpa_curve":[1],"alpha":1,"beta":1,"api":0.1}`,   // 1-point curve
+		`{"name":"x","mpa_curve":[1,0.5],"alpha":1,"beta":1,"api":0}`, // zero API
+		`{"name":"x","mpa_curve":[1,2],"alpha":1,"beta":1,"api":0.1}`, // MPA > 1
+		`{"name":"x","mpa_curve":[1,0.5],"alpha":1,"beta":0,"api":,}`, // syntax
+	}
+	for i, c := range cases {
+		var f FeatureVector
+		if err := json.Unmarshal([]byte(c), &f); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPowerModelJSONRoundTrip(t *testing.T) {
+	fit, err := stats.FitMVLR([][]float64{
+		{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}, {0, 0, 1, 0, 0},
+		{0, 0, 0, 1, 0}, {0, 0, 0, 0, 1}, {1, 1, 1, 1, 1}, {2, 1, 0, 1, 2},
+	}, []float64{11, 12, 9, 11.5, 10.8, 14, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := &PowerModel{fit: fit}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PowerModel
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	r := hpc.Rates{L1RPS: 2, L2RPS: 1, BRPS: 1, FPPS: 2}
+	if math.Abs(back.CorePower(r)-orig.CorePower(r)) > 1e-12 {
+		t.Fatal("power model differs after round trip")
+	}
+	if back.PIdle() != orig.PIdle() || back.R2() != orig.R2() {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestPowerModelJSONRejectsBad(t *testing.T) {
+	for i, c := range []string{`{`, `{"coef":[1,2,3]}`} {
+		var pm PowerModel
+		if err := json.Unmarshal([]byte(c), &pm); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpmc/internal/xrand"
+)
+
+// randomFeature builds a structurally valid feature vector from arbitrary
+// randomness: a monotone MPA curve over a random associativity plus
+// positive Eq. 3 coefficients and API.
+func randomFeature(r *xrand.Rand) *FeatureVector {
+	assoc := 2 + r.Intn(15)
+	curve := make([]float64, assoc+1)
+	curve[0] = 1
+	v := 1.0
+	for s := 1; s <= assoc; s++ {
+		v *= 0.3 + 0.7*r.Float64() // multiplicative decay keeps it monotone
+		curve[s] = v
+	}
+	alpha := r.Float64() * 5e-6
+	beta := 5e-7 + r.Float64()*2e-6
+	api := 0.001 + r.Float64()*0.1
+	f, err := NewFeatureVector("rand", curve, alpha, beta, api)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestPropertyGMonotoneAndBounded(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		f := randomFeature(r)
+		prev := 0.0
+		for n := 0.25; n < 1e5; n *= 1.7 {
+			g := f.G(n)
+			if g < prev-1e-9 || g > float64(f.Assoc)+1e-9 || math.IsNaN(g) {
+				return false
+			}
+			prev = g
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGInverseIsInverse(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		f := randomFeature(r)
+		gmax := f.GMax()
+		for i := 0; i < 8; i++ {
+			s := 0.1 + r.Float64()*(gmax-0.2)
+			n := f.GInverse(s)
+			if math.IsInf(n, 1) {
+				return false
+			}
+			if math.Abs(f.G(n)-s) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEquilibriumInvariants(t *testing.T) {
+	// For random co-run groups: every size positive and ≤ min(A, GMax);
+	// sizes sum to ≤ A (equality when contended); predicted MPA within
+	// [overflow, 1]; predicted SPI ≥ beta.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		assoc := 4 + r.Intn(13)
+		k := 2 + r.Intn(3)
+		features := make([]*FeatureVector, k)
+		for i := range features {
+			f := randomFeature(r)
+			// Re-shape the curve onto this group's associativity.
+			curve := make([]float64, assoc+1)
+			for s := 0; s <= assoc; s++ {
+				frac := float64(s) / float64(assoc) * float64(f.Assoc)
+				curve[s] = f.MPA(frac)
+			}
+			nf, err := NewFeatureVector("g", curve, f.Alpha, f.Beta, f.API)
+			if err != nil {
+				return false
+			}
+			features[i] = nf
+		}
+		preds, err := PredictGroup(features, assoc, SolverWindow)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i, p := range preds {
+			f := features[i]
+			if p.S <= 0 || p.S > math.Min(float64(assoc), f.GMax())+1e-6 {
+				return false
+			}
+			if p.MPA < f.Hist.Overflow()-1e-9 || p.MPA > 1+1e-9 {
+				return false
+			}
+			if p.SPI < f.Beta-1e-15 {
+				return false
+			}
+			sum += p.S
+		}
+		return sum <= float64(assoc)+1e-6
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEquilibriumSymmetry(t *testing.T) {
+	// Identical processes always split the cache evenly, whatever their
+	// shape.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		f := randomFeature(r)
+		assoc := f.Assoc
+		preds, err := PredictGroup([]*FeatureVector{f, f}, assoc, SolverWindow)
+		if err != nil {
+			return false
+		}
+		return math.Abs(preds[0].S-preds[1].S) < 0.02
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMorePressureSmallerShare(t *testing.T) {
+	// Scaling one process's API up never increases its partner's share.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		a := randomFeature(r)
+		bCurve := make([]float64, a.Assoc+1)
+		bCurve[0] = 1
+		v := 1.0
+		for s := 1; s <= a.Assoc; s++ {
+			v *= 0.4 + 0.55*r.Float64()
+			bCurve[s] = v
+		}
+		b1, err := NewFeatureVector("b", bCurve, 1e-6, 1e-6, 0.01)
+		if err != nil {
+			return false
+		}
+		b2, err := NewFeatureVector("b2", bCurve, 1e-6, 1e-6, 0.05) // 5× hungrier
+		if err != nil {
+			return false
+		}
+		p1, err := PredictGroup([]*FeatureVector{a, b1}, a.Assoc, SolverWindow)
+		if err != nil {
+			return false
+		}
+		p2, err := PredictGroup([]*FeatureVector{a, b2}, a.Assoc, SolverWindow)
+		if err != nil {
+			return false
+		}
+		// a's share must not grow when b gets hungrier.
+		return p2[0].S <= p1[0].S+0.05
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPredictionDeterministic(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r1 := xrand.New(seed)
+		r2 := xrand.New(seed)
+		fa1, fa2 := randomFeature(r1), randomFeature(r2)
+		fb1, fb2 := randomFeature(r1), randomFeature(r2)
+		assoc := fa1.Assoc
+		if fb1.Assoc < assoc {
+			assoc = fb1.Assoc
+		}
+		// Rebuild on the common associativity.
+		shrink := func(f *FeatureVector) *FeatureVector {
+			nf, err := NewFeatureVector(f.Name, f.MPACurve[:assoc+1], f.Alpha, f.Beta, f.API)
+			if err != nil {
+				panic(err)
+			}
+			return nf
+		}
+		p1, e1 := PredictGroup([]*FeatureVector{shrink(fa1), shrink(fb1)}, assoc, SolverWindow)
+		p2, e2 := PredictGroup([]*FeatureVector{shrink(fa2), shrink(fb2)}, assoc, SolverWindow)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return true
+		}
+		for i := range p1 {
+			if p1[i].S != p2[i].S || p1[i].SPI != p2[i].SPI {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

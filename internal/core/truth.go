@@ -1,0 +1,43 @@
+package core
+
+import (
+	"mpmc/internal/machine"
+	"mpmc/internal/stats"
+	"mpmc/internal/workload"
+)
+
+// TruthFeature builds the *oracle* feature vector of a workload: the exact
+// analytic MPA curve implied by the spec, with the Eq. 3 line fitted to
+// the machine's true (mildly concave) SPI–MPA relationship over the same
+// operating points profiling would observe.
+//
+// The experiments never use it for the headline results — those profile
+// with the stressmark like the paper — but it isolates model-form error
+// from profiling error in the profiling ablation, and it gives tests an
+// exact reference.
+func TruthFeature(spec *workload.Spec, m *machine.Machine) *FeatureVector {
+	curve := make([]float64, m.Assoc+1)
+	for s := 0; s <= m.Assoc; s++ {
+		curve[s] = spec.EffectiveMPA(float64(s))
+	}
+	// Fit SPI = α·MPA + β across the effective-size operating points,
+	// exactly the regression the stressmark sweep performs (Eq. 3).
+	mpas := make([]float64, 0, m.Assoc)
+	spis := make([]float64, 0, m.Assoc)
+	for s := 1; s <= m.Assoc; s++ {
+		mpas = append(mpas, curve[s])
+		spis = append(spis, spec.TrueSPI(m.MemLatency, m.MLPOverlap, curve[s]))
+	}
+	alpha, beta := m.MemLatency*spec.L2RPI, spec.BaseSPI
+	if fit, err := stats.FitLinear(mpas, spis); err == nil {
+		alpha, beta = fit.Slope, fit.Intercept
+	}
+	f, err := NewFeatureVector(spec.Name, curve, alpha, beta, spec.L2RPI)
+	if err != nil {
+		panic(err) // specs are validated; the analytic curve is always well formed
+	}
+	f.L1RPI = spec.L1RPI
+	f.BRPI = spec.BRPI
+	f.FPPI = spec.FPPI
+	return f
+}

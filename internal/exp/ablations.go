@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"mpmc/internal/baseline"
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/stats"
+	"mpmc/internal/workload"
+)
+
+// SolverAblationResult compares the paper's Newton–Raphson equilibrium
+// solver against the scalar-window bisection on the same instances.
+type SolverAblationResult struct {
+	Pairs          int
+	NewtonFailures int
+	MaxSizeDelta   float64       // max |S difference| between solvers, ways
+	NewtonTime     time.Duration // total
+	WindowTime     time.Duration
+}
+
+// Format renders the ablation.
+func (r *SolverAblationResult) Format() string {
+	return fmt.Sprintf(
+		"Solver ablation: %d pairs; Newton failures %d; max ΔS %.4f ways; Newton %v vs window %v\n",
+		r.Pairs, r.NewtonFailures, r.MaxSizeDelta, r.NewtonTime, r.WindowTime)
+}
+
+// SolverAblation runs both equilibrium solvers over every benchmark pair.
+func SolverAblation(x *Context) (*SolverAblationResult, error) {
+	m := machine.FourCoreServer()
+	suite := workload.ModelSet()
+	res := &SolverAblationResult{}
+	for i := 0; i < len(suite); i++ {
+		for j := i; j < len(suite); j++ {
+			fs := []*core.FeatureVector{
+				core.TruthFeature(suite[i], m),
+				core.TruthFeature(suite[j], m),
+			}
+			res.Pairs++
+			t0 := time.Now()
+			pn, errN := core.PredictGroup(fs, m.Assoc, core.SolverNewton)
+			res.NewtonTime += time.Since(t0)
+			t0 = time.Now()
+			pw, errW := core.PredictGroup(fs, m.Assoc, core.SolverWindow)
+			res.WindowTime += time.Since(t0)
+			if errW != nil {
+				return nil, fmt.Errorf("exp: window solver failed on %s+%s: %w",
+					suite[i].Name, suite[j].Name, errW)
+			}
+			if errN != nil {
+				res.NewtonFailures++
+				continue
+			}
+			for k := range pw {
+				if d := math.Abs(pw[k].S - pn[k].S); d > res.MaxSizeDelta {
+					res.MaxSizeDelta = d
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ProfilingAblationResult compares stressmark profiling against ideal
+// way-partitioned profiling and against the analytic truth.
+type ProfilingAblationResult struct {
+	Machine string
+	Names   []string
+	// Mean absolute MPA-curve error (percentage points) per benchmark.
+	StressErrPct []float64
+	IdealErrPct  []float64
+}
+
+// Format renders the ablation.
+func (r *ProfilingAblationResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Profiling ablation (%s): mean |MPA curve error| in points\n", r.Machine)
+	fmt.Fprintf(&sb, "  %-8s %10s %10s\n", "bench", "stressmark", "ideal")
+	for i, n := range r.Names {
+		fmt.Fprintf(&sb, "  %-8s %10.2f %10.2f\n", n, r.StressErrPct[i], r.IdealErrPct[i])
+	}
+	fmt.Fprintf(&sb, "  %-8s %10.2f %10.2f\n", "Avg.",
+		stats.Mean(r.StressErrPct), stats.Mean(r.IdealErrPct))
+	return sb.String()
+}
+
+// ProfilingAblation quantifies how much accuracy the paper's stressmark
+// procedure loses to an exact partitioner.
+func ProfilingAblation(x *Context) (*ProfilingAblationResult, error) {
+	m := machine.TwoCoreWorkstation()
+	res := &ProfilingAblationResult{Machine: m.Name}
+	for _, spec := range workload.ModelSet() {
+		fs, err := x.Feature(m, spec) // stressmark (memoized)
+		if err != nil {
+			return nil, err
+		}
+		opts := x.Cfg.profileOpts(x.Cfg.Seed + hash("ideal/"+spec.Name))
+		opts.Method = core.ProfileIdeal
+		fi, err := core.Profile(m, spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		var es, ei float64
+		for s := 1; s <= m.Assoc; s++ {
+			want := spec.EffectiveMPA(float64(s))
+			es += math.Abs(fs.MPACurve[s] - want)
+			ei += math.Abs(fi.MPACurve[s] - want)
+		}
+		res.Names = append(res.Names, spec.Name)
+		res.StressErrPct = append(res.StressErrPct, 100*es/float64(m.Assoc))
+		res.IdealErrPct = append(res.IdealErrPct, 100*ei/float64(m.Assoc))
+	}
+	return res, nil
+}
+
+// PowerAblationResult quantifies the value of the L2MPS term (the
+// negative coefficient the paper highlights) by refitting without it.
+type PowerAblationResult struct {
+	Machine     string
+	FullAcc     float64
+	NoMissAcc   float64 // model without the L2MPS regressor
+	IdleOnlyAcc float64 // intercept-only strawman
+}
+
+// Format renders the ablation.
+func (r *PowerAblationResult) Format() string {
+	return fmt.Sprintf(
+		"Power ablation (%s): full MVLR %.2f%%, without L2MPS %.2f%%, idle-only %.2f%%\n",
+		r.Machine, r.FullAcc, r.NoMissAcc, r.IdleOnlyAcc)
+}
+
+// PowerAblation refits the power model with the miss-rate regressor
+// removed and with no regressors at all.
+func PowerAblation(x *Context) (*PowerAblationResult, error) {
+	m := machine.FourCoreServer()
+	ds, err := x.PowerDataset(m)
+	if err != nil {
+		return nil, err
+	}
+	full, err := core.FitPowerModel(ds)
+	if err != nil {
+		return nil, err
+	}
+	res := &PowerAblationResult{Machine: m.Name, FullAcc: ds.Accuracy(full.CorePower)}
+
+	// Without L2MPS: drop feature index 2.
+	reduced := make([][]float64, len(ds.Features))
+	for i, f := range ds.Features {
+		reduced[i] = []float64{f[0], f[1], f[3], f[4]}
+	}
+	fit, err := stats.FitMVLR(reduced, ds.Watts)
+	if err != nil {
+		return nil, err
+	}
+	pred := make([]float64, len(ds.Watts))
+	for i, f := range reduced {
+		pred[i] = fit.Predict(f)
+	}
+	res.NoMissAcc = stats.Accuracy(pred, ds.Watts)
+
+	// Intercept only.
+	mean := stats.Mean(ds.Watts)
+	for i := range pred {
+		pred[i] = mean
+	}
+	res.IdleOnlyAcc = stats.Accuracy(pred, ds.Watts)
+	return res, nil
+}
+
+// BaselineComparisonResult compares the paper's equilibrium model against
+// the Chandra FOA and SDC baselines on measured pairwise co-runs.
+type BaselineComparisonResult struct {
+	Machine string
+	Pairs   int
+	// Mean absolute MPA error (percentage points).
+	OursPct, FOAPct, SDCPct, ProbPct float64
+}
+
+// Format renders the comparison.
+func (r *BaselineComparisonResult) Format() string {
+	return fmt.Sprintf(
+		"Baseline comparison (%s, %d pairs): mean |MPA err| ours %.2f, FOA %.2f, SDC %.2f, Prob %.2f points\n",
+		r.Machine, r.Pairs, r.OursPct, r.FOAPct, r.SDCPct, r.ProbPct)
+}
+
+// BaselineComparison runs all pairwise co-runs on the workstation and
+// scores the three contention models against measurement.
+func BaselineComparison(x *Context) (*BaselineComparisonResult, error) {
+	m := machine.TwoCoreWorkstation()
+	suite := workload.ModelSet()
+	features, err := x.Features(m, suite)
+	if err != nil {
+		return nil, err
+	}
+	res := &BaselineComparisonResult{Machine: m.Name}
+	seed := x.Cfg.Seed + hash("baselinecmp")
+	var n int
+	for i := 0; i < len(suite); i++ {
+		for j := i; j < len(suite); j++ {
+			fs := []*core.FeatureVector{features[i], features[j]}
+			ours, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
+			if err != nil {
+				return nil, err
+			}
+			foa, err := baseline.FOA(fs, m.Assoc)
+			if err != nil {
+				return nil, err
+			}
+			sdc, err := baseline.SDC(fs, m.Assoc)
+			if err != nil {
+				return nil, err
+			}
+			prob, err := baseline.Prob(fs, m.Assoc)
+			if err != nil {
+				return nil, err
+			}
+			seed++
+			run, err := sim.Run(m, sim.Single(suite[i], suite[j]), x.Cfg.corunOpts(seed))
+			if err != nil {
+				return nil, err
+			}
+			res.Pairs++
+			for k := range fs {
+				meas := run.Procs[k].MPA()
+				res.OursPct += 100 * math.Abs(ours[k].MPA-meas)
+				res.FOAPct += 100 * math.Abs(foa[k].MPA-meas)
+				res.SDCPct += 100 * math.Abs(sdc[k].MPA-meas)
+				res.ProbPct += 100 * math.Abs(prob[k].MPA-meas)
+				n++
+			}
+		}
+	}
+	res.OursPct /= float64(n)
+	res.FOAPct /= float64(n)
+	res.SDCPct /= float64(n)
+	res.ProbPct /= float64(n)
+	return res, nil
+}

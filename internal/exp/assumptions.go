@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"mpmc/internal/cache"
+	"mpmc/internal/core"
+	"mpmc/internal/hist"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+// AssumptionResult quantifies model error when the paper's two main
+// modeling assumptions are violated (Section 3.1): true-LRU replacement
+// and single-phased processes.
+type AssumptionResult struct {
+	Machine string
+	// Mean absolute MPA error (percentage points) across the probe pairs
+	// under each condition.
+	LRUErrPct        float64 // baseline: assumptions hold
+	PLRUErrPct       float64 // pseudo-LRU replacement (real Core 2 behaviour)
+	MultiPhaseErrPct float64 // a two-phase process modeled as single-phase
+}
+
+// Format renders the study.
+func (r *AssumptionResult) Format() string {
+	return fmt.Sprintf(
+		"Assumption study (%s): mean |MPA err| LRU %.2f pts; PLRU %.2f pts; multi-phase %.2f pts\n",
+		r.Machine, r.LRUErrPct, r.PLRUErrPct, r.MultiPhaseErrPct)
+}
+
+// twoPhaseProbe builds a deliberately phase-alternating process: a small
+// hot working set in one phase, a broad one in the other. Reuse holds the
+// access-weighted mixture — what a single-phase profiler would recover.
+func twoPhaseProbe() *workload.Spec {
+	small := hist.MustNew([]float64{0.55, 0.25, 0.12}, 0.08)
+	broad := hist.MustNew([]float64{
+		0.06, 0.06, 0.06, 0.06, 0.06, 0.06, 0.06, 0.06,
+		0.06, 0.06, 0.06, 0.06}, 0.28)
+	// Equal access counts per phase → mixture is the plain average.
+	maxD := broad.MaxDistance()
+	weights := make([]float64, maxD)
+	for d := 1; d <= maxD; d++ {
+		weights[d-1] = 0.5*small.P(d) + 0.5*broad.P(d)
+	}
+	mix := hist.MustNew(weights, 0.5*small.Overflow()+0.5*broad.Overflow())
+	s := &workload.Spec{
+		Name:         "twophase",
+		Reuse:        mix,
+		FootprintCap: 48,
+		L2RPI:        0.03, L1RPI: 0.45, BRPI: 0.15, FPPI: 0.05,
+		BaseSPI: 1.0e-6,
+		Phases: []workload.PhaseSpec{
+			{Reuse: small, Accesses: 40000},
+			{Reuse: broad, Accesses: 40000},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AssumptionStudy runs the probe pairs under (a) the modeled conditions,
+// (b) PLRU replacement, and (c) with a two-phase process in the mix, and
+// reports how much the prediction error grows. The paper's position: the
+// model is built on LRU and single-phase assumptions but degrades
+// gracefully when they are bent.
+func AssumptionStudy(x *Context) (*AssumptionResult, error) {
+	base := machine.TwoCoreWorkstation()
+	res := &AssumptionResult{Machine: base.Name}
+	pairs := [][2]string{{"mcf", "twolf"}, {"art", "vpr"}, {"ammp", "bzip2"}}
+	seed := x.Cfg.Seed + hash("assumptions")
+
+	run := func(m *machine.Machine, a, b *workload.Spec, fa, fb *core.FeatureVector, s uint64) (float64, error) {
+		preds, err := core.PredictGroup([]*core.FeatureVector{fa, fb}, m.Assoc, core.SolverAuto)
+		if err != nil {
+			return 0, err
+		}
+		r, err := sim.Run(m, sim.Single(a, b), x.Cfg.corunOpts(s))
+		if err != nil {
+			return 0, err
+		}
+		e := math.Abs(preds[0].MPA-r.Procs[0].MPA()) + math.Abs(preds[1].MPA-r.Procs[1].MPA())
+		return e / 2, nil
+	}
+
+	// (a) LRU baseline and (b) PLRU, same pairs and features.
+	plru := *base
+	plru.Policy = cache.PLRU
+	var lruSum, plruSum float64
+	for _, p := range pairs {
+		a, b := workload.ByName(p[0]), workload.ByName(p[1])
+		fa, fb := core.TruthFeature(a, base), core.TruthFeature(b, base)
+		seed++
+		e, err := run(base, a, b, fa, fb, seed)
+		if err != nil {
+			return nil, err
+		}
+		lruSum += e
+		seed++
+		e, err = run(&plru, a, b, fa, fb, seed)
+		if err != nil {
+			return nil, err
+		}
+		plruSum += e
+	}
+	res.LRUErrPct = 100 * lruSum / float64(len(pairs))
+	res.PLRUErrPct = 100 * plruSum / float64(len(pairs))
+
+	// (c) Multi-phase probe against each partner, modeled by its
+	// single-phase mixture histogram.
+	probe := twoPhaseProbe()
+	fProbe := core.TruthFeature(probe, base)
+	var mpSum float64
+	partners := []string{"twolf", "vpr", "bzip2"}
+	for _, name := range partners {
+		b := workload.ByName(name)
+		fb := core.TruthFeature(b, base)
+		seed++
+		e, err := run(base, probe, b, fProbe, fb, seed)
+		if err != nil {
+			return nil, err
+		}
+		mpSum += e
+	}
+	res.MultiPhaseErrPct = 100 * mpSum / float64(len(partners))
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// ComplexityResult quantifies the paper's headline complexity claim
+// (Section 3.4): k feature vectors — O(k·A) profiling runs — suffice to
+// predict any of the 2^k − 1 non-empty process subsets, whereas a
+// measurement-based approach must execute every combination. On hardware
+// every run costs the same wall time (an application must reach steady
+// state), so the comparison is in run counts; the per-decision cost at
+// runtime is a model prediction (microseconds) versus a measurement run
+// (minutes).
+type ComplexityResult struct {
+	Assoc int
+	// Rows for k = 4, 8, 12, 16.
+	Ks            []int
+	ProfilingRuns []int // k·A
+	Combinations  []int // 2^k − 1
+	// PredictTime is the measured wall time of one equilibrium
+	// prediction on warmed growth tables.
+	PredictTime time.Duration
+}
+
+// Format renders the scaling table.
+func (r *ComplexityResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Complexity: runs needed to cover every subset of k processes (A=%d)\n", r.Assoc)
+	fmt.Fprintf(&sb, "  %4s %18s %22s %10s\n", "k", "model (k·A runs)", "brute force (2^k−1)", "advantage")
+	for i, k := range r.Ks {
+		fmt.Fprintf(&sb, "  %4d %18d %22d %9.1f×\n",
+			k, r.ProfilingRuns[i], r.Combinations[i],
+			float64(r.Combinations[i])/float64(r.ProfilingRuns[i]))
+	}
+	fmt.Fprintf(&sb, "  per runtime decision: one prediction (%v) replaces one measurement run\n",
+		r.PredictTime.Round(time.Microsecond))
+	return sb.String()
+}
+
+// ComplexityStudy builds the scaling table and times one prediction.
+func ComplexityStudy(x *Context) (*ComplexityResult, error) {
+	m := machine.FourCoreServer()
+	res := &ComplexityResult{Assoc: m.Assoc}
+	for _, k := range []int{4, 8, 12, 16} {
+		res.Ks = append(res.Ks, k)
+		res.ProfilingRuns = append(res.ProfilingRuns, k*m.Assoc)
+		res.Combinations = append(res.Combinations, 1<<k-1)
+	}
+	fa := core.TruthFeature(workload.ByName("twolf"), m)
+	fb := core.TruthFeature(workload.ByName("mcf"), m)
+	if _, err := core.PredictGroup([]*core.FeatureVector{fa, fb}, m.Assoc, core.SolverAuto); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		if _, err := core.PredictGroup([]*core.FeatureVector{fa, fb}, m.Assoc, core.SolverAuto); err != nil {
+			return nil, err
+		}
+	}
+	res.PredictTime = time.Since(t0) / reps
+	return res, nil
+}

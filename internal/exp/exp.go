@@ -1,0 +1,177 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (Section 6), plus the in-text studies and the design-choice
+// ablations listed in DESIGN.md. Each driver returns a result struct with
+// a Format method that prints rows in the shape the paper reports.
+//
+// Experiment IDs (see DESIGN.md §4):
+//
+//	E1 Table 1    performance model, 4-core server, 36 pairs
+//	E2 Sec. 6.2   performance model, 2-core laptop, 55 pairs
+//	E3 Figure 2   power traces, max/min-power assignments
+//	E4 Table 2    power model, 2-core workstation
+//	E5 Table 3    power model, 4-core server
+//	E6 Table 4    combined model, 4-core server
+//	E7 Sec. 3.1   prefetching study
+//	E8 Sec. 4.1   MVLR vs NN accuracy
+//	E9 Sec. 4.2   context-switch refill cost
+//	E10 Sec. 3.1  assumption-violation study (PLRU, multi-phase)
+//
+// plus the DESIGN.md §6 ablations (solver, profiling, power-term,
+// baselines) and the extension studies: geometry sensitivity, complexity
+// scaling, heterogeneous cores, and seed stability.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Quick shortens run durations for tests and smoke runs; the full
+	// setting is used for the recorded EXPERIMENTS.md numbers.
+	Quick bool
+	// Seed drives all randomness (profiling runs, assignment selection,
+	// measurement noise).
+	Seed uint64
+}
+
+// Durations per run type.
+func (c Config) profileOpts(seed uint64) core.ProfileOptions {
+	if c.Quick {
+		return core.ProfileOptions{Warmup: 1.5, Duration: 3, Seed: seed}
+	}
+	return core.ProfileOptions{Warmup: 3, Duration: 6, Seed: seed}
+}
+
+func (c Config) corunOpts(seed uint64) sim.Options {
+	if c.Quick {
+		return sim.Options{Warmup: 2, Duration: 4, Seed: seed}
+	}
+	return sim.Options{Warmup: 3, Duration: 8, Seed: seed}
+}
+
+func (c Config) trainOpts(seed uint64) core.PowerTrainOptions {
+	if c.Quick {
+		return core.PowerTrainOptions{Warmup: 1, Duration: 3, Seed: seed, MicrobenchWindows: 6}
+	}
+	return core.PowerTrainOptions{Warmup: 2, Duration: 8, Seed: seed}
+}
+
+// Context memoizes the expensive shared artifacts — stressmark profiles
+// and trained power models — across experiments, the way a lab would
+// profile each benchmark once per machine. Safe for concurrent use.
+type Context struct {
+	Cfg Config
+
+	mu       sync.Mutex
+	profiles map[string]*core.FeatureVector
+	models   map[string]*core.PowerModel
+	datasets map[string]*core.PowerDataset
+}
+
+// NewContext builds an empty experiment context.
+func NewContext(cfg Config) *Context {
+	return &Context{
+		Cfg:      cfg,
+		profiles: map[string]*core.FeatureVector{},
+		models:   map[string]*core.PowerModel{},
+		datasets: map[string]*core.PowerDataset{},
+	}
+}
+
+// Feature profiles one benchmark on one machine (memoized).
+func (x *Context) Feature(m *machine.Machine, spec *workload.Spec) (*core.FeatureVector, error) {
+	key := m.Name + "/" + spec.Name
+	x.mu.Lock()
+	f, ok := x.profiles[key]
+	x.mu.Unlock()
+	if ok {
+		return f, nil
+	}
+	f, err := core.Profile(m, spec, x.Cfg.profileOpts(x.Cfg.Seed+hash(key)))
+	if err != nil {
+		return nil, err
+	}
+	x.mu.Lock()
+	x.profiles[key] = f
+	x.mu.Unlock()
+	return f, nil
+}
+
+// Features profiles a benchmark list (memoized per entry).
+func (x *Context) Features(m *machine.Machine, specs []*workload.Spec) ([]*core.FeatureVector, error) {
+	out := make([]*core.FeatureVector, len(specs))
+	for i, s := range specs {
+		f, err := x.Feature(m, s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// PowerDataset collects (memoized) the Section 4.1 training data.
+func (x *Context) PowerDataset(m *machine.Machine) (*core.PowerDataset, error) {
+	x.mu.Lock()
+	ds, ok := x.datasets[m.Name]
+	x.mu.Unlock()
+	if ok {
+		return ds, nil
+	}
+	ds, err := core.CollectPowerDataset(m, workload.ModelSet(), x.Cfg.trainOpts(x.Cfg.Seed+hash(m.Name)))
+	if err != nil {
+		return nil, err
+	}
+	x.mu.Lock()
+	x.datasets[m.Name] = ds
+	x.mu.Unlock()
+	return ds, nil
+}
+
+// PowerModel trains (memoized) the MVLR power model for a machine.
+func (x *Context) PowerModel(m *machine.Machine) (*core.PowerModel, error) {
+	x.mu.Lock()
+	pm, ok := x.models[m.Name]
+	x.mu.Unlock()
+	if ok {
+		return pm, nil
+	}
+	ds, err := x.PowerDataset(m)
+	if err != nil {
+		return nil, err
+	}
+	pm, err = core.FitPowerModel(ds)
+	if err != nil {
+		return nil, err
+	}
+	x.mu.Lock()
+	x.models[m.Name] = pm
+	x.mu.Unlock()
+	return pm, nil
+}
+
+// hash gives a stable per-key seed offset.
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// specAssignment converts a per-core spec layout into a sim assignment.
+func specAssignment(m *machine.Machine, procs [][]*workload.Spec) sim.Assignment {
+	asg := sim.Assignment{Procs: make([][]*workload.Spec, m.NumCores)}
+	copy(asg.Procs, procs)
+	return asg
+}
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f", v) }

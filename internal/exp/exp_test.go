@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sharedCtx amortizes profiling and power-model training across the
+// package's tests, as the harness itself does across experiments.
+var (
+	sharedOnce sync.Once
+	shared     *Context
+)
+
+func ctx(t *testing.T) *Context {
+	t.Helper()
+	sharedOnce.Do(func() {
+		shared = NewContext(Config{Quick: true, Seed: 42})
+	})
+	return shared
+}
+
+func TestTable2Shape(t *testing.T) {
+	r, err := Table2(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 2 {
+		t.Fatalf("scenarios %d", len(r.Scenarios))
+	}
+	if r.Scenarios[0].Assignments != 36 || r.Scenarios[1].Assignments != 24 {
+		t.Fatalf("assignment counts %d/%d", r.Scenarios[0].Assignments, r.Scenarios[1].Assignments)
+	}
+	for _, s := range r.Scenarios {
+		if s.SampleAvgErr <= 0 || s.SampleAvgErr > 10 {
+			t.Errorf("%s: sample avg err %.2f%% outside plausible band", s.Name, s.SampleAvgErr)
+		}
+		if s.AvgAvgErr > s.SampleAvgErr+1e-9 {
+			t.Errorf("%s: avg-power error %.2f%% above sample error %.2f%%",
+				s.Name, s.AvgAvgErr, s.SampleAvgErr)
+		}
+		if s.SampleMaxErr < s.SampleAvgErr || s.AvgMaxErr < s.AvgAvgErr {
+			t.Errorf("%s: max below average", s.Name)
+		}
+	}
+	if !strings.Contains(r.Format(), "Table 2") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r, err := Table3(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 3 {
+		t.Fatalf("scenarios %d", len(r.Scenarios))
+	}
+	wantCounts := []int{24, 3, 10}
+	for i, s := range r.Scenarios {
+		if s.Assignments != wantCounts[i] {
+			t.Errorf("scenario %d count %d want %d", i, s.Assignments, wantCounts[i])
+		}
+		if s.SampleAvgErr <= 0 || s.SampleAvgErr > 10 {
+			t.Errorf("%s: sample avg err %.2f%%", s.Name, s.SampleAvgErr)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r, err := Figure2(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MaxTrace[0]) != len(r.MaxTrace[1]) || len(r.MaxTrace[0]) == 0 {
+		t.Fatal("max trace malformed")
+	}
+	// The max-power assignment must actually draw more power.
+	if r.MaxTrace[1].Mean() <= r.MinTrace[1].Mean() {
+		t.Fatalf("max assignment %.2f W not above min %.2f W",
+			r.MaxTrace[1].Mean(), r.MinTrace[1].Mean())
+	}
+	// Estimation errors in the paper's band (2.46% / 2.51%).
+	if r.MaxErr > 8 || r.MinErr > 8 {
+		t.Errorf("trace errors %.2f%%/%.2f%% too high", r.MaxErr, r.MinErr)
+	}
+	if !strings.Contains(r.Format(), "Figure 2") {
+		t.Error("Format missing title")
+	}
+}
+
+func TestMVLRvsNNShape(t *testing.T) {
+	r, err := MVLRvsNN(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MVLRAcc < 90 || r.MVLRAcc > 99.5 {
+		t.Errorf("MVLR accuracy %.2f%% outside plausible band", r.MVLRAcc)
+	}
+	if r.NNAcc < r.MVLRAcc-1.5 {
+		t.Errorf("NN accuracy %.2f%% far below MVLR %.2f%%", r.NNAcc, r.MVLRAcc)
+	}
+}
+
+func TestPrefetchStudyShape(t *testing.T) {
+	r, err := PrefetchStudy(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the streaming workloads benefit significantly.
+	byName := map[string]float64{}
+	for i, n := range r.Names {
+		byName[n] = r.SpeedupPct[i]
+	}
+	if byName["equake"] < 10 {
+		t.Errorf("equake speedup %.2f%%, expected significant", byName["equake"])
+	}
+	for _, n := range []string{"gzip", "vpr", "mcf", "twolf"} {
+		if byName[n] > 3 || byName[n] < -5 {
+			t.Errorf("%s speedup %.2f%% should be insignificant", n, byName[n])
+		}
+	}
+	if r.AvgPct < -1 || r.AvgPct > 10 {
+		t.Errorf("average speedup %.2f%% outside the paper's band", r.AvgPct)
+	}
+}
+
+func TestContextSwitchStudyShape(t *testing.T) {
+	r, err := ContextSwitchStudy(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: refill ≈ 1% of the timeslice. Allow 0.1–5%.
+	if r.RefillPct < 0.1 || r.RefillPct > 5 {
+		t.Errorf("refill %.2f%% of timeslice outside band", r.RefillPct)
+	}
+	if r.Resumes == 0 {
+		t.Error("no resumes observed")
+	}
+}
+
+func TestSolverAblationShape(t *testing.T) {
+	r, err := SolverAblation(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs != 36 {
+		t.Fatalf("pairs %d", r.Pairs)
+	}
+	if r.NewtonFailures > r.Pairs/4 {
+		t.Errorf("Newton failed on %d/%d pairs", r.NewtonFailures, r.Pairs)
+	}
+	if r.MaxSizeDelta > 0.5 {
+		t.Errorf("solvers disagree by %.3f ways", r.MaxSizeDelta)
+	}
+}
+
+func TestPowerAblationShape(t *testing.T) {
+	r, err := PowerAblation(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.FullAcc > r.NoMissAcc && r.NoMissAcc > r.IdleOnlyAcc) {
+		t.Errorf("ablation ordering violated: full %.2f, no-miss %.2f, idle %.2f",
+			r.FullAcc, r.NoMissAcc, r.IdleOnlyAcc)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	if hash("a") == hash("b") {
+		t.Fatal("hash collision on trivial inputs")
+	}
+	if hash("x") != hash("x") {
+		t.Fatal("hash unstable")
+	}
+}
+
+func TestAssumptionStudyShape(t *testing.T) {
+	r, err := AssumptionStudy(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violating assumptions should cost accuracy, but gracefully: errors
+	// grow, yet stay within a few points.
+	if r.PLRUErrPct < r.LRUErrPct-0.5 {
+		t.Errorf("PLRU error %.2f below LRU baseline %.2f", r.PLRUErrPct, r.LRUErrPct)
+	}
+	if r.MultiPhaseErrPct < r.LRUErrPct-0.5 {
+		t.Errorf("multi-phase error %.2f below baseline %.2f", r.MultiPhaseErrPct, r.LRUErrPct)
+	}
+	if r.PLRUErrPct > 10 || r.MultiPhaseErrPct > 10 {
+		t.Errorf("assumption violations degrade too hard: %.2f / %.2f",
+			r.PLRUErrPct, r.MultiPhaseErrPct)
+	}
+}
+
+func TestSensitivitySweepShape(t *testing.T) {
+	r, err := SensitivitySweep(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Assocs) != 4 {
+		t.Fatalf("swept %d geometries", len(r.Assocs))
+	}
+	for i := range r.Assocs {
+		if r.MPAErrPct[i] <= 0 || r.MPAErrPct[i] > 8 {
+			t.Errorf("%d ways: MPA error %.2f pts outside band", r.Assocs[i], r.MPAErrPct[i])
+		}
+		if r.SPIErrPct[i] > 8 {
+			t.Errorf("%d ways: SPI error %.2f%% outside band", r.Assocs[i], r.SPIErrPct[i])
+		}
+	}
+}
+
+func TestComplexityStudyShape(t *testing.T) {
+	r, err := ComplexityStudy(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ks) != 4 || r.Ks[1] != 8 {
+		t.Fatalf("rows %v", r.Ks)
+	}
+	if r.ProfilingRuns[1] != 8*16 || r.Combinations[1] != 255 {
+		t.Fatalf("k=8 counts %d/%d", r.ProfilingRuns[1], r.Combinations[1])
+	}
+	// The advantage must grow with k (linear vs exponential).
+	prev := 0.0
+	for i := range r.Ks {
+		adv := float64(r.Combinations[i]) / float64(r.ProfilingRuns[i])
+		if adv < prev {
+			t.Fatalf("advantage not growing at k=%d", r.Ks[i])
+		}
+		prev = adv
+	}
+	if r.PredictTime <= 0 || r.PredictTime > time.Second {
+		t.Fatalf("prediction time %v implausible", r.PredictTime)
+	}
+}
+
+func TestHeteroStudyShape(t *testing.T) {
+	r, err := HeteroStudy(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs != 4 {
+		t.Fatalf("pairs %d", r.Pairs)
+	}
+	if r.AdjustedErrPct >= r.NaiveErrPct {
+		t.Errorf("β-rescaling did not help: %.2f%% vs %.2f%%", r.AdjustedErrPct, r.NaiveErrPct)
+	}
+	if r.AdjustedErrPct > 12 {
+		t.Errorf("adjusted error %.2f%% too high", r.AdjustedErrPct)
+	}
+}
+
+func TestSeedStabilityShape(t *testing.T) {
+	r, err := SeedStability(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Seeds) != 5 {
+		t.Fatalf("seeds %d", len(r.Seeds))
+	}
+	if r.Mean <= 0 || r.Mean > 5 {
+		t.Errorf("mean error %.2f pts outside band", r.Mean)
+	}
+	// The reported numbers must not be seed-lucky: spread well below the
+	// mean.
+	if r.Std > r.Mean {
+		t.Errorf("seed spread %.2f exceeds mean %.2f", r.Std, r.Mean)
+	}
+}
+
+func TestBandwidthStudyShape(t *testing.T) {
+	r, err := BandwidthStudy(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Labels) != 3 {
+		t.Fatalf("configs %d", len(r.Labels))
+	}
+	// Queueing breaks the timing model but not the cache model: SPI error
+	// must grow monotonically with saturation while MPA error stays low.
+	if !(r.SPIErrPct[0] < r.SPIErrPct[1] && r.SPIErrPct[1] < r.SPIErrPct[2]) {
+		t.Errorf("SPI error not growing with load: %v", r.SPIErrPct)
+	}
+	for i, e := range r.MPAErrPct {
+		if e > 3 {
+			t.Errorf("config %d: MPA error %.2f pts should stay low", i, e)
+		}
+	}
+	if r.UtilPct[2] < 50 {
+		t.Errorf("saturated config only reaches %.0f%% utilization", r.UtilPct[2])
+	}
+}

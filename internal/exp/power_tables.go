@@ -1,0 +1,303 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/power"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+	"mpmc/internal/xrand"
+)
+
+// PowerScenario is one row of Table 2 or Table 3.
+type PowerScenario struct {
+	Name        string
+	Assignments int
+	// Sample-based comparison: per-window estimated vs measured power.
+	SampleAvgErr, SampleMaxErr float64
+	// Average-power comparison per assignment.
+	AvgAvgErr, AvgMaxErr float64
+}
+
+// PowerTableResult holds a full power-model validation table.
+type PowerTableResult struct {
+	Machine   string
+	Title     string
+	Scenarios []PowerScenario
+}
+
+// Format renders the paper's Table 2/3 layout.
+func (r *PowerTableResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%s)\n", r.Title, r.Machine)
+	fmt.Fprintf(&sb, "%-28s %12s %24s %24s\n", "Scenario", "Assignments",
+		"Avg./max. sample err (%)", "Avg./max. avg-power err (%)")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&sb, "%-28s %12d %15.2f / %5.2f %16.2f / %5.2f\n",
+			s.Name, s.Assignments, s.SampleAvgErr, s.SampleMaxErr, s.AvgAvgErr, s.AvgMaxErr)
+	}
+	return sb.String()
+}
+
+// powerAssignment validates the power model on one assignment: the model
+// consumes the runtime per-core HPC rates (exactly what PAPI would give)
+// and its per-window estimates are compared against the measured trace.
+func powerAssignment(m *machine.Machine, pm *core.PowerModel, procs [][]*workload.Spec, opts sim.Options) (sampleErrs []float64, avgErr float64, run *sim.Result, err error) {
+	run, err = sim.Run(m, specAssignment(m, procs), opts)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	windows := run.WindowRates(m.NumCores)
+	var estSum float64
+	for w, cores := range windows {
+		est := pm.ProcessorPower(cores)
+		meas := run.MeasuredPower[w].Power
+		sampleErrs = append(sampleErrs, math.Abs(est-meas)/meas)
+		estSum += est
+	}
+	estAvg := estSum / float64(len(windows))
+	avgErr = math.Abs(estAvg-run.AvgMeasuredPower()) / run.AvgMeasuredPower()
+	return sampleErrs, avgErr, run, nil
+}
+
+// scenarioStats folds per-assignment results into one table row.
+type scenarioStats struct {
+	name                 string
+	n                    int
+	sampleSum, sampleMax float64
+	sampleN              int
+	avgErrSum, avgErrMax float64
+}
+
+func (s *scenarioStats) add(sampleErrs []float64, avgErr float64) {
+	s.n++
+	for _, e := range sampleErrs {
+		s.sampleSum += e
+		s.sampleN++
+		if e > s.sampleMax {
+			s.sampleMax = e
+		}
+	}
+	s.avgErrSum += avgErr
+	if avgErr > s.avgErrMax {
+		s.avgErrMax = avgErr
+	}
+}
+
+func (s *scenarioStats) row() PowerScenario {
+	out := PowerScenario{Name: s.name, Assignments: s.n}
+	if s.sampleN > 0 {
+		out.SampleAvgErr = 100 * s.sampleSum / float64(s.sampleN)
+		out.SampleMaxErr = 100 * s.sampleMax
+	}
+	if s.n > 0 {
+		out.AvgAvgErr = 100 * s.avgErrSum / float64(s.n)
+		out.AvgMaxErr = 100 * s.avgErrMax
+	}
+	return out
+}
+
+// randomSpecs draws n benchmarks (with replacement across draws but
+// distinct within one assignment when possible).
+func randomSpecs(rng *xrand.Rand, n int) []*workload.Spec {
+	suite := workload.ModelSet()
+	out := make([]*workload.Spec, n)
+	perm := rng.Perm(len(suite))
+	for i := 0; i < n; i++ {
+		out[i] = suite[perm[i%len(perm)]]
+	}
+	return out
+}
+
+// Table2 reproduces E4: power model validation on the 2-core workstation.
+// Scenario 1: all 36 unordered benchmark pairs, one process per core.
+// Scenario 2: 24 random assignments with two processes per core.
+func Table2(x *Context) (*PowerTableResult, error) {
+	m := machine.TwoCoreWorkstation()
+	pm, err := x.PowerModel(m)
+	if err != nil {
+		return nil, err
+	}
+	res := &PowerTableResult{Machine: m.Name, Title: "Table 2: Power Model Validation"}
+	seed := x.Cfg.Seed + hash(m.Name+"/table2")
+
+	s1 := &scenarioStats{name: "1 proc./core"}
+	suite := workload.ModelSet()
+	for i := 0; i < len(suite); i++ {
+		for j := i; j < len(suite); j++ {
+			seed++
+			se, ae, _, err := powerAssignment(m, pm,
+				[][]*workload.Spec{{suite[i]}, {suite[j]}}, x.Cfg.corunOpts(seed))
+			if err != nil {
+				return nil, err
+			}
+			s1.add(se, ae)
+		}
+	}
+	res.Scenarios = append(res.Scenarios, s1.row())
+
+	s2 := &scenarioStats{name: "2 proc./core"}
+	rng := xrand.New(seed ^ 0xBEEF)
+	for a := 0; a < 24; a++ {
+		specs := randomSpecs(rng, 4)
+		seed++
+		se, ae, _, err := powerAssignment(m, pm,
+			[][]*workload.Spec{{specs[0], specs[1]}, {specs[2], specs[3]}}, x.Cfg.corunOpts(seed))
+		if err != nil {
+			return nil, err
+		}
+		s2.add(se, ae)
+	}
+	res.Scenarios = append(res.Scenarios, s2.row())
+	return res, nil
+}
+
+// Table3 reproduces E5: power model validation on the 4-core server.
+// 24 random assignments with 1 process per core, 3 with 2 processes per
+// core, and 10 with 4 processes and one or two cores unused.
+func Table3(x *Context) (*PowerTableResult, error) {
+	m := machine.FourCoreServer()
+	pm, err := x.PowerModel(m)
+	if err != nil {
+		return nil, err
+	}
+	res := &PowerTableResult{Machine: m.Name, Title: "Table 3: Power Model Validation"}
+	seed := x.Cfg.Seed + hash(m.Name+"/table3")
+	rng := xrand.New(seed ^ 0xD00D)
+
+	s1 := &scenarioStats{name: "1 proc./core"}
+	for a := 0; a < 24; a++ {
+		sp := randomSpecs(rng, 4)
+		seed++
+		se, ae, _, err := powerAssignment(m, pm,
+			[][]*workload.Spec{{sp[0]}, {sp[1]}, {sp[2]}, {sp[3]}}, x.Cfg.corunOpts(seed))
+		if err != nil {
+			return nil, err
+		}
+		s1.add(se, ae)
+	}
+	res.Scenarios = append(res.Scenarios, s1.row())
+
+	s2 := &scenarioStats{name: "2 proc./core"}
+	for a := 0; a < 3; a++ {
+		sp := append(randomSpecs(rng, 4), randomSpecs(rng, 4)...)
+		seed++
+		se, ae, _, err := powerAssignment(m, pm, [][]*workload.Spec{
+			{sp[0], sp[1]}, {sp[2], sp[3]}, {sp[4], sp[5]}, {sp[6], sp[7]},
+		}, x.Cfg.corunOpts(seed))
+		if err != nil {
+			return nil, err
+		}
+		s2.add(se, ae)
+	}
+	res.Scenarios = append(res.Scenarios, s2.row())
+
+	s3 := &scenarioStats{name: "4 proc. with unused cores"}
+	for a := 0; a < 10; a++ {
+		sp := randomSpecs(rng, 4)
+		var procs [][]*workload.Spec
+		if a%2 == 0 {
+			// One core unused: 2+1+1 layout.
+			procs = [][]*workload.Spec{{sp[0], sp[1]}, {sp[2]}, {sp[3]}, nil}
+		} else {
+			// Two cores unused: 2+2 layout.
+			procs = [][]*workload.Spec{{sp[0], sp[1]}, {sp[2], sp[3]}, nil, nil}
+		}
+		seed++
+		se, ae, _, err := powerAssignment(m, pm, procs, x.Cfg.corunOpts(seed))
+		if err != nil {
+			return nil, err
+		}
+		s3.add(se, ae)
+	}
+	res.Scenarios = append(res.Scenarios, s3.row())
+	return res, nil
+}
+
+// Figure2Result holds E3: the estimated and measured power traces of the
+// maximum- and minimum-power assignments.
+type Figure2Result struct {
+	Machine  string
+	MaxName  string
+	MinName  string
+	MaxTrace [2]power.Trace // [estimated, measured]
+	MinTrace [2]power.Trace
+	MaxErr   float64 // average sample error, percent
+	MinErr   float64
+}
+
+// Format summarizes the traces with a coarse time series.
+func (r *Figure2Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 2: Power model sample traces (%s)\n", r.Machine)
+	fmt.Fprintf(&sb, "max-power assignment %-28s avg sample err %.2f%%\n", r.MaxName, r.MaxErr)
+	fmt.Fprintf(&sb, "min-power assignment %-28s avg sample err %.2f%%\n", r.MinName, r.MinErr)
+	dump := func(label string, tr [2]power.Trace) {
+		fmt.Fprintf(&sb, "%s: time(s)  est(W)  meas(W)\n", label)
+		step := len(tr[0]) / 12
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(tr[0]); i += step {
+			fmt.Fprintf(&sb, "  %7.2f %7.2f %8.2f\n", tr[0][i].Time, tr[0][i].Power, tr[1][i].Power)
+		}
+	}
+	dump("max", r.MaxTrace)
+	dump("min", r.MinTrace)
+	return sb.String()
+}
+
+// Figure2 reproduces E3. The paper plots the assignments with the maximum
+// and minimum average power among its test cases; here the extremes are
+// found among the 1-proc/core corner cases (the heaviest and lightest
+// homogeneous-intensity mixes), then traced sample by sample.
+func Figure2(x *Context) (*Figure2Result, error) {
+	m := machine.FourCoreServer()
+	pm, err := x.PowerModel(m)
+	if err != nil {
+		return nil, err
+	}
+	// Heaviest mix: FP/memory intensive; lightest: a single CPU-bound
+	// process with three idle cores.
+	maxProcs := [][]*workload.Spec{
+		{workload.ByName("art")}, {workload.ByName("equake")},
+		{workload.ByName("swim")}, {workload.ByName("ammp")},
+	}
+	minProcs := [][]*workload.Spec{{workload.ByName("gzip")}, nil, nil, nil}
+
+	trace := func(procs [][]*workload.Spec, seed uint64) ([2]power.Trace, float64, error) {
+		opts := x.Cfg.corunOpts(seed)
+		run, err := sim.Run(m, specAssignment(m, procs), opts)
+		if err != nil {
+			return [2]power.Trace{}, 0, err
+		}
+		windows := run.WindowRates(m.NumCores)
+		est := make(power.Trace, len(windows))
+		var errSum float64
+		for w, cores := range windows {
+			est[w] = power.TracePoint{Time: run.MeasuredPower[w].Time, Power: pm.ProcessorPower(cores)}
+			errSum += math.Abs(est[w].Power-run.MeasuredPower[w].Power) / run.MeasuredPower[w].Power
+		}
+		return [2]power.Trace{est, run.MeasuredPower}, 100 * errSum / float64(len(windows)), nil
+	}
+	seed := x.Cfg.Seed + hash(m.Name+"/figure2")
+	maxTr, maxErr, err := trace(maxProcs, seed)
+	if err != nil {
+		return nil, err
+	}
+	minTr, minErr, err := trace(minProcs, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure2Result{
+		Machine:  m.Name,
+		MaxName:  "art+equake+swim+ammp",
+		MinName:  "gzip alone",
+		MaxTrace: maxTr, MinTrace: minTr,
+		MaxErr: maxErr, MinErr: minErr,
+	}, nil
+}

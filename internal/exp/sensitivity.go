@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+// SensitivityResult holds the geometry-sensitivity study: the performance
+// model's accuracy as the shared cache's associativity varies. The paper
+// validates on 16-, 12- and 8-way machines and claims generality; this
+// study sweeps the dimension directly on otherwise-identical machines.
+type SensitivityResult struct {
+	Assocs    []int
+	MPAErrPct []float64 // mean |MPA err| in points at each associativity
+	SPIErrPct []float64 // mean relative SPI error (%) at each associativity
+}
+
+// Format renders the sweep.
+func (r *SensitivityResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Geometry sensitivity: performance-model error vs associativity\n")
+	fmt.Fprintf(&sb, "  %6s %12s %12s\n", "ways", "MPA err pts", "SPI err %")
+	for i, a := range r.Assocs {
+		fmt.Fprintf(&sb, "  %6d %12.2f %12.2f\n", a, r.MPAErrPct[i], r.SPIErrPct[i])
+	}
+	return sb.String()
+}
+
+// SensitivitySweep predicts and measures a fixed set of probe pairs on
+// 4-, 8-, 16- and 24-way variants of the workstation, using oracle
+// features (so the sweep isolates model structure from profiling noise).
+func SensitivitySweep(x *Context) (*SensitivityResult, error) {
+	base := machine.TwoCoreWorkstation()
+	pairs := [][2]string{{"mcf", "twolf"}, {"art", "vpr"}, {"ammp", "bzip2"}, {"mcf", "gzip"}}
+	res := &SensitivityResult{}
+	seed := x.Cfg.Seed + hash("sensitivity")
+	for _, assoc := range []int{4, 8, 16, 24} {
+		m := *base
+		m.Assoc = assoc
+		var mpaSum, spiSum float64
+		var n int
+		for _, pair := range pairs {
+			a, b := workload.ByName(pair[0]), workload.ByName(pair[1])
+			fs := []*core.FeatureVector{core.TruthFeature(a, &m), core.TruthFeature(b, &m)}
+			preds, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
+			if err != nil {
+				return nil, fmt.Errorf("exp: sensitivity at %d ways: %w", assoc, err)
+			}
+			seed++
+			run, err := sim.Run(&m, sim.Single(a, b), x.Cfg.corunOpts(seed))
+			if err != nil {
+				return nil, err
+			}
+			for i := range fs {
+				meas := run.Procs[i]
+				mpaSum += math.Abs(preds[i].MPA - meas.MPA())
+				spiSum += math.Abs(preds[i].SPI-meas.SPI()) / meas.SPI()
+				n++
+			}
+		}
+		res.Assocs = append(res.Assocs, assoc)
+		res.MPAErrPct = append(res.MPAErrPct, 100*mpaSum/float64(n))
+		res.SPIErrPct = append(res.SPIErrPct, 100*spiSum/float64(n))
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The profiling-heavy experiments run here; `go test -short` skips them.
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling-heavy; skipped with -short")
+	}
+	r, err := Table1(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs != 36 || len(r.Benchmarks) != 8 {
+		t.Fatalf("shape: %d pairs, %d benchmarks", r.Pairs, len(r.Benchmarks))
+	}
+	// The paper's bands: MPA avg 1.76%, SPI avg 3.38%. Hold the
+	// reproduction to the same few-percent regime.
+	if a := r.AvgMPAErr(); a <= 0 || a > 5 {
+		t.Errorf("avg MPA error %.2f points outside band", a)
+	}
+	if a := r.AvgSPIErr(); a <= 0 || a > 6 {
+		t.Errorf("avg SPI error %.2f%% outside band", a)
+	}
+	if o := r.SPIOver5(); o > 30 {
+		t.Errorf("%.1f%% of cases above 5%% SPI error", o)
+	}
+	out := r.Format()
+	for _, name := range []string{"gzip", "mcf", "equake", "Avg."} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Format missing %q", name)
+		}
+	}
+}
+
+func TestPerfSecondMachineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling-heavy; skipped with -short")
+	}
+	r, err := PerfSecondMachine(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs != 55 || len(r.Benchmarks) != 10 {
+		t.Fatalf("shape: %d pairs, %d benchmarks", r.Pairs, len(r.Benchmarks))
+	}
+	// Paper: 1.57% average SPI error on this machine.
+	if a := r.AvgSPIErr(); a <= 0 || a > 5 {
+		t.Errorf("avg SPI error %.2f%% outside band", a)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling-heavy; skipped with -short")
+	}
+	r, err := Table4(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 5 {
+		t.Fatalf("scenarios %d", len(r.Scenarios))
+	}
+	wantCounts := []int{32, 10, 16, 16, 9}
+	for i, s := range r.Scenarios {
+		if s.Assignments != wantCounts[i] {
+			t.Errorf("scenario %q count %d want %d", s.Name, s.Assignments, wantCounts[i])
+		}
+		// Paper band: avg errors 0.49–2.84%, max ≤ 6.29%.
+		if s.AvgErr <= 0 || s.AvgErr > 8 {
+			t.Errorf("%s: avg error %.2f%% outside band", s.Name, s.AvgErr)
+		}
+		if s.MaxErr > 20 {
+			t.Errorf("%s: max error %.2f%% outside band", s.Name, s.MaxErr)
+		}
+	}
+}
+
+func TestProfilingAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling-heavy; skipped with -short")
+	}
+	r, err := ProfilingAblation(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names) != 8 {
+		t.Fatalf("benchmarks %d", len(r.Names))
+	}
+	var sumS, sumI float64
+	for i := range r.Names {
+		sumS += r.StressErrPct[i]
+		sumI += r.IdealErrPct[i]
+	}
+	if sumI > sumS+2 {
+		t.Errorf("ideal profiling (%.2f total) worse than stressmark (%.2f)", sumI, sumS)
+	}
+}
+
+func TestBaselineComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling-heavy; skipped with -short")
+	}
+	r, err := BaselineComparison(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs != 36 {
+		t.Fatalf("pairs %d", r.Pairs)
+	}
+	if r.OursPct >= r.FOAPct || r.OursPct >= r.SDCPct {
+		t.Errorf("equilibrium model (%.2f) not ahead of FOA (%.2f) / SDC (%.2f)",
+			r.OursPct, r.FOAPct, r.SDCPct)
+	}
+}

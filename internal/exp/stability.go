@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/stats"
+	"mpmc/internal/workload"
+)
+
+// StabilityResult reports how much the headline validation numbers move
+// across seeds — the check a reviewer asks for when a reproduction quotes
+// a single deterministic run. Each seed re-draws every random stream:
+// generator interleavings, oracle noise, sensor noise.
+type StabilityResult struct {
+	Seeds []uint64
+	// Per-seed mean absolute MPA error (points) over the probe pairs.
+	MPAErrPct []float64
+	Mean, Std float64
+}
+
+// Format renders the spread.
+func (r *StabilityResult) Format() string {
+	s := "Seed stability: mean |MPA err| of the probe pairs per seed\n"
+	for i, seed := range r.Seeds {
+		s += fmt.Sprintf("  seed %-6d %6.2f pts\n", seed, r.MPAErrPct[i])
+	}
+	s += fmt.Sprintf("  mean %.2f ± %.2f pts across seeds\n", r.Mean, r.Std)
+	return s
+}
+
+// SeedStability re-runs a fixed probe set (truth features, so the spread
+// is pure measurement randomness) under several seeds.
+func SeedStability(x *Context) (*StabilityResult, error) {
+	m := machine.TwoCoreWorkstation()
+	pairs := [][2]string{{"mcf", "twolf"}, {"art", "vpr"}, {"ammp", "bzip2"}, {"equake", "gzip"}}
+	res := &StabilityResult{}
+	for _, seedOff := range []uint64{0, 101, 202, 303, 404} {
+		seed := x.Cfg.Seed + seedOff
+		res.Seeds = append(res.Seeds, seed)
+		var sum float64
+		var n int
+		for pi, pair := range pairs {
+			a, b := workload.ByName(pair[0]), workload.ByName(pair[1])
+			fs := []*core.FeatureVector{core.TruthFeature(a, m), core.TruthFeature(b, m)}
+			preds, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
+			if err != nil {
+				return nil, err
+			}
+			run, err := sim.Run(m, sim.Single(a, b), x.Cfg.corunOpts(seed+uint64(pi)*7))
+			if err != nil {
+				return nil, err
+			}
+			for i := range fs {
+				sum += math.Abs(preds[i].MPA - run.Procs[i].MPA())
+				n++
+			}
+		}
+		res.MPAErrPct = append(res.MPAErrPct, 100*sum/float64(n))
+	}
+	res.Mean = stats.Mean(res.MPAErrPct)
+	res.Std = stats.StdDev(res.MPAErrPct)
+	return res, nil
+}

@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+// PrefetchResult holds E7: the per-benchmark speedup from enabling the
+// next-line prefetcher (Section 3.1's justification for the no-prefetch
+// modeling assumption).
+type PrefetchResult struct {
+	Machine    string
+	Names      []string
+	SpeedupPct []float64
+	AvgPct     float64
+}
+
+// Format renders the study.
+func (r *PrefetchResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Prefetching study (%s): speedup from next-line L2 prefetch\n", r.Machine)
+	for i, n := range r.Names {
+		fmt.Fprintf(&sb, "  %-8s %6.2f%%\n", n, r.SpeedupPct[i])
+	}
+	fmt.Fprintf(&sb, "  %-8s %6.2f%%\n", "Avg.", r.AvgPct)
+	return sb.String()
+}
+
+// PrefetchStudy reproduces E7: run all 10 benchmarks solo with the
+// prefetcher off and on; report speedups. The paper observed a 3.25%
+// average improvement with only equake benefitting significantly.
+func PrefetchStudy(x *Context) (*PrefetchResult, error) {
+	base := machine.TwoCoreLaptop()
+	res := &PrefetchResult{Machine: base.Name}
+	seed := x.Cfg.Seed + hash("prefetch")
+	var sum float64
+	for _, spec := range workload.Suite() {
+		spi := map[bool]float64{}
+		for _, pf := range []bool{false, true} {
+			m := *base
+			m.Prefetch = pf
+			procs := make([][]*workload.Spec, m.NumCores)
+			procs[0] = []*workload.Spec{spec}
+			run, err := sim.Run(&m, specAssignment(&m, procs), x.Cfg.corunOpts(seed))
+			if err != nil {
+				return nil, err
+			}
+			spi[pf] = run.Procs[0].SPI()
+		}
+		seed++
+		speedup := 100 * (spi[false]/spi[true] - 1)
+		res.Names = append(res.Names, spec.Name)
+		res.SpeedupPct = append(res.SpeedupPct, speedup)
+		sum += speedup
+	}
+	res.AvgPct = sum / float64(len(res.Names))
+	return res, nil
+}
+
+// MVLRvsNNResult holds E8.
+type MVLRvsNNResult struct {
+	Machine string
+	MVLRAcc float64
+	NNAcc   float64
+	MVLRR2  float64
+	Samples int
+}
+
+// Format renders the comparison.
+func (r *MVLRvsNNResult) Format() string {
+	return fmt.Sprintf(
+		"MVLR vs NN (%s, %d samples): MVLR accuracy %.2f%% (R²=%.4f), NN accuracy %.2f%%\n",
+		r.Machine, r.Samples, r.MVLRAcc, r.MVLRR2, r.NNAcc)
+}
+
+// MVLRvsNN reproduces E8: both models trained on the Section 4.1 dataset;
+// the paper reports 96.2% (MVLR) vs 96.8% (NN) and picks MVLR for its
+// construction simplicity.
+func MVLRvsNN(x *Context) (*MVLRvsNNResult, error) {
+	m := machine.TwoCoreWorkstation()
+	ds, err := x.PowerDataset(m)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := x.PowerModel(m)
+	if err != nil {
+		return nil, err
+	}
+	nnEpochs := 0 // default
+	if x.Cfg.Quick {
+		nnEpochs = 1500
+	}
+	nn, err := core.TrainNNModel(ds, core.NNOptions{Seed: x.Cfg.Seed, Epochs: nnEpochs})
+	if err != nil {
+		return nil, err
+	}
+	return &MVLRvsNNResult{
+		Machine: m.Name,
+		MVLRAcc: ds.Accuracy(pm.CorePower),
+		NNAcc:   ds.Accuracy(nn.CorePower),
+		MVLRR2:  pm.R2(),
+		Samples: len(ds.Features),
+	}, nil
+}
+
+// CtxSwitchResult holds E9: the cache-refill cost after context switches
+// relative to the timeslice length.
+type CtxSwitchResult struct {
+	Machine       string
+	Timeslice     float64
+	RefillSeconds float64 // average per resume
+	RefillPct     float64 // of the timeslice
+	Resumes       int
+}
+
+// Format renders the study.
+func (r *CtxSwitchResult) Format() string {
+	return fmt.Sprintf(
+		"Context-switch study (%s): avg refill %.4f s after %d resumes = %.2f%% of the %.0f s timeslice\n",
+		r.Machine, r.RefillSeconds, r.Resumes, r.RefillPct, r.Timeslice)
+}
+
+// ContextSwitchStudy reproduces E9: two processes time-share one core;
+// after each resume the returning process re-fetches its evicted working
+// set. The refill cost is the excess miss time in the first windows after
+// each resume versus the steady-state miss rate; the paper found it to be
+// about 1% of the timeslice.
+func ContextSwitchStudy(x *Context) (*CtxSwitchResult, error) {
+	m := machine.TwoCoreWorkstation()
+	a, b := workload.ByName("twolf"), workload.ByName("vpr")
+	opts := x.Cfg.corunOpts(x.Cfg.Seed + hash("ctxswitch"))
+	// Several full scheduling rotations are needed.
+	opts.Duration = m.Timeslice * 12
+	opts.Warmup = m.Timeslice * 2
+	opts.CollectProcSamples = true
+	run, err := sim.Run(m, sim.Assignment{Procs: [][]*workload.Spec{{a, b}, nil}}, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Group proc 0's samples; detect resume points (inactive → active)
+	// and accumulate excess misses in the first windows after each.
+	var samples []sim.ProcSample
+	for _, s := range run.ProcSamples {
+		if s.Proc == 0 {
+			samples = append(samples, s)
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("exp: no process samples collected")
+	}
+	// Steady-state MPA from the second half of each active burst.
+	var steadyMisses, steadyRefs uint64
+	burstLen := 0
+	for _, s := range samples {
+		if s.Active {
+			burstLen++
+			if burstLen > 20 { // past the refill transient
+				steadyMisses += s.L2Misses
+				steadyRefs += s.L2Refs
+			}
+		} else {
+			burstLen = 0
+		}
+	}
+	if steadyRefs == 0 {
+		return nil, fmt.Errorf("exp: no steady-state activity observed")
+	}
+	steadyMPA := float64(steadyMisses) / float64(steadyRefs)
+	// Excess misses right after each resume.
+	var excess float64
+	resumes := 0
+	prevActive := true
+	burstLen = 0
+	for _, s := range samples {
+		if s.Active && !prevActive {
+			resumes++
+			burstLen = 0
+		}
+		if s.Active {
+			burstLen++
+			if burstLen <= 20 && s.L2Refs > 0 {
+				e := float64(s.L2Misses) - steadyMPA*float64(s.L2Refs)
+				if e > 0 {
+					excess += e
+				}
+			}
+		}
+		prevActive = s.Active
+	}
+	if resumes == 0 {
+		return nil, fmt.Errorf("exp: no context-switch resumes observed")
+	}
+	refill := excess / float64(resumes) * m.MemLatency
+	return &CtxSwitchResult{
+		Machine:       m.Name,
+		Timeslice:     m.Timeslice,
+		RefillSeconds: refill,
+		RefillPct:     100 * refill / m.Timeslice,
+		Resumes:       resumes,
+	}, nil
+}

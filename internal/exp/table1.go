@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+// BenchmarkErrors accumulates per-benchmark validation statistics in the
+// layout of Table 1: average error and the fraction of test cases whose
+// error exceeds 5%.
+type BenchmarkErrors struct {
+	Name    string
+	MPAErrs []float64 // absolute MPA error × 100 (percentage points)
+	SPIErrs []float64 // relative SPI error × 100 (percent)
+}
+
+func (b *BenchmarkErrors) avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func (b *BenchmarkErrors) over5(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > 5 {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(xs))
+}
+
+// Table1Result holds the E1 output.
+type Table1Result struct {
+	Machine    string
+	Benchmarks []*BenchmarkErrors
+	Pairs      int
+}
+
+// AvgMPAErr returns the suite-average MPA error (percentage points).
+func (r *Table1Result) AvgMPAErr() float64 {
+	var s float64
+	var n int
+	for _, b := range r.Benchmarks {
+		s += b.avg(b.MPAErrs) * float64(len(b.MPAErrs))
+		n += len(b.MPAErrs)
+	}
+	return s / float64(n)
+}
+
+// AvgSPIErr returns the suite-average relative SPI error (percent).
+func (r *Table1Result) AvgSPIErr() float64 {
+	var s float64
+	var n int
+	for _, b := range r.Benchmarks {
+		s += b.avg(b.SPIErrs) * float64(len(b.SPIErrs))
+		n += len(b.SPIErrs)
+	}
+	return s / float64(n)
+}
+
+// SPIOver5 returns the fraction (percent) of all cases above 5% SPI error.
+func (r *Table1Result) SPIOver5() float64 {
+	var over, n int
+	for _, b := range r.Benchmarks {
+		for _, e := range b.SPIErrs {
+			if e > 5 {
+				over++
+			}
+			n++
+		}
+	}
+	return 100 * float64(over) / float64(n)
+}
+
+// Format renders the paper's Table 1 layout.
+func (r *Table1Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: Performance Model Validation (%s, %d pairwise co-runs)\n", r.Machine, r.Pairs)
+	header := "Benchmark      "
+	for _, b := range r.Benchmarks {
+		header += fmt.Sprintf("%8s", b.Name)
+	}
+	header += "    Avg."
+	sb.WriteString(header + "\n")
+	row := func(label string, get func(*BenchmarkErrors) float64, avg float64) {
+		line := fmt.Sprintf("%-15s", label)
+		for _, b := range r.Benchmarks {
+			line += fmt.Sprintf("%8s", fmtPct(get(b)))
+		}
+		line += fmt.Sprintf("%8s", fmtPct(avg))
+		sb.WriteString(line + "\n")
+	}
+	row("MPA E (%)", func(b *BenchmarkErrors) float64 { return b.avg(b.MPAErrs) }, r.AvgMPAErr())
+	var o5m, o5s float64
+	var nAll int
+	for _, b := range r.Benchmarks {
+		o5m += b.over5(b.MPAErrs) * float64(len(b.MPAErrs))
+		o5s += b.over5(b.SPIErrs) * float64(len(b.SPIErrs))
+		nAll += len(b.MPAErrs)
+	}
+	row("MPA >5% (%)", func(b *BenchmarkErrors) float64 { return b.over5(b.MPAErrs) }, o5m/float64(nAll))
+	row("SPI E (%)", func(b *BenchmarkErrors) float64 { return b.avg(b.SPIErrs) }, r.AvgSPIErr())
+	row("SPI >5% (%)", func(b *BenchmarkErrors) float64 { return b.over5(b.SPIErrs) }, o5s/float64(nAll))
+	return sb.String()
+}
+
+// Table1 reproduces E1: profile the 8-benchmark model set on the 4-core
+// server with the stressmark, predict every pairwise co-run (including a
+// benchmark with itself: 36 unordered pairs), simulate each pair on two
+// cache-sharing cores, and report per-benchmark MPA and SPI errors.
+func Table1(x *Context) (*Table1Result, error) {
+	return perfValidation(x, machine.FourCoreServer(), workload.ModelSet())
+}
+
+// PerfSecondMachine reproduces E2: the same validation on the 2-core
+// laptop with all 10 benchmarks (55 pairs). The paper reports only the
+// average SPI error (1.57%).
+func PerfSecondMachine(x *Context) (*Table1Result, error) {
+	return perfValidation(x, machine.TwoCoreLaptop(), workload.Suite())
+}
+
+func perfValidation(x *Context, m *machine.Machine, specs []*workload.Spec) (*Table1Result, error) {
+	features, err := x.Features(m, specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Machine: m.Name}
+	byName := map[string]*BenchmarkErrors{}
+	for _, s := range specs {
+		be := &BenchmarkErrors{Name: s.Name}
+		byName[s.Name] = be
+		res.Benchmarks = append(res.Benchmarks, be)
+	}
+	// Co-runs happen on the first cache group's first two cores.
+	g := m.Groups[0]
+	if len(g) < 2 {
+		return nil, fmt.Errorf("exp: machine %s cannot host a pairwise co-run", m.Name)
+	}
+	seed := x.Cfg.Seed + hash(m.Name+"/table1")
+	for i := 0; i < len(specs); i++ {
+		for j := i; j < len(specs); j++ {
+			res.Pairs++
+			preds, err := core.PredictGroup(
+				[]*core.FeatureVector{features[i], features[j]}, m.Assoc, core.SolverAuto)
+			if err != nil {
+				return nil, fmt.Errorf("exp: predicting %s+%s: %w", specs[i].Name, specs[j].Name, err)
+			}
+			procs := make([][]*workload.Spec, m.NumCores)
+			procs[g[0]] = []*workload.Spec{specs[i]}
+			procs[g[1]] = []*workload.Spec{specs[j]}
+			seed++
+			run, err := sim.Run(m, specAssignment(m, procs), x.Cfg.corunOpts(seed))
+			if err != nil {
+				return nil, fmt.Errorf("exp: co-running %s+%s: %w", specs[i].Name, specs[j].Name, err)
+			}
+			for pi, spec := range []*workload.Spec{specs[i], specs[j]} {
+				meas := run.Procs[pi]
+				pred := preds[pi]
+				be := byName[spec.Name]
+				be.MPAErrs = append(be.MPAErrs, 100*math.Abs(pred.MPA-meas.MPA()))
+				be.SPIErrs = append(be.SPIErrs, 100*math.Abs(pred.SPI-meas.SPI())/meas.SPI())
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+	"mpmc/internal/xrand"
+)
+
+// CombinedScenario is one row of Table 4.
+type CombinedScenario struct {
+	Name        string
+	Assignments int
+	AvgErr      float64 // percent
+	MaxErr      float64 // percent
+}
+
+// Table4Result holds E6.
+type Table4Result struct {
+	Machine   string
+	Scenarios []CombinedScenario
+}
+
+// Format renders the paper's Table 4 layout.
+func (r *Table4Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 4: Validating the Combined Model (%s)\n", r.Machine)
+	fmt.Fprintf(&sb, "%-28s %12s %26s\n", "Scenario", "Assignments", "Avg./max. avg-power err (%)")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&sb, "%-28s %12d %17.2f / %5.2f\n", s.Name, s.Assignments, s.AvgErr, s.MaxErr)
+	}
+	return sb.String()
+}
+
+// table4Case lays out one scenario generator: the name, the number of
+// assignments, and a function producing the per-core spec layout for the
+// a-th assignment.
+type table4Case struct {
+	name   string
+	count  int
+	layout func(rng *xrand.Rand) [][]*workload.Spec
+}
+
+// Table4 reproduces E6: combined-model validation on the 4-core server.
+// The estimate uses ONLY profiling data (feature vectors + trained power
+// model); no runtime counters from the validated run are consumed.
+func Table4(x *Context) (*Table4Result, error) {
+	m := machine.FourCoreServer()
+	pm, err := x.PowerModel(m)
+	if err != nil {
+		return nil, err
+	}
+	cm := core.NewCombinedModel(m, pm)
+	feats := map[string]*core.FeatureVector{}
+	for _, s := range workload.ModelSet() {
+		f, err := x.Feature(m, s)
+		if err != nil {
+			return nil, err
+		}
+		feats[s.Name] = f
+	}
+
+	cases := []table4Case{
+		{"1 proc./core", 32, func(rng *xrand.Rand) [][]*workload.Spec {
+			sp := randomSpecs(rng, 4)
+			return [][]*workload.Spec{{sp[0]}, {sp[1]}, {sp[2]}, {sp[3]}}
+		}},
+		{"2 proc./core", 10, func(rng *xrand.Rand) [][]*workload.Spec {
+			sp := append(randomSpecs(rng, 4), randomSpecs(rng, 4)...)
+			return [][]*workload.Spec{{sp[0], sp[1]}, {sp[2], sp[3]}, {sp[4], sp[5]}, {sp[6], sp[7]}}
+		}},
+		{"4 proc., 1 core unused", 16, func(rng *xrand.Rand) [][]*workload.Spec {
+			sp := randomSpecs(rng, 4)
+			return [][]*workload.Spec{{sp[0], sp[1]}, {sp[2]}, {sp[3]}, nil}
+		}},
+		{"4 proc., 2 core unused", 16, func(rng *xrand.Rand) [][]*workload.Spec {
+			sp := randomSpecs(rng, 4)
+			return [][]*workload.Spec{{sp[0], sp[1]}, {sp[2], sp[3]}, nil, nil}
+		}},
+		{"4 proc., 3 core unused", 9, func(rng *xrand.Rand) [][]*workload.Spec {
+			sp := randomSpecs(rng, 4)
+			return [][]*workload.Spec{{sp[0], sp[1], sp[2], sp[3]}, nil, nil, nil}
+		}},
+	}
+
+	res := &Table4Result{Machine: m.Name}
+	seed := x.Cfg.Seed + hash(m.Name+"/table4")
+	rng := xrand.New(seed ^ 0xF00D)
+	for _, c := range cases {
+		var sum, max float64
+		for a := 0; a < c.count; a++ {
+			procs := c.layout(rng)
+			// Build the model-side assignment from profiles only.
+			asg := make(core.Assignment, m.NumCores)
+			for ci, sl := range procs {
+				for _, sp := range sl {
+					asg[ci] = append(asg[ci], feats[sp.Name])
+				}
+			}
+			est, err := cm.EstimateAssignment(asg)
+			if err != nil {
+				return nil, fmt.Errorf("exp: table4 %s: %w", c.name, err)
+			}
+			seed++
+			opts := x.Cfg.corunOpts(seed)
+			if len(procs[0]) >= 3 {
+				// Deep time sharing needs several full rotations of the
+				// schedule for a stable average.
+				opts.Duration *= 2
+			}
+			run, err := simRun(m, procs, opts)
+			if err != nil {
+				return nil, err
+			}
+			e := math.Abs(est-run) / run
+			sum += e
+			if e > max {
+				max = e
+			}
+		}
+		res.Scenarios = append(res.Scenarios, CombinedScenario{
+			Name:        c.name,
+			Assignments: c.count,
+			AvgErr:      100 * sum / float64(c.count),
+			MaxErr:      100 * max,
+		})
+	}
+	return res, nil
+}
+
+// simRun measures the average power of one assignment.
+func simRun(m *machine.Machine, procs [][]*workload.Spec, opts sim.Options) (float64, error) {
+	run, err := sim.Run(m, specAssignment(m, procs), opts)
+	if err != nil {
+		return 0, err
+	}
+	return run.AvgMeasuredPower(), nil
+}

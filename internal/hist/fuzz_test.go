@@ -1,0 +1,49 @@
+package hist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFromMPACurve checks that histogram reconstruction never produces an
+// invalid distribution for any byte-derived MPA curve: either it rejects
+// the curve or the result is normalized with a monotone MPA.
+func FuzzFromMPACurve(f *testing.F) {
+	f.Add([]byte{255, 128, 64, 32})
+	f.Add([]byte{255, 255})
+	f.Add([]byte{255, 0})
+	f.Add([]byte{255, 200, 210, 40}) // non-monotone (noise)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 || len(raw) > 64 {
+			t.Skip()
+		}
+		curve := make([]float64, len(raw))
+		curve[0] = 1
+		for i := 1; i < len(raw); i++ {
+			curve[i] = float64(raw[i]) / 255
+		}
+		h, err := FromMPACurve(curve)
+		if err != nil {
+			return // rejection is fine
+		}
+		total := h.Overflow()
+		for d := 1; d <= h.MaxDistance(); d++ {
+			p := h.P(d)
+			if p < 0 || math.IsNaN(p) {
+				t.Fatalf("invalid mass %v at distance %d", p, d)
+			}
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("total mass %v", total)
+		}
+		prev := h.MPA(0)
+		for s := 0.0; s <= float64(h.MaxDistance())+1; s += 0.5 {
+			m := h.MPA(s)
+			if m > prev+1e-12 {
+				t.Fatalf("MPA increased at %v", s)
+			}
+			prev = m
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package hist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpmc/internal/xrand"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	h, err := New([]float64{2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.P(1)-0.25) > 1e-12 || math.Abs(h.P(2)-0.25) > 1e-12 {
+		t.Fatalf("probabilities %v %v", h.P(1), h.P(2))
+	}
+	if math.Abs(h.Overflow()-0.5) > 1e-12 {
+		t.Fatalf("overflow %v", h.Overflow())
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New([]float64{-1}, 0); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := New([]float64{0}, 0); err == nil {
+		t.Fatal("zero mass accepted")
+	}
+	if _, err := New([]float64{math.NaN()}, 0); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := New([]float64{1}, math.Inf(1)); err == nil {
+		t.Fatal("Inf overflow accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(nil, 0)
+}
+
+func TestPOutOfRange(t *testing.T) {
+	h := MustNew([]float64{1, 1}, 0)
+	if h.P(0) != 0 || h.P(3) != 0 || h.P(-1) != 0 {
+		t.Fatal("out-of-range P should be 0")
+	}
+}
+
+func TestMPAIntegerPoints(t *testing.T) {
+	// h(1)=0.5, h(2)=0.3, overflow=0.2
+	h := MustNew([]float64{0.5, 0.3}, 0.2)
+	cases := []struct {
+		s    float64
+		want float64
+	}{
+		{0, 1},
+		{1, 0.5},
+		{2, 0.2},
+		{3, 0.2},
+		{100, 0.2},
+	}
+	for _, c := range cases {
+		if got := h.MPA(c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("MPA(%v) = %v want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestMPAInterpolation(t *testing.T) {
+	h := MustNew([]float64{0.5, 0.3}, 0.2)
+	got := h.MPA(0.5)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("MPA(0.5) = %v want 0.75", got)
+	}
+	got = h.MPA(1.5)
+	if math.Abs(got-0.35) > 1e-12 {
+		t.Fatalf("MPA(1.5) = %v want 0.35", got)
+	}
+}
+
+func TestMPANonIncreasingProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(32)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		h, err := New(w, r.Float64())
+		if err != nil {
+			return true // all-zero draw; nothing to check
+		}
+		prev := h.MPA(0)
+		if prev != 1 {
+			return false
+		}
+		for s := 0.0; s <= float64(n)+2; s += 0.25 {
+			m := h.MPA(s)
+			if m > prev+1e-12 || m < h.Overflow()-1e-12 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPACurve(t *testing.T) {
+	h := MustNew([]float64{0.5, 0.3}, 0.2)
+	c := h.MPACurve(3)
+	want := []float64{1, 0.5, 0.2, 0.2}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Fatalf("curve[%d] = %v want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestFromMPACurveRoundTrip(t *testing.T) {
+	// Histogram → MPA curve → histogram must be the identity (within
+	// floating point) when the curve is exact.
+	orig := MustNew([]float64{0.4, 0.25, 0.15, 0.05}, 0.15)
+	curve := orig.MPACurve(4)
+	rec, err := FromMPACurve(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= 4; d++ {
+		if math.Abs(rec.P(d)-orig.P(d)) > 1e-12 {
+			t.Fatalf("P(%d): %v want %v", d, rec.P(d), orig.P(d))
+		}
+	}
+	if math.Abs(rec.Overflow()-orig.Overflow()) > 1e-12 {
+		t.Fatalf("overflow %v want %v", rec.Overflow(), orig.Overflow())
+	}
+}
+
+func TestFromMPACurveClampsNoise(t *testing.T) {
+	// A noisy, locally increasing MPA curve must not produce negative mass.
+	curve := []float64{1, 0.5, 0.52, 0.2} // 0.5→0.52 is noise
+	h, err := FromMPACurve(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= h.MaxDistance(); d++ {
+		if h.P(d) < 0 {
+			t.Fatalf("negative mass at %d", d)
+		}
+	}
+	// Distribution still normalized.
+	total := h.Overflow()
+	for d := 1; d <= h.MaxDistance(); d++ {
+		total += h.P(d)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("total %v", total)
+	}
+}
+
+func TestFromMPACurveRejects(t *testing.T) {
+	if _, err := FromMPACurve([]float64{1}); err == nil {
+		t.Fatal("short curve accepted")
+	}
+	if _, err := FromMPACurve([]float64{1, -0.1}); err == nil {
+		t.Fatal("negative MPA accepted")
+	}
+	if _, err := FromMPACurve([]float64{1, 1.5}); err == nil {
+		t.Fatal("MPA > 1 accepted")
+	}
+	if _, err := FromMPACurve([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Random histogram → curve → histogram round-trips for arbitrary masses.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(16)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		h, err := New(w, r.Float64()*0.5)
+		if err != nil {
+			return true
+		}
+		rec, err := FromMPACurve(h.MPACurve(n))
+		if err != nil {
+			return false
+		}
+		for d := 1; d <= n; d++ {
+			if math.Abs(rec.P(d)-h.P(d)) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(rec.Overflow()-h.Overflow()) < 1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndClone(t *testing.T) {
+	h := MustNew([]float64{0.5, 0.5}, 0)
+	if math.Abs(h.Mean()-1.5) > 1e-12 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	c := h.Clone()
+	c.p[0] = 0
+	if h.P(1) != 0.5 {
+		t.Fatal("clone aliases parent")
+	}
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,107 @@
+// Package hpc defines the hardware-performance-counter quantities the
+// paper's power model consumes, in the shape PAPI exposes them: per-core
+// event rates sampled on a fixed period (30 ms in the paper's setup).
+//
+// The five rates are the ones the paper selected for their correlation
+// with core power (Section 4.1): L1 data cache references, L2 references,
+// L2 misses, retired branches, and retired floating-point instructions,
+// each per second.
+package hpc
+
+import "fmt"
+
+// NumEvents is the number of monitored event rates (the regressors of
+// Eq. 9, excluding the idle-power intercept).
+const NumEvents = 5
+
+// Rates holds one core's event rates over a sampling window, in events per
+// second of wall-clock (simulated) time.
+type Rates struct {
+	L1RPS float64 // L1 data cache references per second
+	L2RPS float64 // L2 cache references per second
+	L2MPS float64 // L2 cache misses per second
+	BRPS  float64 // branch instructions retired per second
+	FPPS  float64 // floating-point instructions retired per second
+}
+
+// Vector returns the rates in the fixed regressor order of Eq. 9:
+// [L1RPS, L2RPS, L2MPS, BRPS, FPPS].
+func (r Rates) Vector() []float64 {
+	return []float64{r.L1RPS, r.L2RPS, r.L2MPS, r.BRPS, r.FPPS}
+}
+
+// FromVector reconstructs Rates from the Eq. 9 regressor order.
+func FromVector(v []float64) Rates {
+	if len(v) != NumEvents {
+		panic(fmt.Sprintf("hpc: rate vector length %d, want %d", len(v), NumEvents))
+	}
+	return Rates{L1RPS: v[0], L2RPS: v[1], L2MPS: v[2], BRPS: v[3], FPPS: v[4]}
+}
+
+// Add returns the element-wise sum of two rate vectors.
+func (r Rates) Add(o Rates) Rates {
+	return Rates{
+		L1RPS: r.L1RPS + o.L1RPS,
+		L2RPS: r.L2RPS + o.L2RPS,
+		L2MPS: r.L2MPS + o.L2MPS,
+		BRPS:  r.BRPS + o.BRPS,
+		FPPS:  r.FPPS + o.FPPS,
+	}
+}
+
+// Scale returns the rates multiplied by f.
+func (r Rates) Scale(f float64) Rates {
+	return Rates{
+		L1RPS: r.L1RPS * f,
+		L2RPS: r.L2RPS * f,
+		L2MPS: r.L2MPS * f,
+		BRPS:  r.BRPS * f,
+		FPPS:  r.FPPS * f,
+	}
+}
+
+// Counts holds raw cumulative event counts for one core or process, from
+// which windowed Rates are derived.
+type Counts struct {
+	Instructions float64
+	L1Refs       float64
+	L2Refs       float64
+	L2Misses     float64
+	Branches     float64
+	FPOps        float64
+}
+
+// Sub returns c − o (the delta over a sampling window).
+func (c Counts) Sub(o Counts) Counts {
+	return Counts{
+		Instructions: c.Instructions - o.Instructions,
+		L1Refs:       c.L1Refs - o.L1Refs,
+		L2Refs:       c.L2Refs - o.L2Refs,
+		L2Misses:     c.L2Misses - o.L2Misses,
+		Branches:     c.Branches - o.Branches,
+		FPOps:        c.FPOps - o.FPOps,
+	}
+}
+
+// RatesOver converts a count delta into rates over a window of dt seconds.
+func (c Counts) RatesOver(dt float64) Rates {
+	if dt <= 0 {
+		panic("hpc: non-positive sampling window")
+	}
+	return Rates{
+		L1RPS: c.L1Refs / dt,
+		L2RPS: c.L2Refs / dt,
+		L2MPS: c.L2Misses / dt,
+		BRPS:  c.Branches / dt,
+		FPPS:  c.FPOps / dt,
+	}
+}
+
+// Sample is one HPC observation: a core's rates over the window ending at
+// Time, together with the instruction throughput needed by SPI bookkeeping.
+type Sample struct {
+	Time  float64 // window end, seconds of simulated time
+	Core  int
+	Rates Rates
+	IPS   float64 // instructions per second over the window
+}

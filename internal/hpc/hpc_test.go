@@ -1,0 +1,70 @@
+package hpc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	r := Rates{L1RPS: 1, L2RPS: 2, L2MPS: 3, BRPS: 4, FPPS: 5}
+	v := r.Vector()
+	if len(v) != NumEvents {
+		t.Fatalf("vector length %d", len(v))
+	}
+	if FromVector(v) != r {
+		t.Fatalf("round trip mismatch: %+v", FromVector(v))
+	}
+}
+
+func TestVectorOrderMatchesEq9(t *testing.T) {
+	// Eq. 9 order: L1RPS, L2RPS, L2MPS, BRPS, FPPS.
+	v := Rates{L1RPS: 10, L2RPS: 20, L2MPS: 30, BRPS: 40, FPPS: 50}.Vector()
+	want := []float64{10, 20, 30, 40, 50}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("position %d: %v want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestFromVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromVector([]float64{1, 2})
+}
+
+func TestAddScale(t *testing.T) {
+	a := Rates{L1RPS: 1, L2RPS: 2, L2MPS: 3, BRPS: 4, FPPS: 5}
+	b := a.Add(a)
+	if b != a.Scale(2) {
+		t.Fatalf("Add/Scale disagree: %+v vs %+v", b, a.Scale(2))
+	}
+}
+
+func TestCountsSubAndRates(t *testing.T) {
+	c1 := Counts{Instructions: 1000, L1Refs: 500, L2Refs: 50, L2Misses: 10, Branches: 100, FPOps: 20}
+	c0 := Counts{Instructions: 400, L1Refs: 200, L2Refs: 20, L2Misses: 4, Branches: 40, FPOps: 8}
+	d := c1.Sub(c0)
+	if d.Instructions != 600 || d.L2Misses != 6 {
+		t.Fatalf("delta %+v", d)
+	}
+	r := d.RatesOver(0.03)
+	if math.Abs(r.L2MPS-200) > 1e-9 {
+		t.Fatalf("L2MPS %v want 200", r.L2MPS)
+	}
+	if math.Abs(r.L1RPS-10000) > 1e-9 {
+		t.Fatalf("L1RPS %v want 10000", r.L1RPS)
+	}
+}
+
+func TestRatesOverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Counts{}.RatesOver(0)
+}

@@ -1,0 +1,326 @@
+// Package manager implements the paper's motivating application
+// (Sections 1 and 5): run-time, power-aware process assignment on a CMP.
+//
+// A Manager owns a machine's current assignment. When a process arrives it
+// is profiled once if unknown — the paper: "when a new application makes
+// up a significant percentage of the workload, we force it to run alone on
+// an idle machine and record profiling information" — and then placed on
+// the core that minimizes the combined model's estimated processor power
+// (the Figure 1 algorithm, evaluated for every candidate core). Departures
+// free their slot; Rebalance re-runs the global search and migrates
+// processes when the predicted savings justify it.
+package manager
+
+import (
+	"fmt"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// Policy selects how arriving processes are placed.
+type Policy int
+
+const (
+	// PowerAware places each arrival on the core minimizing the combined
+	// model's estimated processor power.
+	PowerAware Policy = iota
+	// RoundRobin is the naive baseline: cores in rotation, ignoring
+	// contention and power.
+	RoundRobin
+	// LeastLoaded places each arrival on a core with the fewest
+	// processes, breaking ties by core index.
+	LeastLoaded
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PowerAware:
+		return "power-aware"
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Options configures a Manager.
+type Options struct {
+	Policy Policy
+	// Profile controls on-demand profiling runs for unknown processes.
+	Profile core.ProfileOptions
+	// MaxPerCore bounds time-sharing depth (0 = unbounded).
+	MaxPerCore int
+	// SharedProfiles, when non-nil, is used as the profile cache, letting
+	// several managers (or successive sessions) reuse feature vectors
+	// instead of re-running the stressmark sweep.
+	SharedProfiles map[string]*core.FeatureVector
+}
+
+// Manager tracks the machine's assignment and places arrivals.
+type Manager struct {
+	mach *machine.Machine
+	cm   *core.CombinedModel
+	opts Options
+
+	profiles map[string]*core.FeatureVector
+	// procs[c] holds the resident process names per core, in arrival
+	// order; instances of the same workload get unique instance names.
+	procs    [][]string
+	features map[string]*core.FeatureVector // by instance name
+	specs    map[string]*workload.Spec      // by instance name
+	nextID   int
+	rrNext   int
+}
+
+// New builds a manager for machine m with a trained power model.
+func New(m *machine.Machine, pm *core.PowerModel, opts Options) *Manager {
+	profiles := opts.SharedProfiles
+	if profiles == nil {
+		profiles = map[string]*core.FeatureVector{}
+	}
+	return &Manager{
+		mach:     m,
+		cm:       core.NewCombinedModel(m, pm),
+		opts:     opts,
+		profiles: profiles,
+		procs:    make([][]string, m.NumCores),
+		features: map[string]*core.FeatureVector{},
+		specs:    map[string]*workload.Spec{},
+	}
+}
+
+// FeatureOf returns the (memoized) profile of a workload, running the
+// stressmark sweep on first sight.
+func (mgr *Manager) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) {
+	if f, ok := mgr.profiles[spec.Name]; ok {
+		return f, nil
+	}
+	opts := mgr.opts.Profile
+	opts.Seed ^= uint64(len(mgr.profiles)+1) * 0x9E37
+	f, err := core.Profile(mgr.mach, spec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("manager: profiling %s: %w", spec.Name, err)
+	}
+	mgr.profiles[spec.Name] = f
+	return f, nil
+}
+
+// Assignment returns the current model-side assignment.
+func (mgr *Manager) Assignment() core.Assignment {
+	asg := make(core.Assignment, mgr.mach.NumCores)
+	for c, names := range mgr.procs {
+		for _, n := range names {
+			asg[c] = append(asg[c], mgr.features[n])
+		}
+	}
+	return asg
+}
+
+// Procs returns the per-core workload specs of the current assignment,
+// directly usable as a sim assignment for validation.
+func (mgr *Manager) Procs() [][]*workload.Spec {
+	out := make([][]*workload.Spec, mgr.mach.NumCores)
+	for c, names := range mgr.procs {
+		for _, n := range names {
+			out[c] = append(out[c], mgr.specs[n])
+		}
+	}
+	return out
+}
+
+// EstimatedPower returns the combined model's estimate for the current
+// assignment.
+func (mgr *Manager) EstimatedPower() (float64, error) {
+	return mgr.cm.EstimateAssignment(mgr.Assignment())
+}
+
+// Place admits a new instance of spec and returns its instance name, the
+// chosen core, and the estimated processor power after placement.
+func (mgr *Manager) Place(spec *workload.Spec) (name string, coreID int, watts float64, err error) {
+	f, err := mgr.FeatureOf(spec)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	switch mgr.opts.Policy {
+	case PowerAware:
+		coreID, watts, err = mgr.placePowerAware(f)
+	case RoundRobin:
+		coreID, err = mgr.placeRoundRobin()
+	case LeastLoaded:
+		coreID, err = mgr.placeLeastLoaded()
+	default:
+		return "", 0, 0, fmt.Errorf("manager: unknown policy %d", mgr.opts.Policy)
+	}
+	if err != nil {
+		return "", 0, 0, err
+	}
+	mgr.nextID++
+	name = fmt.Sprintf("%s#%d", spec.Name, mgr.nextID)
+	mgr.procs[coreID] = append(mgr.procs[coreID], name)
+	mgr.features[name] = f
+	mgr.specs[name] = spec
+	if mgr.opts.Policy != PowerAware {
+		watts, err = mgr.EstimatedPower()
+		if err != nil {
+			return "", 0, 0, err
+		}
+	}
+	return name, coreID, watts, nil
+}
+
+// placePowerAware evaluates Figure 1 for every admissible core.
+func (mgr *Manager) placePowerAware(f *core.FeatureVector) (int, float64, error) {
+	asg := mgr.Assignment()
+	best, bestW := -1, 0.0
+	for c := 0; c < mgr.mach.NumCores; c++ {
+		if !mgr.admissible(c) {
+			continue
+		}
+		w, err := mgr.cm.EstimateAddition(asg, f, c)
+		if err != nil {
+			return 0, 0, err
+		}
+		if best < 0 || w < bestW {
+			best, bestW = c, w
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("manager: no admissible core (MaxPerCore=%d)", mgr.opts.MaxPerCore)
+	}
+	return best, bestW, nil
+}
+
+func (mgr *Manager) placeRoundRobin() (int, error) {
+	for tries := 0; tries < mgr.mach.NumCores; tries++ {
+		c := mgr.rrNext % mgr.mach.NumCores
+		mgr.rrNext++
+		if mgr.admissible(c) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("manager: no admissible core (MaxPerCore=%d)", mgr.opts.MaxPerCore)
+}
+
+func (mgr *Manager) placeLeastLoaded() (int, error) {
+	best, bestN := -1, 0
+	for c := 0; c < mgr.mach.NumCores; c++ {
+		if !mgr.admissible(c) {
+			continue
+		}
+		if best < 0 || len(mgr.procs[c]) < bestN {
+			best, bestN = c, len(mgr.procs[c])
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("manager: no admissible core (MaxPerCore=%d)", mgr.opts.MaxPerCore)
+	}
+	return best, nil
+}
+
+func (mgr *Manager) admissible(c int) bool {
+	return mgr.opts.MaxPerCore == 0 || len(mgr.procs[c]) < mgr.opts.MaxPerCore
+}
+
+// Remove evicts the named instance (process exit).
+func (mgr *Manager) Remove(name string) error {
+	for c, names := range mgr.procs {
+		for i, n := range names {
+			if n == name {
+				mgr.procs[c] = append(names[:i], names[i+1:]...)
+				delete(mgr.features, name)
+				delete(mgr.specs, name)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("manager: no process %q", name)
+}
+
+// Running returns the instance names currently placed, per core.
+func (mgr *Manager) Running() [][]string {
+	out := make([][]string, len(mgr.procs))
+	for c, names := range mgr.procs {
+		out[c] = append([]string(nil), names...)
+	}
+	return out
+}
+
+// Rebalance re-runs the global assignment search over the resident
+// processes and migrates to the best layout if it saves at least
+// minSavingWatts. Returns the number of processes that moved and the
+// estimated power after rebalancing.
+func (mgr *Manager) Rebalance(minSavingWatts float64) (moved int, watts float64, err error) {
+	var names []string
+	var feats []*core.FeatureVector
+	for _, coreNames := range mgr.procs {
+		for _, n := range coreNames {
+			names = append(names, n)
+			feats = append(feats, mgr.features[n])
+		}
+	}
+	current, err := mgr.EstimatedPower()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(names) == 0 {
+		return 0, current, nil
+	}
+	results, err := mgr.cm.BestAssignment(feats, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Respect the same time-sharing cap placement honours.
+	best := core.AssignmentResult{}
+	found := false
+	for _, r := range results {
+		ok := true
+		for _, fs := range r.Assignment {
+			if mgr.opts.MaxPerCore > 0 && len(fs) > mgr.opts.MaxPerCore {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = r
+			found = true
+			break
+		}
+	}
+	if !found || current-best.Watts < minSavingWatts {
+		return 0, current, nil
+	}
+	// Adopt the new layout. BestAssignment works on features; map the
+	// feature identity back to instance names (features are shared per
+	// workload, so match multiset-style).
+	remaining := map[*core.FeatureVector][]string{}
+	for i, f := range feats {
+		remaining[f] = append(remaining[f], names[i])
+	}
+	oldCore := map[string]int{}
+	for c, coreNames := range mgr.procs {
+		for _, n := range coreNames {
+			oldCore[n] = c
+		}
+	}
+	newProcs := make([][]string, mgr.mach.NumCores)
+	for c, fs := range best.Assignment {
+		for _, f := range fs {
+			ns := remaining[f]
+			if len(ns) == 0 {
+				return 0, 0, fmt.Errorf("manager: rebalance lost track of a process")
+			}
+			n := ns[0]
+			remaining[f] = ns[1:]
+			newProcs[c] = append(newProcs[c], n)
+			if oldCore[n] != c {
+				moved++
+			}
+		}
+	}
+	mgr.procs = newProcs
+	return moved, best.Watts, nil
+}

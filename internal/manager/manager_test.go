@@ -1,0 +1,285 @@
+package manager
+
+import (
+	"math"
+	"testing"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sim"
+	"mpmc/internal/workload"
+)
+
+// Power models and profiles are expensive; share them across the tests
+// (the manager itself memoizes per instance, these caches memoize across
+// manager instances).
+var pmCache = map[string]*core.PowerModel{}
+
+func sharedPowerModel(t *testing.T, m *machine.Machine) *core.PowerModel {
+	t.Helper()
+	if pm, ok := pmCache[m.Name]; ok {
+		return pm
+	}
+	pm, err := core.TrainPowerModel(m, workload.ModelSet(), core.PowerTrainOptions{
+		Warmup: 1, Duration: 3, Seed: 7, MicrobenchWindows: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmCache[m.Name] = pm
+	return pm
+}
+
+// sharedFeatures gives every test manager for a machine the same profile
+// cache, so each benchmark is profiled at most once per machine.
+var featShared = map[string]map[string]*core.FeatureVector{}
+
+// testManager builds a manager with a quickly trained power model and the
+// machine's shared profile cache.
+func testManager(t *testing.T, m *machine.Machine, policy Policy) *Manager {
+	t.Helper()
+	cache := featShared[m.Name]
+	if cache == nil {
+		cache = map[string]*core.FeatureVector{}
+		featShared[m.Name] = cache
+	}
+	return New(m, sharedPowerModel(t, m), Options{
+		Policy:         policy,
+		Profile:        core.ProfileOptions{Warmup: 1.5, Duration: 3, Seed: 17},
+		SharedProfiles: cache,
+	})
+}
+
+func TestPlaceAndRemove(t *testing.T) {
+	m := machine.FourCoreServer()
+	mgr := testManager(t, m, PowerAware)
+	name1, c1, w1, err := mgr.Place(workload.ByName("mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 < 0 || c1 >= m.NumCores || w1 <= 0 {
+		t.Fatalf("placement (%d, %.2f) implausible", c1, w1)
+	}
+	name2, _, w2, err := mgr.Place(workload.ByName("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 <= w1 {
+		t.Fatalf("adding a process reduced estimated power %.2f → %.2f", w1, w2)
+	}
+	if err := mgr.Remove(name2); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := mgr.EstimatedPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w3-w1) > 1e-9 {
+		t.Fatalf("removal did not restore the estimate: %.4f vs %.4f", w3, w1)
+	}
+	if err := mgr.Remove(name1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Remove("ghost"); err == nil {
+		t.Fatal("removed a non-existent process")
+	}
+}
+
+func TestProfilingIsMemoized(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	mgr := testManager(t, m, PowerAware)
+	f1, err := mgr.FeatureOf(workload.ByName("vpr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := mgr.FeatureOf(workload.ByName("vpr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("second FeatureOf re-profiled")
+	}
+}
+
+func TestPowerAwareAvoidsHotPairing(t *testing.T) {
+	// With mcf on die 0, placing art power-aware should make a deliberate
+	// choice — and its estimate must be the minimum over cores.
+	m := machine.FourCoreServer()
+	mgr := testManager(t, m, PowerAware)
+	if _, _, _, err := mgr.Place(workload.ByName("mcf")); err != nil {
+		t.Fatal(err)
+	}
+	fArt, err := mgr.FeatureOf(workload.ByName("art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := mgr.Assignment()
+	_, chosenCore, chosenW, err := mgr.Place(workload.ByName("art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < m.NumCores; c++ {
+		w, err := mgr.cm.EstimateAddition(asg, fArt, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < chosenW-1e-9 {
+			t.Fatalf("core %d (%.3f W) beats chosen core %d (%.3f W)", c, w, chosenCore, chosenW)
+		}
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	m := machine.FourCoreServer()
+	mgr := testManager(t, m, RoundRobin)
+	cores := map[int]bool{}
+	for i := 0; i < m.NumCores; i++ {
+		_, c, _, err := mgr.Place(workload.ByName("gzip"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores[c] = true
+	}
+	if len(cores) != m.NumCores {
+		t.Fatalf("round robin used %d distinct cores", len(cores))
+	}
+}
+
+func TestLeastLoadedBalances(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	mgr := testManager(t, m, LeastLoaded)
+	for i := 0; i < 4; i++ {
+		if _, _, _, err := mgr.Place(workload.ByName("gzip")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := mgr.Running()
+	if len(r[0]) != 2 || len(r[1]) != 2 {
+		t.Fatalf("least-loaded imbalance: %d/%d", len(r[0]), len(r[1]))
+	}
+}
+
+func TestMaxPerCoreEnforced(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	pm, err := core.TrainPowerModel(m, workload.ModelSet()[:2], core.PowerTrainOptions{
+		Warmup: 0.5, Duration: 1, Seed: 7, MicrobenchWindows: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := New(m, pm, Options{
+		Policy:     RoundRobin,
+		Profile:    core.ProfileOptions{Warmup: 0.5, Duration: 1, Seed: 3},
+		MaxPerCore: 1,
+	})
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := mgr.Place(workload.ByName("gzip")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := mgr.Place(workload.ByName("gzip")); err == nil {
+		t.Fatal("exceeded MaxPerCore")
+	}
+}
+
+func TestRebalanceMigratesWhenItPays(t *testing.T) {
+	// Force a bad layout via round robin with a pathological arrival
+	// order, then let Rebalance fix it.
+	m := machine.FourCoreServer()
+	mgr := testManager(t, m, RoundRobin)
+	for _, n := range []string{"mcf", "art", "gzip", "equake"} {
+		if _, _, _, err := mgr.Place(workload.ByName(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := mgr.EstimatedPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, after, err := mgr.Rebalance(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before+1e-9 {
+		t.Fatalf("rebalance increased power %.3f → %.3f", before, after)
+	}
+	if moved > 0 {
+		// The new layout must be internally consistent.
+		total := 0
+		for _, names := range mgr.Running() {
+			total += len(names)
+		}
+		if total != 4 {
+			t.Fatalf("rebalance lost processes: %d resident", total)
+		}
+	}
+	// A second rebalance has nothing left to gain.
+	moved2, _, err := mgr.Rebalance(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved2 != 0 {
+		t.Fatalf("second rebalance moved %d processes", moved2)
+	}
+}
+
+func TestPowerAwareBeatsRoundRobinMeasured(t *testing.T) {
+	// The end-to-end claim: over an arrival sequence, the power-aware
+	// manager's final layout consumes no more measured power than the
+	// round-robin baseline's.
+	m := machine.FourCoreServer()
+	arrivals := []string{"mcf", "art", "gzip", "equake"}
+	measure := func(policy Policy) float64 {
+		mgr := testManager(t, m, policy)
+		for _, n := range arrivals {
+			if _, _, _, err := mgr.Place(workload.ByName(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run, err := sim.Run(m, sim.Assignment{Procs: mgr.Procs()},
+			sim.Options{Warmup: 2, Duration: 5, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.AvgMeasuredPower()
+	}
+	pa := measure(PowerAware)
+	rr := measure(RoundRobin)
+	if pa > rr+0.5 {
+		t.Fatalf("power-aware %.2f W worse than round-robin %.2f W", pa, rr)
+	}
+}
+
+func TestRebalanceHonoursMaxPerCore(t *testing.T) {
+	m := machine.FourCoreServer()
+	pm := sharedPowerModel(t, m)
+	mgr := New(m, pm, Options{
+		Policy:         RoundRobin,
+		Profile:        core.ProfileOptions{Warmup: 1.5, Duration: 3, Seed: 17},
+		MaxPerCore:     1,
+		SharedProfiles: featShared[m.Name],
+	})
+	for _, n := range []string{"mcf", "art", "gzip", "equake"} {
+		if _, _, _, err := mgr.Place(workload.ByName(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := mgr.Rebalance(0); err != nil {
+		t.Fatal(err)
+	}
+	for c, names := range mgr.Running() {
+		if len(names) > 1 {
+			t.Fatalf("rebalance packed %d processes on core %d despite MaxPerCore=1", len(names), c)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PowerAware.String() != "power-aware" || RoundRobin.String() != "round-robin" ||
+		LeastLoaded.String() != "least-loaded" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy should still format")
+	}
+}

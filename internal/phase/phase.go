@@ -1,0 +1,198 @@
+// Package phase implements the program-phase detection the paper's
+// profiling methodology relies on (Section 6.1): "We record the program
+// phase information for each benchmark during profiling. … The longest
+// phases in art and mcf were used."
+//
+// The detector segments a per-window metric series (typically the miss
+// rate of HPC sampling windows) into maximal runs with stable mean, using
+// an online change-point rule: a boundary is declared when the recent
+// window mean departs from the running segment mean by more than a
+// threshold. It is deliberately simple — the same spirit as the RapidMRC
+// phase tracking the paper cites — and fully deterministic.
+package phase
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is one detected phase: windows [Start, End) with the given mean
+// metric value.
+type Segment struct {
+	Start, End int
+	Mean       float64
+}
+
+// Len returns the segment length in windows.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Options tunes the detector.
+type Options struct {
+	// MinLen is the minimum phase length in windows (default 8): shorter
+	// fluctuations are absorbed into the current phase.
+	MinLen int
+	// Threshold is the relative mean shift that opens a new phase
+	// (default 0.25): a boundary needs |recent − segment| >
+	// Threshold·max(segment, floor).
+	Threshold float64
+	// Floor guards the relative comparison for near-zero metrics
+	// (default 0.01).
+	Floor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinLen == 0 {
+		o.MinLen = 8
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.25
+	}
+	if o.Floor == 0 {
+		o.Floor = 0.01
+	}
+	return o
+}
+
+// Detect segments the series into phases. An empty series yields no
+// segments; the segments exactly tile [0, len(series)).
+func Detect(series []float64, opts Options) []Segment {
+	o := opts.withDefaults()
+	n := len(series)
+	if n == 0 {
+		return nil
+	}
+	var segs []Segment
+	start := 0
+	segSum := 0.0
+	for i := 0; i < n; i++ {
+		segSum += series[i]
+		segLen := i - start + 1
+		if segLen < 2*o.MinLen {
+			continue
+		}
+		// Compare the trailing MinLen windows with the preceding part of
+		// the segment. The recent statistic is a median so that
+		// fluctuations shorter than MinLen cannot fake a phase change.
+		recent := median(series[i-o.MinLen+1 : i+1])
+		headSum := 0.0
+		for j := start; j <= i-o.MinLen; j++ {
+			headSum += series[j]
+		}
+		head := headSum / float64(segLen-o.MinLen)
+		scale := math.Max(math.Abs(head), o.Floor)
+		if math.Abs(recent-head) > o.Threshold*scale {
+			// Boundary at the start of the recent run.
+			cut := i - o.MinLen + 1
+			segs = append(segs, Segment{Start: start, End: cut, Mean: head})
+			start = cut
+			segSum = 0
+			for j := start; j <= i; j++ {
+				segSum += series[j]
+			}
+		}
+	}
+	mean := segSum / float64(n-start)
+	segs = append(segs, Segment{Start: start, End: n, Mean: mean})
+	return mergeSlivers(segs, o.MinLen)
+}
+
+// mergeSlivers absorbs transition segments shorter than minLen into the
+// neighbour with the closer mean. Boundary detection lags by up to MinLen
+// windows, which can carve a short mixed-regime sliver at each change.
+func mergeSlivers(segs []Segment, minLen int) []Segment {
+	for {
+		idx := -1
+		for i, s := range segs {
+			if s.Len() <= minLen && len(segs) > 1 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return segs
+		}
+		s := segs[idx]
+		// Pick the neighbour with the closer mean.
+		target := idx - 1
+		if idx == 0 {
+			target = 1
+		} else if idx+1 < len(segs) &&
+			math.Abs(segs[idx+1].Mean-s.Mean) < math.Abs(segs[idx-1].Mean-s.Mean) {
+			target = idx + 1
+		}
+		t := segs[target]
+		merged := Segment{
+			Start: minInt(s.Start, t.Start),
+			End:   maxInt(s.End, t.End),
+			Mean: (s.Mean*float64(s.Len()) + t.Mean*float64(t.Len())) /
+				float64(s.Len()+t.Len()),
+		}
+		lo := minInt(idx, target)
+		segs = append(segs[:lo], append([]Segment{merged}, segs[lo+2:]...)...)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// median returns the median of xs without modifying it.
+func median(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	// Insertion sort: MinLen-sized slices only.
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Dominant returns the longest segment (ties: the earliest). It panics on
+// an empty slice — callers must have at least one window of data.
+func Dominant(segs []Segment) Segment {
+	if len(segs) == 0 {
+		panic("phase: no segments")
+	}
+	best := segs[0]
+	for _, s := range segs[1:] {
+		if s.Len() > best.Len() {
+			best = s
+		}
+	}
+	return best
+}
+
+// Count returns the number of "significant" phases: segments at least
+// minFrac of the whole series. The paper reports that all but two
+// benchmarks have a single significant phase.
+func Count(segs []Segment, minFrac float64) int {
+	if minFrac <= 0 || minFrac > 1 {
+		panic(fmt.Sprintf("phase: minFrac %v outside (0,1]", minFrac))
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Len()
+	}
+	n := 0
+	for _, s := range segs {
+		if float64(s.Len()) >= minFrac*float64(total) {
+			n++
+		}
+	}
+	return n
+}

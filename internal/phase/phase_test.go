@@ -1,0 +1,122 @@
+package phase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpmc/internal/xrand"
+)
+
+func flatSeries(v float64, n int, noise float64, r *xrand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v + noise*r.NormFloat64()
+	}
+	return out
+}
+
+func TestDetectSinglePhase(t *testing.T) {
+	r := xrand.New(1)
+	series := flatSeries(0.4, 200, 0.02, r)
+	segs := Detect(series, Options{})
+	if len(segs) != 1 {
+		t.Fatalf("flat series split into %d phases", len(segs))
+	}
+	if math.Abs(segs[0].Mean-0.4) > 0.01 {
+		t.Fatalf("phase mean %v", segs[0].Mean)
+	}
+}
+
+func TestDetectTwoPhases(t *testing.T) {
+	r := xrand.New(2)
+	series := append(flatSeries(0.2, 120, 0.01, r), flatSeries(0.7, 80, 0.01, r)...)
+	segs := Detect(series, Options{})
+	if len(segs) != 2 {
+		t.Fatalf("expected 2 phases, got %d: %+v", len(segs), segs)
+	}
+	// Boundary near window 120 (within the detector's MinLen lag).
+	if b := segs[0].End; b < 110 || b > 130 {
+		t.Fatalf("boundary at %d, want ≈120", b)
+	}
+	if math.Abs(segs[0].Mean-0.2) > 0.03 || math.Abs(segs[1].Mean-0.7) > 0.03 {
+		t.Fatalf("phase means %v / %v", segs[0].Mean, segs[1].Mean)
+	}
+	dom := Dominant(segs)
+	if dom.Start != segs[0].Start {
+		t.Fatal("dominant phase should be the longer first phase")
+	}
+}
+
+func TestDetectIgnoresBlips(t *testing.T) {
+	r := xrand.New(3)
+	series := flatSeries(0.3, 100, 0.01, r)
+	// A 3-window blip shorter than MinLen must not split the phase.
+	series[50], series[51], series[52] = 0.9, 0.9, 0.9
+	segs := Detect(series, Options{})
+	if len(segs) != 1 {
+		t.Fatalf("blip split the series into %d phases", len(segs))
+	}
+}
+
+func TestDetectTilesProperty(t *testing.T) {
+	// Segments always tile [0, n) regardless of input.
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		r := xrand.New(seed)
+		series := make([]float64, n)
+		level := r.Float64()
+		for i := range series {
+			if r.Float64() < 0.02 {
+				level = r.Float64() // occasional regime change
+			}
+			series[i] = level + 0.01*r.NormFloat64()
+		}
+		segs := Detect(series, Options{})
+		if len(segs) == 0 || segs[0].Start != 0 || segs[len(segs)-1].End != n {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start != segs[i-1].End {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	if segs := Detect(nil, Options{}); segs != nil {
+		t.Fatal("empty series produced segments")
+	}
+}
+
+func TestDominantPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dominant(nil)
+}
+
+func TestCount(t *testing.T) {
+	segs := []Segment{{0, 90, 0.1}, {90, 100, 0.9}}
+	if Count(segs, 0.2) != 1 {
+		t.Fatalf("significant phases %d, want 1", Count(segs, 0.2))
+	}
+	if Count(segs, 0.05) != 2 {
+		t.Fatalf("significant phases %d, want 2", Count(segs, 0.05))
+	}
+}
+
+func TestCountPanicsOnBadFrac(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Count([]Segment{{0, 1, 0}}, 0)
+}

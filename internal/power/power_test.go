@@ -1,0 +1,231 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"mpmc/internal/hpc"
+)
+
+func testParams() OracleParams {
+	return OracleParams{
+		CoreIdle: 8,
+		Uncore:   10,
+		L1Ref:    1e-5,
+		L2Ref:    2e-4,
+		L2Miss:   -3e-4,
+		Branch:   1e-5,
+		FPOp:     8e-6,
+		NoiseStd: 0,
+	}
+}
+
+func TestCorePowerLinearPart(t *testing.T) {
+	o := NewOracle(testParams(), 1)
+	r := hpc.Rates{L1RPS: 1e5, L2RPS: 1e4, L2MPS: 5e3, BRPS: 2e4, FPPS: 1e4}
+	want := 8 + 1e-5*1e5 + 2e-4*1e4 + -3e-4*5e3 + 1e-5*2e4 + 8e-6*1e4
+	if got := o.CorePower(r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("core power %v want %v", got, want)
+	}
+}
+
+func TestIdleCorePower(t *testing.T) {
+	o := NewOracle(testParams(), 1)
+	if got := o.CorePower(hpc.Rates{}); got != 8 {
+		t.Fatalf("idle core power %v want 8", got)
+	}
+}
+
+func TestL2MissReducesPower(t *testing.T) {
+	// The paper's observation: more misses → more stall → less power.
+	o := NewOracle(testParams(), 1)
+	base := o.CorePower(hpc.Rates{L1RPS: 1e5, L2RPS: 1e4})
+	missy := o.CorePower(hpc.Rates{L1RPS: 1e5, L2RPS: 1e4, L2MPS: 8e3})
+	if missy >= base {
+		t.Fatalf("misses should reduce power: %v vs %v", missy, base)
+	}
+}
+
+func TestProcessorPowerSumsCoresAndUncore(t *testing.T) {
+	o := NewOracle(testParams(), 1)
+	got := o.ProcessorPower([]hpc.Rates{{}, {}, {}, {}})
+	if math.Abs(got-(10+4*8)) > 1e-9 {
+		t.Fatalf("idle processor power %v want 42", got)
+	}
+}
+
+func TestSaturationIsSubLinear(t *testing.T) {
+	p := testParams()
+	p.SatL1 = 2e5
+	o := NewOracle(p, 1)
+	low := o.CorePower(hpc.Rates{L1RPS: 1e5}) - p.CoreIdle
+	high := o.CorePower(hpc.Rates{L1RPS: 2e5}) - p.CoreIdle
+	if high >= 2*low {
+		t.Fatalf("saturating term should be sub-linear: %v vs 2×%v", high, low)
+	}
+	// At the saturation knee the contribution is 2/3 of linear
+	// (x/(1+x/(2k)) at x=k gives (2/3)·slope·k).
+	atKnee := o.CorePower(hpc.Rates{L1RPS: 2e5}) - p.CoreIdle
+	linear := p.L1Ref * 2e5
+	if math.Abs(atKnee-linear*2.0/3.0) > 1e-9 {
+		t.Fatalf("knee value %v want %v", atKnee, linear*2.0/3.0)
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	p := testParams()
+	p.NoiseStd = 0.5
+	o := NewOracle(p, 7)
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := o.CorePower(hpc.Rates{L1RPS: 1e5})
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	want := 8 + 1e-5*1e5
+	if math.Abs(mean-want) > 0.02 {
+		t.Fatalf("noisy mean %v want %v", mean, want)
+	}
+	if math.Abs(std-0.5) > 0.03 {
+		t.Fatalf("noise std %v want 0.5", std)
+	}
+}
+
+func TestPowerNeverNegative(t *testing.T) {
+	p := testParams()
+	p.L2Miss = -1 // absurdly strong negative coefficient
+	o := NewOracle(p, 3)
+	if got := o.CorePower(hpc.Rates{L2MPS: 1e6}); got < 0 {
+		t.Fatalf("negative power %v", got)
+	}
+}
+
+func TestSensorUnbiasedAndConverts(t *testing.T) {
+	s := NewSensor(DefaultSensor(), 11)
+	const truePower = 54.0 // watts → 5 A on the rail
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += s.MeasureWindow(truePower, 0.03)
+	}
+	mean := sum / n
+	if math.Abs(mean-truePower) > 0.05 {
+		t.Fatalf("sensor biased: mean %v want %v", mean, truePower)
+	}
+}
+
+func TestSensorNoiseShrinksWithWindow(t *testing.T) {
+	sp := DefaultSensor()
+	sp.CurrentLSB = 0 // isolate the noise path
+	measureStd := func(dt float64) float64 {
+		s := NewSensor(sp, 13)
+		var w []float64
+		for i := 0; i < 3000; i++ {
+			w = append(w, s.MeasureWindow(54, dt))
+		}
+		m := 0.0
+		for _, v := range w {
+			m += v
+		}
+		m /= float64(len(w))
+		v := 0.0
+		for _, x := range w {
+			v += (x - m) * (x - m)
+		}
+		return math.Sqrt(v / float64(len(w)))
+	}
+	short := measureStd(0.001)
+	long := measureStd(0.1)
+	if long >= short/3 {
+		t.Fatalf("longer windows should average noise down: %v vs %v", long, short)
+	}
+}
+
+func TestSensorRegulatorConversion(t *testing.T) {
+	// With zero noise and no quantization the sensor must return exactly
+	// 10.8 · I where I = P / 10.8, i.e. the identity.
+	s := NewSensor(SensorParams{SampleRate: 10000}, 1)
+	if got := s.MeasureWindow(54, 0.03); math.Abs(got-54) > 1e-12 {
+		t.Fatalf("conversion %v want 54", got)
+	}
+}
+
+func TestSensorPanicsOnBadWindow(t *testing.T) {
+	s := NewSensor(DefaultSensor(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.MeasureWindow(10, 0)
+}
+
+func TestTraceMean(t *testing.T) {
+	tr := Trace{{0, 10}, {1, 20}, {2, 30}}
+	if tr.Mean() != 20 {
+		t.Fatalf("trace mean %v", tr.Mean())
+	}
+	if (Trace{}).Mean() != 0 {
+		t.Fatal("empty trace mean")
+	}
+}
+
+func TestOracleDeterministicPerSeed(t *testing.T) {
+	p := testParams()
+	p.NoiseStd = 0.3
+	a := NewOracle(p, 99)
+	b := NewOracle(p, 99)
+	for i := 0; i < 100; i++ {
+		r := hpc.Rates{L1RPS: float64(i) * 1e3}
+		if a.CorePower(r) != b.CorePower(r) {
+			t.Fatal("oracle not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestWanderIsSlowAndBounded(t *testing.T) {
+	p := testParams()
+	p.WanderStd = 1.0
+	p.WanderTau = 20
+	o := NewOracle(p, 5)
+	idle := []hpc.Rates{{}}
+	base := 10.0 + 8.0 // uncore + 1 core idle
+	// Collect the wander by subtracting the deterministic part.
+	var w []float64
+	for i := 0; i < 8000; i++ {
+		w = append(w, o.ProcessorPower(idle)-base)
+	}
+	// Stationary variance ≈ WanderStd².
+	var mean, varSum float64
+	for _, v := range w {
+		mean += v
+	}
+	mean /= float64(len(w))
+	for _, v := range w {
+		varSum += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varSum / float64(len(w)))
+	if math.Abs(std-1.0) > 0.15 {
+		t.Fatalf("wander std %v want ~1", std)
+	}
+	// Lag-1 autocorrelation ≈ exp(-1/tau) ≈ 0.95: the wander is slow.
+	var ac float64
+	for i := 1; i < len(w); i++ {
+		ac += (w[i] - mean) * (w[i-1] - mean)
+	}
+	ac /= varSum
+	if ac < 0.9 {
+		t.Fatalf("wander autocorrelation %v, want slow (~0.95)", ac)
+	}
+}
+
+func TestOracleParamsAccessor(t *testing.T) {
+	p := testParams()
+	o := NewOracle(p, 1)
+	if o.Params() != p {
+		t.Fatal("Params round trip")
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+
+	"mpmc/internal/hpc"
+	"mpmc/internal/machine"
+	"mpmc/internal/power"
+)
+
+// WindowRates regroups a Result's HPC sample stream into per-window,
+// per-core rate vectors: out[w][c] is core c's rates in window w. numCores
+// must be the machine's core count.
+func (r *Result) WindowRates(numCores int) [][]hpc.Rates {
+	if numCores <= 0 || len(r.HPCSamples)%numCores != 0 {
+		panic(fmt.Sprintf("sim: %d HPC samples do not divide into cores of %d", len(r.HPCSamples), numCores))
+	}
+	windows := len(r.HPCSamples) / numCores
+	out := make([][]hpc.Rates, windows)
+	for w := 0; w < windows; w++ {
+		out[w] = make([]hpc.Rates, numCores)
+		for c := 0; c < numCores; c++ {
+			s := r.HPCSamples[w*numCores+c]
+			out[w][s.Core] = s.Rates
+		}
+	}
+	return out
+}
+
+// MeasureSyntheticRates plays the power micro-benchmark role of
+// Section 4.1: it drives all cores of m at the prescribed event rates for
+// `windows` sampling windows and returns the measured processor power of
+// each window, exactly as the DAQ would report it. The models in training
+// only ever see (rates, measured power) pairs — the same observables a
+// real micro-benchmark run provides.
+func MeasureSyntheticRates(m *machine.Machine, rates hpc.Rates, windows int, seed uint64) []float64 {
+	if windows <= 0 {
+		panic("sim: non-positive window count")
+	}
+	oracle := power.NewOracle(m.Oracle, seed)
+	sensor := power.NewSensor(m.Sensor, seed^0x7777)
+	perCore := make([]hpc.Rates, m.NumCores)
+	for i := range perCore {
+		perCore[i] = rates
+	}
+	out := make([]float64, windows)
+	for w := range out {
+		out[w] = sensor.MeasureWindow(oracle.ProcessorPower(perCore), m.SamplePeriod)
+	}
+	return out
+}

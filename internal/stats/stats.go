@@ -1,0 +1,280 @@
+// Package stats provides the statistical utilities shared by the modeling
+// framework and the experiment harness: descriptive statistics, simple and
+// multiple linear regression, and the error metrics the paper reports
+// (average relative error, maximum error, and the fraction of cases whose
+// error exceeds 5%).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mpmc/internal/linalg"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n−1 denominator).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm).
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// LinearFit holds the result of a simple linear regression y = a·x + b.
+// It is used for the paper's Eq. 3 characterization SPI = α·MPA + β.
+type LinearFit struct {
+	Slope     float64 // a (the paper's α)
+	Intercept float64 // b (the paper's β)
+	R2        float64 // coefficient of determination
+}
+
+// ErrDegenerate is returned when a regression problem has too few points or
+// no variance in the regressors.
+var ErrDegenerate = errors.New("stats: degenerate regression problem")
+
+// FitLinear performs ordinary least squares for y = slope·x + intercept.
+func FitLinear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: FitLinear length mismatch %d vs %d", len(x), len(y))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return LinearFit{}, ErrDegenerate
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx <= 1e-300*n {
+		return LinearFit{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // y constant and perfectly predicted by the intercept
+	}
+	return fit, nil
+}
+
+// MVLRFit holds a multiple linear regression y = c0 + Σ ci·xi, the fit used
+// for the power model (Eq. 9 of the paper).
+type MVLRFit struct {
+	Coef []float64 // Coef[0] is the intercept; Coef[i] multiplies feature i−1
+	R2   float64
+}
+
+// Predict evaluates the fitted model on one feature vector.
+func (f *MVLRFit) Predict(features []float64) float64 {
+	if len(features) != len(f.Coef)-1 {
+		panic(fmt.Sprintf("stats: MVLR predict with %d features, model has %d", len(features), len(f.Coef)-1))
+	}
+	y := f.Coef[0]
+	for i, x := range features {
+		y += f.Coef[i+1] * x
+	}
+	return y
+}
+
+// FitMVLR performs multiple linear regression with an intercept.
+// rows[i] is the feature vector of observation i; y[i] its response.
+func FitMVLR(rows [][]float64, y []float64) (*MVLRFit, error) {
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("stats: FitMVLR %d rows vs %d responses", len(rows), len(y))
+	}
+	if len(rows) == 0 {
+		return nil, ErrDegenerate
+	}
+	k := len(rows[0])
+	a := linalg.NewMatrix(len(rows), k+1)
+	for i, r := range rows {
+		if len(r) != k {
+			return nil, fmt.Errorf("stats: FitMVLR ragged row %d", i)
+		}
+		a.Set(i, 0, 1)
+		for j, v := range r {
+			a.Set(i, j+1, v)
+		}
+	}
+	coef, err := linalg.LeastSquares(a, y)
+	if err != nil {
+		return nil, err
+	}
+	fit := &MVLRFit{Coef: coef}
+	// R² against the mean model.
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for i, r := range rows {
+		pred := fit.Predict(r)
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// ErrorSummary aggregates the error statistics the paper's tables report.
+type ErrorSummary struct {
+	AvgPct    float64 // average of |err| in percent
+	MaxPct    float64 // maximum |err| in percent
+	FracOver5 float64 // fraction of cases with |err| > 5%, in percent
+	N         int
+}
+
+// SummarizeRelErrors builds an ErrorSummary from relative errors expressed
+// as fractions (0.03 = 3%).
+func SummarizeRelErrors(errs []float64) ErrorSummary {
+	s := ErrorSummary{N: len(errs)}
+	if len(errs) == 0 {
+		return s
+	}
+	over := 0
+	for _, e := range errs {
+		a := math.Abs(e) * 100
+		s.AvgPct += a
+		if a > s.MaxPct {
+			s.MaxPct = a
+		}
+		if a > 5 {
+			over++
+		}
+	}
+	s.AvgPct /= float64(len(errs))
+	s.FracOver5 = 100 * float64(over) / float64(len(errs))
+	return s
+}
+
+// RelError returns (got−want)/want. It panics if want is zero; callers
+// compare quantities (SPI, power) that are strictly positive.
+func RelError(got, want float64) float64 {
+	if want == 0 {
+		panic("stats: RelError with zero reference")
+	}
+	return (got - want) / want
+}
+
+// AbsError returns got−want; used for MPA, which the paper reports as an
+// absolute (not relative) error because MPA may be near zero.
+func AbsError(got, want float64) float64 { return got - want }
+
+// MAPE returns the mean absolute percentage error between predictions and
+// references, as a percent. Reference entries equal to zero are skipped.
+func MAPE(pred, ref []float64) float64 {
+	if len(pred) != len(ref) {
+		panic("stats: MAPE length mismatch")
+	}
+	var sum float64
+	var n int
+	for i := range pred {
+		if ref[i] == 0 {
+			continue
+		}
+		sum += math.Abs((pred[i] - ref[i]) / ref[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// Accuracy returns 100 − MAPE, clamped at zero: the "accuracy" figure of
+// merit the paper quotes for the MVLR vs NN comparison (96.2% vs 96.8%).
+func Accuracy(pred, ref []float64) float64 {
+	a := 100 - MAPE(pred, ref)
+	if a < 0 {
+		return 0
+	}
+	return a
+}

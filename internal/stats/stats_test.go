@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpmc/internal/xrand"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(StdDev(xs)-want) > 1e-12 {
+		t.Fatalf("std %v want %v", StdDev(xs), want)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty-slice conventions violated")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatal("min/max")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := xrand.New(5)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-10 {
+		t.Fatalf("welford mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.StdDev()-StdDev(xs)) > 1e-10 {
+		t.Fatalf("welford std %v vs %v", w.StdDev(), StdDev(xs))
+	}
+	if w.N() != len(xs) {
+		t.Fatal("welford N")
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 {
+		t.Fatal("empty variance")
+	}
+	w.Add(5)
+	if w.Variance() != 0 || w.Mean() != 5 {
+		t.Fatal("single-sample stats")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3x − 2 exactly.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{-2, 1, 4, 7}
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 1e-12 || math.Abs(fit.Intercept+2) > 1e-12 {
+		t.Fatalf("fit %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 %v", fit.R2)
+	}
+}
+
+func TestFitLinearNoise(t *testing.T) {
+	// The SPI = α·MPA + β use case: recover planted alpha/beta from noisy
+	// observations across the MPA range.
+	r := xrand.New(9)
+	const alpha, beta = 2.4e-7, 4.0e-10
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		mpa := r.Float64()
+		x = append(x, mpa)
+		y = append(y, alpha*mpa+beta+1e-10*r.NormFloat64())
+	}
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-alpha)/alpha > 0.01 {
+		t.Fatalf("alpha %v want %v", fit.Slope, alpha)
+	}
+	if math.Abs(fit.Intercept-beta)/beta > 0.2 {
+		t.Fatalf("beta %v want %v", fit.Intercept, beta)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("expected error for single point")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for zero-variance x")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+func TestFitLinearConstantY(t *testing.T) {
+	fit, err := FitLinear([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 5 || fit.R2 != 1 {
+		t.Fatalf("fit %+v", fit)
+	}
+}
+
+func TestFitMVLRRecoversPlanted(t *testing.T) {
+	r := xrand.New(21)
+	truth := []float64{40, 1.5, -0.7, 2.2} // intercept + 3 coefficients
+	rows := make([][]float64, 500)
+	y := make([]float64, len(rows))
+	for i := range rows {
+		rows[i] = []float64{r.Float64() * 5, r.Float64() * 5, r.Float64() * 5}
+		y[i] = truth[0] + truth[1]*rows[i][0] + truth[2]*rows[i][1] + truth[3]*rows[i][2]
+	}
+	fit, err := FitMVLR(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range truth {
+		if math.Abs(fit.Coef[j]-truth[j]) > 1e-9 {
+			t.Fatalf("coef %d: %v want %v", j, fit.Coef[j], truth[j])
+		}
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Fatalf("R2 %v", fit.R2)
+	}
+	got := fit.Predict([]float64{1, 1, 1})
+	want := truth[0] + truth[1] + truth[2] + truth[3]
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("predict %v want %v", got, want)
+	}
+}
+
+func TestFitMVLRErrors(t *testing.T) {
+	if _, err := FitMVLR(nil, nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := FitMVLR([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+	if _, err := FitMVLR([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on ragged rows")
+	}
+}
+
+func TestSummarizeRelErrors(t *testing.T) {
+	s := SummarizeRelErrors([]float64{0.01, -0.02, 0.10, 0.03})
+	if math.Abs(s.AvgPct-4) > 1e-12 {
+		t.Fatalf("avg %v", s.AvgPct)
+	}
+	if s.MaxPct != 10 {
+		t.Fatalf("max %v", s.MaxPct)
+	}
+	if s.FracOver5 != 25 {
+		t.Fatalf("frac %v", s.FracOver5)
+	}
+	if s.N != 4 {
+		t.Fatalf("n %v", s.N)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := SummarizeRelErrors(nil)
+	if s.AvgPct != 0 || s.MaxPct != 0 || s.FracOver5 != 0 || s.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRelAbsError(t *testing.T) {
+	if RelError(110, 100) != 0.1 {
+		t.Fatal("RelError")
+	}
+	if AbsError(0.25, 0.5) != -0.25 {
+		t.Fatal("AbsError")
+	}
+}
+
+func TestMAPEAndAccuracy(t *testing.T) {
+	pred := []float64{110, 90}
+	ref := []float64{100, 100}
+	if MAPE(pred, ref) != 10 {
+		t.Fatalf("MAPE %v", MAPE(pred, ref))
+	}
+	if Accuracy(pred, ref) != 90 {
+		t.Fatalf("Accuracy %v", Accuracy(pred, ref))
+	}
+	// Zero references skipped.
+	if MAPE([]float64{5, 110}, []float64{0, 100}) != 10 {
+		t.Fatal("MAPE zero-skip")
+	}
+}
+
+func TestFitLinearPropertyResiduals(t *testing.T) {
+	// OLS property: residuals are orthogonal to x and sum to ~0.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 10 + r.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64() * 10
+			y[i] = 3*x[i] + r.NormFloat64()
+		}
+		fit, err := FitLinear(x, y)
+		if err != nil {
+			return false
+		}
+		var sumRes, dotRes float64
+		for i := range x {
+			res := y[i] - (fit.Slope*x[i] + fit.Intercept)
+			sumRes += res
+			dotRes += res * x[i]
+		}
+		return math.Abs(sumRes) < 1e-7*float64(n) && math.Abs(dotRes) < 1e-6*float64(n)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
