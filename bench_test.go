@@ -338,6 +338,51 @@ func BenchmarkHeteroStudy(b *testing.B) {
 	}
 }
 
+// benchProfile runs one stressmark profiling sweep at the given worker
+// count; the serial/parallel pair below measures the wall-clock effect of
+// fanning the per-way sweep out (results are bit-identical either way —
+// see TestProfileEquivalence).
+func benchProfile(b *testing.B, workers int) {
+	b.Helper()
+	m := TwoCoreWorkstation()
+	for i := 0; i < b.N; i++ {
+		if _, err := Profile(m, WorkloadByName("twolf"), ProfileOptions{
+			Warmup: 1, Duration: 2, Seed: uint64(i), Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileSerial is the Workers=1 baseline for the sweep.
+func BenchmarkProfileSerial(b *testing.B) { benchProfile(b, 1) }
+
+// BenchmarkProfileParallel runs the same sweep at Workers=4. On a
+// multi-core host this approaches a 4x speedup (the sweep points are
+// independent); on a single-CPU host it only measures pool overhead.
+func BenchmarkProfileParallel(b *testing.B) { benchProfile(b, 4) }
+
+// benchHarness regenerates the seed-stability study (20 co-run
+// simulations) through a fresh experiment context at the given worker
+// count — the harness-level counterpart to the profiling pair above.
+func benchHarness(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		x := exp.NewContext(exp.Config{Quick: true, Seed: 42, Workers: workers})
+		if _, err := exp.SeedStability(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarnessSerial is the Workers=1 baseline for the experiment
+// harness fan-out.
+func BenchmarkHarnessSerial(b *testing.B) { benchHarness(b, 1) }
+
+// BenchmarkHarnessParallel runs the same study at Workers=4; output is
+// byte-identical to serial (see TestStudyEquivalence).
+func BenchmarkHarnessParallel(b *testing.B) { benchHarness(b, 4) }
+
 // BenchmarkBandwidthStudy measures model degradation under memory-bus
 // saturation (the Section 3.1 bandwidth-constrained regime).
 func BenchmarkBandwidthStudy(b *testing.B) {

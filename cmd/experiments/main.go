@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-list] [id ...]
+//	experiments [-quick] [-seed N] [-workers N] [-list] [id ...]
 //
 // With no ids, the full suite runs in DESIGN.md order. Examples:
 //
@@ -60,6 +60,7 @@ var experiments = []experiment{
 func main() {
 	quick := flag.Bool("quick", false, "short run durations (smoke-test quality)")
 	seed := flag.Uint64("seed", 42, "experiment seed")
+	workers := flag.Int("workers", 0, "concurrent runs per driver (0 = GOMAXPROCS); output is identical at any value")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvPrefix := flag.String("figure2csv", "", "write figure2 traces to <prefix>-max.csv and <prefix>-min.csv")
 	flag.Parse()
@@ -89,7 +90,7 @@ func main() {
 		}
 	}
 
-	x := exp.NewContext(exp.Config{Quick: *quick, Seed: *seed})
+	x := exp.NewContext(exp.Config{Quick: *quick, Seed: *seed, Workers: *workers})
 	start := time.Now()
 	for _, id := range want {
 		e := byID[strings.ToLower(id)]

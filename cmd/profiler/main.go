@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	profiler -machine server -bench mcf [-method stressmark|ideal] [-seed N]
+//	profiler -machine server -bench mcf [-method stressmark|ideal] [-seed N] [-workers N]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	benchName := flag.String("bench", "mcf", "benchmark name (gzip, vpr, mcf, ...)")
 	method := flag.String("method", "stressmark", "stressmark (paper) | ideal (partitioned)")
 	seed := flag.Uint64("seed", 1, "profiling seed")
+	workers := flag.Int("workers", 0, "concurrent sweep runs (0 = GOMAXPROCS); the feature vector is identical at any value")
 	quick := flag.Bool("quick", false, "short profiling runs")
 	jsonOut := flag.String("json", "", "write the feature vector to this file as JSON")
 	flag.Parse()
@@ -38,7 +39,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *benchName)
 		os.Exit(2)
 	}
-	opts := core.ProfileOptions{Seed: *seed}
+	opts := core.ProfileOptions{Seed: *seed, Workers: *workers}
 	if *quick {
 		opts.Warmup, opts.Duration = 1.5, 3
 	}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mpmc/internal/hist"
 )
@@ -43,7 +44,32 @@ type FeatureVector struct {
 	BRPI            float64
 	FPPI            float64
 
-	gtab *gTable // lazy G(n) table
+	g *gCell // lazily built G(n) table
+}
+
+// gCell holds the lazily built growth table behind a pointer so that
+// FeatureVector stays copyable (OnCore copies the struct, UnmarshalJSON
+// overwrites it) while concurrent G/GMax/GInverse calls on a shared
+// feature build the table exactly once instead of racing on a bare field.
+type gCell struct {
+	once sync.Once
+	tab  *gTable
+}
+
+// gcellFallbackMu serializes cell installation for zero-value feature
+// vectors built by hand rather than through a constructor.
+var gcellFallbackMu sync.Mutex
+
+func (f *FeatureVector) gcell() *gCell {
+	if c := f.g; c != nil {
+		return c
+	}
+	gcellFallbackMu.Lock()
+	defer gcellFallbackMu.Unlock()
+	if f.g == nil {
+		f.g = &gCell{}
+	}
+	return f.g
 }
 
 // Validate checks internal consistency.
@@ -84,6 +110,7 @@ func NewFeatureVector(name string, mpaCurve []float64, alpha, beta, api float64)
 		Alpha:    alpha,
 		Beta:     beta,
 		API:      api,
+		g:        &gCell{},
 	}
 	if err := f.Validate(); err != nil {
 		return nil, err
@@ -120,11 +147,16 @@ type gTable struct {
 // sizes they would take hours of simulated time to reach.
 const maxGrowthSteps = 2_000_000
 
-// gtable builds (once) and returns the growth table.
+// gtable builds (once, even under concurrent callers) and returns the
+// growth table.
 func (f *FeatureVector) gtable() *gTable {
-	if f.gtab != nil {
-		return f.gtab
-	}
+	c := f.gcell()
+	c.once.Do(func() { c.tab = f.buildGTable() })
+	return c.tab
+}
+
+// buildGTable runs the Eq. 4/5 recursion and assembles the table.
+func (f *FeatureVector) buildGTable() *gTable {
 	a := f.Assoc
 	// mpaAt[i] = miss probability at integer size i, i = 0..a.
 	mpaAt := make([]float64, a+1)
@@ -172,7 +204,6 @@ func (f *FeatureVector) gtable() *gTable {
 		}
 	}
 	t.gMax = g
-	f.gtab = t
 	return t
 }
 

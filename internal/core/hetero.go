@@ -28,7 +28,7 @@ func (f *FeatureVector) OnCore(speed float64) *FeatureVector {
 	}
 	nf := *f
 	nf.Beta = f.Beta / speed
-	nf.gtab = nil // growth tables do not depend on β, but stay safe
+	nf.g = &gCell{} // growth tables do not depend on β, but stay safe
 	return &nf
 }
 

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mpmc/internal/hpc"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/stats"
 	"mpmc/internal/workload"
@@ -61,6 +63,11 @@ type PowerTrainOptions struct {
 	// MicrobenchWindows is the number of sampling windows measured per
 	// micro-benchmark step (default 12).
 	MicrobenchWindows int
+	// Workers bounds how many training runs execute concurrently; <= 0
+	// selects GOMAXPROCS. Row order and values are independent of the
+	// worker count: every run's seed is a pure function of its index and
+	// rows are appended in index order.
+	Workers int
 }
 
 func (o *PowerTrainOptions) withDefaults() PowerTrainOptions {
@@ -94,7 +101,12 @@ func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerT
 	o := opts.withDefaults()
 	ds := &PowerDataset{}
 	n := float64(m.NumCores)
-	for bi, spec := range specs {
+	// Every benchmark run and micro-benchmark step seeds from its own
+	// index, so both collection loops fan out; each task returns its rows
+	// as a batch and the batches are concatenated in index order, keeping
+	// the dataset byte-identical to the serial collection.
+	batches, err := parallel.Map(context.Background(), o.Workers, len(specs), func(bi int) (PowerDataset, error) {
+		spec := specs[bi]
 		asg := sim.Assignment{Procs: make([][]*workload.Spec, m.NumCores)}
 		for c := 0; c < m.NumCores; c++ {
 			asg.Procs[c] = []*workload.Spec{spec}
@@ -105,13 +117,14 @@ func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerT
 			Seed:     o.Seed + uint64(bi)*7919,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: power training run %s: %w", spec.Name, err)
+			return PowerDataset{}, fmt.Errorf("core: power training run %s: %w", spec.Name, err)
 		}
 		windows := res.WindowRates(m.NumCores)
 		if len(windows) != len(res.MeasuredPower) {
-			return nil, fmt.Errorf("core: power training %s: %d rate windows vs %d power samples",
+			return PowerDataset{}, fmt.Errorf("core: power training %s: %d rate windows vs %d power samples",
 				spec.Name, len(windows), len(res.MeasuredPower))
 		}
+		var batch PowerDataset
 		for w, cores := range windows {
 			// Homogeneous run: average the per-core rates (they are
 			// statistically identical) and attribute power/N per core.
@@ -120,14 +133,22 @@ func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerT
 				avg = avg.Add(r)
 			}
 			avg = avg.Scale(1 / n)
-			ds.Features = append(ds.Features, avg.Vector())
-			ds.Watts = append(ds.Watts, res.MeasuredPower[w].Power/n)
+			batch.Features = append(batch.Features, avg.Vector())
+			batch.Watts = append(batch.Watts, res.MeasuredPower[w].Power/n)
 		}
+		return batch, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range batches {
+		ds.Features = append(ds.Features, b.Features...)
+		ds.Watts = append(ds.Watts, b.Watts...)
 	}
 	if !o.SkipMicrobench {
-		maxRates := microbenchPeaks(specs)
-		for si, step := range workload.Microbench(maxRates) {
-			r := hpc.FromVector(step[:])
+		steps := workload.Microbench(microbenchPeaks(specs))
+		batches, err := parallel.Map(context.Background(), o.Workers, len(steps), func(si int) (PowerDataset, error) {
+			r := hpc.FromVector(steps[si][:])
 			// The paper's phases are equal length: the idle phase runs a
 			// full 80 s while each component frequency gets 10 s, so the
 			// idle operating point carries 8× the weight of one step.
@@ -137,10 +158,19 @@ func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerT
 				windows *= 8
 			}
 			watts := sim.MeasureSyntheticRates(m, r, windows, o.Seed+uint64(si)*104729)
+			var batch PowerDataset
 			for _, wv := range watts {
-				ds.Features = append(ds.Features, r.Vector())
-				ds.Watts = append(ds.Watts, wv/n)
+				batch.Features = append(batch.Features, r.Vector())
+				batch.Watts = append(batch.Watts, wv/n)
 			}
+			return batch, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batches {
+			ds.Features = append(ds.Features, b.Features...)
+			ds.Watts = append(ds.Watts, b.Watts...)
 		}
 	}
 	if len(ds.Features) == 0 {

@@ -65,6 +65,7 @@ func (f *FeatureVector) UnmarshalJSON(data []byte) error {
 		L1RPI:           w.L1RPI,
 		BRPI:            w.BRPI,
 		FPPI:            w.FPPI,
+		g:               &gCell{},
 	}
 	return f.Validate()
 }

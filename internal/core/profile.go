@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/phase"
 	"mpmc/internal/sim"
 	"mpmc/internal/stats"
@@ -38,6 +40,11 @@ type ProfileOptions struct {
 	// with multiple significant phases ("the longest phases in art and
 	// mcf were used").
 	DominantPhase bool
+	// Workers bounds how many of the A profiling runs execute
+	// concurrently; <= 0 selects GOMAXPROCS. Every run's seed is a pure
+	// function of its sweep index, so the resulting feature vector is
+	// bit-identical at any worker count.
+	Workers int
 }
 
 func (o *ProfileOptions) withDefaults() ProfileOptions {
@@ -77,12 +84,11 @@ func profileStressmark(m *machine.Machine, spec *workload.Spec, o ProfileOptions
 	partner := partners[0]
 
 	a := m.Assoc
-	curve := make([]float64, a+1)
-	curve[0] = 1
-	var mpas, spis []float64
-	var api, pAlone float64
-	var l1rpi, brpi, fppi float64
-	for stress := 0; stress < a; stress++ {
+	// Each sweep point is an independent simulated co-run whose seed
+	// depends only on the stress index, so the A runs fan out across
+	// workers; the curve and regression inputs are then assembled in
+	// ascending stress order, exactly as the serial loop did.
+	points, err := parallel.Map(context.Background(), o.Workers, a, func(stress int) (sweepPoint, error) {
 		asg := sim.Assignment{Procs: make([][]*workload.Spec, m.NumCores)}
 		asg.Procs[target] = []*workload.Spec{spec}
 		if stress > 0 {
@@ -95,48 +101,63 @@ func profileStressmark(m *machine.Machine, spec *workload.Spec, o ProfileOptions
 			CollectProcSamples: o.DominantPhase,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: profiling %s at stress %d: %w", spec.Name, stress, err)
+			return sweepPoint{}, fmt.Errorf("core: profiling %s at stress %d: %w", spec.Name, stress, err)
 		}
 		p := res.Procs[0]
 		if p.L2Refs == 0 || p.Instructions == 0 {
-			return nil, fmt.Errorf("core: profiling %s at stress %d: no activity measured", spec.Name, stress)
+			return sweepPoint{}, fmt.Errorf("core: profiling %s at stress %d: no activity measured", spec.Name, stress)
 		}
-		mpa, spi := p.MPA(), p.SPI()
+		pt := sweepPoint{mpa: p.MPA(), spi: p.SPI()}
 		if o.DominantPhase {
 			if dm, ds, ok := dominantPhaseStats(res, 0, spec, m.SamplePeriod); ok {
-				mpa, spi = dm, ds
+				pt.mpa, pt.spi = dm, ds
 			}
 		}
-		// The stressmark holds `stress` ways, leaving A−stress to the
-		// process (the paper's S_{B,i} control).
-		sB := a - stress
-		curve[sB] = mpa
-		mpas = append(mpas, mpa)
-		spis = append(spis, spi)
 		if stress == 0 {
 			// Solo run: record the power-profiling vector of Section 5.
 			// The instruction-related rates are counter ratios; they are
 			// deterministic process properties (Section 5), so the
 			// measured values equal the spec's.
-			api = float64(p.L2Refs) / p.Instructions
-			pAlone = res.AvgMeasuredPower()
-			l1rpi = spec.L1RPI
-			brpi = spec.BRPI
-			fppi = spec.FPPI
+			pt.api = float64(p.L2Refs) / p.Instructions
+			pt.pAlone = res.AvgMeasuredPower()
+			pt.l1rpi = spec.L1RPI
+			pt.brpi = spec.BRPI
+			pt.fppi = spec.FPPI
 		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return assembleFeature(spec.Name, curve, mpas, spis, api, pAlone, l1rpi, brpi, fppi)
+	curve := make([]float64, a+1)
+	curve[0] = 1
+	mpas := make([]float64, 0, a)
+	spis := make([]float64, 0, a)
+	for stress, pt := range points {
+		// The stressmark holds `stress` ways, leaving A−stress to the
+		// process (the paper's S_{B,i} control).
+		curve[a-stress] = pt.mpa
+		mpas = append(mpas, pt.mpa)
+		spis = append(spis, pt.spi)
+	}
+	solo := points[0]
+	return assembleFeature(spec.Name, curve, mpas, spis, solo.api, solo.pAlone, solo.l1rpi, solo.brpi, solo.fppi)
+}
+
+// sweepPoint is one profiling run's measurements; the power-profiling
+// fields are filled only by the run that observes the process alone.
+type sweepPoint struct {
+	mpa, spi          float64
+	api, pAlone       float64
+	l1rpi, brpi, fppi float64
 }
 
 // profileIdeal measures the exact MPA curve with dedicated caches of each
 // associativity.
 func profileIdeal(m *machine.Machine, spec *workload.Spec, o ProfileOptions) (*FeatureVector, error) {
 	a := m.Assoc
-	curve := make([]float64, a+1)
-	curve[0] = 1
-	var mpas, spis []float64
-	var api, pAlone float64
-	for ways := 1; ways <= a; ways++ {
+	points, err := parallel.Map(context.Background(), o.Workers, a, func(i int) (sweepPoint, error) {
+		ways := i + 1
 		mm := *m
 		mm.Assoc = ways
 		asg := sim.Assignment{Procs: make([][]*workload.Spec, m.NumCores)}
@@ -147,21 +168,33 @@ func profileIdeal(m *machine.Machine, spec *workload.Spec, o ProfileOptions) (*F
 			Seed:     o.Seed + uint64(ways)*999983,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: ideal-profiling %s at %d ways: %w", spec.Name, ways, err)
+			return sweepPoint{}, fmt.Errorf("core: ideal-profiling %s at %d ways: %w", spec.Name, ways, err)
 		}
 		p := res.Procs[0]
 		if p.L2Refs == 0 || p.Instructions == 0 {
-			return nil, fmt.Errorf("core: ideal-profiling %s at %d ways: no activity", spec.Name, ways)
+			return sweepPoint{}, fmt.Errorf("core: ideal-profiling %s at %d ways: no activity", spec.Name, ways)
 		}
-		curve[ways] = p.MPA()
-		mpas = append(mpas, p.MPA())
-		spis = append(spis, p.SPI())
+		pt := sweepPoint{mpa: p.MPA(), spi: p.SPI()}
 		if ways == a {
-			api = float64(p.L2Refs) / p.Instructions
-			pAlone = res.AvgMeasuredPower()
+			pt.api = float64(p.L2Refs) / p.Instructions
+			pt.pAlone = res.AvgMeasuredPower()
 		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return assembleFeature(spec.Name, curve, mpas, spis, api, pAlone, spec.L1RPI, spec.BRPI, spec.FPPI)
+	curve := make([]float64, a+1)
+	curve[0] = 1
+	mpas := make([]float64, 0, a)
+	spis := make([]float64, 0, a)
+	for i, pt := range points {
+		curve[i+1] = pt.mpa
+		mpas = append(mpas, pt.mpa)
+		spis = append(spis, pt.spi)
+	}
+	full := points[a-1]
+	return assembleFeature(spec.Name, curve, mpas, spis, full.api, full.pAlone, spec.L1RPI, spec.BRPI, spec.FPPI)
 }
 
 // dominantPhaseStats recomputes MPA and SPI over the longest detected

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// equivWorkerCounts is the contract's worker-count matrix {1, 4,
+// GOMAXPROCS}, deduplicated so single-CPU machines don't re-run the
+// serial case three times.
+func equivWorkerCounts() []int {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: output differs from golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestProfileEquivalence pins the tentpole contract for core.Profile: the
+// feature vector serialized at Workers 1, 4 and GOMAXPROCS must be
+// byte-identical, and must match the checked-in golden file.
+func TestProfileEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling sweeps in -short")
+	}
+	m := machine.TwoCoreWorkstation()
+	cases := []struct {
+		golden string
+		spec   string
+		method ProfileMethod
+	}{
+		{"profile_stressmark_mcf.json", "mcf", ProfileStressmark},
+		{"profile_ideal_gzip.json", "gzip", ProfileIdeal},
+	}
+	for _, tc := range cases {
+		var ref []byte
+		for _, w := range equivWorkerCounts() {
+			f, err := Profile(m, workload.ByName(tc.spec), ProfileOptions{
+				Warmup: 1, Duration: 2, Seed: 12345, Method: tc.method, Workers: w,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.spec, w, err)
+			}
+			got, err := json.MarshalIndent(f, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if ref == nil {
+				ref = got
+				checkGolden(t, tc.golden, got)
+				continue
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("%s: workers=%d produced a different feature vector than workers=1\ngot:\n%s\nwant:\n%s",
+					tc.spec, w, got, ref)
+			}
+		}
+	}
+}
+
+// TestCollectPowerDatasetEquivalence checks the power-training collection:
+// the dataset (row order included) must be bit-identical at every worker
+// count and match the golden file.
+func TestCollectPowerDatasetEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training runs in -short")
+	}
+	m := machine.TwoCoreWorkstation()
+	specs := []*workload.Spec{workload.ByName("mcf"), workload.ByName("gzip")}
+	var ref []byte
+	for _, w := range equivWorkerCounts() {
+		ds, err := CollectPowerDataset(m, specs, PowerTrainOptions{
+			Warmup: 1, Duration: 2, Seed: 999, MicrobenchWindows: 4, Workers: w,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got, err := json.MarshalIndent(ds, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, '\n')
+		if ref == nil {
+			ref = got
+			checkGolden(t, "power_dataset.json", got)
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d produced a different dataset than workers=1", w)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"mpmc/internal/baseline"
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/stats"
 	"mpmc/internal/workload"
@@ -35,33 +37,60 @@ func (r *SolverAblationResult) Format() string {
 func SolverAblation(x *Context) (*SolverAblationResult, error) {
 	m := machine.FourCoreServer()
 	suite := workload.ModelSet()
-	res := &SolverAblationResult{}
+	type pairIdx struct{ i, j int }
+	var pairs []pairIdx
 	for i := 0; i < len(suite); i++ {
 		for j := i; j < len(suite); j++ {
-			fs := []*core.FeatureVector{
-				core.TruthFeature(suite[i], m),
-				core.TruthFeature(suite[j], m),
+			pairs = append(pairs, pairIdx{i, j})
+		}
+	}
+	type solveOut struct {
+		newtonFail       bool
+		maxDelta         float64
+		newtonT, windowT time.Duration
+	}
+	outs, err := parallel.Map(context.Background(), x.Cfg.Workers, len(pairs), func(k int) (solveOut, error) {
+		i, j := pairs[k].i, pairs[k].j
+		fs := []*core.FeatureVector{
+			core.TruthFeature(suite[i], m),
+			core.TruthFeature(suite[j], m),
+		}
+		var out solveOut
+		t0 := time.Now()
+		pn, errN := core.PredictGroup(fs, m.Assoc, core.SolverNewton)
+		out.newtonT = time.Since(t0)
+		t0 = time.Now()
+		pw, errW := core.PredictGroup(fs, m.Assoc, core.SolverWindow)
+		out.windowT = time.Since(t0)
+		if errW != nil {
+			return solveOut{}, fmt.Errorf("exp: window solver failed on %s+%s: %w",
+				suite[i].Name, suite[j].Name, errW)
+		}
+		if errN != nil {
+			out.newtonFail = true
+			return out, nil
+		}
+		for k := range pw {
+			if d := math.Abs(pw[k].S - pn[k].S); d > out.maxDelta {
+				out.maxDelta = d
 			}
-			res.Pairs++
-			t0 := time.Now()
-			pn, errN := core.PredictGroup(fs, m.Assoc, core.SolverNewton)
-			res.NewtonTime += time.Since(t0)
-			t0 = time.Now()
-			pw, errW := core.PredictGroup(fs, m.Assoc, core.SolverWindow)
-			res.WindowTime += time.Since(t0)
-			if errW != nil {
-				return nil, fmt.Errorf("exp: window solver failed on %s+%s: %w",
-					suite[i].Name, suite[j].Name, errW)
-			}
-			if errN != nil {
-				res.NewtonFailures++
-				continue
-			}
-			for k := range pw {
-				if d := math.Abs(pw[k].S - pn[k].S); d > res.MaxSizeDelta {
-					res.MaxSizeDelta = d
-				}
-			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SolverAblationResult{}
+	for _, out := range outs {
+		res.Pairs++
+		res.NewtonTime += out.newtonT
+		res.WindowTime += out.windowT
+		if out.newtonFail {
+			res.NewtonFailures++
+			continue
+		}
+		if out.maxDelta > res.MaxSizeDelta {
+			res.MaxSizeDelta = out.maxDelta
 		}
 	}
 	return res, nil
@@ -94,17 +123,19 @@ func (r *ProfilingAblationResult) Format() string {
 // procedure loses to an exact partitioner.
 func ProfilingAblation(x *Context) (*ProfilingAblationResult, error) {
 	m := machine.TwoCoreWorkstation()
-	res := &ProfilingAblationResult{Machine: m.Name}
-	for _, spec := range workload.ModelSet() {
+	specs := workload.ModelSet()
+	type profOut struct{ stressErr, idealErr float64 }
+	outs, err := parallel.Map(context.Background(), x.Cfg.Workers, len(specs), func(k int) (profOut, error) {
+		spec := specs[k]
 		fs, err := x.Feature(m, spec) // stressmark (memoized)
 		if err != nil {
-			return nil, err
+			return profOut{}, err
 		}
 		opts := x.Cfg.profileOpts(x.Cfg.Seed + hash("ideal/"+spec.Name))
 		opts.Method = core.ProfileIdeal
 		fi, err := core.Profile(m, spec, opts)
 		if err != nil {
-			return nil, err
+			return profOut{}, err
 		}
 		var es, ei float64
 		for s := 1; s <= m.Assoc; s++ {
@@ -112,9 +143,16 @@ func ProfilingAblation(x *Context) (*ProfilingAblationResult, error) {
 			es += math.Abs(fs.MPACurve[s] - want)
 			ei += math.Abs(fi.MPACurve[s] - want)
 		}
-		res.Names = append(res.Names, spec.Name)
-		res.StressErrPct = append(res.StressErrPct, 100*es/float64(m.Assoc))
-		res.IdealErrPct = append(res.IdealErrPct, 100*ei/float64(m.Assoc))
+		return profOut{stressErr: 100 * es / float64(m.Assoc), idealErr: 100 * ei / float64(m.Assoc)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ProfilingAblationResult{Machine: m.Name}
+	for k, out := range outs {
+		res.Names = append(res.Names, specs[k].Name)
+		res.StressErrPct = append(res.StressErrPct, out.stressErr)
+		res.IdealErrPct = append(res.IdealErrPct, out.idealErr)
 	}
 	return res, nil
 }
@@ -200,40 +238,65 @@ func BaselineComparison(x *Context) (*BaselineComparisonResult, error) {
 	}
 	res := &BaselineComparisonResult{Machine: m.Name}
 	seed := x.Cfg.Seed + hash("baselinecmp")
-	var n int
+	type pairIdx struct{ i, j int }
+	var pairs []pairIdx
 	for i := 0; i < len(suite); i++ {
 		for j := i; j < len(suite); j++ {
-			fs := []*core.FeatureVector{features[i], features[j]}
-			ours, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
-			if err != nil {
-				return nil, err
-			}
-			foa, err := baseline.FOA(fs, m.Assoc)
-			if err != nil {
-				return nil, err
-			}
-			sdc, err := baseline.SDC(fs, m.Assoc)
-			if err != nil {
-				return nil, err
-			}
-			prob, err := baseline.Prob(fs, m.Assoc)
-			if err != nil {
-				return nil, err
-			}
-			seed++
-			run, err := sim.Run(m, sim.Single(suite[i], suite[j]), x.Cfg.corunOpts(seed))
-			if err != nil {
-				return nil, err
-			}
-			res.Pairs++
-			for k := range fs {
-				meas := run.Procs[k].MPA()
-				res.OursPct += 100 * math.Abs(ours[k].MPA-meas)
-				res.FOAPct += 100 * math.Abs(foa[k].MPA-meas)
-				res.SDCPct += 100 * math.Abs(sdc[k].MPA-meas)
-				res.ProbPct += 100 * math.Abs(prob[k].MPA-meas)
-				n++
-			}
+			pairs = append(pairs, pairIdx{i, j})
+		}
+	}
+	// Each task returns the per-process error terms rather than a local
+	// sum, so the serial merge below accumulates them in exactly the
+	// order the serial loop did (floating-point addition order matters
+	// for bit-identical output).
+	type cmpOut struct {
+		ours, foa, sdc, prob [2]float64
+	}
+	outs, err := parallel.Map(context.Background(), x.Cfg.Workers, len(pairs), func(k int) (cmpOut, error) {
+		i, j := pairs[k].i, pairs[k].j
+		fs := []*core.FeatureVector{features[i], features[j]}
+		ours, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
+		if err != nil {
+			return cmpOut{}, err
+		}
+		foa, err := baseline.FOA(fs, m.Assoc)
+		if err != nil {
+			return cmpOut{}, err
+		}
+		sdc, err := baseline.SDC(fs, m.Assoc)
+		if err != nil {
+			return cmpOut{}, err
+		}
+		prob, err := baseline.Prob(fs, m.Assoc)
+		if err != nil {
+			return cmpOut{}, err
+		}
+		run, err := sim.Run(m, sim.Single(suite[i], suite[j]), x.Cfg.corunOpts(seed+uint64(k)+1))
+		if err != nil {
+			return cmpOut{}, err
+		}
+		var out cmpOut
+		for k := range fs {
+			meas := run.Procs[k].MPA()
+			out.ours[k] = 100 * math.Abs(ours[k].MPA-meas)
+			out.foa[k] = 100 * math.Abs(foa[k].MPA-meas)
+			out.sdc[k] = 100 * math.Abs(sdc[k].MPA-meas)
+			out.prob[k] = 100 * math.Abs(prob[k].MPA-meas)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, out := range outs {
+		res.Pairs++
+		for k := 0; k < 2; k++ {
+			res.OursPct += out.ours[k]
+			res.FOAPct += out.foa[k]
+			res.SDCPct += out.sdc[k]
+			res.ProbPct += out.prob[k]
+			n++
 		}
 	}
 	res.OursPct /= float64(n)

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// equivWorkerCounts is the contract's worker-count matrix {1, 4,
+// GOMAXPROCS}, deduplicated for single-CPU machines.
+func equivWorkerCounts() []int {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: output differs from golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestStudyEquivalence runs a slice of the experiment harness at Workers
+// 1, 4 and GOMAXPROCS — a fresh Context each time, so nothing is shared —
+// and requires the serialized results to be byte-identical across worker
+// counts and equal to the checked-in golden files. SolverAblation's two
+// wall-clock Duration fields are zeroed before marshaling; everything
+// else is compared verbatim.
+func TestStudyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps in -short")
+	}
+	studies := []struct {
+		golden string
+		run    func(*Context) (any, error)
+	}{
+		{"solver_ablation.json", func(x *Context) (any, error) {
+			r, err := SolverAblation(x)
+			if r != nil {
+				r.NewtonTime, r.WindowTime = 0, 0
+			}
+			return r, err
+		}},
+		{"seed_stability.json", func(x *Context) (any, error) { return SeedStability(x) }},
+		{"prefetch_study.json", func(x *Context) (any, error) { return PrefetchStudy(x) }},
+		{"sensitivity_sweep.json", func(x *Context) (any, error) { return SensitivitySweep(x) }},
+	}
+	for _, st := range studies {
+		var ref []byte
+		for _, w := range equivWorkerCounts() {
+			x := NewContext(Config{Quick: true, Seed: 42, Workers: w})
+			r, err := st.run(x)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", st.golden, w, err)
+			}
+			got, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if ref == nil {
+				ref = got
+				checkGolden(t, st.golden, got)
+				continue
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("%s: workers=%d diverged from workers=1\ngot:\n%s\nwant:\n%s",
+					st.golden, w, got, ref)
+			}
+		}
+	}
+}

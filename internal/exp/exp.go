@@ -22,11 +22,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/workload"
 )
@@ -39,14 +41,20 @@ type Config struct {
 	// Seed drives all randomness (profiling runs, assignment selection,
 	// measurement noise).
 	Seed uint64
+	// Workers bounds how many independent runs the drivers execute
+	// concurrently (<= 0 selects GOMAXPROCS). Every run's seed is a pure
+	// function of its task index, and partial results are merged in index
+	// order, so every driver's output is bit-identical at any worker
+	// count.
+	Workers int
 }
 
 // Durations per run type.
 func (c Config) profileOpts(seed uint64) core.ProfileOptions {
 	if c.Quick {
-		return core.ProfileOptions{Warmup: 1.5, Duration: 3, Seed: seed}
+		return core.ProfileOptions{Warmup: 1.5, Duration: 3, Seed: seed, Workers: c.Workers}
 	}
-	return core.ProfileOptions{Warmup: 3, Duration: 6, Seed: seed}
+	return core.ProfileOptions{Warmup: 3, Duration: 6, Seed: seed, Workers: c.Workers}
 }
 
 func (c Config) corunOpts(seed uint64) sim.Options {
@@ -58,9 +66,9 @@ func (c Config) corunOpts(seed uint64) sim.Options {
 
 func (c Config) trainOpts(seed uint64) core.PowerTrainOptions {
 	if c.Quick {
-		return core.PowerTrainOptions{Warmup: 1, Duration: 3, Seed: seed, MicrobenchWindows: 6}
+		return core.PowerTrainOptions{Warmup: 1, Duration: 3, Seed: seed, MicrobenchWindows: 6, Workers: c.Workers}
 	}
-	return core.PowerTrainOptions{Warmup: 2, Duration: 8, Seed: seed}
+	return core.PowerTrainOptions{Warmup: 2, Duration: 8, Seed: seed, Workers: c.Workers}
 }
 
 // Context memoizes the expensive shared artifacts — stressmark profiles
@@ -104,17 +112,13 @@ func (x *Context) Feature(m *machine.Machine, spec *workload.Spec) (*core.Featur
 	return f, nil
 }
 
-// Features profiles a benchmark list (memoized per entry).
+// Features profiles a benchmark list (memoized per entry). Unprofiled
+// entries run concurrently; each profile's seed depends only on its
+// machine/benchmark key, so the vectors are identical to serial profiling.
 func (x *Context) Features(m *machine.Machine, specs []*workload.Spec) ([]*core.FeatureVector, error) {
-	out := make([]*core.FeatureVector, len(specs))
-	for i, s := range specs {
-		f, err := x.Feature(m, s)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = f
-	}
-	return out, nil
+	return parallel.Map(context.Background(), x.Cfg.Workers, len(specs), func(i int) (*core.FeatureVector, error) {
+		return x.Feature(m, specs[i])
+	})
 }
 
 // PowerDataset collects (memoized) the Section 4.1 training data.

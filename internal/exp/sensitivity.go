@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/workload"
 )
@@ -38,29 +40,47 @@ func (r *SensitivityResult) Format() string {
 func SensitivitySweep(x *Context) (*SensitivityResult, error) {
 	base := machine.TwoCoreWorkstation()
 	pairs := [][2]string{{"mcf", "twolf"}, {"art", "vpr"}, {"ammp", "bzip2"}, {"mcf", "gzip"}}
+	assocs := []int{4, 8, 16, 24}
 	res := &SensitivityResult{}
 	seed := x.Cfg.Seed + hash("sensitivity")
-	for _, assoc := range []int{4, 8, 16, 24} {
+	// The serial loops drew one seed per (assoc, pair) in row-major order;
+	// flatten to that index space and fan out, returning per-process error
+	// terms so the per-associativity sums accumulate in serial order.
+	type sensOut struct{ mpa, spi [2]float64 }
+	outs, err := parallel.Map(context.Background(), x.Cfg.Workers, len(assocs)*len(pairs), func(k int) (sensOut, error) {
+		assoc := assocs[k/len(pairs)]
+		pair := pairs[k%len(pairs)]
 		m := *base
 		m.Assoc = assoc
+		a, b := workload.ByName(pair[0]), workload.ByName(pair[1])
+		fs := []*core.FeatureVector{core.TruthFeature(a, &m), core.TruthFeature(b, &m)}
+		preds, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
+		if err != nil {
+			return sensOut{}, fmt.Errorf("exp: sensitivity at %d ways: %w", assoc, err)
+		}
+		run, err := sim.Run(&m, sim.Single(a, b), x.Cfg.corunOpts(seed+uint64(k)+1))
+		if err != nil {
+			return sensOut{}, err
+		}
+		var out sensOut
+		for i := range fs {
+			meas := run.Procs[i]
+			out.mpa[i] = math.Abs(preds[i].MPA - meas.MPA())
+			out.spi[i] = math.Abs(preds[i].SPI-meas.SPI()) / meas.SPI()
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, assoc := range assocs {
 		var mpaSum, spiSum float64
 		var n int
-		for _, pair := range pairs {
-			a, b := workload.ByName(pair[0]), workload.ByName(pair[1])
-			fs := []*core.FeatureVector{core.TruthFeature(a, &m), core.TruthFeature(b, &m)}
-			preds, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
-			if err != nil {
-				return nil, fmt.Errorf("exp: sensitivity at %d ways: %w", assoc, err)
-			}
-			seed++
-			run, err := sim.Run(&m, sim.Single(a, b), x.Cfg.corunOpts(seed))
-			if err != nil {
-				return nil, err
-			}
-			for i := range fs {
-				meas := run.Procs[i]
-				mpaSum += math.Abs(preds[i].MPA - meas.MPA())
-				spiSum += math.Abs(preds[i].SPI-meas.SPI()) / meas.SPI()
+		for pi := range pairs {
+			out := outs[ai*len(pairs)+pi]
+			for i := 0; i < 2; i++ {
+				mpaSum += out.mpa[i]
+				spiSum += out.spi[i]
 				n++
 			}
 		}

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/stats"
 	"mpmc/internal/workload"
@@ -37,25 +39,40 @@ func (r *StabilityResult) Format() string {
 func SeedStability(x *Context) (*StabilityResult, error) {
 	m := machine.TwoCoreWorkstation()
 	pairs := [][2]string{{"mcf", "twolf"}, {"art", "vpr"}, {"ammp", "bzip2"}, {"equake", "gzip"}}
+	seedOffs := []uint64{0, 101, 202, 303, 404}
 	res := &StabilityResult{}
-	for _, seedOff := range []uint64{0, 101, 202, 303, 404} {
-		seed := x.Cfg.Seed + seedOff
-		res.Seeds = append(res.Seeds, seed)
+	// Flatten the seed × pair grid and fan out; per-seed sums are rebuilt
+	// from per-process terms in the serial accumulation order.
+	outs, err := parallel.Map(context.Background(), x.Cfg.Workers, len(seedOffs)*len(pairs), func(k int) ([2]float64, error) {
+		seed := x.Cfg.Seed + seedOffs[k/len(pairs)]
+		pi := k % len(pairs)
+		pair := pairs[pi]
+		a, b := workload.ByName(pair[0]), workload.ByName(pair[1])
+		fs := []*core.FeatureVector{core.TruthFeature(a, m), core.TruthFeature(b, m)}
+		preds, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
+		if err != nil {
+			return [2]float64{}, err
+		}
+		run, err := sim.Run(m, sim.Single(a, b), x.Cfg.corunOpts(seed+uint64(pi)*7))
+		if err != nil {
+			return [2]float64{}, err
+		}
+		var out [2]float64
+		for i := range fs {
+			out[i] = math.Abs(preds[i].MPA - run.Procs[i].MPA())
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, seedOff := range seedOffs {
+		res.Seeds = append(res.Seeds, x.Cfg.Seed+seedOff)
 		var sum float64
 		var n int
-		for pi, pair := range pairs {
-			a, b := workload.ByName(pair[0]), workload.ByName(pair[1])
-			fs := []*core.FeatureVector{core.TruthFeature(a, m), core.TruthFeature(b, m)}
-			preds, err := core.PredictGroup(fs, m.Assoc, core.SolverAuto)
-			if err != nil {
-				return nil, err
-			}
-			run, err := sim.Run(m, sim.Single(a, b), x.Cfg.corunOpts(seed+uint64(pi)*7))
-			if err != nil {
-				return nil, err
-			}
-			for i := range fs {
-				sum += math.Abs(preds[i].MPA - run.Procs[i].MPA())
+		for pi := range pairs {
+			for i := 0; i < 2; i++ {
+				sum += outs[si*len(pairs)+pi][i]
 				n++
 			}
 		}

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/workload"
 )
@@ -38,23 +40,31 @@ func PrefetchStudy(x *Context) (*PrefetchResult, error) {
 	base := machine.TwoCoreLaptop()
 	res := &PrefetchResult{Machine: base.Name}
 	seed := x.Cfg.Seed + hash("prefetch")
-	var sum float64
-	for _, spec := range workload.Suite() {
+	suite := workload.Suite()
+	// Benchmark k's off/on runs share seed+k (the serial loop incremented
+	// the seed only between benchmarks), so the pairs fan out cleanly.
+	speedups, err := parallel.Map(context.Background(), x.Cfg.Workers, len(suite), func(k int) (float64, error) {
+		spec := suite[k]
 		spi := map[bool]float64{}
 		for _, pf := range []bool{false, true} {
 			m := *base
 			m.Prefetch = pf
 			procs := make([][]*workload.Spec, m.NumCores)
 			procs[0] = []*workload.Spec{spec}
-			run, err := sim.Run(&m, specAssignment(&m, procs), x.Cfg.corunOpts(seed))
+			run, err := sim.Run(&m, specAssignment(&m, procs), x.Cfg.corunOpts(seed+uint64(k)))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			spi[pf] = run.Procs[0].SPI()
 		}
-		seed++
-		speedup := 100 * (spi[false]/spi[true] - 1)
-		res.Names = append(res.Names, spec.Name)
+		return 100 * (spi[false]/spi[true] - 1), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for k, speedup := range speedups {
+		res.Names = append(res.Names, suite[k].Name)
 		res.SpeedupPct = append(res.SpeedupPct, speedup)
 		sum += speedup
 	}

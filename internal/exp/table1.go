@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/workload"
 )
@@ -152,29 +154,48 @@ func perfValidation(x *Context, m *machine.Machine, specs []*workload.Spec) (*Ta
 		return nil, fmt.Errorf("exp: machine %s cannot host a pairwise co-run", m.Name)
 	}
 	seed := x.Cfg.Seed + hash(m.Name+"/table1")
+	type pairIdx struct{ i, j int }
+	var pairs []pairIdx
 	for i := 0; i < len(specs); i++ {
 		for j := i; j < len(specs); j++ {
-			res.Pairs++
-			preds, err := core.PredictGroup(
-				[]*core.FeatureVector{features[i], features[j]}, m.Assoc, core.SolverAuto)
-			if err != nil {
-				return nil, fmt.Errorf("exp: predicting %s+%s: %w", specs[i].Name, specs[j].Name, err)
-			}
-			procs := make([][]*workload.Spec, m.NumCores)
-			procs[g[0]] = []*workload.Spec{specs[i]}
-			procs[g[1]] = []*workload.Spec{specs[j]}
-			seed++
-			run, err := sim.Run(m, specAssignment(m, procs), x.Cfg.corunOpts(seed))
-			if err != nil {
-				return nil, fmt.Errorf("exp: co-running %s+%s: %w", specs[i].Name, specs[j].Name, err)
-			}
-			for pi, spec := range []*workload.Spec{specs[i], specs[j]} {
-				meas := run.Procs[pi]
-				pred := preds[pi]
-				be := byName[spec.Name]
-				be.MPAErrs = append(be.MPAErrs, 100*math.Abs(pred.MPA-meas.MPA()))
-				be.SPIErrs = append(be.SPIErrs, 100*math.Abs(pred.SPI-meas.SPI())/meas.SPI())
-			}
+			pairs = append(pairs, pairIdx{i, j})
+		}
+	}
+	// Pair k draws seed+k+1, the value the serial seed++ loop gave it, so
+	// the co-runs fan out across workers; the per-benchmark error lists
+	// are then filled in pair order, exactly as the serial loop appended.
+	type pairOut struct {
+		preds []core.Prediction
+		run   *sim.Result
+	}
+	outs, err := parallel.Map(context.Background(), x.Cfg.Workers, len(pairs), func(k int) (pairOut, error) {
+		i, j := pairs[k].i, pairs[k].j
+		preds, err := core.PredictGroup(
+			[]*core.FeatureVector{features[i], features[j]}, m.Assoc, core.SolverAuto)
+		if err != nil {
+			return pairOut{}, fmt.Errorf("exp: predicting %s+%s: %w", specs[i].Name, specs[j].Name, err)
+		}
+		procs := make([][]*workload.Spec, m.NumCores)
+		procs[g[0]] = []*workload.Spec{specs[i]}
+		procs[g[1]] = []*workload.Spec{specs[j]}
+		run, err := sim.Run(m, specAssignment(m, procs), x.Cfg.corunOpts(seed+uint64(k)+1))
+		if err != nil {
+			return pairOut{}, fmt.Errorf("exp: co-running %s+%s: %w", specs[i].Name, specs[j].Name, err)
+		}
+		return pairOut{preds: preds, run: run}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, out := range outs {
+		res.Pairs++
+		i, j := pairs[k].i, pairs[k].j
+		for pi, spec := range []*workload.Spec{specs[i], specs[j]} {
+			meas := out.run.Procs[pi]
+			pred := out.preds[pi]
+			be := byName[spec.Name]
+			be.MPAErrs = append(be.MPAErrs, 100*math.Abs(pred.MPA-meas.MPA()))
+			be.SPIErrs = append(be.SPIErrs, 100*math.Abs(pred.SPI-meas.SPI())/meas.SPI())
 		}
 	}
 	return res, nil

@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/sim"
 	"mpmc/internal/workload"
 	"mpmc/internal/xrand"
@@ -91,33 +93,56 @@ func Table4(x *Context) (*Table4Result, error) {
 	res := &Table4Result{Machine: m.Name}
 	seed := x.Cfg.Seed + hash(m.Name+"/table4")
 	rng := xrand.New(seed ^ 0xF00D)
+	// The layouts consume a single sequential RNG stream, so they are all
+	// drawn up front in the serial visiting order (with that assignment's
+	// seed attached); only the independent estimate+measure work fans out.
+	type t4task struct {
+		caseIdx int
+		procs   [][]*workload.Spec
+		seed    uint64
+	}
+	var tasks []t4task
+	for ci, c := range cases {
+		for a := 0; a < c.count; a++ {
+			procs := c.layout(rng)
+			seed++
+			tasks = append(tasks, t4task{caseIdx: ci, procs: procs, seed: seed})
+		}
+	}
+	errs, err := parallel.Map(context.Background(), x.Cfg.Workers, len(tasks), func(k int) (float64, error) {
+		t := tasks[k]
+		// Build the model-side assignment from profiles only.
+		asg := make(core.Assignment, m.NumCores)
+		for ci, sl := range t.procs {
+			for _, sp := range sl {
+				asg[ci] = append(asg[ci], feats[sp.Name])
+			}
+		}
+		est, err := cm.EstimateAssignment(asg)
+		if err != nil {
+			return 0, fmt.Errorf("exp: table4 %s: %w", cases[t.caseIdx].name, err)
+		}
+		opts := x.Cfg.corunOpts(t.seed)
+		if len(t.procs[0]) >= 3 {
+			// Deep time sharing needs several full rotations of the
+			// schedule for a stable average.
+			opts.Duration *= 2
+		}
+		run, err := simRun(m, t.procs, opts)
+		if err != nil {
+			return 0, err
+		}
+		return math.Abs(est-run) / run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, c := range cases {
 		var sum, max float64
 		for a := 0; a < c.count; a++ {
-			procs := c.layout(rng)
-			// Build the model-side assignment from profiles only.
-			asg := make(core.Assignment, m.NumCores)
-			for ci, sl := range procs {
-				for _, sp := range sl {
-					asg[ci] = append(asg[ci], feats[sp.Name])
-				}
-			}
-			est, err := cm.EstimateAssignment(asg)
-			if err != nil {
-				return nil, fmt.Errorf("exp: table4 %s: %w", c.name, err)
-			}
-			seed++
-			opts := x.Cfg.corunOpts(seed)
-			if len(procs[0]) >= 3 {
-				// Deep time sharing needs several full rotations of the
-				// schedule for a stable average.
-				opts.Duration *= 2
-			}
-			run, err := simRun(m, procs, opts)
-			if err != nil {
-				return nil, err
-			}
-			e := math.Abs(est-run) / run
+			e := errs[k]
+			k++
 			sum += e
 			if e > max {
 				max = e

@@ -2,6 +2,7 @@ package hist
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -44,6 +45,70 @@ func FuzzFromMPACurve(f *testing.F) {
 				t.Fatalf("MPA increased at %v", s)
 			}
 			prev = m
+		}
+	})
+}
+
+// FuzzConcurrentMPA shares one reconstructed histogram across goroutines
+// that read it through every accessor simultaneously. Run under -race it
+// pins the immutability contract the parallel profiling sweeps depend on:
+// concurrent readers must see identical values and no data race (this is
+// what forced tail sums to be precomputed in the constructor rather than
+// cached lazily on first read).
+func FuzzConcurrentMPA(f *testing.F) {
+	f.Add([]byte{255, 128, 64, 32})
+	f.Add([]byte{255, 200, 210, 40})
+	f.Add([]byte{255, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 || len(raw) > 64 {
+			t.Skip()
+		}
+		curve := make([]float64, len(raw))
+		curve[0] = 1
+		for i := 1; i < len(raw); i++ {
+			curve[i] = float64(raw[i]) / 255
+		}
+		h, err := FromMPACurve(curve)
+		if err != nil {
+			return
+		}
+		// Reference values read before any sharing.
+		d := h.MaxDistance()
+		want := make([]float64, 0, 2*d+4)
+		for s := 0.0; s <= float64(d)+1; s += 0.5 {
+			want = append(want, h.MPA(s))
+		}
+		wantMean, wantOver := h.Mean(), h.Overflow()
+
+		const readers = 8
+		var wg sync.WaitGroup
+		errs := make(chan string, readers)
+		for g := 0; g < readers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				i := 0
+				for s := 0.0; s <= float64(d)+1; s += 0.5 {
+					if m := h.MPA(s); m != want[i] {
+						errs <- "MPA diverged under concurrency"
+						return
+					}
+					i++
+				}
+				if h.Mean() != wantMean || h.Overflow() != wantOver {
+					errs <- "Mean/Overflow diverged under concurrency"
+					return
+				}
+				for dd := 1; dd <= d; dd++ {
+					_ = h.P(dd)
+				}
+				_ = h.Clone().MPA(float64(d) / 2)
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatal(msg)
 		}
 	})
 }

@@ -22,9 +22,16 @@ import (
 
 // Histogram is a probability distribution over reuse distances 1..D plus an
 // overflow bucket. Probabilities are normalized to sum to 1.
+//
+// A histogram is immutable after construction, so a single instance may be
+// read from any number of goroutines concurrently — the equilibrium solver
+// and the parallel profiling sweeps rely on this. The tail sums MPA needs
+// are therefore precomputed eagerly in the constructors rather than cached
+// lazily on first use.
 type Histogram struct {
 	p        []float64 // p[d-1] = P(distance == d), d = 1..len(p)
 	overflow float64   // P(distance > len(p)), includes compulsory misses
+	tail     []float64 // tail[s] = Σ_{d>s} h(d) for s = 0..len(p) (Eq. 2)
 }
 
 // New builds a histogram from per-distance weights (weights[d-1] is the
@@ -51,7 +58,23 @@ func New(weights []float64, overflow float64) (*Histogram, error) {
 	for i, w := range weights {
 		h.p[i] = w / total
 	}
+	h.computeTail()
 	return h, nil
+}
+
+// computeTail fills the Eq. 2 tail-mass table. Each entry is summed in
+// ascending distance order — the exact accumulation order the former
+// on-demand loop used — so MPA values are bit-identical to what a fresh
+// summation would produce.
+func (h *Histogram) computeTail() {
+	h.tail = make([]float64, len(h.p)+1)
+	for s := 0; s <= len(h.p); s++ {
+		m := h.overflow
+		for d := s + 1; d <= len(h.p); d++ {
+			m += h.p[d-1]
+		}
+		h.tail[s] = m
+	}
 }
 
 // MustNew is New but panics on error; for static workload definitions.
@@ -100,14 +123,8 @@ func (h *Histogram) MPA(s float64) float64 {
 	return mLo + frac*(mHi-mLo)
 }
 
-// mpaInt returns Σ_{d>s} h(d) for integer s ≥ 0.
-func (h *Histogram) mpaInt(s int) float64 {
-	m := h.overflow
-	for d := s + 1; d <= len(h.p); d++ {
-		m += h.p[d-1]
-	}
-	return m
-}
+// mpaInt returns Σ_{d>s} h(d) for integer s in 0..len(p).
+func (h *Histogram) mpaInt(s int) float64 { return h.tail[s] }
 
 // MPACurve returns MPA evaluated at s = 0..maxS (inclusive), a convenience
 // for profiling comparisons and plotting.
@@ -133,6 +150,7 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) Clone() *Histogram {
 	c := &Histogram{p: make([]float64, len(h.p)), overflow: h.overflow}
 	copy(c.p, h.p)
+	c.computeTail()
 	return c
 }
 

@@ -1,0 +1,119 @@
+package manager
+
+import (
+	"reflect"
+	"testing"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// freshManager builds a manager with NO shared profile cache, so the test
+// controls exactly which workloads get profiled and in what order.
+func freshManager(t *testing.T, m *machine.Machine, policy Policy, workers int) *Manager {
+	t.Helper()
+	return New(m, sharedPowerModel(t, m), Options{
+		Policy:  policy,
+		Profile: core.ProfileOptions{Warmup: 1, Duration: 2, Seed: 17, Workers: workers},
+	})
+}
+
+// TestProfileSeedOrderIndependent pins the fix for the old order-dependent
+// seed (derived from the cache size at profiling time): the same workload
+// must get the same feature vector no matter how many others were profiled
+// before it.
+func TestProfileSeedOrderIndependent(t *testing.T) {
+	m := machine.FourCoreServer()
+	a := freshManager(t, m, PowerAware, 1)
+	b := freshManager(t, m, PowerAware, 1)
+
+	// Manager a sees gzip first; manager b sees it after two others.
+	fa, err := a.FeatureOf(workload.ByName("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mcf", "art", "gzip"} {
+		if _, err := b.FeatureOf(workload.ByName(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb, err := b.FeatureOf(workload.ByName("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fa.MPACurve, fb.MPACurve) || fa.Alpha != fb.Alpha || fa.Beta != fb.Beta {
+		t.Fatalf("profile of gzip depends on arrival order:\n%v (α=%v β=%v)\nvs\n%v (α=%v β=%v)",
+			fa.MPACurve, fa.Alpha, fa.Beta, fb.MPACurve, fb.Alpha, fb.Beta)
+	}
+}
+
+// TestPlaceAllMatchesSequentialPlace checks the batch path end to end: a
+// PlaceAll with concurrent profiling must produce the same instance names,
+// cores, and power estimates as sequential Place calls.
+func TestPlaceAllMatchesSequentialPlace(t *testing.T) {
+	m := machine.FourCoreServer()
+	arrivals := []*workload.Spec{
+		workload.ByName("mcf"),
+		workload.ByName("gzip"),
+		workload.ByName("mcf"),
+		workload.ByName("art"),
+	}
+
+	serial := freshManager(t, m, PowerAware, 1)
+	var want []Placement
+	for _, s := range arrivals {
+		name, c, w, err := serial.Place(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Placement{Name: name, Core: c, Watts: w})
+	}
+
+	batch := freshManager(t, m, PowerAware, 4)
+	got, err := batch.PlaceAll(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlaceAll diverged from sequential Place:\ngot  %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(batch.Running(), serial.Running()) {
+		t.Fatalf("assignments diverged:\ngot  %v\nwant %v", batch.Running(), serial.Running())
+	}
+}
+
+// TestConcurrentPlaceIsSafe hammers one manager from several goroutines
+// (run under -race in CI) and checks the assignment stays consistent.
+func TestConcurrentPlaceIsSafe(t *testing.T) {
+	m := machine.FourCoreServer()
+	mgr := testManager(t, m, LeastLoaded)
+	specs := []*workload.Spec{
+		workload.ByName("mcf"),
+		workload.ByName("gzip"),
+		workload.ByName("art"),
+		workload.ByName("vpr"),
+	}
+	errs := make(chan error, len(specs))
+	for _, s := range specs {
+		go func(s *workload.Spec) {
+			_, _, _, err := mgr.Place(s)
+			errs <- err
+		}(s)
+	}
+	for range specs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	placed := 0
+	for _, names := range mgr.Running() {
+		placed += len(names)
+	}
+	if placed != len(specs) {
+		t.Fatalf("%d processes placed, want %d", placed, len(specs))
+	}
+	if _, err := mgr.EstimatedPower(); err != nil {
+		t.Fatal(err)
+	}
+}

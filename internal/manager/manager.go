@@ -12,10 +12,13 @@
 package manager
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/parallel"
 	"mpmc/internal/workload"
 )
 
@@ -60,12 +63,18 @@ type Options struct {
 	SharedProfiles map[string]*core.FeatureVector
 }
 
-// Manager tracks the machine's assignment and places arrivals.
+// Manager tracks the machine's assignment and places arrivals. All
+// methods are safe for concurrent use: the placement lock serializes
+// assignment mutations, while on-demand profiling runs outside it (see
+// FeatureOf and PlaceAll).
 type Manager struct {
 	mach *machine.Machine
 	cm   *core.CombinedModel
 	opts Options
 
+	// mu is the placement lock: it guards profiles, procs, features,
+	// specs, nextID and rrNext.
+	mu       sync.Mutex
 	profiles map[string]*core.FeatureVector
 	// procs[c] holds the resident process names per core, in arrival
 	// order; instances of the same workload get unique instance names.
@@ -94,23 +103,95 @@ func New(m *machine.Machine, pm *core.PowerModel, opts Options) *Manager {
 }
 
 // FeatureOf returns the (memoized) profile of a workload, running the
-// stressmark sweep on first sight.
+// stressmark sweep on first sight. The sweep executes outside the
+// placement lock, so several unknown workloads can profile concurrently;
+// each profiling seed depends only on the configured base seed and the
+// workload's name, never on arrival order, so the resulting vectors are
+// reproducible at any concurrency.
 func (mgr *Manager) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) {
-	if f, ok := mgr.profiles[spec.Name]; ok {
+	mgr.mu.Lock()
+	f, ok := mgr.profiles[spec.Name]
+	mgr.mu.Unlock()
+	if ok {
 		return f, nil
 	}
 	opts := mgr.opts.Profile
-	opts.Seed ^= uint64(len(mgr.profiles)+1) * 0x9E37
+	opts.Seed = parallel.SplitSeed(opts.Seed^nameHash(spec.Name), 0)
 	f, err := core.Profile(mgr.mach, spec, opts)
 	if err != nil {
 		return nil, fmt.Errorf("manager: profiling %s: %w", spec.Name, err)
+	}
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if prev, ok := mgr.profiles[spec.Name]; ok {
+		// A concurrent caller profiled the same workload; both runs are
+		// deterministic and identical, keep the first stored vector.
+		return prev, nil
 	}
 	mgr.profiles[spec.Name] = f
 	return f, nil
 }
 
+// nameHash is FNV-1a over the workload name, the stable per-workload
+// component of the profiling seed.
+func nameHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Placement records one instance admitted by PlaceAll.
+type Placement struct {
+	Name  string
+	Core  int
+	Watts float64
+}
+
+// PlaceAll admits a batch of arrivals. Unknown workloads are profiled
+// concurrently first (bounded by the Profile.Workers option); the
+// instances are then placed one at a time in input order under the
+// placement lock, so the final assignment is identical to making the
+// same Place calls sequentially.
+func (mgr *Manager) PlaceAll(specs []*workload.Spec) ([]Placement, error) {
+	var unknown []*workload.Spec
+	seen := map[string]bool{}
+	mgr.mu.Lock()
+	for _, s := range specs {
+		if _, ok := mgr.profiles[s.Name]; !ok && !seen[s.Name] {
+			seen[s.Name] = true
+			unknown = append(unknown, s)
+		}
+	}
+	mgr.mu.Unlock()
+	err := parallel.ForEach(context.Background(), mgr.opts.Profile.Workers, len(unknown), func(i int) error {
+		_, err := mgr.FeatureOf(unknown[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Placement, len(specs))
+	for i, s := range specs {
+		name, c, w, err := mgr.Place(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Placement{Name: name, Core: c, Watts: w}
+	}
+	return out, nil
+}
+
 // Assignment returns the current model-side assignment.
 func (mgr *Manager) Assignment() core.Assignment {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.assignmentLocked()
+}
+
+func (mgr *Manager) assignmentLocked() core.Assignment {
 	asg := make(core.Assignment, mgr.mach.NumCores)
 	for c, names := range mgr.procs {
 		for _, n := range names {
@@ -123,6 +204,8 @@ func (mgr *Manager) Assignment() core.Assignment {
 // Procs returns the per-core workload specs of the current assignment,
 // directly usable as a sim assignment for validation.
 func (mgr *Manager) Procs() [][]*workload.Spec {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
 	out := make([][]*workload.Spec, mgr.mach.NumCores)
 	for c, names := range mgr.procs {
 		for _, n := range names {
@@ -135,7 +218,13 @@ func (mgr *Manager) Procs() [][]*workload.Spec {
 // EstimatedPower returns the combined model's estimate for the current
 // assignment.
 func (mgr *Manager) EstimatedPower() (float64, error) {
-	return mgr.cm.EstimateAssignment(mgr.Assignment())
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.estimatedPowerLocked()
+}
+
+func (mgr *Manager) estimatedPowerLocked() (float64, error) {
+	return mgr.cm.EstimateAssignment(mgr.assignmentLocked())
 }
 
 // Place admits a new instance of spec and returns its instance name, the
@@ -145,6 +234,8 @@ func (mgr *Manager) Place(spec *workload.Spec) (name string, coreID int, watts f
 	if err != nil {
 		return "", 0, 0, err
 	}
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
 	switch mgr.opts.Policy {
 	case PowerAware:
 		coreID, watts, err = mgr.placePowerAware(f)
@@ -164,7 +255,7 @@ func (mgr *Manager) Place(spec *workload.Spec) (name string, coreID int, watts f
 	mgr.features[name] = f
 	mgr.specs[name] = spec
 	if mgr.opts.Policy != PowerAware {
-		watts, err = mgr.EstimatedPower()
+		watts, err = mgr.estimatedPowerLocked()
 		if err != nil {
 			return "", 0, 0, err
 		}
@@ -172,9 +263,10 @@ func (mgr *Manager) Place(spec *workload.Spec) (name string, coreID int, watts f
 	return name, coreID, watts, nil
 }
 
-// placePowerAware evaluates Figure 1 for every admissible core.
+// placePowerAware evaluates Figure 1 for every admissible core. Called
+// with the placement lock held.
 func (mgr *Manager) placePowerAware(f *core.FeatureVector) (int, float64, error) {
-	asg := mgr.Assignment()
+	asg := mgr.assignmentLocked()
 	best, bestW := -1, 0.0
 	for c := 0; c < mgr.mach.NumCores; c++ {
 		if !mgr.admissible(c) {
@@ -227,6 +319,8 @@ func (mgr *Manager) admissible(c int) bool {
 
 // Remove evicts the named instance (process exit).
 func (mgr *Manager) Remove(name string) error {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
 	for c, names := range mgr.procs {
 		for i, n := range names {
 			if n == name {
@@ -242,6 +336,8 @@ func (mgr *Manager) Remove(name string) error {
 
 // Running returns the instance names currently placed, per core.
 func (mgr *Manager) Running() [][]string {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
 	out := make([][]string, len(mgr.procs))
 	for c, names := range mgr.procs {
 		out[c] = append([]string(nil), names...)
@@ -254,6 +350,8 @@ func (mgr *Manager) Running() [][]string {
 // minSavingWatts. Returns the number of processes that moved and the
 // estimated power after rebalancing.
 func (mgr *Manager) Rebalance(minSavingWatts float64) (moved int, watts float64, err error) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
 	var names []string
 	var feats []*core.FeatureVector
 	for _, coreNames := range mgr.procs {
@@ -262,7 +360,7 @@ func (mgr *Manager) Rebalance(minSavingWatts float64) (moved int, watts float64,
 			feats = append(feats, mgr.features[n])
 		}
 	}
-	current, err := mgr.EstimatedPower()
+	current, err := mgr.estimatedPowerLocked()
 	if err != nil {
 		return 0, 0, err
 	}

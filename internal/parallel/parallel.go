@@ -1,0 +1,156 @@
+// Package parallel is the deterministic fan-out engine for the profiling
+// sweeps and the experiment harness.
+//
+// Both workloads are embarrassingly parallel — the Section 3.4 profiling
+// procedure is O(A) independent stressmark co-runs per process, and every
+// experiment driver measures a set of independent simulated runs — but the
+// reproduction's results must stay bit-identical whether those runs execute
+// on one goroutine or sixteen. The package therefore enforces a contract
+// rather than just offering a pool:
+//
+//   - Work is identified by index. Task i receives only i; anything else it
+//     needs (seeds, specs, options) must be a pure function of i, so no
+//     task can observe scheduling order.
+//   - Randomness is split, not shared. A task deriving its RNG stream via
+//     SplitSeed(base, i) gets the same stream at any worker count; handing
+//     one sequential *xrand.Rand across tasks is exactly the sequential
+//     state this package exists to eliminate.
+//   - Results land in per-index slots (Map) and are reduced serially by
+//     the caller, so floating-point accumulation order never changes.
+//   - Errors match the serial loop: the error returned is the one the
+//     equivalent `for` loop would have hit first.
+//
+// Under that contract, parallel execution at any worker count is
+// observationally identical to the serial loop — the property the
+// equivalence tests in internal/core and internal/exp pin down with golden
+// files.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Workers resolves a requested worker count: n > 0 is taken as-is, any
+// other value selects runtime.GOMAXPROCS(0). It is the shared convention
+// behind every `-workers` flag and Workers option in the repository.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(workers)
+// concurrent goroutines and returns the first error in serial order.
+//
+// Indices are claimed in ascending order. After any task fails, no new
+// index is started; tasks already running are allowed to finish. Because
+// every index below a failed one has necessarily been started, the lowest
+// failed index — the one the serial loop would have reported — is always
+// observed, and its error is the one returned.
+//
+// A cancelled ctx stops new indices from starting; ctx.Err() is returned
+// only when no task error occurred. A panic in fn is recovered and
+// surfaced as an error naming the index (a worker pool must not let one
+// bad run kill the whole sweep's process).
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Serial path: byte-for-byte the loop the call sites replaced.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		failIdx  = n   // lowest failed index so far
+		failErr  error // its error
+		canceled bool
+	)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if failErr != nil || canceled || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if ctx.Err() != nil {
+					mu.Lock()
+					canceled = true
+					mu.Unlock()
+					return
+				}
+				if err := run(fn, i); err != nil {
+					mu.Lock()
+					if i < failIdx {
+						failIdx, failErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return failErr
+	}
+	if canceled {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) under the ForEach contract and collects the
+// results by index, so the output slice is independent of scheduling. On
+// error the partial results are discarded and the serial-order first error
+// is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// run invokes fn(i), converting a panic into an error that names the task.
+func run(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}

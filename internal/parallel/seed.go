@@ -1,0 +1,30 @@
+package parallel
+
+import "mpmc/internal/xrand"
+
+// goldenGamma is SplitMix64's stream increment (see internal/xrand): the
+// state distance between consecutive outputs of one generator.
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// SplitSeed derives the RNG seed of sub-task `task` from a base seed.
+//
+// xrand's SplitMix64 generator is counter-based — output i of the stream
+// seeded with base is the finalizer applied to base + (i+1)·gamma — so the
+// i-th task's seed can be computed in O(1) as the (i+1)-th output of
+// xrand.New(base), without advancing any shared generator. Each task
+// therefore owns a decorrelated stream that depends only on (base, task),
+// never on execution order or worker count: profiling sweep run i, or
+// experiment co-run i, draws identical randomness at Workers=1 and
+// Workers=64.
+//
+// This replaces the sequential-state idiom (a shared `seed++` or a
+// generator handed from task to task) everywhere work fans out.
+func SplitSeed(base uint64, task int) uint64 {
+	return xrand.New(base + uint64(task)*goldenGamma).Uint64()
+}
+
+// SplitRand returns a generator seeded with SplitSeed(base, task): the
+// per-task RNG stream for index-addressed work.
+func SplitRand(base uint64, task int) *xrand.Rand {
+	return xrand.New(SplitSeed(base, task))
+}
