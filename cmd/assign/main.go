@@ -28,6 +28,8 @@ func main() {
 	top := flag.Int("top", 5, "how many assignments to print")
 	seed := flag.Uint64("seed", 1, "seed")
 	quick := flag.Bool("quick", true, "short profiling/training runs")
+	workers := flag.Int("workers", 0, "profiling/training concurrency (0 = GOMAXPROCS)")
+	load := flag.String("load", "", "directory of saved <bench>.json feature vectors (see profiler -json)")
 	flag.Parse()
 
 	m, err := cli.MachineByName(*machineName)
@@ -41,30 +43,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	popts := core.ProfileOptions{Seed: *seed}
-	topts := core.PowerTrainOptions{Seed: *seed}
-	if *quick {
-		popts.Warmup, popts.Duration = 1.5, 3
-		topts.Warmup, topts.Duration, topts.MicrobenchWindows = 1, 3, 6
-	}
 	fmt.Printf("training the power model on %s...\n", m.Name)
-	pm, err := core.TrainPowerModel(m, workload.ModelSet(), topts)
+	pm, err := core.TrainPowerModel(m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	cm := core.NewCombinedModel(m, pm)
 
-	features := make([]*core.FeatureVector, len(specs))
-	for i, s := range specs {
-		fmt.Printf("profiling %s...\n", s.Name)
-		popts.Seed = *seed + uint64(i)*101
-		f, err := core.Profile(m, s, popts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		features[i] = f
+	// The same request-building path the server's /v1/assign uses.
+	fc := cli.FeatureConfig{
+		Seed:    *seed,
+		Quick:   *quick,
+		Workers: *workers,
+		LoadDir: *load,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	features, err := fc.BuildFeatures(m, specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	results, err := cm.BestAssignment(features, 0)

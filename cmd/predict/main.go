@@ -9,11 +9,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"mpmc/internal/cli"
 	"mpmc/internal/core"
@@ -29,6 +27,7 @@ func main() {
 	solverName := flag.String("solver", "auto", "auto | newton | window")
 	seed := flag.Uint64("seed", 1, "seed")
 	quick := flag.Bool("quick", false, "short runs")
+	workers := flag.Int("workers", 0, "profiling sweep concurrency (0 = GOMAXPROCS)")
 	load := flag.String("load", "", "directory of saved <bench>.json feature vectors (see profiler -json)")
 	flag.Parse()
 
@@ -54,36 +53,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	features := make([]*core.FeatureVector, len(specs))
-	for i, s := range specs {
-		if *truth {
-			features[i] = core.TruthFeature(s, m)
-			continue
-		}
-		if *load != "" {
-			path := filepath.Join(*load, s.Name+".json")
-			if data, err := os.ReadFile(path); err == nil {
-				var f core.FeatureVector
-				if err := json.Unmarshal(data, &f); err != nil {
-					fmt.Fprintf(os.Stderr, "loading %s: %v\n", path, err)
-					os.Exit(1)
-				}
-				fmt.Printf("loaded %s from %s\n", s.Name, path)
-				features[i] = &f
-				continue
-			}
-		}
-		opts := core.ProfileOptions{Seed: *seed + uint64(i)}
-		if *quick {
-			opts.Warmup, opts.Duration = 1.5, 3
-		}
-		fmt.Printf("profiling %s...\n", s.Name)
-		f, err := core.Profile(m, s, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		features[i] = f
+	// The same request-building path the server's /v1/predict uses.
+	fc := cli.FeatureConfig{
+		Seed:    *seed,
+		Quick:   *quick,
+		Workers: *workers,
+		Truth:   *truth,
+		LoadDir: *load,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	features, err := fc.BuildFeatures(m, specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	preds, err := core.PredictGroup(features, m.Assoc, solver)

@@ -1,0 +1,95 @@
+// Command serve runs the long-running prediction and placement service:
+// the paper's run-time manager (Sections 3.4 and 5) behind an HTTP JSON
+// API. It trains the power model once at startup, then serves profiling,
+// co-run prediction, assignment ranking, and live placement, reusing each
+// benchmark's feature vector from a bounded LRU cache so nothing is ever
+// profiled twice.
+//
+// Usage:
+//
+//	serve -addr :8080 -machine server [-policy power-aware] [-max-per-core 2]
+//
+// See the README "Serving" section for curl examples and the metrics
+// glossary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpmc/internal/cli"
+	"mpmc/internal/core"
+	"mpmc/internal/server"
+	"mpmc/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	machineName := flag.String("machine", "server", "server | workstation | laptop")
+	policyName := flag.String("policy", "power-aware", "power-aware | round-robin | least-loaded")
+	maxPerCore := flag.Int("max-per-core", 0, "time-sharing depth cap per core (0 = unbounded)")
+	seed := flag.Uint64("seed", 1, "base seed for profiling and training")
+	quick := flag.Bool("quick", true, "short profiling/training runs")
+	workers := flag.Int("workers", 0, "profiling/training concurrency (0 = GOMAXPROCS)")
+	cacheCap := flag.Int("cache", 128, "feature-vector cache capacity (entries)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit (bytes)")
+	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	m, err := cli.MachineByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	policy, err := cli.PolicyByName(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	logger.Info("training power model", "machine", m.Name, "quick", *quick)
+	trainStart := time.Now()
+	pm, err := core.TrainPowerModel(m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
+	if err != nil {
+		logger.Error("power-model training failed", "error", err.Error())
+		os.Exit(1)
+	}
+	logger.Info("power model ready", "r2", pm.R2(), "train_seconds", time.Since(trainStart).Seconds())
+
+	srv, err := server.New(server.Config{
+		Machine:        m,
+		Power:          pm,
+		Seed:           *seed,
+		Quick:          *quick,
+		Workers:        *workers,
+		Policy:         policy,
+		MaxPerCore:     *maxPerCore,
+		CacheCap:       *cacheCap,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("server construction failed", "error", err.Error())
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("serving", "addr", *addr, "machine", m.Name, "policy", policy.String())
+	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil && err != http.ErrServerClosed {
+		logger.Error("server exited", "error", err.Error())
+		os.Exit(1)
+	}
+	logger.Info("stopped")
+}

@@ -1,0 +1,57 @@
+// Singleflight-style call deduplication.
+//
+// Profiling an unknown process is the one expensive operation of the
+// paper's run-time manager (A co-runs, Section 3.4). When a burst of
+// requests all name the same unprofiled benchmark, exactly one sweep
+// should run; the rest wait for its result. Flight provides that
+// guarantee as a small generic primitive so the serving layer can wrap
+// any loader with it.
+
+package cache
+
+import "sync"
+
+// flightCall is one in-progress invocation awaited by dups+1 callers.
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+	dups int
+}
+
+// Flight deduplicates concurrent calls by key: while one call for a key is
+// in progress, additional Do calls for the same key block and receive the
+// same result instead of invoking fn again. The zero value is ready to use.
+type Flight[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+// Do invokes fn once per key at a time. The boolean reports whether this
+// caller shared another caller's invocation rather than running fn itself.
+// Results are not cached beyond the in-progress window: once the leader's
+// fn returns and all waiters are released, the next Do runs fn again
+// (persistent memoization is the LRU's job, not Flight's).
+func (g *Flight[V]) Do(key string, fn func() (V, error)) (val V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

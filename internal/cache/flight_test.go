@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightDeduplicates pins the core singleflight property with no
+// registration race: the leader parks inside fn until every other caller
+// is provably queued behind the in-flight call, so exactly one invocation
+// of fn is guaranteed, observed by all waiters as shared.
+func TestFlightDeduplicates(t *testing.T) {
+	const waiters = 8
+	var g Flight[string]
+	var runs atomic.Int64
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do("k", func() (string, error) {
+			close(leaderIn)
+			<-release
+			runs.Add(1)
+			return "v", nil
+		})
+	}()
+	<-leaderIn
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (string, error) {
+				runs.Add(1)
+				return "v", nil
+			})
+			if v != "v" || err != nil || !shared {
+				t.Errorf("waiter got %q, %v, shared=%v; want v, nil, true", v, err, shared)
+			}
+		}()
+	}
+	// The waiters' Do calls must register before the leader finishes. Their
+	// registration takes the same mutex the leader needs to unregister, and
+	// each either finds the in-flight call (and will share) or starts after
+	// the leader fully completed — impossible while release is unclosed.
+	// Spin until all waiters are queued behind the call.
+	for {
+		g.mu.Lock()
+		c, ok := g.calls["k"]
+		dups := 0
+		if ok {
+			dups = c.dups
+		}
+		g.mu.Unlock()
+		if dups == waiters {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times; want exactly 1", got)
+	}
+}
+
+// TestFlightErrorShared verifies every waiter sees the leader's error.
+func TestFlightErrorShared(t *testing.T) {
+	var g Flight[int]
+	wantErr := errors.New("profiling failed")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v; want %v", err, wantErr)
+	}
+	// A later call runs fresh (errors are not cached).
+	v, err, shared := g.Do("k", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil || shared {
+		t.Fatalf("retry = %d, %v, shared=%v; want 7, nil, false", v, err, shared)
+	}
+}
+
+// TestFlightDistinctKeys checks keys do not serialize each other.
+func TestFlightDistinctKeys(t *testing.T) {
+	var g Flight[int]
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do(string(rune('a'+i)), func() (int, error) { return i, nil })
+			if err != nil || v != i {
+				t.Errorf("key %d: got %d, %v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

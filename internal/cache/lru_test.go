@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRUMap[int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	// "a" is now MRU, so inserting "c" must evict "b".
+	l.Put("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b survived eviction; want LRU entry displaced")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("a evicted instead of b (got %d, %v)", v, ok)
+	}
+	if v, ok := l.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) = %d, %v; want 3, true", v, ok)
+	}
+	st := l.Stats()
+	if st.Len != 2 || st.Cap != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v; want Len=2 Cap=2 Evictions=1", st)
+	}
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("stats = %+v; want Hits=3 Misses=2", st)
+	}
+}
+
+func TestLRUOverwritePromotes(t *testing.T) {
+	l := NewLRUMap[int](2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("a", 10) // overwrite promotes a; c must evict b
+	l.Put("c", 3)
+	if v, ok := l.Get("a"); !ok || v != 10 {
+		t.Fatalf("Get(a) = %d, %v; want 10, true", v, ok)
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if got, want := l.Keys(), []string{"a", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys() = %v; want %v", got, want)
+	}
+}
+
+func TestLRUCapacityOne(t *testing.T) {
+	l := NewLRUMap[string](1)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		l.Put(k, k)
+		if v, ok := l.Get(k); !ok || v != k {
+			t.Fatalf("just-inserted %s missing", k)
+		}
+	}
+	if st := l.Stats(); st.Len != 1 || st.Evictions != 9 {
+		t.Fatalf("stats = %+v; want Len=1 Evictions=9", st)
+	}
+}
+
+func TestLRUInvalidCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLRUMap(0) did not panic")
+		}
+	}()
+	NewLRUMap[int](0)
+}
+
+// TestLRUConcurrent hammers a small cache from many goroutines so evictions
+// race with gets and puts; the race detector plus the final invariant check
+// (Len never exceeds capacity, list and map agree) make this the satellite
+// "LRU eviction is safe under parallel get/put" test.
+func TestLRUConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		keys       = 32
+		capacity   = 8
+		iters      = 2000
+	)
+	l := NewLRUMap[int](capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%keys)
+				if i%3 == 0 {
+					l.Put(k, i)
+				} else {
+					l.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Len > capacity {
+		t.Fatalf("Len %d exceeds capacity %d", st.Len, capacity)
+	}
+	if got := len(l.Keys()); got != st.Len {
+		t.Fatalf("recency list has %d entries, map has %d", got, st.Len)
+	}
+}

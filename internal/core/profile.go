@@ -58,6 +58,20 @@ func (o *ProfileOptions) withDefaults() ProfileOptions {
 	return out
 }
 
+// ProfileSeed derives the profiling seed for the named workload from a
+// base seed: SplitSeed(base ^ FNV-1a(name), 0). It is a pure function of
+// (base, name), so feature vectors are reproducible regardless of arrival
+// order or concurrency — the convention shared by the manager, the CLI
+// tools, and the serving layer.
+func ProfileSeed(base uint64, name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return parallel.SplitSeed(base^h, 0)
+}
+
 // Profile characterizes spec on machine m and returns its feature vector,
 // using only quantities a real profiling run could measure: HPC counters
 // and the power sensor. The paper's O(k) profiling cost for k processes

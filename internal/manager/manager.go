@@ -13,6 +13,7 @@ package manager
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -21,6 +22,26 @@ import (
 	"mpmc/internal/parallel"
 	"mpmc/internal/workload"
 )
+
+// Sentinel errors callers (the serving layer in particular) can test with
+// errors.Is to map placement failures onto typed responses.
+var (
+	// ErrMachineFull reports that no core can accept another process under
+	// the configured MaxPerCore cap.
+	ErrMachineFull = errors.New("no admissible core")
+	// ErrUnknownProcess reports a Remove for an instance name that is not
+	// resident.
+	ErrUnknownProcess = errors.New("unknown process")
+)
+
+// FeatureSource supplies feature vectors for workloads. It abstracts the
+// manager's built-in memoizing profiler so a serving layer can substitute
+// a shared bounded cache with singleflight deduplication; implementations
+// must be safe for concurrent use and deterministic for a given workload
+// name (same contract as core.ProfileSeed).
+type FeatureSource interface {
+	FeatureOf(spec *workload.Spec) (*core.FeatureVector, error)
+}
 
 // Policy selects how arriving processes are placed.
 type Policy int
@@ -61,6 +82,11 @@ type Options struct {
 	// several managers (or successive sessions) reuse feature vectors
 	// instead of re-running the stressmark sweep.
 	SharedProfiles map[string]*core.FeatureVector
+	// Features, when non-nil, replaces the built-in memoizing profiler
+	// entirely: FeatureOf delegates to it, and caching plus concurrent-run
+	// deduplication become its responsibility. SharedProfiles is ignored
+	// when Features is set.
+	Features FeatureSource
 }
 
 // Manager tracks the machine's assignment and places arrivals. All
@@ -109,6 +135,9 @@ func New(m *machine.Machine, pm *core.PowerModel, opts Options) *Manager {
 // workload's name, never on arrival order, so the resulting vectors are
 // reproducible at any concurrency.
 func (mgr *Manager) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) {
+	if mgr.opts.Features != nil {
+		return mgr.opts.Features.FeatureOf(spec)
+	}
 	mgr.mu.Lock()
 	f, ok := mgr.profiles[spec.Name]
 	mgr.mu.Unlock()
@@ -116,7 +145,7 @@ func (mgr *Manager) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) 
 		return f, nil
 	}
 	opts := mgr.opts.Profile
-	opts.Seed = parallel.SplitSeed(opts.Seed^nameHash(spec.Name), 0)
+	opts.Seed = core.ProfileSeed(opts.Seed, spec.Name)
 	f, err := core.Profile(mgr.mach, spec, opts)
 	if err != nil {
 		return nil, fmt.Errorf("manager: profiling %s: %w", spec.Name, err)
@@ -130,17 +159,6 @@ func (mgr *Manager) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) 
 	}
 	mgr.profiles[spec.Name] = f
 	return f, nil
-}
-
-// nameHash is FNV-1a over the workload name, the stable per-workload
-// component of the profiling seed.
-func nameHash(s string) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // Placement records one instance admitted by PlaceAll.
@@ -281,7 +299,7 @@ func (mgr *Manager) placePowerAware(f *core.FeatureVector) (int, float64, error)
 		}
 	}
 	if best < 0 {
-		return 0, 0, fmt.Errorf("manager: no admissible core (MaxPerCore=%d)", mgr.opts.MaxPerCore)
+		return 0, 0, fmt.Errorf("manager: %w (MaxPerCore=%d)", ErrMachineFull, mgr.opts.MaxPerCore)
 	}
 	return best, bestW, nil
 }
@@ -294,7 +312,7 @@ func (mgr *Manager) placeRoundRobin() (int, error) {
 			return c, nil
 		}
 	}
-	return 0, fmt.Errorf("manager: no admissible core (MaxPerCore=%d)", mgr.opts.MaxPerCore)
+	return 0, fmt.Errorf("manager: %w (MaxPerCore=%d)", ErrMachineFull, mgr.opts.MaxPerCore)
 }
 
 func (mgr *Manager) placeLeastLoaded() (int, error) {
@@ -308,7 +326,7 @@ func (mgr *Manager) placeLeastLoaded() (int, error) {
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("manager: no admissible core (MaxPerCore=%d)", mgr.opts.MaxPerCore)
+		return 0, fmt.Errorf("manager: %w (MaxPerCore=%d)", ErrMachineFull, mgr.opts.MaxPerCore)
 	}
 	return best, nil
 }
@@ -331,7 +349,7 @@ func (mgr *Manager) Remove(name string) error {
 			}
 		}
 	}
-	return fmt.Errorf("manager: no process %q", name)
+	return fmt.Errorf("manager: %w %q", ErrUnknownProcess, name)
 }
 
 // Running returns the instance names currently placed, per core.

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProfileSingleflight is the dedup acceptance test: N concurrent
+// requests for one unprofiled benchmark must observe exactly one profiling
+// run — callers either join the in-flight run or hit the cache it fills.
+func TestProfileSingleflight(t *testing.T) {
+	var runs atomic.Int64
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Profile = oracleProfile(&runs, 30*time.Millisecond)
+	})
+
+	const n = 16
+	statuses := make([]int, n)
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], bodies[i], errs[i] = doRaw(ts, "POST", "/v1/profile", `{"benches":["mcf"]}`)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, statuses[i], bodies[i])
+		}
+		var resp ProfileResponse
+		if err := json.Unmarshal(bodies[i], &resp); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if len(resp.Features) != 1 || resp.Features[0].Feature.Name != "mcf" {
+			t.Fatalf("request %d: unexpected response %s", i, bodies[i])
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("profiling ran %d times for %d concurrent requests, want exactly 1", got, n)
+	}
+	if got := s.Registry().CounterValue("profile_runs_total"); got != 1 {
+		t.Fatalf("profile_runs_total %d, want 1", got)
+	}
+	if got := s.Registry().GaugeValue("profile_inflight"); got != 0 {
+		t.Fatalf("profile_inflight %d after completion, want 0", got)
+	}
+}
+
+// TestFeatureCacheEviction pins the bounded-cache contract end to end: a
+// capacity-1 cache re-profiles after eviction and reports its counters
+// through /v1/state.
+func TestFeatureCacheEviction(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, func(c *Config) {
+		c.CacheCap = 1
+		c.Profile = oracleProfile(&runs, 0)
+	})
+	for _, step := range []struct {
+		bench string
+		want  int64
+	}{
+		{"mcf", 1}, // miss: first sweep
+		{"art", 2}, // miss: evicts mcf
+		{"mcf", 3}, // miss again: was evicted
+		{"mcf", 3}, // hit: still resident
+	} {
+		if status, raw := do(t, ts, "POST", "/v1/profile", `{"benches":["`+step.bench+`"]}`); status != http.StatusOK {
+			t.Fatalf("profile %s: status %d, body %s", step.bench, status, raw)
+		}
+		if got := runs.Load(); got != step.want {
+			t.Fatalf("after profiling %s: %d runs, want %d", step.bench, got, step.want)
+		}
+	}
+	status, raw := do(t, ts, "GET", "/v1/state", "")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/state status %d", status)
+	}
+	var st StateResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Capacity != 1 || st.Cache.Entries != 1 || st.Cache.Evictions != 2 {
+		t.Fatalf("cache state %+v, want capacity 1, entries 1, evictions 2", st.Cache)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers the read-mostly endpoints from many
+// goroutines; run under -race this is the data-race gate for the handler,
+// cache, and metrics layers together.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	reqs := []struct{ method, path, body string }{
+		{"POST", "/v1/profile", `{"benches":["mcf","art"]}`},
+		{"POST", "/v1/profile", `{"benches":["gzip"]}`},
+		{"POST", "/v1/predict", `{"benches":["mcf","art"]}`},
+		{"POST", "/v1/assign", `{"benches":["mcf","art"],"top":1}`},
+		{"GET", "/v1/state", ""},
+		{"GET", "/metrics", ""},
+		{"GET", "/healthz", ""},
+	}
+	const workers, iters = 8, 12
+	var wg sync.WaitGroup
+	failures := make([]error, workers)
+	statuses := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rq := reqs[(w+i)%len(reqs)]
+				status, _, err := doRaw(ts, rq.method, rq.path, rq.body)
+				if err != nil {
+					failures[w] = err
+					return
+				}
+				statuses[w] = append(statuses[w], status)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if failures[w] != nil {
+			t.Fatalf("worker %d: %v", w, failures[w])
+		}
+		for i, status := range statuses[w] {
+			if status != http.StatusOK {
+				t.Fatalf("worker %d request %d: status %d", w, i, status)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest fuzzes the one strict decoder every endpoint shares.
+// Invariants: no panic, and every failure is a typed *apiError with a 4xx
+// status and a non-empty machine-readable code.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(`{"benches":["mcf"]}`)
+	f.Add(`{"machine":"workstation","benches":["mcf","art"],"solver":"auto"}`)
+	f.Add(`{"machine":"server","benches":["gzip"],"top":3}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`{"benches":["mcf"]} {}`)
+	f.Add(`{"benches":[{"nested":true}]}`)
+	f.Add(strings.Repeat(`{"benches":["mcf"]},`, 100))
+	f.Add(strings.Repeat("x", 2048))
+	f.Fuzz(func(t *testing.T, body string) {
+		targets := []any{
+			new(ProfileRequest),
+			new(PredictRequest),
+			new(AssignRequest),
+			new(PlaceRequest),
+		}
+		for _, dst := range targets {
+			r := httptest.NewRequest("POST", "/v1/fuzz", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			err := decodeRequest(w, r, 1024, dst)
+			if err == nil {
+				continue
+			}
+			var ae *apiError
+			if !errors.As(err, &ae) {
+				t.Fatalf("decode error is not a typed apiError: %T %v", err, err)
+			}
+			if ae.Status < 400 || ae.Status > 499 {
+				t.Fatalf("decode error status %d outside 4xx: %v", ae.Status, ae)
+			}
+			if ae.Code == "" || ae.Message == "" {
+				t.Fatalf("decode error missing code or message: %+v", ae)
+			}
+		}
+	})
+}

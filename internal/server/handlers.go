@@ -1,0 +1,441 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"mpmc/internal/cli"
+	"mpmc/internal/core"
+	"mpmc/internal/manager"
+	"mpmc/internal/workload"
+)
+
+// FeatureInfo pairs a benchmark's wire-form feature vector with whether it
+// was already resident in the cache when the request arrived.
+type FeatureInfo struct {
+	Feature *core.FeatureVector `json:"feature"`
+	Cached  bool                `json:"cached"`
+}
+
+// ProfileResponse answers POST /v1/profile.
+type ProfileResponse struct {
+	Machine  string        `json:"machine"`
+	Features []FeatureInfo `json:"features"`
+}
+
+// PredictionInfo is one benchmark's equilibrium operating point.
+type PredictionInfo struct {
+	Bench string  `json:"bench"`
+	SWays float64 `json:"s_ways"`
+	MPA   float64 `json:"mpa"`
+	SPI   float64 `json:"spi"`
+}
+
+// PredictResponse answers POST /v1/predict.
+type PredictResponse struct {
+	Machine     string           `json:"machine"`
+	Assoc       int              `json:"assoc"`
+	Solver      string           `json:"solver"`
+	Predictions []PredictionInfo `json:"predictions"`
+}
+
+// AssignResultInfo is one ranked assignment.
+type AssignResultInfo struct {
+	Watts  float64    `json:"watts"`
+	Layout [][]string `json:"layout"` // benchmark names per core
+}
+
+// AssignResponse answers POST /v1/assign.
+type AssignResponse struct {
+	Machine   string             `json:"machine"`
+	Evaluated int                `json:"evaluated"`
+	Results   []AssignResultInfo `json:"results"`
+}
+
+// PlacementInfo is one admitted instance.
+type PlacementInfo struct {
+	Name  string  `json:"name"`
+	Core  int     `json:"core"`
+	Watts float64 `json:"watts"` // estimated processor power after this placement
+}
+
+// PlaceResponse answers POST /v1/place.
+type PlaceResponse struct {
+	Placements     []PlacementInfo `json:"placements"`
+	EstimatedWatts float64         `json:"estimated_watts"`
+}
+
+// UnplaceResponse answers DELETE /v1/place/{name}.
+type UnplaceResponse struct {
+	Removed        string  `json:"removed"`
+	EstimatedWatts float64 `json:"estimated_watts"`
+}
+
+// CoreState is one core's resident instances.
+type CoreState struct {
+	Core  int      `json:"core"`
+	Procs []string `json:"procs"`
+}
+
+// CacheState reports the feature-vector cache counters.
+type CacheState struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// StateResponse answers GET /v1/state.
+type StateResponse struct {
+	Machine        string      `json:"machine"`
+	Policy         string      `json:"policy"`
+	Cores          []CoreState `json:"cores"`
+	EstimatedWatts float64     `json:"estimated_watts"`
+	Cache          CacheState  `json:"cache"`
+}
+
+// routes wires the mux. Method and path dispatch live in the patterns; the
+// root fallback converts mux misses into typed 404s.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/profile", s.instrument("profile", s.handleProfile))
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/assign", s.instrument("assign", s.handleAssign))
+	s.mux.HandleFunc("POST /v1/place", s.instrument("place", s.handlePlace))
+	s.mux.HandleFunc("DELETE /v1/place/{name}", s.instrument("unplace", s.handleUnplace))
+	s.mux.HandleFunc("GET /v1/state", s.instrument("state", s.handleState))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("/", s.instrument("not_found", func(w http.ResponseWriter, r *http.Request) error {
+		return &apiError{Status: http.StatusNotFound, Code: "not_found", Message: fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path)}
+	}))
+}
+
+// statusWriter records the status code a handler sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the per-request deadline, error
+// rendering, metrics, and the structured request log line.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		err := h(sw, r.WithContext(ctx))
+		errCode := ""
+		if err != nil {
+			ae := toAPIError(err)
+			errCode = ae.Code
+			writeJSON(sw, ae.Status, errorEnvelope{Error: ae})
+		}
+		elapsed := time.Since(start)
+		s.reg.Counter(fmt.Sprintf("requests_total{endpoint=%q,code=\"%d\"}", endpoint, sw.status)).Inc()
+		s.reg.Histogram(fmt.Sprintf("request_seconds{endpoint=%q}", endpoint), nil).Observe(elapsed.Seconds())
+		attrs := []any{
+			"endpoint", endpoint,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(elapsed.Microseconds()) / 1000,
+		}
+		if errCode != "" {
+			attrs = append(attrs, "error", errCode)
+			s.log.Warn("request", attrs...)
+			return
+		}
+		s.log.Info("request", attrs...)
+	}
+}
+
+// toAPIError maps any handler error onto the typed wire error.
+func toAPIError(err error) *apiError {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded", Message: err.Error()}
+	case errors.Is(err, manager.ErrMachineFull):
+		return &apiError{Status: http.StatusConflict, Code: "machine_full", Message: err.Error()}
+	case errors.Is(err, manager.ErrUnknownProcess):
+		return &apiError{Status: http.StatusNotFound, Code: "unknown_process", Message: err.Error()}
+	default:
+		return &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+	}
+}
+
+// checkMachine validates an optional machine pin against the serving
+// machine, using the same name resolution the CLI flags use.
+func (s *Server) checkMachine(name string) error {
+	if name == "" || name == s.mach.Name {
+		return nil
+	}
+	m, err := cli.MachineByName(name)
+	if err != nil {
+		return badRequest("unknown_machine", "%v", err)
+	}
+	if m.Name != s.mach.Name {
+		return &apiError{
+			Status:  http.StatusConflict,
+			Code:    "machine_mismatch",
+			Message: fmt.Sprintf("this server models %q, not %q", s.mach.Name, m.Name),
+		}
+	}
+	return nil
+}
+
+// resolveBenches maps request benchmark names onto workload specs via the
+// shared CLI parser, so the server and the tools accept exactly the same
+// names and emit the same guidance on a miss.
+func resolveBenches(names []string) ([]*workload.Spec, error) {
+	if len(names) == 0 {
+		return nil, badRequest("bad_request", "empty benchmark list")
+	}
+	for _, n := range names {
+		if strings.TrimSpace(n) == "" {
+			return nil, badRequest("bad_request", "blank benchmark name")
+		}
+	}
+	specs, err := cli.ParseBenches(strings.Join(names, ","))
+	if err != nil {
+		return nil, badRequest("unknown_benchmark", "%v", err)
+	}
+	return specs, nil
+}
+
+// features resolves the feature vector of every spec in request order:
+// cache hit, deduplicated wait, or a fresh profiling sweep (itself
+// parallel per the configured workers).
+func (s *Server) features(ctx context.Context, specs []*workload.Spec) ([]FeatureInfo, error) {
+	out := make([]FeatureInfo, len(specs))
+	for i, spec := range specs {
+		f, cached, err := s.feats.get(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = FeatureInfo{Feature: f, Cached: cached}
+	}
+	return out, nil
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) error {
+	var req ProfileRequest
+	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return err
+	}
+	if err := s.checkMachine(req.Machine); err != nil {
+		return err
+	}
+	specs, err := resolveBenches(req.Benches)
+	if err != nil {
+		return err
+	}
+	feats, err := s.features(r.Context(), specs)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, ProfileResponse{Machine: s.mach.Name, Features: feats})
+	return nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
+	var req PredictRequest
+	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return err
+	}
+	if err := s.checkMachine(req.Machine); err != nil {
+		return err
+	}
+	solverName := req.Solver
+	if solverName == "" {
+		solverName = "auto"
+	}
+	solver, err := cli.SolverByName(solverName)
+	if err != nil {
+		return badRequest("unknown_solver", "%v", err)
+	}
+	specs, err := resolveBenches(req.Benches)
+	if err != nil {
+		return err
+	}
+	group := s.mach.Groups[0]
+	if len(specs) > len(group) {
+		return badRequest("group_too_large", "%d benchmarks exceed the %d cores sharing a cache on %s",
+			len(specs), len(group), s.mach.Name)
+	}
+	feats, err := s.features(r.Context(), specs)
+	if err != nil {
+		return err
+	}
+	raw := make([]*core.FeatureVector, len(feats))
+	for i, fi := range feats {
+		raw[i] = fi.Feature
+	}
+	preds, err := core.PredictGroup(raw, s.mach.Assoc, solver)
+	if err != nil {
+		return fmt.Errorf("predicting group: %w", err)
+	}
+	resp := PredictResponse{Machine: s.mach.Name, Assoc: s.mach.Assoc, Solver: solverName}
+	for _, p := range preds {
+		resp.Predictions = append(resp.Predictions, PredictionInfo{
+			Bench: p.Feature.Name, SWays: p.S, MPA: p.MPA, SPI: p.SPI,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) error {
+	var req AssignRequest
+	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return err
+	}
+	if err := s.checkMachine(req.Machine); err != nil {
+		return err
+	}
+	if req.Top < 0 {
+		return badRequest("bad_request", "top must be non-negative")
+	}
+	specs, err := resolveBenches(req.Benches)
+	if err != nil {
+		return err
+	}
+	feats, err := s.features(r.Context(), specs)
+	if err != nil {
+		return err
+	}
+	raw := make([]*core.FeatureVector, len(feats))
+	for i, fi := range feats {
+		raw[i] = fi.Feature
+	}
+	results, err := s.cm.BestAssignment(raw, 0)
+	if err != nil {
+		return fmt.Errorf("ranking assignments: %w", err)
+	}
+	top := req.Top
+	if top == 0 {
+		top = 5
+	}
+	if top > len(results) {
+		top = len(results)
+	}
+	resp := AssignResponse{Machine: s.mach.Name, Evaluated: len(results)}
+	for _, res := range results[:top] {
+		layout := make([][]string, len(res.Assignment))
+		for c, fs := range res.Assignment {
+			layout[c] = make([]string, 0, len(fs))
+			for _, f := range fs {
+				layout[c] = append(layout[c], f.Name)
+			}
+		}
+		resp.Results = append(resp.Results, AssignResultInfo{Watts: res.Watts, Layout: layout})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) error {
+	var req PlaceRequest
+	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return err
+	}
+	if err := s.checkMachine(req.Machine); err != nil {
+		return err
+	}
+	specs, err := resolveBenches(req.Benches)
+	if err != nil {
+		return err
+	}
+	// Profile through the request's deadline first; PlaceAll then finds
+	// every vector cached and placement itself is fast.
+	if _, err := s.features(r.Context(), specs); err != nil {
+		return err
+	}
+	placements, err := s.mgr.PlaceAll(specs)
+	if err != nil {
+		return err
+	}
+	watts, err := s.mgr.EstimatedPower()
+	if err != nil {
+		return fmt.Errorf("estimating power: %w", err)
+	}
+	resp := PlaceResponse{Placements: make([]PlacementInfo, len(placements)), EstimatedWatts: watts}
+	for i, p := range placements {
+		resp.Placements[i] = PlacementInfo{Name: p.Name, Core: p.Core, Watts: p.Watts}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleUnplace(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	if err := s.mgr.Remove(name); err != nil {
+		return err
+	}
+	watts, err := s.mgr.EstimatedPower()
+	if err != nil {
+		return fmt.Errorf("estimating power: %w", err)
+	}
+	writeJSON(w, http.StatusOK, UnplaceResponse{Removed: name, EstimatedWatts: watts})
+	return nil
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) error {
+	running := s.mgr.Running()
+	watts, err := s.mgr.EstimatedPower()
+	if err != nil {
+		return fmt.Errorf("estimating power: %w", err)
+	}
+	st := s.feats.lru.Stats()
+	resp := StateResponse{
+		Machine:        s.mach.Name,
+		Policy:         s.cfg.Policy.String(),
+		Cores:          make([]CoreState, len(running)),
+		EstimatedWatts: watts,
+		Cache: CacheState{
+			Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+			Entries: st.Len, Capacity: st.Cap,
+		},
+	}
+	for c, names := range running {
+		procs := make([]string, 0, len(names))
+		procs = append(procs, names...)
+		resp.Cores[c] = CoreState{Core: c, Procs: procs}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		s.log.Warn("metrics write failed", "error", err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "machine": s.mach.Name})
+}

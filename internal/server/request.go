@@ -1,0 +1,114 @@
+// Request decoding and the typed error model.
+//
+// Every endpoint speaks the same envelope: requests are small JSON bodies
+// decoded strictly (unknown fields rejected, size capped, trailing data
+// rejected), and failures are returned as
+//
+//	{"error": {"code": "...", "message": "..."}}
+//
+// with a machine-readable code so clients never parse prose. The decoder is
+// deliberately a single function — FuzzDecodeRequest fuzzes it once for
+// every request type.
+
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// apiError is the typed error carried to the client. Status is the HTTP
+// status; Code is the stable machine-readable identifier.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// errorEnvelope is the wire form of a failed request.
+type errorEnvelope struct {
+	Error *apiError `json:"error"`
+}
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ProfileRequest asks for the feature vectors of a set of benchmarks.
+type ProfileRequest struct {
+	// Machine optionally pins the machine the client believes it is
+	// talking to; a mismatch is an error rather than a silently wrong
+	// prediction.
+	Machine string   `json:"machine,omitempty"`
+	Benches []string `json:"benches"`
+}
+
+// PredictRequest asks for the co-run equilibrium of benchmarks sharing one
+// cache group.
+type PredictRequest struct {
+	Machine string   `json:"machine,omitempty"`
+	Benches []string `json:"benches"`
+	Solver  string   `json:"solver,omitempty"` // auto | newton | window ("" = auto)
+}
+
+// AssignRequest asks for the combined-model ranking of every distinct
+// process-to-core mapping (a what-if query; resident state is untouched).
+type AssignRequest struct {
+	Machine string   `json:"machine,omitempty"`
+	Benches []string `json:"benches"`
+	Top     int      `json:"top,omitempty"` // how many assignments to return (0 = 5)
+}
+
+// PlaceRequest admits benchmark instances into the resident assignment.
+type PlaceRequest struct {
+	Machine string   `json:"machine,omitempty"`
+	Benches []string `json:"benches"`
+}
+
+// decodeRequest strictly decodes a JSON request body into dst: the body is
+// size-capped, unknown fields and trailing garbage are errors, and every
+// failure is a typed *apiError.
+func decodeRequest(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		switch {
+		case errors.As(err, &maxErr):
+			return &apiError{
+				Status:  http.StatusRequestEntityTooLarge,
+				Code:    "body_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit),
+			}
+		case errors.Is(err, io.EOF):
+			return badRequest("bad_json", "empty request body")
+		default:
+			return badRequest("bad_json", "decoding request: %v", err)
+		}
+	}
+	if dec.More() {
+		return badRequest("bad_json", "trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeJSON renders v with the given status. Marshal errors become a 500
+// envelope; both paths produce exactly one WriteHeader.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		data, _ = json.Marshal(errorEnvelope{Error: &apiError{
+			Status: status, Code: "internal", Message: fmt.Sprintf("encoding response: %v", err),
+		}})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
