@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mpmc/internal/cli"
 	"mpmc/internal/core"
@@ -43,8 +46,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C abandons training, profiling, and the ranking search promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("training the power model on %s...\n", m.Name)
-	pm, err := core.TrainPowerModel(m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
+	pm, err := core.TrainPowerModel(ctx, m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -61,13 +68,13 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		},
 	}
-	features, err := fc.BuildFeatures(m, specs)
+	features, err := fc.BuildFeatures(ctx, m, specs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	results, err := cm.BestAssignment(features, 0)
+	results, err := cm.BestAssignmentContext(ctx, features, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

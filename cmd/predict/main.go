@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mpmc/internal/cli"
 	"mpmc/internal/core"
@@ -64,13 +67,16 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		},
 	}
-	features, err := fc.BuildFeatures(m, specs)
+	// ^C abandons profiling and solving instead of waiting them out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	features, err := fc.BuildFeatures(ctx, m, specs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	preds, err := core.PredictGroup(features, m.Assoc, solver)
+	preds, err := core.PredictGroupContext(ctx, features, m.Assoc, solver)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mpmc/internal/cli"
 	"mpmc/internal/core"
@@ -53,9 +56,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C abandons the sweep between runs instead of waiting it out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("profiling %s on %s (%s, %d-way shared L2)...\n",
 		spec.Name, m.Name, *method, m.Assoc)
-	f, err := core.Profile(m, spec, opts)
+	f, err := core.Profile(ctx, m, spec, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -57,10 +58,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The signal context is installed before training so ^C during the
+	// (minutes-long, full-length) startup training aborts it promptly
+	// instead of only taking effect once serving starts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	logger.Info("training power model", "machine", m.Name, "quick", *quick)
 	trainStart := time.Now()
-	pm, err := core.TrainPowerModel(m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
+	pm, err := core.TrainPowerModel(ctx, m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			logger.Info("power-model training interrupted")
+			os.Exit(1)
+		}
 		logger.Error("power-model training failed", "error", err.Error())
 		os.Exit(1)
 	}
@@ -84,8 +95,6 @@ func main() {
 		os.Exit(1)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	logger.Info("serving", "addr", *addr, "machine", m.Name, "policy", policy.String())
 	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil && err != http.ErrServerClosed {
 		logger.Error("server exited", "error", err.Error())

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 		fmt.Printf("\n--- %v placement ---\n", policy)
 		var placed []string
 		for _, name := range arrivals {
-			inst, c, watts, err := mgr.Place(mpmc.WorkloadByName(name))
+			inst, c, watts, err := mgr.Place(context.Background(), mpmc.WorkloadByName(name))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,7 +66,7 @@ func main() {
 		}
 		fmt.Printf("  departures: %s, %s\n", placed[1], placed[3])
 		if policy == mpmc.PowerAware {
-			moved, watts, err := mgr.Rebalance(0.05)
+			moved, watts, err := mgr.Rebalance(context.Background(), 0.05)
 			if err != nil {
 				log.Fatal(err)
 			}

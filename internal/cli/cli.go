@@ -7,6 +7,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -115,8 +116,10 @@ func (c FeatureConfig) ProfileOptions(name string) core.ProfileOptions {
 }
 
 // BuildFeature obtains the feature vector for one workload per the config:
-// oracle feature, saved vector from LoadDir, or a profiling run.
-func (c FeatureConfig) BuildFeature(m *machine.Machine, spec *workload.Spec) (*core.FeatureVector, error) {
+// oracle feature, saved vector from LoadDir, or a profiling run. ctx
+// bounds the profiling sweep (the tools pass their signal context, so ^C
+// abandons the sweep between runs).
+func (c FeatureConfig) BuildFeature(ctx context.Context, m *machine.Machine, spec *workload.Spec) (*core.FeatureVector, error) {
 	logf := c.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -136,14 +139,14 @@ func (c FeatureConfig) BuildFeature(m *machine.Machine, spec *workload.Spec) (*c
 		}
 	}
 	logf("profiling %s...", spec.Name)
-	return core.Profile(m, spec, c.ProfileOptions(spec.Name))
+	return core.Profile(ctx, m, spec, c.ProfileOptions(spec.Name))
 }
 
 // BuildFeatures obtains feature vectors for every spec, in input order.
-func (c FeatureConfig) BuildFeatures(m *machine.Machine, specs []*workload.Spec) ([]*core.FeatureVector, error) {
+func (c FeatureConfig) BuildFeatures(ctx context.Context, m *machine.Machine, specs []*workload.Spec) ([]*core.FeatureVector, error) {
 	out := make([]*core.FeatureVector, len(specs))
 	for i, s := range specs {
-		f, err := c.BuildFeature(m, s)
+		f, err := c.BuildFeature(ctx, m, s)
 		if err != nil {
 			return nil, err
 		}

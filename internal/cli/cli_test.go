@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -104,7 +105,7 @@ func TestBuildFeatureTruthAndLoad(t *testing.T) {
 	spec := workload.ByName("mcf")
 
 	// Truth path: analytic oracle, no profiling run.
-	f, err := FeatureConfig{Truth: true}.BuildFeature(m, spec)
+	f, err := FeatureConfig{Truth: true}.BuildFeature(context.Background(), m, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestBuildFeatureTruthAndLoad(t *testing.T) {
 	fc := FeatureConfig{LoadDir: dir, Logf: func(format string, args ...any) {
 		logged = append(logged, format)
 	}}
-	f2, err := fc.BuildFeature(m, spec)
+	f2, err := fc.BuildFeature(context.Background(), m, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestBuildFeatureTruthAndLoad(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "art.json"), []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (FeatureConfig{LoadDir: dir}).BuildFeature(m, workload.ByName("art")); err == nil {
+	if _, err := (FeatureConfig{LoadDir: dir}).BuildFeature(context.Background(), m, workload.ByName("art")); err == nil {
 		t.Fatal("corrupt saved vector accepted")
 	}
 }

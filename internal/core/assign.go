@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -19,8 +20,16 @@ type AssignmentResult struct {
 // profiling effort rather than exponential in co-run measurements (the
 // paper's headline complexity win).
 //
-// maxResults bounds the returned slice (0 = all).
+// maxResults bounds the returned slice (0 = all). It is
+// BestAssignmentContext without a caller deadline.
 func (cm *CombinedModel) BestAssignment(procs []*FeatureVector, maxResults int) ([]AssignmentResult, error) {
+	return cm.BestAssignmentContext(context.Background(), procs, maxResults)
+}
+
+// BestAssignmentContext is BestAssignment under a caller-supplied context,
+// checked once per candidate assignment: an abandoned request stops the
+// exhaustive search within one estimation step.
+func (cm *CombinedModel) BestAssignmentContext(ctx context.Context, procs []*FeatureVector, maxResults int) ([]AssignmentResult, error) {
 	if len(procs) == 0 {
 		return nil, fmt.Errorf("core: no processes to assign")
 	}
@@ -35,6 +44,9 @@ func (cm *CombinedModel) BestAssignment(procs []*FeatureVector, maxResults int) 
 	var results []AssignmentResult
 	choice := make([]int, len(procs))
 	for idx := 0; idx < total; idx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		v := idx
 		for i := range choice {
 			choice[i] = v % n
@@ -47,7 +59,7 @@ func (cm *CombinedModel) BestAssignment(procs []*FeatureVector, maxResults int) 
 		for i, c := range choice {
 			asg[c] = append(asg[c], procs[i])
 		}
-		watts, err := cm.EstimateAssignment(asg)
+		watts, err := cm.EstimateAssignmentContext(ctx, asg)
 		if err != nil {
 			return nil, err
 		}

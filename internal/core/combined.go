@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mpmc/internal/hpc"
@@ -93,14 +94,22 @@ func (cm *CombinedModel) validate(asg Assignment) error {
 // EstimateAssignment returns the estimated average processor power of the
 // assignment: Eq. 10's combination averaging within every cache group plus
 // P_idle for idle cores — the quantity Table 4 validates. Only profiling
-// data is consumed.
+// data is consumed. It is EstimateAssignmentContext without a deadline.
 func (cm *CombinedModel) EstimateAssignment(asg Assignment) (float64, error) {
+	return cm.EstimateAssignmentContext(context.Background(), asg)
+}
+
+// EstimateAssignmentContext is EstimateAssignment under a caller-supplied
+// context: cancellation propagates into every per-combination equilibrium
+// solve, so an abandoned request stops between (or inside) solves rather
+// than estimating the whole assignment.
+func (cm *CombinedModel) EstimateAssignmentContext(ctx context.Context, asg Assignment) (float64, error) {
 	if err := cm.validate(asg); err != nil {
 		return 0, err
 	}
 	total := 0.0
 	for _, group := range cm.Machine.Groups {
-		watts, err := cm.estimateGroup(asg, group)
+		watts, err := cm.estimateGroup(ctx, asg, group)
 		if err != nil {
 			return 0, err
 		}
@@ -111,7 +120,7 @@ func (cm *CombinedModel) EstimateAssignment(asg Assignment) (float64, error) {
 
 // estimateGroup averages the modeled power of one cache group over all
 // process combinations (Eq. 10). Idle cores contribute P_idle.
-func (cm *CombinedModel) estimateGroup(asg Assignment, group []int) (float64, error) {
+func (cm *CombinedModel) estimateGroup(ctx context.Context, asg Assignment, group []int) (float64, error) {
 	var busy []int
 	idle := 0
 	for _, c := range group {
@@ -132,7 +141,7 @@ func (cm *CombinedModel) estimateGroup(asg Assignment, group []int) (float64, er
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(busy) {
-			preds, err := PredictGroup(combo, cm.Machine.Assoc, cm.Solver)
+			preds, err := PredictGroupContext(ctx, combo, cm.Machine.Assoc, cm.Solver)
 			if err != nil {
 				return err
 			}
@@ -162,6 +171,13 @@ func (cm *CombinedModel) estimateGroup(asg Assignment, group []int) (float64, er
 // re-estimating c's cache group with k added while every other group's
 // estimate is unchanged (its P_rest).
 func (cm *CombinedModel) EstimateAddition(asg Assignment, k *FeatureVector, c int) (float64, error) {
+	return cm.EstimateAdditionContext(context.Background(), asg, k, c)
+}
+
+// EstimateAdditionContext is EstimateAddition under a caller-supplied
+// context. It never mutates asg: the tentative assignment is built on a
+// copy, which lets callers evaluate a placement before committing state.
+func (cm *CombinedModel) EstimateAdditionContext(ctx context.Context, asg Assignment, k *FeatureVector, c int) (float64, error) {
 	if c < 0 || c >= cm.Machine.NumCores {
 		return 0, fmt.Errorf("core: core %d out of range", c)
 	}
@@ -170,5 +186,5 @@ func (cm *CombinedModel) EstimateAddition(asg Assignment, k *FeatureVector, c in
 		next[i] = append([]*FeatureVector(nil), procs...)
 	}
 	next[c] = append(next[c], k)
-	return cm.EstimateAssignment(next)
+	return cm.EstimateAssignmentContext(ctx, next)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -39,8 +40,18 @@ const (
 
 // PredictGroup predicts the steady-state behaviour of the processes whose
 // feature vectors are given, co-running on cores that share one A-way
-// cache. A solo process simply receives the whole cache.
+// cache. A solo process simply receives the whole cache. It is
+// PredictGroupContext without a caller deadline.
 func PredictGroup(features []*FeatureVector, assoc int, method SolverMethod) ([]Prediction, error) {
+	return PredictGroupContext(context.Background(), features, assoc, method)
+}
+
+// PredictGroupContext is PredictGroup under a caller-supplied context: the
+// equilibrium solvers check ctx every iteration, so a cancelled request
+// abandons the solve promptly instead of running the search to
+// convergence. The returned error is ctx's error when cancellation (not a
+// solver failure) ended the solve.
+func PredictGroupContext(ctx context.Context, features []*FeatureVector, assoc int, method SolverMethod) ([]Prediction, error) {
 	if len(features) == 0 {
 		return nil, fmt.Errorf("core: empty co-run group")
 	}
@@ -79,13 +90,18 @@ func PredictGroup(features []*FeatureVector, assoc int, method SolverMethod) ([]
 	var err error
 	switch method {
 	case SolverWindow:
-		sizes, err = solveWindow(features, a)
+		sizes, err = solveWindow(ctx, features, a)
 	case SolverNewton:
-		sizes, err = solveNewton(features, a)
+		sizes, err = solveNewton(ctx, features, a)
 	case SolverAuto:
-		sizes, err = solveNewton(features, a)
+		sizes, err = solveNewton(ctx, features, a)
 		if err != nil {
-			sizes, err = solveWindow(features, a)
+			// Only fall back when Newton itself failed; a cancelled
+			// request must not start a second solve.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			sizes, err = solveWindow(ctx, features, a)
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown solver method %d", method)
@@ -124,7 +140,7 @@ func sizeAtWindow(f *FeatureVector, t, assoc float64) float64 {
 }
 
 // solveWindow finds the shared window T with Σ S_i(T) = A by bisection.
-func solveWindow(features []*FeatureVector, assoc float64) ([]float64, error) {
+func solveWindow(ctx context.Context, features []*FeatureVector, assoc float64) ([]float64, error) {
 	sum := func(t float64) float64 {
 		total := 0.0
 		for _, f := range features {
@@ -134,6 +150,9 @@ func solveWindow(features []*FeatureVector, assoc float64) ([]float64, error) {
 	}
 	lo, hi := 0.0, 1e-6
 	for iter := 0; sum(hi) < assoc; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lo = hi
 		hi *= 4
 		if iter > 80 {
@@ -141,6 +160,9 @@ func solveWindow(features []*FeatureVector, assoc float64) ([]float64, error) {
 		}
 	}
 	for iter := 0; iter < 200 && hi-lo > 1e-14*hi; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mid := (lo + hi) / 2
 		if sum(mid) < assoc {
 			lo = mid
@@ -155,12 +177,40 @@ func solveWindow(features []*FeatureVector, assoc float64) ([]float64, error) {
 		sizes[i] = sizeAtWindow(f, t, assoc)
 		total += sizes[i]
 	}
-	// Distribute the residual rounding so Eq. 1 holds exactly.
-	if total > 0 {
+	// Distribute the residual rounding so Eq. 1 (Σ S_i = A) holds exactly.
+	// Shrinking is a plain rescale; growth must respect each process's
+	// min(A, GMax) box, so whatever a cap absorbs is redistributed to the
+	// still-growable processes (at most one process saturates per pass).
+	if total > assoc {
 		scale := assoc / total
-		if scale < 1 { // only shrink; growing could exceed a GMax
-			for i := range sizes {
-				sizes[i] *= scale
+		for i := range sizes {
+			sizes[i] *= scale
+		}
+	} else if total > 0 && total < assoc {
+		deficit := assoc - total
+		for pass := 0; pass < len(sizes) && deficit > 0; pass++ {
+			growable := 0.0
+			for i, f := range features {
+				if sizes[i] < math.Min(assoc, f.GMax()) {
+					growable += sizes[i]
+				}
+			}
+			if growable <= 0 {
+				break
+			}
+			scale := 1 + deficit/growable
+			deficit = 0
+			for i, f := range features {
+				box := math.Min(assoc, f.GMax())
+				if sizes[i] >= box {
+					continue
+				}
+				grown := sizes[i] * scale
+				if grown > box {
+					deficit += grown - box
+					grown = box
+				}
+				sizes[i] = grown
 			}
 		}
 	}
@@ -174,8 +224,9 @@ func solveWindow(features []*FeatureVector, assoc float64) ([]float64, error) {
 //	      (API_i·(α₁·MPA₁(S₁)+β₁))
 //
 // with a numerically differenced Jacobian, damped steps, and box
-// constraints keeping every S_i in (0, min(A, GMax_i)].
-func solveNewton(features []*FeatureVector, assoc float64) ([]float64, error) {
+// constraints keeping every S_i in (0, min(A, GMax_i)]. ctx is checked at
+// the top of every Newton iteration.
+func solveNewton(ctx context.Context, features []*FeatureVector, assoc float64) ([]float64, error) {
 	k := len(features)
 	upper := make([]float64, k)
 	for i, f := range features {
@@ -219,6 +270,9 @@ func solveNewton(features []*FeatureVector, assoc float64) ([]float64, error) {
 	}
 	const tol = 1e-9
 	for iter := 0; iter < 100; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := resid(s)
 		if linalg.NormInf(r) < tol {
 			return s, nil

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// contendedGroup returns oracle features whose combined appetite exceeds
+// the machine's associativity, so PredictGroup must actually solve the
+// equilibrium rather than short-circuit on the no-contention path.
+func contendedGroup(t *testing.T, m *machine.Machine, names ...string) []*FeatureVector {
+	t.Helper()
+	feats := make([]*FeatureVector, len(names))
+	total := 0.0
+	for i, n := range names {
+		feats[i] = TruthFeature(workload.ByName(n), m)
+		total += feats[i].GMax()
+	}
+	if total <= float64(m.Assoc) {
+		t.Fatalf("group %v is not contended on %s (ΣGMax=%.2f ≤ A=%d)", names, m.Name, total, m.Assoc)
+	}
+	return feats
+}
+
+// TestPredictGroupCancelled checks every solver abandons a contended solve
+// under an already-cancelled context and reports ctx's error — in
+// particular that SolverAuto does not fall back to a second full solve
+// after cancellation killed the first.
+func TestPredictGroupCancelled(t *testing.T) {
+	m := machine.FourCoreServer()
+	feats := contendedGroup(t, m, "mcf", "art")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, method := range []SolverMethod{SolverAuto, SolverNewton, SolverWindow} {
+		if _, err := PredictGroupContext(ctx, feats, m.Assoc, method); !errors.Is(err, context.Canceled) {
+			t.Errorf("solver %v under cancelled ctx: err = %v, want context.Canceled", method, err)
+		}
+	}
+	// The same group solves fine once the context is live again.
+	if _, err := PredictGroupContext(context.Background(), feats, m.Assoc, SolverAuto); err != nil {
+		t.Fatalf("control solve failed: %v", err)
+	}
+}
+
+// testPowerModelFor fits the Eq. 9 MVLR to a synthetic full-rank dataset
+// from known coefficients — instant, for tests exercising control flow
+// rather than model quality.
+func testPowerModelFor(t *testing.T, m *machine.Machine) *PowerModel {
+	t.Helper()
+	coef := []float64{5, 2e-9, 3e-9, 4e-8, 1e-9, 2.5e-9}
+	ds := &PowerDataset{}
+	for i := 0; i < 16; i++ {
+		v := []float64{
+			float64(i%5+1) * 1e8,
+			float64(i%3+1) * 5e7,
+			float64(i%7+1) * 1e6,
+			float64(i%4+1) * 2e8,
+			float64(i%6+1) * 1e7,
+		}
+		w := coef[0]
+		for j, c := range coef[1:] {
+			w += c * v[j]
+		}
+		ds.Features = append(ds.Features, v)
+		ds.Watts = append(ds.Watts, w)
+	}
+	pm, err := FitPowerModel(ds)
+	if err != nil {
+		t.Fatalf("fitting synthetic power model: %v", err)
+	}
+	return pm
+}
+
+// TestBestAssignmentCancelled checks the exhaustive search stops between
+// candidate estimates.
+func TestBestAssignmentCancelled(t *testing.T) {
+	m := machine.FourCoreServer()
+	feats := contendedGroup(t, m, "mcf", "art")
+	cm := NewCombinedModel(m, testPowerModelFor(t, m))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cm.BestAssignmentContext(ctx, feats, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BestAssignmentContext under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveWindowCapacityExact checks the Eq. 1 invariant the residual
+// distribution exists to uphold: the returned sizes sum to exactly the
+// associativity (to float tolerance) and respect every process's
+// min(A, GMax) box — in both the shrink and the growth direction.
+func TestSolveWindowCapacityExact(t *testing.T) {
+	cases := [][]string{
+		{"mcf", "art"},
+		{"mcf", "art", "gzip"},
+		{"art", "vpr", "twolf", "equake"},
+	}
+	for _, machineOf := range []func() *machine.Machine{machine.FourCoreServer, machine.TwoCoreWorkstation} {
+		m := machineOf()
+		for _, names := range cases {
+			feats := contendedGroup(t, m, names...)
+			sizes, err := solveWindow(context.Background(), feats, float64(m.Assoc))
+			if err != nil {
+				t.Fatalf("%s %v: %v", m.Name, names, err)
+			}
+			total := 0.0
+			for i, s := range sizes {
+				box := math.Min(float64(m.Assoc), feats[i].GMax())
+				if s <= 0 || s > box+1e-9 {
+					t.Errorf("%s %v: S[%d]=%.6f outside (0, %.6f]", m.Name, names, i, s, box)
+				}
+				total += s
+			}
+			if math.Abs(total-float64(m.Assoc)) > 1e-9 {
+				t.Errorf("%s %v: ΣS = %.12f, want exactly A = %d", m.Name, names, total, m.Assoc)
+			}
+		}
+	}
+}

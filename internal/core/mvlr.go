@@ -96,8 +96,9 @@ type PowerDataset struct {
 // CollectPowerDataset gathers the Section 4.1 model-construction data:
 // for every benchmark, N instances run on the N cores while the sensor
 // records processor power; the micro-benchmark then sweeps each monitored
-// component across eight access frequencies.
-func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerTrainOptions) (*PowerDataset, error) {
+// component across eight access frequencies. A cancelled ctx stops the
+// collection between runs and returns ctx's error.
+func CollectPowerDataset(ctx context.Context, m *machine.Machine, specs []*workload.Spec, opts PowerTrainOptions) (*PowerDataset, error) {
 	o := opts.withDefaults()
 	ds := &PowerDataset{}
 	n := float64(m.NumCores)
@@ -105,7 +106,7 @@ func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerT
 	// index, so both collection loops fan out; each task returns its rows
 	// as a batch and the batches are concatenated in index order, keeping
 	// the dataset byte-identical to the serial collection.
-	batches, err := parallel.Map(context.Background(), o.Workers, len(specs), func(bi int) (PowerDataset, error) {
+	batches, err := parallel.Map(ctx, o.Workers, len(specs), func(bi int) (PowerDataset, error) {
 		spec := specs[bi]
 		asg := sim.Assignment{Procs: make([][]*workload.Spec, m.NumCores)}
 		for c := 0; c < m.NumCores; c++ {
@@ -147,7 +148,7 @@ func CollectPowerDataset(m *machine.Machine, specs []*workload.Spec, opts PowerT
 	}
 	if !o.SkipMicrobench {
 		steps := workload.Microbench(microbenchPeaks(specs))
-		batches, err := parallel.Map(context.Background(), o.Workers, len(steps), func(si int) (PowerDataset, error) {
+		batches, err := parallel.Map(ctx, o.Workers, len(steps), func(si int) (PowerDataset, error) {
 			r := hpc.FromVector(steps[si][:])
 			// The paper's phases are equal length: the idle phase runs a
 			// full 80 s while each component frequency gets 10 s, so the
@@ -216,8 +217,8 @@ func FitPowerModel(ds *PowerDataset) (*PowerModel, error) {
 
 // TrainPowerModel is the one-call Section 4.1 pipeline: collect the
 // dataset and fit the MVLR model.
-func TrainPowerModel(m *machine.Machine, specs []*workload.Spec, opts PowerTrainOptions) (*PowerModel, error) {
-	ds, err := CollectPowerDataset(m, specs, opts)
+func TrainPowerModel(ctx context.Context, m *machine.Machine, specs []*workload.Spec, opts PowerTrainOptions) (*PowerModel, error) {
+	ds, err := CollectPowerDataset(ctx, m, specs, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // trainTestModel trains a power model quickly for tests.
 func trainTestModel(t *testing.T, m *machine.Machine) (*PowerModel, *PowerDataset) {
 	t.Helper()
-	ds, err := CollectPowerDataset(m, workload.ModelSet(), PowerTrainOptions{
+	ds, err := CollectPowerDataset(context.Background(), m, workload.ModelSet(), PowerTrainOptions{
 		Warmup: 1, Duration: 3, Seed: 202, MicrobenchWindows: 6,
 	})
 	if err != nil {
@@ -170,13 +171,13 @@ func TestMicrobenchPeaksCoverSuite(t *testing.T) {
 
 func TestCollectPowerDatasetSkipMicrobench(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
-	full, err := CollectPowerDataset(m, workload.ModelSet()[:2], PowerTrainOptions{
+	full, err := CollectPowerDataset(context.Background(), m, workload.ModelSet()[:2], PowerTrainOptions{
 		Warmup: 0.5, Duration: 1, Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lean, err := CollectPowerDataset(m, workload.ModelSet()[:2], PowerTrainOptions{
+	lean, err := CollectPowerDataset(context.Background(), m, workload.ModelSet()[:2], PowerTrainOptions{
 		Warmup: 0.5, Duration: 1, Seed: 1, SkipMicrobench: true,
 	})
 	if err != nil {

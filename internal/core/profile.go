@@ -76,20 +76,24 @@ func ProfileSeed(base uint64, name string) uint64 {
 // using only quantities a real profiling run could measure: HPC counters
 // and the power sensor. The paper's O(k) profiling cost for k processes
 // corresponds to one Profile call per process.
-func Profile(m *machine.Machine, spec *workload.Spec, opts ProfileOptions) (*FeatureVector, error) {
+//
+// The sweep honours ctx between runs: a cancelled context stops the sweep
+// before the next co-run starts and returns ctx's error, so a caller's
+// deadline bounds the work to at most one in-flight profiling step.
+func Profile(ctx context.Context, m *machine.Machine, spec *workload.Spec, opts ProfileOptions) (*FeatureVector, error) {
 	o := opts.withDefaults()
 	switch o.Method {
 	case ProfileStressmark:
-		return profileStressmark(m, spec, o)
+		return profileStressmark(ctx, m, spec, o)
 	case ProfileIdeal:
-		return profileIdeal(m, spec, o)
+		return profileIdeal(ctx, m, spec, o)
 	default:
 		return nil, fmt.Errorf("core: unknown profile method %d", o.Method)
 	}
 }
 
 // profileStressmark implements the Section 3.4 sweep.
-func profileStressmark(m *machine.Machine, spec *workload.Spec, o ProfileOptions) (*FeatureVector, error) {
+func profileStressmark(ctx context.Context, m *machine.Machine, spec *workload.Spec, o ProfileOptions) (*FeatureVector, error) {
 	target := m.Groups[0][0]
 	partners := m.Partners(target)
 	if len(partners) == 0 {
@@ -101,8 +105,9 @@ func profileStressmark(m *machine.Machine, spec *workload.Spec, o ProfileOptions
 	// Each sweep point is an independent simulated co-run whose seed
 	// depends only on the stress index, so the A runs fan out across
 	// workers; the curve and regression inputs are then assembled in
-	// ascending stress order, exactly as the serial loop did.
-	points, err := parallel.Map(context.Background(), o.Workers, a, func(stress int) (sweepPoint, error) {
+	// ascending stress order, exactly as the serial loop did. Cancellation
+	// propagates through the pool: no new run starts once ctx is done.
+	points, err := parallel.Map(ctx, o.Workers, a, func(stress int) (sweepPoint, error) {
 		asg := sim.Assignment{Procs: make([][]*workload.Spec, m.NumCores)}
 		asg.Procs[target] = []*workload.Spec{spec}
 		if stress > 0 {
@@ -168,9 +173,9 @@ type sweepPoint struct {
 
 // profileIdeal measures the exact MPA curve with dedicated caches of each
 // associativity.
-func profileIdeal(m *machine.Machine, spec *workload.Spec, o ProfileOptions) (*FeatureVector, error) {
+func profileIdeal(ctx context.Context, m *machine.Machine, spec *workload.Spec, o ProfileOptions) (*FeatureVector, error) {
 	a := m.Assoc
-	points, err := parallel.Map(context.Background(), o.Workers, a, func(i int) (sweepPoint, error) {
+	points, err := parallel.Map(ctx, o.Workers, a, func(i int) (sweepPoint, error) {
 		ways := i + 1
 		mm := *m
 		mm.Assoc = ways

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -73,7 +74,7 @@ func TestProfileEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		var ref []byte
 		for _, w := range equivWorkerCounts() {
-			f, err := Profile(m, workload.ByName(tc.spec), ProfileOptions{
+			f, err := Profile(context.Background(), m, workload.ByName(tc.spec), ProfileOptions{
 				Warmup: 1, Duration: 2, Seed: 12345, Method: tc.method, Workers: w,
 			})
 			if err != nil {
@@ -108,7 +109,7 @@ func TestCollectPowerDatasetEquivalence(t *testing.T) {
 	specs := []*workload.Spec{workload.ByName("mcf"), workload.ByName("gzip")}
 	var ref []byte
 	for _, w := range equivWorkerCounts() {
-		ds, err := CollectPowerDataset(m, specs, PowerTrainOptions{
+		ds, err := CollectPowerDataset(context.Background(), m, specs, PowerTrainOptions{
 			Warmup: 1, Duration: 2, Seed: 999, MicrobenchWindows: 4, Workers: w,
 		})
 		if err != nil {

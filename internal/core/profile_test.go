@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestProfileStressmarkRecoversMPACurve(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
 	for _, name := range []string{"vpr", "mcf"} {
 		spec := workload.ByName(name)
-		f, err := Profile(m, spec, fastOpts)
+		f, err := Profile(context.Background(), m, spec, fastOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,11 +53,11 @@ func TestProfileIdealIsMoreAccurate(t *testing.T) {
 	// the stressmark on average — the profiling ablation's premise.
 	m := machine.TwoCoreWorkstation()
 	spec := workload.ByName("twolf")
-	stress, err := Profile(m, spec, fastOpts)
+	stress, err := Profile(context.Background(), m, spec, fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ideal, err := Profile(m, spec, ProfileOptions{Warmup: 1.5, Duration: 3, Seed: 99, Method: ProfileIdeal})
+	ideal, err := Profile(context.Background(), m, spec, ProfileOptions{Warmup: 1.5, Duration: 3, Seed: 99, Method: ProfileIdeal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestProfileRecoverEq3(t *testing.T) {
 	// range of the process.
 	m := machine.TwoCoreWorkstation()
 	spec := workload.ByName("mcf")
-	f, err := Profile(m, spec, fastOpts)
+	f, err := Profile(context.Background(), m, spec, fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestProfiledPredictionEndToEnd(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
 	a := workload.ByName("twolf")
 	b := workload.ByName("art")
-	fa, err := Profile(m, a, fastOpts)
+	fa, err := Profile(context.Background(), m, a, fastOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, err := Profile(m, b, ProfileOptions{Warmup: 1.5, Duration: 3, Seed: 111})
+	fb, err := Profile(context.Background(), m, b, ProfileOptions{Warmup: 1.5, Duration: 3, Seed: 111})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestEq3FitFallbacks(t *testing.T) {
 
 func TestProfileUnknownMethod(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
-	_, err := Profile(m, workload.ByName("gzip"), ProfileOptions{Method: ProfileMethod(9)})
+	_, err := Profile(context.Background(), m, workload.ByName("gzip"), ProfileOptions{Method: ProfileMethod(9)})
 	if err == nil {
 		t.Fatal("accepted unknown method")
 	}
@@ -181,11 +182,11 @@ func TestDominantPhaseProfiling(t *testing.T) {
 	if err := spec.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	whole, err := Profile(m, spec, ProfileOptions{Warmup: 2, Duration: 12, Seed: 5})
+	whole, err := Profile(context.Background(), m, spec, ProfileOptions{Warmup: 2, Duration: 12, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dom, err := Profile(m, spec, ProfileOptions{Warmup: 2, Duration: 12, Seed: 5, DominantPhase: true})
+	dom, err := Profile(context.Background(), m, spec, ProfileOptions{Warmup: 2, Duration: 12, Seed: 5, DominantPhase: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestProfileNeedsPartnerCore(t *testing.T) {
 	if err := solo.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Profile(solo, workload.ByName("gzip"), fastOpts); err == nil {
+	if _, err := Profile(context.Background(), solo, workload.ByName("gzip"), fastOpts); err == nil {
 		t.Fatal("profiling without a partner core should fail")
 	}
 }

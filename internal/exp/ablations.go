@@ -133,7 +133,7 @@ func ProfilingAblation(x *Context) (*ProfilingAblationResult, error) {
 		}
 		opts := x.Cfg.profileOpts(x.Cfg.Seed + hash("ideal/"+spec.Name))
 		opts.Method = core.ProfileIdeal
-		fi, err := core.Profile(m, spec, opts)
+		fi, err := core.Profile(context.Background(), m, spec, opts)
 		if err != nil {
 			return profOut{}, err
 		}

@@ -102,7 +102,7 @@ func (x *Context) Feature(m *machine.Machine, spec *workload.Spec) (*core.Featur
 	if ok {
 		return f, nil
 	}
-	f, err := core.Profile(m, spec, x.Cfg.profileOpts(x.Cfg.Seed+hash(key)))
+	f, err := core.Profile(context.Background(), m, spec, x.Cfg.profileOpts(x.Cfg.Seed+hash(key)))
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +129,7 @@ func (x *Context) PowerDataset(m *machine.Machine) (*core.PowerDataset, error) {
 	if ok {
 		return ds, nil
 	}
-	ds, err := core.CollectPowerDataset(m, workload.ModelSet(), x.Cfg.trainOpts(x.Cfg.Seed+hash(m.Name)))
+	ds, err := core.CollectPowerDataset(context.Background(), m, workload.ModelSet(), x.Cfg.trainOpts(x.Cfg.Seed+hash(m.Name)))
 	if err != nil {
 		return nil, err
 	}

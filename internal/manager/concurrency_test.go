@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -29,16 +30,16 @@ func TestProfileSeedOrderIndependent(t *testing.T) {
 	b := freshManager(t, m, PowerAware, 1)
 
 	// Manager a sees gzip first; manager b sees it after two others.
-	fa, err := a.FeatureOf(workload.ByName("gzip"))
+	fa, err := a.FeatureOf(context.Background(), workload.ByName("gzip"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"mcf", "art", "gzip"} {
-		if _, err := b.FeatureOf(workload.ByName(name)); err != nil {
+		if _, err := b.FeatureOf(context.Background(), workload.ByName(name)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	fb, err := b.FeatureOf(workload.ByName("gzip"))
+	fb, err := b.FeatureOf(context.Background(), workload.ByName("gzip"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestPlaceAllMatchesSequentialPlace(t *testing.T) {
 	serial := freshManager(t, m, PowerAware, 1)
 	var want []Placement
 	for _, s := range arrivals {
-		name, c, w, err := serial.Place(s)
+		name, c, w, err := serial.Place(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestPlaceAllMatchesSequentialPlace(t *testing.T) {
 	}
 
 	batch := freshManager(t, m, PowerAware, 4)
-	got, err := batch.PlaceAll(arrivals)
+	got, err := batch.PlaceAll(context.Background(), arrivals)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestConcurrentPlaceIsSafe(t *testing.T) {
 	errs := make(chan error, len(specs))
 	for _, s := range specs {
 		go func(s *workload.Spec) {
-			_, _, _, err := mgr.Place(s)
+			_, _, _, err := mgr.Place(context.Background(), s)
 			errs <- err
 		}(s)
 	}

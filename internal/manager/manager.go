@@ -37,11 +37,31 @@ var (
 // FeatureSource supplies feature vectors for workloads. It abstracts the
 // manager's built-in memoizing profiler so a serving layer can substitute
 // a shared bounded cache with singleflight deduplication; implementations
-// must be safe for concurrent use and deterministic for a given workload
-// name (same contract as core.ProfileSeed).
+// must be safe for concurrent use, deterministic for a given workload
+// name (same contract as core.ProfileSeed), and must honour ctx so a
+// cancelled request abandons an in-flight profiling sweep promptly.
 type FeatureSource interface {
-	FeatureOf(spec *workload.Spec) (*core.FeatureVector, error)
+	FeatureOf(ctx context.Context, spec *workload.Spec) (*core.FeatureVector, error)
 }
+
+// RollbackError reports that a PlaceAll batch failed after admitting some
+// of its instances; the manager has been rolled back to its pre-call
+// state, so none of the batch is resident. Unwrap exposes the placement
+// failure that triggered the rollback (e.g. ErrMachineFull or ctx's
+// error), keeping errors.Is checks on the cause working.
+type RollbackError struct {
+	// Admitted counts the instances that had been placed before the
+	// failure (all since evicted by the rollback).
+	Admitted int
+	// Err is the underlying placement failure.
+	Err error
+}
+
+func (e *RollbackError) Error() string {
+	return fmt.Sprintf("manager: batch rolled back after %d placement(s): %v", e.Admitted, e.Err)
+}
+
+func (e *RollbackError) Unwrap() error { return e.Err }
 
 // Policy selects how arriving processes are placed.
 type Policy int
@@ -133,10 +153,11 @@ func New(m *machine.Machine, pm *core.PowerModel, opts Options) *Manager {
 // placement lock, so several unknown workloads can profile concurrently;
 // each profiling seed depends only on the configured base seed and the
 // workload's name, never on arrival order, so the resulting vectors are
-// reproducible at any concurrency.
-func (mgr *Manager) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) {
+// reproducible at any concurrency. A cancelled ctx abandons the sweep
+// between runs and returns ctx's error.
+func (mgr *Manager) FeatureOf(ctx context.Context, spec *workload.Spec) (*core.FeatureVector, error) {
 	if mgr.opts.Features != nil {
-		return mgr.opts.Features.FeatureOf(spec)
+		return mgr.opts.Features.FeatureOf(ctx, spec)
 	}
 	mgr.mu.Lock()
 	f, ok := mgr.profiles[spec.Name]
@@ -146,7 +167,7 @@ func (mgr *Manager) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) 
 	}
 	opts := mgr.opts.Profile
 	opts.Seed = core.ProfileSeed(opts.Seed, spec.Name)
-	f, err := core.Profile(mgr.mach, spec, opts)
+	f, err := core.Profile(ctx, mgr.mach, spec, opts)
 	if err != nil {
 		return nil, fmt.Errorf("manager: profiling %s: %w", spec.Name, err)
 	}
@@ -168,12 +189,15 @@ type Placement struct {
 	Watts float64
 }
 
-// PlaceAll admits a batch of arrivals. Unknown workloads are profiled
-// concurrently first (bounded by the Profile.Workers option); the
-// instances are then placed one at a time in input order under the
-// placement lock, so the final assignment is identical to making the
-// same Place calls sequentially.
-func (mgr *Manager) PlaceAll(specs []*workload.Spec) ([]Placement, error) {
+// PlaceAll admits a batch of arrivals transactionally: either every
+// instance is admitted, or the manager is rolled back to its pre-call
+// state and the error (a *RollbackError when placements had already
+// happened) reports why. Unknown workloads are profiled concurrently
+// first (bounded by the Profile.Workers option) under the caller's ctx;
+// the instances are then placed one at a time in input order under the
+// placement lock, so a successful batch yields the same assignment as
+// making the same Place calls sequentially.
+func (mgr *Manager) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Placement, error) {
 	var unknown []*workload.Spec
 	seen := map[string]bool{}
 	mgr.mu.Lock()
@@ -184,19 +208,55 @@ func (mgr *Manager) PlaceAll(specs []*workload.Spec) ([]Placement, error) {
 		}
 	}
 	mgr.mu.Unlock()
-	err := parallel.ForEach(context.Background(), mgr.opts.Profile.Workers, len(unknown), func(i int) error {
-		_, err := mgr.FeatureOf(unknown[i])
+	err := parallel.ForEach(ctx, mgr.opts.Profile.Workers, len(unknown), func(i int) error {
+		_, err := mgr.FeatureOf(ctx, unknown[i])
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Placement, len(specs))
+	// Resolve every feature before taking the placement lock: from here on
+	// no profiling can happen, so the batch commits or rolls back without
+	// blocking other callers on a sweep.
+	feats := make([]*core.FeatureVector, len(specs))
 	for i, s := range specs {
-		name, c, w, err := mgr.Place(s)
+		f, err := mgr.FeatureOf(ctx, s)
 		if err != nil {
 			return nil, err
 		}
+		feats[i] = f
+	}
+
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	snapProcs := make([][]string, len(mgr.procs))
+	for c, names := range mgr.procs {
+		snapProcs[c] = append([]string(nil), names...)
+	}
+	snapNextID, snapRR := mgr.nextID, mgr.rrNext
+	var added []string
+	rollback := func(cause error) error {
+		for _, n := range added {
+			delete(mgr.features, n)
+			delete(mgr.specs, n)
+		}
+		mgr.procs = snapProcs
+		mgr.nextID, mgr.rrNext = snapNextID, snapRR
+		if len(added) > 0 {
+			return &RollbackError{Admitted: len(added), Err: cause}
+		}
+		return cause
+	}
+	out := make([]Placement, len(specs))
+	for i, s := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, rollback(err)
+		}
+		name, c, w, err := mgr.placeLocked(ctx, s, feats[i])
+		if err != nil {
+			return nil, rollback(err)
+		}
+		added = append(added, name)
 		out[i] = Placement{Name: name, Core: c, Watts: w}
 	}
 	return out, nil
@@ -246,17 +306,27 @@ func (mgr *Manager) estimatedPowerLocked() (float64, error) {
 }
 
 // Place admits a new instance of spec and returns its instance name, the
-// chosen core, and the estimated processor power after placement.
-func (mgr *Manager) Place(spec *workload.Spec) (name string, coreID int, watts float64, err error) {
-	f, err := mgr.FeatureOf(spec)
+// chosen core, and the estimated processor power after placement. On any
+// error — profiling, no admissible core, or a failed power estimate —
+// manager state is untouched.
+func (mgr *Manager) Place(ctx context.Context, spec *workload.Spec) (name string, coreID int, watts float64, err error) {
+	f, err := mgr.FeatureOf(ctx, spec)
 	if err != nil {
 		return "", 0, 0, err
 	}
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
+	return mgr.placeLocked(ctx, spec, f)
+}
+
+// placeLocked chooses a core, computes the post-placement power estimate,
+// and only then records the instance: every fallible step runs before the
+// first mutation, so an error leaves procs, features, specs, nextID and
+// rrNext exactly as they were. Called with the placement lock held.
+func (mgr *Manager) placeLocked(ctx context.Context, spec *workload.Spec, f *core.FeatureVector) (name string, coreID int, watts float64, err error) {
 	switch mgr.opts.Policy {
 	case PowerAware:
-		coreID, watts, err = mgr.placePowerAware(f)
+		coreID, watts, err = mgr.placePowerAware(ctx, f)
 	case RoundRobin:
 		coreID, err = mgr.placeRoundRobin()
 	case LeastLoaded:
@@ -267,30 +337,35 @@ func (mgr *Manager) Place(spec *workload.Spec) (name string, coreID int, watts f
 	if err != nil {
 		return "", 0, 0, err
 	}
+	if mgr.opts.Policy != PowerAware {
+		// EstimateAddition on the current assignment equals estimating the
+		// post-append assignment, without touching state first.
+		watts, err = mgr.cm.EstimateAdditionContext(ctx, mgr.assignmentLocked(), f, coreID)
+		if err != nil {
+			return "", 0, 0, err
+		}
+	}
 	mgr.nextID++
 	name = fmt.Sprintf("%s#%d", spec.Name, mgr.nextID)
 	mgr.procs[coreID] = append(mgr.procs[coreID], name)
 	mgr.features[name] = f
 	mgr.specs[name] = spec
-	if mgr.opts.Policy != PowerAware {
-		watts, err = mgr.estimatedPowerLocked()
-		if err != nil {
-			return "", 0, 0, err
-		}
+	if mgr.opts.Policy == RoundRobin {
+		mgr.rrNext = (coreID + 1) % mgr.mach.NumCores
 	}
 	return name, coreID, watts, nil
 }
 
 // placePowerAware evaluates Figure 1 for every admissible core. Called
 // with the placement lock held.
-func (mgr *Manager) placePowerAware(f *core.FeatureVector) (int, float64, error) {
+func (mgr *Manager) placePowerAware(ctx context.Context, f *core.FeatureVector) (int, float64, error) {
 	asg := mgr.assignmentLocked()
 	best, bestW := -1, 0.0
 	for c := 0; c < mgr.mach.NumCores; c++ {
 		if !mgr.admissible(c) {
 			continue
 		}
-		w, err := mgr.cm.EstimateAddition(asg, f, c)
+		w, err := mgr.cm.EstimateAdditionContext(ctx, asg, f, c)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -304,10 +379,15 @@ func (mgr *Manager) placePowerAware(f *core.FeatureVector) (int, float64, error)
 	return best, bestW, nil
 }
 
+// placeRoundRobin scans cores in rotation without mutating anything; the
+// caller commits rrNext = (chosen+1) mod NumCores on success, which keeps
+// the cursor bounded on a long-lived server (it previously grew without
+// bound) and leaves it untouched when placement fails.
 func (mgr *Manager) placeRoundRobin() (int, error) {
-	for tries := 0; tries < mgr.mach.NumCores; tries++ {
-		c := mgr.rrNext % mgr.mach.NumCores
-		mgr.rrNext++
+	n := mgr.mach.NumCores
+	start := mgr.rrNext % n
+	for tries := 0; tries < n; tries++ {
+		c := (start + tries) % n
 		if mgr.admissible(c) {
 			return c, nil
 		}
@@ -366,8 +446,9 @@ func (mgr *Manager) Running() [][]string {
 // Rebalance re-runs the global assignment search over the resident
 // processes and migrates to the best layout if it saves at least
 // minSavingWatts. Returns the number of processes that moved and the
-// estimated power after rebalancing.
-func (mgr *Manager) Rebalance(minSavingWatts float64) (moved int, watts float64, err error) {
+// estimated power after rebalancing. A cancelled ctx abandons the search
+// within one candidate estimate and leaves the assignment unchanged.
+func (mgr *Manager) Rebalance(ctx context.Context, minSavingWatts float64) (moved int, watts float64, err error) {
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
 	var names []string
@@ -385,7 +466,7 @@ func (mgr *Manager) Rebalance(minSavingWatts float64) (moved int, watts float64,
 	if len(names) == 0 {
 		return 0, current, nil
 	}
-	results, err := mgr.cm.BestAssignment(feats, 0)
+	results, err := mgr.cm.BestAssignmentContext(ctx, feats, 0)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func sharedPowerModel(t *testing.T, m *machine.Machine) *core.PowerModel {
 	if pm, ok := pmCache[m.Name]; ok {
 		return pm
 	}
-	pm, err := core.TrainPowerModel(m, workload.ModelSet(), core.PowerTrainOptions{
+	pm, err := core.TrainPowerModel(context.Background(), m, workload.ModelSet(), core.PowerTrainOptions{
 		Warmup: 1, Duration: 3, Seed: 7, MicrobenchWindows: 6,
 	})
 	if err != nil {
@@ -53,14 +54,14 @@ func testManager(t *testing.T, m *machine.Machine, policy Policy) *Manager {
 func TestPlaceAndRemove(t *testing.T) {
 	m := machine.FourCoreServer()
 	mgr := testManager(t, m, PowerAware)
-	name1, c1, w1, err := mgr.Place(workload.ByName("mcf"))
+	name1, c1, w1, err := mgr.Place(context.Background(), workload.ByName("mcf"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c1 < 0 || c1 >= m.NumCores || w1 <= 0 {
 		t.Fatalf("placement (%d, %.2f) implausible", c1, w1)
 	}
-	name2, _, w2, err := mgr.Place(workload.ByName("gzip"))
+	name2, _, w2, err := mgr.Place(context.Background(), workload.ByName("gzip"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestPlaceAndRemove(t *testing.T) {
 func TestProfilingIsMemoized(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
 	mgr := testManager(t, m, PowerAware)
-	f1, err := mgr.FeatureOf(workload.ByName("vpr"))
+	f1, err := mgr.FeatureOf(context.Background(), workload.ByName("vpr"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := mgr.FeatureOf(workload.ByName("vpr"))
+	f2, err := mgr.FeatureOf(context.Background(), workload.ByName("vpr"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,15 +107,15 @@ func TestPowerAwareAvoidsHotPairing(t *testing.T) {
 	// choice — and its estimate must be the minimum over cores.
 	m := machine.FourCoreServer()
 	mgr := testManager(t, m, PowerAware)
-	if _, _, _, err := mgr.Place(workload.ByName("mcf")); err != nil {
+	if _, _, _, err := mgr.Place(context.Background(), workload.ByName("mcf")); err != nil {
 		t.Fatal(err)
 	}
-	fArt, err := mgr.FeatureOf(workload.ByName("art"))
+	fArt, err := mgr.FeatureOf(context.Background(), workload.ByName("art"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	asg := mgr.Assignment()
-	_, chosenCore, chosenW, err := mgr.Place(workload.ByName("art"))
+	_, chosenCore, chosenW, err := mgr.Place(context.Background(), workload.ByName("art"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestRoundRobinRotates(t *testing.T) {
 	mgr := testManager(t, m, RoundRobin)
 	cores := map[int]bool{}
 	for i := 0; i < m.NumCores; i++ {
-		_, c, _, err := mgr.Place(workload.ByName("gzip"))
+		_, c, _, err := mgr.Place(context.Background(), workload.ByName("gzip"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func TestLeastLoadedBalances(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
 	mgr := testManager(t, m, LeastLoaded)
 	for i := 0; i < 4; i++ {
-		if _, _, _, err := mgr.Place(workload.ByName("gzip")); err != nil {
+		if _, _, _, err := mgr.Place(context.Background(), workload.ByName("gzip")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -161,7 +162,7 @@ func TestLeastLoadedBalances(t *testing.T) {
 
 func TestMaxPerCoreEnforced(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
-	pm, err := core.TrainPowerModel(m, workload.ModelSet()[:2], core.PowerTrainOptions{
+	pm, err := core.TrainPowerModel(context.Background(), m, workload.ModelSet()[:2], core.PowerTrainOptions{
 		Warmup: 0.5, Duration: 1, Seed: 7, MicrobenchWindows: 2,
 	})
 	if err != nil {
@@ -173,11 +174,11 @@ func TestMaxPerCoreEnforced(t *testing.T) {
 		MaxPerCore: 1,
 	})
 	for i := 0; i < 2; i++ {
-		if _, _, _, err := mgr.Place(workload.ByName("gzip")); err != nil {
+		if _, _, _, err := mgr.Place(context.Background(), workload.ByName("gzip")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, _, err := mgr.Place(workload.ByName("gzip")); err == nil {
+	if _, _, _, err := mgr.Place(context.Background(), workload.ByName("gzip")); err == nil {
 		t.Fatal("exceeded MaxPerCore")
 	}
 }
@@ -188,7 +189,7 @@ func TestRebalanceMigratesWhenItPays(t *testing.T) {
 	m := machine.FourCoreServer()
 	mgr := testManager(t, m, RoundRobin)
 	for _, n := range []string{"mcf", "art", "gzip", "equake"} {
-		if _, _, _, err := mgr.Place(workload.ByName(n)); err != nil {
+		if _, _, _, err := mgr.Place(context.Background(), workload.ByName(n)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -196,7 +197,7 @@ func TestRebalanceMigratesWhenItPays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	moved, after, err := mgr.Rebalance(0.01)
+	moved, after, err := mgr.Rebalance(context.Background(), 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestRebalanceMigratesWhenItPays(t *testing.T) {
 		}
 	}
 	// A second rebalance has nothing left to gain.
-	moved2, _, err := mgr.Rebalance(0.01)
+	moved2, _, err := mgr.Rebalance(context.Background(), 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestPowerAwareBeatsRoundRobinMeasured(t *testing.T) {
 	measure := func(policy Policy) float64 {
 		mgr := testManager(t, m, policy)
 		for _, n := range arrivals {
-			if _, _, _, err := mgr.Place(workload.ByName(n)); err != nil {
+			if _, _, _, err := mgr.Place(context.Background(), workload.ByName(n)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -260,11 +261,11 @@ func TestRebalanceHonoursMaxPerCore(t *testing.T) {
 		SharedProfiles: featShared[m.Name],
 	})
 	for _, n := range []string{"mcf", "art", "gzip", "equake"} {
-		if _, _, _, err := mgr.Place(workload.ByName(n)); err != nil {
+		if _, _, _, err := mgr.Place(context.Background(), workload.ByName(n)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := mgr.Rebalance(0); err != nil {
+	if _, _, err := mgr.Rebalance(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	for c, names := range mgr.Running() {

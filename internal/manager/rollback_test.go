@@ -1,0 +1,212 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// truthSource is an instant FeatureSource serving analytic oracle features,
+// with optional per-workload overrides (e.g. an invalid vector to force
+// estimation failures downstream of core selection).
+type truthSource struct {
+	m        *machine.Machine
+	override map[string]*core.FeatureVector
+}
+
+func (s *truthSource) FeatureOf(_ context.Context, spec *workload.Spec) (*core.FeatureVector, error) {
+	if f, ok := s.override[spec.Name]; ok {
+		return f, nil
+	}
+	return core.TruthFeature(spec, s.m), nil
+}
+
+// blockingSource parks every caller until its ctx is cancelled, modeling a
+// profiling sweep that outlives the request.
+type blockingSource struct{}
+
+func (blockingSource) FeatureOf(ctx context.Context, _ *workload.Spec) (*core.FeatureVector, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func truthManager(t *testing.T, m *machine.Machine, policy Policy, maxPerCore int, src FeatureSource) *Manager {
+	t.Helper()
+	if src == nil {
+		src = &truthSource{m: m}
+	}
+	return New(m, sharedPowerModel(t, m), Options{
+		Policy:     policy,
+		MaxPerCore: maxPerCore,
+		Features:   src,
+	})
+}
+
+// TestPlaceAllRollbackOnMachineFull drives a batch into mid-batch
+// ErrMachineFull and checks the transaction contract: the observable state
+// is deep-equal to the pre-call snapshot, the cause stays testable with
+// errors.Is, and the wrapper reports how many placements were undone.
+func TestPlaceAllRollbackOnMachineFull(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	mgr := truthManager(t, m, PowerAware, 1, nil)
+	ctx := context.Background()
+
+	preName, _, _, err := mgr.Place(ctx, workload.ByName("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runningBefore := mgr.Running()
+	asgBefore := mgr.Assignment()
+
+	// One free core, two arrivals: the second placement must fail and the
+	// first must be undone.
+	_, err = mgr.PlaceAll(ctx, []*workload.Spec{workload.ByName("mcf"), workload.ByName("art")})
+	if err == nil {
+		t.Fatal("PlaceAll succeeded with only one admissible slot")
+	}
+	if !errors.Is(err, ErrMachineFull) {
+		t.Fatalf("error %v, want ErrMachineFull in the chain", err)
+	}
+	var rb *RollbackError
+	if !errors.As(err, &rb) {
+		t.Fatalf("error %v, want a *RollbackError wrapper", err)
+	}
+	if rb.Admitted != 1 {
+		t.Fatalf("RollbackError.Admitted = %d, want 1", rb.Admitted)
+	}
+	if got := mgr.Running(); !reflect.DeepEqual(got, runningBefore) {
+		t.Fatalf("Running() after rollback = %v, want pre-call %v", got, runningBefore)
+	}
+	if got := mgr.Assignment(); !reflect.DeepEqual(got, asgBefore) {
+		t.Fatalf("Assignment() after rollback differs from pre-call snapshot")
+	}
+	// nextID was restored too: the next admitted instance gets the same
+	// name it would have had if the failed batch never happened.
+	if err := mgr.Remove(preName); err != nil {
+		t.Fatal(err)
+	}
+	name, _, _, err := mgr.Place(ctx, workload.ByName("mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mcf#2" {
+		t.Fatalf("instance name %q after rollback, want mcf#2 (nextID leaked)", name)
+	}
+}
+
+// TestPlaceAllNoRollbackWrapperWhenNothingAdmitted checks that a batch
+// failing before any placement returns the bare cause: there is nothing to
+// roll back, so no *RollbackError is fabricated.
+func TestPlaceAllNoRollbackWrapperWhenNothingAdmitted(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	mgr := truthManager(t, m, PowerAware, 1, nil)
+	ctx := context.Background()
+	for _, n := range []string{"gzip", "mcf"} {
+		if _, _, _, err := mgr.Place(ctx, workload.ByName(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := mgr.PlaceAll(ctx, []*workload.Spec{workload.ByName("art")})
+	if !errors.Is(err, ErrMachineFull) {
+		t.Fatalf("error %v, want ErrMachineFull", err)
+	}
+	var rb *RollbackError
+	if errors.As(err, &rb) {
+		t.Fatalf("got *RollbackError %v for a batch with zero admissions", rb)
+	}
+}
+
+// TestPlaceAllCancelPrompt cancels a PlaceAll whose profiling blocks and
+// checks the call returns promptly with zero admissions — the "bounded
+// work per request" property the serving layer depends on.
+func TestPlaceAllCancelPrompt(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	mgr := truthManager(t, m, PowerAware, 0, blockingSource{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := mgr.PlaceAll(ctx, []*workload.Spec{workload.ByName("gzip"), workload.ByName("mcf")})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("PlaceAll took %v after cancellation, want prompt return", elapsed)
+	}
+	for c, names := range mgr.Running() {
+		if len(names) != 0 {
+			t.Fatalf("core %d holds %v after a cancelled batch", c, names)
+		}
+	}
+}
+
+// TestPlaceErrorLeavesStateUntouched forces the post-selection power
+// estimate to fail (invalid feature vector) and checks Place leaks
+// nothing: no resident instance, and the round-robin cursor still points
+// where the last successful placement left it.
+func TestPlaceErrorLeavesStateUntouched(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	src := &truthSource{m: m, override: map[string]*core.FeatureVector{
+		"art": {}, // fails Validate inside the power estimate
+	}}
+	mgr := truthManager(t, m, RoundRobin, 0, src)
+	ctx := context.Background()
+
+	_, c0, _, err := mgr.Place(ctx, workload.ByName("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0 != 0 {
+		t.Fatalf("first round-robin placement on core %d, want 0", c0)
+	}
+	runningBefore := mgr.Running()
+
+	if _, _, _, err := mgr.Place(ctx, workload.ByName("art")); err == nil {
+		t.Fatal("Place with an invalid feature vector succeeded")
+	}
+	if got := mgr.Running(); !reflect.DeepEqual(got, runningBefore) {
+		t.Fatalf("Running() after failed Place = %v, want %v", got, runningBefore)
+	}
+	// The failed attempt must not have advanced the cursor: the next
+	// success continues the rotation at core 1.
+	_, c1, _, err := mgr.Place(ctx, workload.ByName("mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != 1 {
+		t.Fatalf("placement after failed attempt on core %d, want 1 (rrNext leaked)", c1)
+	}
+}
+
+// TestRoundRobinCursorBounded places (and removes) more instances than a
+// long-lived server has cores and checks the cursor stays reduced modulo
+// NumCores instead of growing without bound.
+func TestRoundRobinCursorBounded(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	mgr := truthManager(t, m, RoundRobin, 0, nil)
+	ctx := context.Background()
+	for i := 0; i < 5*m.NumCores; i++ {
+		name, _, _, err := mgr.Place(ctx, workload.ByName("gzip"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.mu.Lock()
+		rr := mgr.rrNext
+		mgr.mu.Unlock()
+		if rr < 0 || rr >= m.NumCores {
+			t.Fatalf("rrNext = %d after %d placements, want [0,%d)", rr, i+1, m.NumCores)
+		}
+		if err := mgr.Remove(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -178,6 +178,20 @@ func TestMapCollectsByIndex(t *testing.T) {
 	}
 }
 
+func TestMapContextCancellation(t *testing.T) {
+	// The profiling sweep and training collection fan out through Map;
+	// a cancelled request must surface ctx's error and no partial slice.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Map(ctx, 4, 100, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != nil {
+		t.Fatalf("cancelled Map returned results %v", got)
+	}
+}
+
 func TestMapErrorDiscardsResults(t *testing.T) {
 	got, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
 		if i == 6 {

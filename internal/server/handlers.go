@@ -170,13 +170,21 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 	}
 }
 
-// toAPIError maps any handler error onto the typed wire error.
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response; 5xx would miscount these as server faults.
+const statusClientClosedRequest = 499
+
+// toAPIError maps any handler error onto the typed wire error. Context
+// errors are checked before placement sentinels so a rolled-back batch
+// whose cause was cancellation reports the cancellation.
 func toAPIError(err error) *apiError {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
 		return ae
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled):
+		return &apiError{Status: statusClientClosedRequest, Code: "client_closed_request", Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
 		return &apiError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded", Message: err.Error()}
 	case errors.Is(err, manager.ErrMachineFull):
 		return &apiError{Status: http.StatusConflict, Code: "machine_full", Message: err.Error()}
@@ -294,7 +302,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	for i, fi := range feats {
 		raw[i] = fi.Feature
 	}
-	preds, err := core.PredictGroup(raw, s.mach.Assoc, solver)
+	preds, err := core.PredictGroupContext(r.Context(), raw, s.mach.Assoc, solver)
 	if err != nil {
 		return fmt.Errorf("predicting group: %w", err)
 	}
@@ -331,7 +339,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) error {
 	for i, fi := range feats {
 		raw[i] = fi.Feature
 	}
-	results, err := s.cm.BestAssignment(raw, 0)
+	results, err := s.cm.BestAssignmentContext(r.Context(), raw, 0)
 	if err != nil {
 		return fmt.Errorf("ranking assignments: %w", err)
 	}
@@ -374,8 +382,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) error {
 	if _, err := s.features(r.Context(), specs); err != nil {
 		return err
 	}
-	placements, err := s.mgr.PlaceAll(specs)
+	placements, err := s.mgr.PlaceAll(r.Context(), specs)
 	if err != nil {
+		var rb *manager.RollbackError
+		if errors.As(err, &rb) {
+			s.reg.Counter("place_rollback_total").Inc()
+		}
 		return err
 	}
 	watts, err := s.mgr.EstimatedPower()

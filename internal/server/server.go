@@ -114,9 +114,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.Registry = metrics.NewRegistry()
 	}
 	if cfg.Profile == nil {
-		cfg.Profile = func(_ context.Context, m *machine.Machine, spec *workload.Spec, opts core.ProfileOptions) (*core.FeatureVector, error) {
-			return core.Profile(m, spec, opts)
-		}
+		cfg.Profile = core.Profile
 	}
 
 	s := &Server{
@@ -189,10 +187,11 @@ func newFeatureCache(s *Server) *featureCache {
 	}
 }
 
-// FeatureOf implements manager.FeatureSource (no deadline: placement
-// profiling is bounded by the request that triggered it via get).
-func (fc *featureCache) FeatureOf(spec *workload.Spec) (*core.FeatureVector, error) {
-	f, _, err := fc.get(context.Background(), spec)
+// FeatureOf implements manager.FeatureSource: placement profiling runs
+// under the request context that triggered it, so a client disconnect or
+// deadline abandons the sweep like any direct profile request.
+func (fc *featureCache) FeatureOf(ctx context.Context, spec *workload.Spec) (*core.FeatureVector, error) {
+	f, _, err := fc.get(ctx, spec)
 	return f, err
 }
 
@@ -217,6 +216,11 @@ func (fc *featureCache) get(ctx context.Context, spec *workload.Spec) (f *core.F
 		fcfg := cli.FeatureConfig{Seed: fc.s.cfg.Seed, Quick: fc.s.cfg.Quick, Workers: fc.s.cfg.Workers}
 		f, err := fc.s.cfg.Profile(ctx, fc.s.mach, spec, fcfg.ProfileOptions(spec.Name))
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The sweep was cut short by cancellation, not a profiling
+				// failure; nothing was cached, a retry starts clean.
+				fc.s.reg.Counter("profile_abandoned_total").Inc()
+			}
 			return nil, fmt.Errorf("profiling %s: %w", spec.Name, err)
 		}
 		fc.lru.Put(spec.Name, f)

@@ -42,7 +42,7 @@ var (
 func testPowerModel(t *testing.T) *core.PowerModel {
 	t.Helper()
 	pmOnce.Do(func() {
-		pmVal, pmErr = core.TrainPowerModel(testMachine(), workload.ModelSet(), cli.TrainOptions(1, true, 0))
+		pmVal, pmErr = core.TrainPowerModel(context.Background(), testMachine(), workload.ModelSet(), cli.TrainOptions(1, true, 0))
 	})
 	if pmErr != nil {
 		t.Fatalf("training power model: %v", pmErr)

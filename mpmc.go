@@ -37,6 +37,8 @@
 package mpmc
 
 import (
+	"context"
+
 	"mpmc/internal/baseline"
 	"mpmc/internal/core"
 	"mpmc/internal/exp"
@@ -111,9 +113,17 @@ const (
 )
 
 // Profile characterizes a workload on a machine using only measurable
-// quantities (the paper's automated profiling).
+// quantities (the paper's automated profiling). Use ProfileContext to
+// bound the sweep with a deadline or cancellation.
 func Profile(m *Machine, w *Workload, opts ProfileOptions) (*FeatureVector, error) {
-	return core.Profile(m, w, opts)
+	return core.Profile(context.Background(), m, w, opts)
+}
+
+// ProfileContext is Profile under a caller-supplied context: a cancelled
+// ctx stops the sweep before the next co-run starts, bounding the work to
+// at most one in-flight profiling step.
+func ProfileContext(ctx context.Context, m *Machine, w *Workload, opts ProfileOptions) (*FeatureVector, error) {
+	return core.Profile(ctx, m, w, opts)
 }
 
 // TruthFeature builds the analytic oracle feature vector (for ablations
@@ -124,6 +134,13 @@ func TruthFeature(w *Workload, m *Machine) *FeatureVector { return core.TruthFea
 // processes sharing one cache (Section 3).
 func PredictGroup(features []*FeatureVector, assoc int, method SolverMethod) ([]Prediction, error) {
 	return core.PredictGroup(features, assoc, method)
+}
+
+// PredictGroupContext is PredictGroup under a caller-supplied context:
+// the equilibrium solvers check ctx every iteration, so cancellation
+// abandons the solve promptly.
+func PredictGroupContext(ctx context.Context, features []*FeatureVector, assoc int, method SolverMethod) ([]Prediction, error) {
+	return core.PredictGroupContext(ctx, features, assoc, method)
 }
 
 // PredictGroupOnCores is PredictGroup for heterogeneous processors:
@@ -152,12 +169,24 @@ type (
 
 // TrainPowerModel runs the Section 4.1 pipeline on a machine.
 func TrainPowerModel(m *Machine, specs []*Workload, opts PowerTrainOptions) (*PowerModel, error) {
-	return core.TrainPowerModel(m, specs, opts)
+	return core.TrainPowerModel(context.Background(), m, specs, opts)
+}
+
+// TrainPowerModelContext is TrainPowerModel under a caller-supplied
+// context: cancellation stops the collection between runs.
+func TrainPowerModelContext(ctx context.Context, m *Machine, specs []*Workload, opts PowerTrainOptions) (*PowerModel, error) {
+	return core.TrainPowerModel(ctx, m, specs, opts)
 }
 
 // CollectPowerDataset gathers the training data without fitting.
 func CollectPowerDataset(m *Machine, specs []*Workload, opts PowerTrainOptions) (*PowerDataset, error) {
-	return core.CollectPowerDataset(m, specs, opts)
+	return core.CollectPowerDataset(context.Background(), m, specs, opts)
+}
+
+// CollectPowerDatasetContext is CollectPowerDataset under a
+// caller-supplied context.
+func CollectPowerDatasetContext(ctx context.Context, m *Machine, specs []*Workload, opts PowerTrainOptions) (*PowerDataset, error) {
+	return core.CollectPowerDataset(ctx, m, specs, opts)
 }
 
 // FitPowerModel fits the MVLR model to a dataset.

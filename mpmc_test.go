@@ -1,6 +1,7 @@
 package mpmc
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -120,7 +121,7 @@ func TestFacadeManager(t *testing.T) {
 		Profile:        ProfileOptions{Warmup: 1, Duration: 2, Seed: 9},
 		SharedProfiles: cache,
 	})
-	name, core0, watts, err := mgr.Place(WorkloadByName("vpr"))
+	name, core0, watts, err := mgr.Place(context.Background(), WorkloadByName("vpr"))
 	if err != nil {
 		t.Fatal(err)
 	}
