@@ -1,0 +1,65 @@
+// Command fleet runs the deterministic fleet simulator: a seeded arrival
+// trace replayed under each placement policy on a virtual clock, reporting
+// fleet-wide time-weighted predicted SPI and watts per policy. The same
+// scenario file always produces byte-identical output, at any -workers
+// value, so the report doubles as a golden artifact in CI.
+//
+// Usage:
+//
+//	fleet -scenario scenario.json [-workers 4] [-o report.json]
+//
+// See the README "Fleet" section for the scenario schema.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mpmc/internal/fleet"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "scenario JSON file (required)")
+	workers := flag.Int("workers", 0, "scoring concurrency (0 = GOMAXPROCS; never affects output)")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	if *scenario == "" {
+		fmt.Fprintln(os.Stderr, "fleet: -scenario is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, err := fleet.LoadScenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := fleet.NewSim(sc, *workers).Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

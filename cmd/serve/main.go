@@ -8,9 +8,13 @@
 // Usage:
 //
 //	serve -addr :8080 -machine server [-policy power-aware] [-max-per-core 2]
+//	      [-fleet "workstation,workstation,server"] [-fleet-policy least-degradation]
+//	      [-debug-addr 127.0.0.1:6060]
 //
-// See the README "Serving" section for curl examples and the metrics
-// glossary.
+// -fleet attaches a multi-machine scheduler (the /v1/fleet endpoints);
+// -debug-addr opens net/http/pprof on a separate, private listener. See
+// the README "Serving" and "Fleet" sections for curl examples and the
+// metrics glossary.
 package main
 
 import (
@@ -20,13 +24,18 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mpmc/internal/cli"
 	"mpmc/internal/core"
+	"mpmc/internal/fleet"
+	"mpmc/internal/machine"
+	"mpmc/internal/metrics"
 	"mpmc/internal/server"
 	"mpmc/internal/workload"
 )
@@ -43,6 +52,11 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit (bytes)")
 	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (off by default; keep it private)")
+	fleetSpec := flag.String("fleet", "", "comma-separated machine presets for a fleet (e.g. \"workstation,workstation,server\"); empty = no fleet surface")
+	fleetPolicy := flag.String("fleet-policy", "least-degradation", "least-degradation | least-watts | binpack | spread")
+	fleetMaxPerCore := flag.Int("fleet-max-per-core", 2, "per-core time-sharing cap on fleet machines (0 = unbounded)")
+	fleetQueueCap := flag.Int("fleet-queue-cap", 16, "fleet admission-queue capacity (0 = no queue)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -77,6 +91,41 @@ func main() {
 	}
 	logger.Info("power model ready", "r2", pm.R2(), "train_seconds", time.Since(trainStart).Seconds())
 
+	// One registry shared by the server and the fleet, so the fleet gauges
+	// show up in the same /metrics exposition.
+	reg := metrics.NewRegistry()
+	var fl *fleet.Fleet
+	if *fleetSpec != "" {
+		fl, err = buildFleet(ctx, logger, reg, *fleetSpec, *fleetPolicy, *fleetMaxPerCore, *fleetQueueCap,
+			m, pm, *seed, *quick, *workers)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				logger.Info("fleet construction interrupted")
+				os.Exit(1)
+			}
+			logger.Error("fleet construction failed", "error", err.Error())
+			os.Exit(2)
+		}
+	}
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are never
+		// reachable through the public address. Register explicitly instead
+		// of leaning on DefaultServeMux.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("pprof listener exited", "error", err.Error())
+			}
+		}()
+	}
+
 	srv, err := server.New(server.Config{
 		Machine:        m,
 		Power:          pm,
@@ -89,16 +138,66 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		Logger:         logger,
+		Registry:       reg,
+		Fleet:          fl,
 	})
 	if err != nil {
 		logger.Error("server construction failed", "error", err.Error())
 		os.Exit(1)
 	}
 
-	logger.Info("serving", "addr", *addr, "machine", m.Name, "policy", policy.String())
+	logger.Info("serving", "addr", *addr, "machine", m.Name, "policy", policy.String(),
+		"fleet", *fleetSpec != "")
 	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil && err != http.ErrServerClosed {
 		logger.Error("server exited", "error", err.Error())
 		os.Exit(1)
 	}
 	logger.Info("stopped")
+}
+
+// buildFleet assembles the cluster scheduler from a comma-separated preset
+// list. Each distinct preset needs its own trained power model (Eq. 9
+// coefficients are per machine); the serving machine's model is reused
+// when a preset matches it, and the rest train here, once per kind.
+func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
+	spec, policyName string, maxPerCore, queueCap int,
+	served *machine.Machine, servedPM *core.PowerModel,
+	seed uint64, quick bool, workers int) (*fleet.Fleet, error) {
+
+	policy, err := fleet.ParsePolicy(policyName)
+	if err != nil {
+		return nil, err
+	}
+	models := map[string]*core.PowerModel{served.Name: servedPM}
+	var nodes []fleet.NodeConfig
+	for _, preset := range strings.Split(spec, ",") {
+		preset = strings.TrimSpace(preset)
+		m, err := cli.MachineByName(preset)
+		if err != nil {
+			return nil, err
+		}
+		pm, ok := models[m.Name]
+		if !ok {
+			logger.Info("training fleet power model", "machine", m.Name, "quick", quick)
+			pm, err = core.TrainPowerModel(ctx, m, workload.ModelSet(), cli.TrainOptions(seed, quick, workers))
+			if err != nil {
+				return nil, fmt.Errorf("training power model for %s: %w", m.Name, err)
+			}
+			models[m.Name] = pm
+		}
+		nodes = append(nodes, fleet.NodeConfig{
+			Machine:    m,
+			Power:      pm,
+			MaxPerCore: maxPerCore,
+		})
+	}
+	return fleet.New(fleet.Config{
+		Nodes:    nodes,
+		Policy:   policy,
+		QueueCap: queueCap,
+		Seed:     seed,
+		Quick:    quick,
+		Workers:  workers,
+		Registry: reg,
+	})
 }

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -67,10 +68,14 @@ func main() {
 		fmt.Printf("  departures: %s, %s\n", placed[1], placed[3])
 		if policy == mpmc.PowerAware {
 			moved, watts, err := mgr.Rebalance(context.Background(), 0.05)
-			if err != nil {
+			switch {
+			case errors.Is(err, mpmc.ErrNoImprovement):
+				fmt.Printf("  rebalance: layout already good (estimated %6.2f W)\n", watts)
+			case err != nil:
 				log.Fatal(err)
+			default:
+				fmt.Printf("  rebalance migrated %d processes (estimated %6.2f W)\n", moved, watts)
 			}
-			fmt.Printf("  rebalance migrated %d processes (estimated %6.2f W)\n", moved, watts)
 		}
 		// Measure the final layout.
 		runRes, err := mpmc.Run(m, mpmc.SimAssignment{Procs: mgr.Procs()},

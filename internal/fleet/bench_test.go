@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"mpmc/internal/workload"
+)
+
+// BenchmarkFleetPlace measures one place/remove cycle against a warm
+// 4-machine fleet: the cost of scoring every (machine, core) slot with
+// the equilibrium solver, which is the fleet scheduler's hot path. CI
+// records it benchstat-style in BENCH_fleet.json.
+func BenchmarkFleetPlace(b *testing.B) {
+	ctx := context.Background()
+	f := testFleet(b, LeastDegradation, nil)
+	// Steady background load and a warm feature cache.
+	if _, err := f.PlaceAll(ctx, sixteenSpecs()[:8]); err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.ByName("mcf")
+	if err := f.resolveFeatures(ctx, []*workload.Spec{spec}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := f.Place(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Remove(ctx, p.Node, p.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetRebalance measures one full cross-machine rebalance scan
+// (the pass is dominated by candidate scoring; the chosen move is never
+// executed because the threshold is prohibitive).
+func BenchmarkFleetRebalance(b *testing.B) {
+	ctx := context.Background()
+	f := testFleet(b, LeastDegradation, nil)
+	if _, err := f.PlaceAll(ctx, sixteenSpecs()[:8]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Rebalance(ctx, 1e9); err == nil {
+			b.Fatal("expected no-improvement sentinel")
+		}
+	}
+}

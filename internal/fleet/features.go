@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mpmc/internal/cache"
+	"mpmc/internal/cli"
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/manager"
+	"mpmc/internal/metrics"
+	"mpmc/internal/workload"
+)
+
+// ProfileFunc runs one profiling sweep. The default is core.Profile; the
+// simulator and tests substitute the analytic oracle to keep replays
+// instant and deterministic.
+type ProfileFunc func(ctx context.Context, m *machine.Machine, spec *workload.Spec, opts core.ProfileOptions) (*core.FeatureVector, error)
+
+// featureCache is the fleet's shared FeatureSource: one bounded LRU of
+// profiled feature vectors in front of the profiling sweep, keyed by
+// (machine kind, workload) because a feature vector is profiled against a
+// specific cache geometry — two nodes of the same preset share vectors,
+// heterogeneous presets each get their own. Singleflight deduplication
+// guarantees that a burst of placements for one benchmark triggers exactly
+// one sweep per machine kind, no matter how many nodes score it
+// concurrently.
+type featureCache struct {
+	lru    *cache.LRUMap[*core.FeatureVector]
+	flight cache.Flight[*core.FeatureVector]
+
+	profile ProfileFunc
+	seed    uint64
+	quick   bool
+	workers int
+
+	runs      *metrics.Counter
+	dedups    *metrics.Counter
+	abandoned *metrics.Counter
+}
+
+func newFeatureCache(cfg Config, reg *metrics.Registry) *featureCache {
+	return &featureCache{
+		lru:       cache.NewLRUMap[*core.FeatureVector](cfg.CacheCap),
+		profile:   cfg.Profile,
+		seed:      cfg.Seed,
+		quick:     cfg.Quick,
+		workers:   cfg.Workers,
+		runs:      reg.Counter("fleet_profile_runs_total"),
+		dedups:    reg.Counter("fleet_profile_dedup_total"),
+		abandoned: reg.Counter("fleet_profile_abandoned_total"),
+	}
+}
+
+// key builds the cache identity of a (machine kind, workload) pair. The
+// machine name identifies the preset (and therefore the cache geometry the
+// sweep ran against); NUL never appears in either name.
+func featureKey(m *machine.Machine, spec *workload.Spec) string {
+	return m.Name + "\x00" + spec.Name
+}
+
+// get returns the feature vector of spec profiled against machine kind m,
+// running the sweep on first sight. Per-workload seeds derive from the
+// base seed and the workload name alone (core.ProfileSeed via the shared
+// cli.FeatureConfig), so vectors are identical to the ones the
+// single-machine server and the CLI tools produce.
+func (fc *featureCache) get(ctx context.Context, m *machine.Machine, spec *workload.Spec) (*core.FeatureVector, error) {
+	key := featureKey(m, spec)
+	if f, ok := fc.lru.Get(key); ok {
+		return f, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err, shared := fc.flight.Do(key, func() (*core.FeatureVector, error) {
+		if f, ok := fc.lru.Get(key); ok {
+			return f, nil
+		}
+		fc.runs.Inc()
+		fcfg := cli.FeatureConfig{Seed: fc.seed, Quick: fc.quick, Workers: fc.workers}
+		f, err := fc.profile(ctx, m, spec, fcfg.ProfileOptions(spec.Name))
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fc.abandoned.Inc()
+			}
+			return nil, fmt.Errorf("fleet: profiling %s on %s: %w", spec.Name, m.Name, err)
+		}
+		fc.lru.Put(key, f)
+		return f, nil
+	})
+	if shared {
+		fc.dedups.Inc()
+	}
+	return f, err
+}
+
+// nodeSource adapts the shared cache to one node's manager.FeatureSource.
+type nodeSource struct {
+	fc *featureCache
+	m  *machine.Machine
+}
+
+func (s nodeSource) FeatureOf(ctx context.Context, spec *workload.Spec) (*core.FeatureVector, error) {
+	return s.fc.get(ctx, s.m, spec)
+}
+
+var _ manager.FeatureSource = nodeSource{}

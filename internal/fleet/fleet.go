@@ -1,0 +1,691 @@
+// Package fleet scales the paper's single-machine framework out to a
+// cluster: a scheduler that owns N per-machine managers (heterogeneous
+// machine presets allowed), admits arriving processes through a bounded
+// queue, and scores every candidate (machine, core) slot with the paper's
+// own models — predicted SPI degradation via the Section 3 equilibrium
+// solver, predicted watts via the Eq. 9 MVLR — instead of load heuristics.
+//
+// The shape follows cluster schedulers like k8s-cluster-simulator (pending
+// queue, per-node scoring, event loop); the substance is the paper's: an
+// analytical model cheap enough to evaluate per placement decision is
+// exactly what lets a fleet choose slots before running anything.
+//
+// Scope caveat: machines share nothing. Each node's predictions come from
+// its own per-CMP equilibrium solve (the paper's single-machine framework,
+// Sections 3–5); cross-machine interference — network, shared storage,
+// rack power — is not modeled. Fleet-wide totals are plain sums of
+// per-machine estimates.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/manager"
+	"mpmc/internal/metrics"
+	"mpmc/internal/parallel"
+	"mpmc/internal/workload"
+)
+
+// Sentinel errors the serving layer maps onto typed responses.
+var (
+	// ErrFleetFull reports that no machine in the fleet has an admissible
+	// core for the arrival.
+	ErrFleetFull = errors.New("no admissible machine")
+	// ErrQueueFull reports that the admission queue is at capacity (or
+	// disabled) and cannot hold another pending arrival.
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrUnknownNode reports an operation naming a node the fleet does not
+	// own.
+	ErrUnknownNode = errors.New("unknown node")
+)
+
+func errUnknownPolicy(p Policy) error {
+	return fmt.Errorf("fleet: unknown policy %d", int(p))
+}
+
+// NodeConfig describes one machine in the fleet.
+type NodeConfig struct {
+	// Name is the node's unique identity ("m0", "rack1-a", ...). Empty
+	// names default to "m<index>".
+	Name string
+	// Machine is the modeled CMP (required). Nodes may use heterogeneous
+	// presets; feature vectors are profiled per machine kind.
+	Machine *machine.Machine
+	// Power is the node's trained Eq. 9 power model (required).
+	Power *core.PowerModel
+	// MaxPerCore bounds time-sharing depth on this node (0 = unbounded,
+	// which also makes the node — and therefore the fleet — never full).
+	MaxPerCore int
+}
+
+// Config assembles a Fleet.
+type Config struct {
+	// Nodes lists the machines (at least one).
+	Nodes []NodeConfig
+	// Policy selects the placement scoring policy.
+	Policy Policy
+	// BinPackCeiling is BinPack's relative SPI-degradation ceiling: a
+	// machine is "full enough" once the arrival's best slot would degrade
+	// total SPI by more than this fraction of the arrival's solo SPI
+	// beyond the solo SPI itself (0 = the 0.25 default).
+	BinPackCeiling float64
+	// QueueCap bounds the admission queue (<= 0 disables queueing:
+	// Submit always reports ErrQueueFull).
+	QueueCap int
+	// Seed, Quick and Workers configure profiling exactly like the
+	// single-machine server: per-workload seeds derive from Seed by name,
+	// so vectors are reproducible and shared with the other front ends.
+	Seed    uint64
+	Quick   bool
+	Workers int
+	// Solver selects the equilibrium algorithm for SPI scoring
+	// (SolverAuto by default).
+	Solver core.SolverMethod
+	// CacheCap bounds the shared feature-vector LRU (0 = 256 entries).
+	CacheCap int
+	// Profile overrides the profiling implementation (nil = core.Profile).
+	Profile ProfileFunc
+	// Registry receives the fleet metrics (nil = fresh registry).
+	Registry *metrics.Registry
+}
+
+// node pairs one machine's manager with its combined model and config.
+type node struct {
+	cfg NodeConfig
+	mgr *manager.Manager
+	cm  *core.CombinedModel
+}
+
+// Fleet is the cluster scheduler. All methods are safe for concurrent
+// use: a single fleet lock serializes placement, queue, and rebalancing
+// decisions (scoring included, so every decision sees a consistent
+// cluster state), while profiling sweeps run outside it through the
+// shared singleflight cache.
+type Fleet struct {
+	cfg   Config
+	nodes []*node
+	feats *featureCache
+	reg   *metrics.Registry
+
+	mu     sync.Mutex
+	rrNode int // Spread's machine rotation cursor
+	queue  []queued
+	seq    int // ticket source
+
+	placed     *metrics.Counter
+	rejected   *metrics.Counter
+	rollbacks  *metrics.Counter
+	qSubmitted *metrics.Counter
+	qAdmitted  *metrics.Counter
+	qRejected  *metrics.Counter
+	qAbandoned *metrics.Counter
+	qDropped   *metrics.Counter
+	moves      *metrics.Counter
+	noops      *metrics.Counter
+}
+
+// queued is one pending arrival: the workload, the caller's tag (the sim
+// uses it to map admissions back to trace processes), and the FIFO ticket
+// CancelQueued takes.
+type queued struct {
+	spec   *workload.Spec
+	tag    string
+	ticket int
+}
+
+// New validates cfg, applies defaults, and assembles the fleet.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("fleet: no nodes configured")
+	}
+	if cfg.BinPackCeiling == 0 {
+		cfg.BinPackCeiling = 0.25
+	}
+	if cfg.BinPackCeiling < 0 {
+		return nil, fmt.Errorf("fleet: negative BinPackCeiling %v", cfg.BinPackCeiling)
+	}
+	if cfg.CacheCap == 0 {
+		cfg.CacheCap = 256
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = core.Profile
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	seen := map[string]bool{}
+	f := &Fleet{cfg: cfg, reg: cfg.Registry}
+	f.feats = newFeatureCache(cfg, f.reg)
+	for i := range cfg.Nodes {
+		nc := cfg.Nodes[i]
+		if nc.Name == "" {
+			nc.Name = fmt.Sprintf("m%d", i)
+		}
+		if seen[nc.Name] {
+			return nil, fmt.Errorf("fleet: duplicate node name %q", nc.Name)
+		}
+		seen[nc.Name] = true
+		if nc.Machine == nil {
+			return nil, fmt.Errorf("fleet: node %q has no machine", nc.Name)
+		}
+		if err := nc.Machine.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: node %q: %w", nc.Name, err)
+		}
+		if nc.MaxPerCore < 0 {
+			return nil, fmt.Errorf("fleet: node %q: negative MaxPerCore", nc.Name)
+		}
+		if nc.Power == nil {
+			return nil, fmt.Errorf("fleet: node %q has no power model", nc.Name)
+		}
+		mgr := manager.New(nc.Machine, nc.Power, manager.Options{
+			// The node manager's own policy is never exercised: the fleet
+			// scores slots itself and commits with PlaceAt.
+			Policy:     manager.PowerAware,
+			MaxPerCore: nc.MaxPerCore,
+			Features:   nodeSource{fc: f.feats, m: nc.Machine},
+		})
+		f.nodes = append(f.nodes, &node{
+			cfg: nc,
+			mgr: mgr,
+			cm:  core.NewCombinedModel(nc.Machine, nc.Power),
+		})
+	}
+	f.placed = f.reg.Counter("fleet_place_total")
+	f.rejected = f.reg.Counter("fleet_place_rejected_total")
+	f.rollbacks = f.reg.Counter("fleet_place_rollback_total")
+	f.qSubmitted = f.reg.Counter("fleet_queue_submitted_total")
+	f.qAdmitted = f.reg.Counter("fleet_queue_admitted_total")
+	f.qRejected = f.reg.Counter("fleet_queue_rejected_total")
+	f.qAbandoned = f.reg.Counter("fleet_queue_abandoned_total")
+	f.qDropped = f.reg.Counter("fleet_queue_dropped_total")
+	f.moves = f.reg.Counter("fleet_rebalance_moves_total")
+	f.noops = f.reg.Counter("fleet_rebalance_noop_total")
+	f.reg.OnCollect(f.collectGauges)
+	return f, nil
+}
+
+// Registry returns the metrics registry the fleet reports into.
+func (f *Fleet) Registry() *metrics.Registry { return f.reg }
+
+// Policy returns the active placement policy.
+func (f *Fleet) Policy() Policy { return f.cfg.Policy }
+
+// NodeNames lists the node identities in index order.
+func (f *Fleet) NodeNames() []string {
+	out := make([]string, len(f.nodes))
+	for i, n := range f.nodes {
+		out[i] = n.cfg.Name
+	}
+	return out
+}
+
+// Placed records one admitted instance: the node it landed on, the
+// instance name the node's manager assigned, the chosen core, the
+// machine's estimated watts after the placement, and the policy score of
+// the winning slot (0 under Spread, which never scores; NaN would not
+// survive JSON encoding).
+type Placed struct {
+	Node  string  `json:"node"`
+	Name  string  `json:"name"`
+	Core  int     `json:"core"`
+	Watts float64 `json:"watts"`
+	Score float64 `json:"score"`
+
+	// Tag echoes the Submit tag when the instance was admitted from the
+	// queue (empty for direct placements).
+	Tag string `json:"-"`
+}
+
+// resolveFeatures profiles every (machine kind, spec) pair the placement
+// will need, outside the fleet lock, so the lock is never held across a
+// profiling sweep. The cache singleflight collapses concurrent resolves.
+func (f *Fleet) resolveFeatures(ctx context.Context, specs []*workload.Spec) error {
+	type pair struct {
+		m    *machine.Machine
+		spec *workload.Spec
+	}
+	var pairs []pair
+	seen := map[string]bool{}
+	for _, s := range specs {
+		for _, n := range f.nodes {
+			k := featureKey(n.cfg.Machine, s)
+			if !seen[k] {
+				seen[k] = true
+				pairs = append(pairs, pair{n.cfg.Machine, s})
+			}
+		}
+	}
+	return parallel.ForEach(ctx, f.cfg.Workers, len(pairs), func(i int) error {
+		_, err := f.feats.get(ctx, pairs[i].m, pairs[i].spec)
+		return err
+	})
+}
+
+// Place admits one arrival at the policy's best slot. A single placement
+// is atomic by construction (scoring mutates nothing; the commit either
+// happens wholly or not at all), so no snapshot is needed.
+func (f *Fleet) Place(ctx context.Context, spec *workload.Spec) (Placed, error) {
+	if err := f.resolveFeatures(ctx, []*workload.Spec{spec}); err != nil {
+		return Placed{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, err := f.placeOneLocked(ctx, spec)
+	if err != nil {
+		if errors.Is(err, ErrFleetFull) {
+			f.rejected.Inc()
+		}
+		return Placed{}, err
+	}
+	f.placed.Inc()
+	return p, nil
+}
+
+// PlaceAll admits a batch of arrivals transactionally: either every
+// instance is admitted, or every machine's resident set, instance-name
+// counter, and the fleet's round-robin cursor are restored to their
+// pre-call state and the error reports why (the cause stays reachable
+// with errors.Is).
+func (f *Fleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Placed, error) {
+	if err := f.resolveFeatures(ctx, specs); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snaps := make([]*manager.Snapshot, len(f.nodes))
+	for i, n := range f.nodes {
+		snaps[i] = n.mgr.Snapshot()
+	}
+	snapRR := f.rrNode
+	admitted := 0
+	rollback := func(cause error) error {
+		for i, n := range f.nodes {
+			n.mgr.Restore(snaps[i])
+		}
+		f.rrNode = snapRR
+		if errors.Is(cause, ErrFleetFull) {
+			f.rejected.Inc()
+		}
+		if admitted > 0 {
+			f.rollbacks.Inc()
+			return fmt.Errorf("fleet: batch rolled back after %d placement(s): %w", admitted, cause)
+		}
+		return cause
+	}
+	out := make([]Placed, len(specs))
+	for i, s := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, rollback(err)
+		}
+		p, err := f.placeOneLocked(ctx, s)
+		if err != nil {
+			return nil, rollback(err)
+		}
+		admitted++
+		out[i] = p
+	}
+	f.placed.Add(uint64(len(out)))
+	return out, nil
+}
+
+// placeOneLocked scores the nodes under the active policy, picks the best
+// (machine, core) slot, and commits through the node manager. Candidate
+// machines are scored concurrently through the parallel engine; results
+// land in per-node slots and the reduction is serial in node order, so
+// ties always resolve to the lowest node index at any worker count.
+func (f *Fleet) placeOneLocked(ctx context.Context, spec *workload.Spec) (Placed, error) {
+	if f.cfg.Policy == Spread {
+		return f.placeSpreadLocked(ctx, spec)
+	}
+	scores, err := parallel.Map(ctx, f.cfg.Workers, len(f.nodes), func(i int) (nodeScore, error) {
+		return f.scoreNode(ctx, f.nodes[i], spec)
+	})
+	if err != nil {
+		return Placed{}, err
+	}
+	best := -1
+	switch f.cfg.Policy {
+	case LeastDegradation, LeastWatts:
+		for i, s := range scores {
+			if s.ok && (best < 0 || s.score < scores[best].score) {
+				best = i
+			}
+		}
+	case BinPack:
+		// First machine (index order) still under the ceiling; otherwise
+		// the least relative degradation anywhere.
+		for i, s := range scores {
+			if s.ok && s.rel <= f.cfg.BinPackCeiling {
+				best = i
+				break
+			}
+		}
+		if best < 0 {
+			for i, s := range scores {
+				if s.ok && (best < 0 || s.rel < scores[best].rel) {
+					best = i
+				}
+			}
+		}
+	default:
+		return Placed{}, errUnknownPolicy(f.cfg.Policy)
+	}
+	if best < 0 {
+		return Placed{}, fmt.Errorf("fleet: %w for %s", ErrFleetFull, spec.Name)
+	}
+	n := f.nodes[best]
+	name, watts, err := n.mgr.PlaceAt(ctx, spec, scores[best].core)
+	if err != nil {
+		return Placed{}, err
+	}
+	return Placed{Node: n.cfg.Name, Name: name, Core: scores[best].core, Watts: watts, Score: scores[best].score}, nil
+}
+
+// placeSpreadLocked is the round-robin baseline: machines in rotation
+// starting at the cursor, the least loaded admissible core within the
+// chosen machine (ties to the lowest core index). The cursor advances only
+// on success, mirroring the manager's own round-robin contract.
+func (f *Fleet) placeSpreadLocked(ctx context.Context, spec *workload.Spec) (Placed, error) {
+	nn := len(f.nodes)
+	for tries := 0; tries < nn; tries++ {
+		i := (f.rrNode + tries) % nn
+		n := f.nodes[i]
+		running := n.mgr.Running()
+		bestCore, bestLoad := -1, 0
+		for c := 0; c < n.cfg.Machine.NumCores; c++ {
+			if n.cfg.MaxPerCore != 0 && len(running[c]) >= n.cfg.MaxPerCore {
+				continue
+			}
+			if bestCore < 0 || len(running[c]) < bestLoad {
+				bestCore, bestLoad = c, len(running[c])
+			}
+		}
+		if bestCore < 0 {
+			continue
+		}
+		name, watts, err := n.mgr.PlaceAt(ctx, spec, bestCore)
+		if err != nil {
+			return Placed{}, err
+		}
+		f.rrNode = (i + 1) % nn
+		return Placed{Node: n.cfg.Name, Name: name, Core: bestCore, Watts: watts}, nil
+	}
+	return Placed{}, fmt.Errorf("fleet: %w for %s", ErrFleetFull, spec.Name)
+}
+
+// Submit enqueues an arrival the fleet cannot place right now. tag is an
+// opaque caller identity echoed on the eventual Placed (the simulator maps
+// admissions back to trace processes with it). The returned ticket cancels
+// the submission. FIFO order is strict: queued arrivals are admitted
+// oldest first, and a head that still does not fit blocks the rest
+// (head-of-line blocking keeps admission order deterministic and fair).
+func (f *Fleet) Submit(spec *workload.Spec, tag string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.QueueCap <= 0 || len(f.queue) >= f.cfg.QueueCap {
+		f.qRejected.Inc()
+		return 0, fmt.Errorf("fleet: %w (cap %d) for %s", ErrQueueFull, f.cfg.QueueCap, spec.Name)
+	}
+	f.seq++
+	f.queue = append(f.queue, queued{spec: spec, tag: tag, ticket: f.seq})
+	f.qSubmitted.Inc()
+	return f.seq, nil
+}
+
+// CancelQueued withdraws a pending submission (the simulator's "process
+// departed before it was ever placed"). It reports whether the ticket was
+// still queued.
+func (f *Fleet) CancelQueued(ticket int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, q := range f.queue {
+		if q.ticket == ticket {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			f.qAbandoned.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// QueueDepth returns the number of pending arrivals.
+func (f *Fleet) QueueDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
+// Pump tries to admit queued arrivals in FIFO order, stopping at the first
+// head that still does not fit anywhere. A head failing for any reason
+// other than a full fleet is dropped (and counted) rather than wedging the
+// queue. Returns the admissions, tags attached.
+func (f *Fleet) Pump(ctx context.Context) ([]Placed, error) {
+	// Resolve features for the current queue outside the lock first.
+	f.mu.Lock()
+	pending := make([]*workload.Spec, len(f.queue))
+	for i, q := range f.queue {
+		pending[i] = q.spec
+	}
+	f.mu.Unlock()
+	if err := f.resolveFeatures(ctx, pending); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pumpLocked(ctx)
+}
+
+func (f *Fleet) pumpLocked(ctx context.Context) ([]Placed, error) {
+	var out []Placed
+	for len(f.queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		head := f.queue[0]
+		p, err := f.placeOneLocked(ctx, head.spec)
+		if errors.Is(err, ErrFleetFull) {
+			break
+		}
+		f.queue = f.queue[1:]
+		if err != nil {
+			f.qDropped.Inc()
+			continue
+		}
+		p.Tag = head.tag
+		f.placed.Inc()
+		f.qAdmitted.Inc()
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Remove evicts the named instance from the named node (process exit) and
+// then pumps the admission queue into the freed capacity, returning any
+// admissions that resulted.
+func (f *Fleet) Remove(ctx context.Context, nodeName, instance string) ([]Placed, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.nodeByNameLocked(nodeName)
+	if n == nil {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownNode, nodeName)
+	}
+	if err := n.mgr.Remove(instance); err != nil {
+		return nil, err
+	}
+	return f.pumpLocked(ctx)
+}
+
+func (f *Fleet) nodeByNameLocked(name string) *node {
+	for _, n := range f.nodes {
+		if n.cfg.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// CoreState is one core's resident instances.
+type CoreState struct {
+	Core  int      `json:"core"`
+	Procs []string `json:"procs"`
+}
+
+// NodeState is one machine's view in the fleet state.
+type NodeState struct {
+	Node           string      `json:"node"`
+	Machine        string      `json:"machine"`
+	MaxPerCore     int         `json:"max_per_core,omitempty"`
+	Cores          []CoreState `json:"cores"`
+	Residents      int         `json:"residents"`
+	FreeSlots      int         `json:"free_slots"` // -1 = unbounded
+	EstimatedWatts float64     `json:"estimated_watts"`
+	PredictedSPI   float64     `json:"predicted_spi"`
+}
+
+// State is the fleet-wide view: per-machine residents and model estimates
+// plus the totals and the queue.
+type State struct {
+	Policy            string      `json:"policy"`
+	Nodes             []NodeState `json:"nodes"`
+	Residents         int         `json:"residents"`
+	QueueDepth        int         `json:"queue_depth"`
+	Queued            []string    `json:"queued,omitempty"`
+	TotalWatts        float64     `json:"total_watts"`
+	TotalPredictedSPI float64     `json:"total_predicted_spi"`
+}
+
+// State reports the current fleet state, computing each machine's power
+// and SPI estimates from the combined model.
+func (f *Fleet) State(ctx context.Context) (*State, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := &State{Policy: f.cfg.Policy.String()}
+	for _, n := range f.nodes {
+		ns, err := f.nodeStateLocked(ctx, n)
+		if err != nil {
+			return nil, err
+		}
+		st.Nodes = append(st.Nodes, ns)
+		st.Residents += ns.Residents
+		st.TotalWatts += ns.EstimatedWatts
+		st.TotalPredictedSPI += ns.PredictedSPI
+	}
+	st.QueueDepth = len(f.queue)
+	for _, q := range f.queue {
+		st.Queued = append(st.Queued, q.spec.Name)
+	}
+	return st, nil
+}
+
+func (f *Fleet) nodeStateLocked(ctx context.Context, n *node) (NodeState, error) {
+	asg := n.mgr.Assignment()
+	running := n.mgr.Running()
+	ns := NodeState{
+		Node:       n.cfg.Name,
+		Machine:    n.cfg.Machine.Name,
+		MaxPerCore: n.cfg.MaxPerCore,
+		FreeSlots:  -1,
+	}
+	for c, names := range running {
+		procs := append([]string{}, names...)
+		ns.Cores = append(ns.Cores, CoreState{Core: c, Procs: procs})
+		ns.Residents += len(names)
+	}
+	if n.cfg.MaxPerCore > 0 {
+		ns.FreeSlots = n.cfg.MaxPerCore*n.cfg.Machine.NumCores - ns.Residents
+	}
+	watts, err := n.cm.EstimateAssignmentContext(ctx, asg)
+	if err != nil {
+		return NodeState{}, fmt.Errorf("fleet: estimating %s power: %w", n.cfg.Name, err)
+	}
+	ns.EstimatedWatts = watts
+	spi, err := assignmentSPI(ctx, n.cfg.Machine, asg, f.cfg.Solver)
+	if err != nil {
+		return NodeState{}, fmt.Errorf("fleet: estimating %s SPI: %w", n.cfg.Name, err)
+	}
+	ns.PredictedSPI = spi
+	return ns, nil
+}
+
+// Totals returns the fleet-wide predicted SPI and watts sums (the sim's
+// per-event integrand) without building the full state.
+func (f *Fleet) Totals(ctx context.Context) (spi, watts float64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range f.nodes {
+		asg := n.mgr.Assignment()
+		w, err := n.cm.EstimateAssignmentContext(ctx, asg)
+		if err != nil {
+			return 0, 0, err
+		}
+		s, err := assignmentSPI(ctx, n.cfg.Machine, asg, f.cfg.Solver)
+		if err != nil {
+			return 0, 0, err
+		}
+		watts += w
+		spi += s
+	}
+	return spi, watts, nil
+}
+
+// collectGauges refreshes the per-machine and fleet-wide gauges right
+// before a metrics scrape. Watts gauges are integer milliwatts (the
+// registry's gauges are integral); a machine whose estimate fails scrapes
+// as -1 rather than failing the exposition.
+func (f *Fleet) collectGauges(r *metrics.Registry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0
+	for _, n := range f.nodes {
+		running := n.mgr.Running()
+		count := 0
+		for _, names := range running {
+			count += len(names)
+		}
+		total += count
+		r.Gauge(fmt.Sprintf("fleet_machine_residents{node=%q}", n.cfg.Name)).Set(int64(count))
+		free := int64(-1)
+		if n.cfg.MaxPerCore > 0 {
+			free = int64(n.cfg.MaxPerCore*n.cfg.Machine.NumCores - count)
+		}
+		r.Gauge(fmt.Sprintf("fleet_machine_free_slots{node=%q}", n.cfg.Name)).Set(free)
+		mw := int64(-1)
+		if w, err := n.cm.EstimateAssignment(n.mgr.Assignment()); err == nil {
+			mw = int64(w * 1000)
+		}
+		r.Gauge(fmt.Sprintf("fleet_machine_milliwatts{node=%q}", n.cfg.Name)).Set(mw)
+	}
+	r.Gauge("fleet_residents").Set(int64(total))
+	r.Gauge("fleet_queue_depth").Set(int64(len(f.queue)))
+	r.Gauge("fleet_machines").Set(int64(len(f.nodes)))
+}
+
+// SyntheticPowerModel fits the Eq. 9 MVLR to a fixed full-rank synthetic
+// dataset generated from known coefficients. The simulator and tests use
+// it where power *truth* is irrelevant but determinism and instant startup
+// matter; production fleets train real models per machine kind.
+func SyntheticPowerModel() (*core.PowerModel, error) {
+	coef := []float64{5, 2e-9, 3e-9, 4e-8, 1e-9, 2.5e-9}
+	ds := &core.PowerDataset{}
+	for i := 0; i < 16; i++ {
+		v := []float64{
+			float64(i%5+1) * 1e8,
+			float64(i%3+1) * 5e7,
+			float64(i%7+1) * 1e6,
+			float64(i%4+1) * 2e8,
+			float64(i%6+1) * 1e7,
+		}
+		w := coef[0]
+		for j, c := range coef[1:] {
+			w += c * v[j]
+		}
+		ds.Features = append(ds.Features, v)
+		ds.Watts = append(ds.Watts, w)
+	}
+	return core.FitPowerModel(ds)
+}

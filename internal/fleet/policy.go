@@ -1,0 +1,67 @@
+package fleet
+
+import "fmt"
+
+// Policy selects how the fleet scheduler picks a (machine, core) slot for
+// an arriving process. Every policy scores candidate slots with the
+// paper's own models — predicted SPI via the equilibrium solver, predicted
+// watts via the Eq. 9 MVLR — rather than load heuristics; the policies
+// differ only in which model quantity they optimize and in what order they
+// consider machines.
+type Policy int
+
+const (
+	// LeastDegradation places the arrival on the slot that minimizes the
+	// fleet-wide increase in total predicted SPI: the newcomer's own
+	// predicted SPI on that machine plus the slowdown it inflicts on the
+	// machine's residents through shared-cache contention.
+	LeastDegradation Policy = iota
+	// LeastWatts places the arrival on the slot that minimizes the
+	// predicted added processor power (the Figure 1 estimate after the
+	// placement minus the machine's current estimate).
+	LeastWatts
+	// BinPack fills machines in index order, keeping each machine until
+	// the arrival's best slot there would exceed the configured relative
+	// SPI-degradation ceiling; only then does it open the next machine.
+	// When every machine exceeds the ceiling it falls back to the least
+	// relative degradation (never rejecting while capacity remains).
+	BinPack
+	// Spread is the round-robin baseline: machines in rotation, the least
+	// loaded admissible core within the machine, no model consulted.
+	Spread
+)
+
+// String names the policy, matching ParsePolicy's accepted spellings.
+func (p Policy) String() string {
+	switch p {
+	case LeastDegradation:
+		return "least-degradation"
+	case LeastWatts:
+		return "least-watts"
+	case BinPack:
+		return "binpack"
+	case Spread:
+		return "spread"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps scenario-file and flag spellings onto policies.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "least-degradation":
+		return LeastDegradation, nil
+	case "least-watts":
+		return LeastWatts, nil
+	case "binpack":
+		return BinPack, nil
+	case "spread":
+		return Spread, nil
+	}
+	return 0, fmt.Errorf("unknown fleet policy %q (want least-degradation, least-watts, binpack, or spread)", name)
+}
+
+// Policies lists every policy in a fixed order (the sim report order).
+func Policies() []Policy {
+	return []Policy{LeastDegradation, LeastWatts, BinPack, Spread}
+}

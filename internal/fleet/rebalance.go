@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"mpmc/internal/core"
+	"mpmc/internal/manager"
+	"mpmc/internal/parallel"
+	"mpmc/internal/workload"
+)
+
+// Move describes one executed cross-machine migration.
+type Move struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Name     string  `json:"name"`     // instance name on the source node
+	NewName  string  `json:"new_name"` // instance name on the target node
+	Workload string  `json:"workload"`
+	Core     int     `json:"core"` // target core
+	// SPIBefore/SPIAfter are the fleet-wide predicted SPI totals around the
+	// move; Improvement is their difference (positive = faster fleet).
+	SPIBefore   float64 `json:"spi_before"`
+	SPIAfter    float64 `json:"spi_after"`
+	Improvement float64 `json:"improvement"`
+}
+
+// candidate is one prospective migration: resident r of nodes[src] moving
+// to core dstCore of nodes[dst].
+type candidate struct {
+	src, dst, dstCore int
+	res               manager.Resident
+}
+
+// Rebalance finds the single best cross-machine move — the one that most
+// reduces the fleet-wide total predicted SPI — and executes it when the
+// improvement clears minImprovement (in absolute SPI units; 0 accepts any
+// strict improvement). Intra-machine layout is the per-node
+// manager.Rebalance's job; this pass only ever moves a process between
+// machines.
+//
+// When no move clears the bar the error wraps manager.ErrNoImprovement.
+// Execution is transactional: the source and target managers are
+// snapshotted, and a failure during remove/re-place restores both before
+// the error is returned, so a failed rebalance leaves every machine
+// exactly as it was.
+func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, error) {
+	// Warm the feature cache for every (machine kind, resident workload)
+	// pair outside the lock: in a heterogeneous fleet a resident has only
+	// been profiled against its own machine kind so far.
+	f.mu.Lock()
+	var specs []*workload.Spec
+	for _, n := range f.nodes {
+		for _, r := range n.mgr.Residents() {
+			specs = append(specs, r.Spec)
+		}
+	}
+	f.mu.Unlock()
+	if err := f.resolveFeatures(ctx, specs); err != nil {
+		return Move{}, err
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	// Fleet-wide baseline: each node's total predicted SPI as placed.
+	base, err := parallel.Map(ctx, f.cfg.Workers, len(f.nodes), func(i int) (float64, error) {
+		return assignmentSPI(ctx, f.nodes[i].cfg.Machine, f.nodes[i].mgr.Assignment(), f.cfg.Solver)
+	})
+	if err != nil {
+		return Move{}, err
+	}
+	baseTotal := 0.0
+	for _, b := range base {
+		baseTotal += b
+	}
+
+	// Enumerate every (resident, target node, target core) in a fixed
+	// order — source nodes by index, residents in core/arrival order,
+	// targets by index, cores by index — so the strict less-than reduction
+	// below is deterministic at any worker count.
+	residents := make([][]manager.Resident, len(f.nodes))
+	for i, n := range f.nodes {
+		residents[i] = n.mgr.Residents()
+	}
+	var cands []candidate
+	for i := range f.nodes {
+		for _, r := range residents[i] {
+			for j, dst := range f.nodes {
+				if j == i {
+					continue
+				}
+				running := dst.mgr.Running()
+				for c := 0; c < dst.cfg.Machine.NumCores; c++ {
+					if dst.cfg.MaxPerCore != 0 && len(running[c]) >= dst.cfg.MaxPerCore {
+						continue
+					}
+					cands = append(cands, candidate{src: i, dst: j, dstCore: c, res: r})
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		f.noops.Inc()
+		return Move{}, fmt.Errorf("fleet: %w: no movable process", manager.ErrNoImprovement)
+	}
+
+	// Score every candidate concurrently: the fleet total if the move were
+	// made. Only the source and target terms change.
+	totals, err := parallel.Map(ctx, f.cfg.Workers, len(cands), func(k int) (float64, error) {
+		cd := cands[k]
+		srcN, dstN := f.nodes[cd.src], f.nodes[cd.dst]
+		srcAfter, err := assignmentSPI(ctx, srcN.cfg.Machine,
+			withoutResident(srcN.mgr.Assignment(), cd.res), f.cfg.Solver)
+		if err != nil {
+			return 0, err
+		}
+		feat, err := f.feats.get(ctx, dstN.cfg.Machine, cd.res.Spec)
+		if err != nil {
+			return 0, err
+		}
+		dstAfter, err := assignmentSPI(ctx, dstN.cfg.Machine,
+			withAddition(dstN.mgr.Assignment(), feat, cd.dstCore), f.cfg.Solver)
+		if err != nil {
+			return 0, err
+		}
+		return baseTotal - base[cd.src] - base[cd.dst] + srcAfter + dstAfter, nil
+	})
+	if err != nil {
+		return Move{}, err
+	}
+	best := 0
+	for k := range totals {
+		if totals[k] < totals[best] {
+			best = k
+		}
+	}
+	improvement := baseTotal - totals[best]
+	if improvement <= minImprovement || improvement <= 0 {
+		f.noops.Inc()
+		return Move{}, fmt.Errorf("fleet: %w: best move saves %.4g SPI (threshold %.4g)",
+			manager.ErrNoImprovement, improvement, minImprovement)
+	}
+
+	// Execute transactionally: snapshot both managers, remove from the
+	// source, re-place on the target; restore both on any failure.
+	cd := cands[best]
+	srcN, dstN := f.nodes[cd.src], f.nodes[cd.dst]
+	srcSnap, dstSnap := srcN.mgr.Snapshot(), dstN.mgr.Snapshot()
+	rollback := func(cause error) error {
+		srcN.mgr.Restore(srcSnap)
+		dstN.mgr.Restore(dstSnap)
+		f.rollbacks.Inc()
+		return fmt.Errorf("fleet: rebalance rolled back: %w", cause)
+	}
+	if err := srcN.mgr.Remove(cd.res.Name); err != nil {
+		return Move{}, rollback(err)
+	}
+	newName, _, err := dstN.mgr.PlaceAt(ctx, cd.res.Spec, cd.dstCore)
+	if err != nil {
+		return Move{}, rollback(err)
+	}
+	f.moves.Inc()
+	return Move{
+		From:        srcN.cfg.Name,
+		To:          dstN.cfg.Name,
+		Name:        cd.res.Name,
+		NewName:     newName,
+		Workload:    cd.res.Spec.Name,
+		Core:        cd.dstCore,
+		SPIBefore:   baseTotal,
+		SPIAfter:    totals[best],
+		Improvement: improvement,
+	}, nil
+}
+
+// withoutResident returns a copy of asg with the resident's feature vector
+// removed from its core (first pointer match, falling back to the first
+// entry if the pointer is not found); asg is never mutated.
+func withoutResident(asg core.Assignment, r manager.Resident) core.Assignment {
+	next := make(core.Assignment, len(asg))
+	for i, procs := range asg {
+		next[i] = append([]*core.FeatureVector(nil), procs...)
+	}
+	procs := next[r.Core]
+	idx := 0
+	for k, fv := range procs {
+		if fv == r.Feature {
+			idx = k
+			break
+		}
+	}
+	if len(procs) > 0 {
+		next[r.Core] = append(procs[:idx:idx], procs[idx+1:]...)
+	}
+	return next
+}

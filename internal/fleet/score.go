@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"context"
+	"math"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// assignmentSPI returns the total predicted SPI of an assignment, one term
+// per RESIDENT: for each cache group, the per-core process choices are
+// enumerated exactly like the combined model's Eq. 10 power averaging and
+// each combination is solved to equilibrium; a resident's expected SPI is
+// then its prediction averaged over the combinations it appears in (its
+// round-robin share of the time quantum), and the machine total sums those
+// expectations over every resident. Counting per resident — not per core —
+// is what makes the metric comparable across layouts: migrating a process
+// from a time-shared core to an idle machine keeps the number of terms
+// fixed and only changes their contention, so an improvement is a real
+// predicted speed-up, not an artifact of the accounting.
+func assignmentSPI(ctx context.Context, m *machine.Machine, asg core.Assignment, solver core.SolverMethod) (float64, error) {
+	total := 0.0
+	for _, group := range m.Groups {
+		var busy []int
+		for _, c := range group {
+			if len(asg[c]) > 0 {
+				busy = append(busy, c)
+			}
+		}
+		if len(busy) == 0 {
+			continue
+		}
+		// perProc[i][k] accumulates proc k of busy core i's SPI over the
+		// combinations it participates in.
+		perProc := make([][]float64, len(busy))
+		for i, c := range busy {
+			perProc[i] = make([]float64, len(asg[c]))
+		}
+		choice := make([]int, len(busy))
+		combo := make([]*core.FeatureVector, len(busy))
+		combos := 0
+		var rec func(i int) error
+		rec = func(i int) error {
+			if i == len(busy) {
+				preds, err := core.PredictGroupContext(ctx, combo, m.Assoc, solver)
+				if err != nil {
+					return err
+				}
+				for j, p := range preds {
+					perProc[j][choice[j]] += p.SPI
+				}
+				combos++
+				return nil
+			}
+			for k, f := range asg[busy[i]] {
+				choice[i], combo[i] = k, f
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return 0, err
+		}
+		// Every proc on busy core i appears in combos/len(asg[busy[i]])
+		// combinations (one slot in the core's rotation times every choice
+		// on the other cores).
+		for i, c := range busy {
+			appearances := float64(combos) / float64(len(asg[c]))
+			for _, sum := range perProc[i] {
+				total += sum / appearances
+			}
+		}
+	}
+	return total, nil
+}
+
+// soloSPI returns a process's predicted SPI running alone on the machine:
+// the whole cache to itself, the Eq. 3 line at min(GMax, A) ways. It is
+// the interference-free baseline behind BinPack's relative-degradation
+// ceiling.
+func soloSPI(ctx context.Context, m *machine.Machine, f *core.FeatureVector, solver core.SolverMethod) (float64, error) {
+	preds, err := core.PredictGroupContext(ctx, []*core.FeatureVector{f}, m.Assoc, solver)
+	if err != nil {
+		return 0, err
+	}
+	return preds[0].SPI, nil
+}
+
+// withAddition returns a copy of asg with f appended to core c; asg itself
+// is never mutated, so a scoring pass can evaluate every candidate slot
+// against one consistent snapshot.
+func withAddition(asg core.Assignment, f *core.FeatureVector, c int) core.Assignment {
+	next := make(core.Assignment, len(asg))
+	for i, procs := range asg {
+		next[i] = append([]*core.FeatureVector(nil), procs...)
+	}
+	next[c] = append(next[c], f)
+	return next
+}
+
+// nodeScore is one node's best candidate slot for an arrival under the
+// active policy. ok is false when the node has no admissible core.
+type nodeScore struct {
+	ok    bool
+	core  int
+	score float64 // policy metric; lower is better
+	rel   float64 // relative SPI degradation (BinPack's ceiling metric)
+}
+
+// scoreNode finds the best admissible core of one node for spec under the
+// fleet policy, scanning cores in index order with strict less-than
+// comparisons so ties resolve to the lowest core. The node's assignment is
+// read once, so the whole scan scores against a consistent snapshot; the
+// fleet placement lock guarantees nothing commits mid-scan.
+func (f *Fleet) scoreNode(ctx context.Context, n *node, spec *workload.Spec) (nodeScore, error) {
+	feat, err := f.feats.get(ctx, n.cfg.Machine, spec)
+	if err != nil {
+		return nodeScore{}, err
+	}
+	asg := n.mgr.Assignment()
+	admissible := func(c int) bool {
+		return n.cfg.MaxPerCore == 0 || len(asg[c]) < n.cfg.MaxPerCore
+	}
+
+	switch f.cfg.Policy {
+	case LeastWatts:
+		baseW, err := n.cm.EstimateAssignmentContext(ctx, asg)
+		if err != nil {
+			return nodeScore{}, err
+		}
+		best := nodeScore{}
+		for c := 0; c < n.cfg.Machine.NumCores; c++ {
+			if !admissible(c) {
+				continue
+			}
+			w, err := n.cm.EstimateAdditionContext(ctx, asg, feat, c)
+			if err != nil {
+				return nodeScore{}, err
+			}
+			added := w - baseW
+			if !best.ok || added < best.score {
+				best = nodeScore{ok: true, core: c, score: added}
+			}
+		}
+		return best, nil
+
+	case LeastDegradation, BinPack:
+		baseSPI, err := assignmentSPI(ctx, n.cfg.Machine, asg, f.cfg.Solver)
+		if err != nil {
+			return nodeScore{}, err
+		}
+		solo, err := soloSPI(ctx, n.cfg.Machine, feat, f.cfg.Solver)
+		if err != nil {
+			return nodeScore{}, err
+		}
+		best := nodeScore{}
+		for c := 0; c < n.cfg.Machine.NumCores; c++ {
+			if !admissible(c) {
+				continue
+			}
+			after, err := assignmentSPI(ctx, n.cfg.Machine, withAddition(asg, feat, c), f.cfg.Solver)
+			if err != nil {
+				return nodeScore{}, err
+			}
+			added := after - baseSPI
+			if !best.ok || added < best.score {
+				rel := 0.0
+				if solo > 0 {
+					rel = (added - solo) / solo
+				}
+				best = nodeScore{ok: true, core: c, score: added, rel: rel}
+			}
+		}
+		return best, nil
+
+	case Spread:
+		// Spread never scores; chooseSpread handles it. Report
+		// admissibility only.
+		best := nodeScore{}
+		for c := 0; c < n.cfg.Machine.NumCores; c++ {
+			if admissible(c) {
+				best = nodeScore{ok: true, core: c, score: math.NaN()}
+				break
+			}
+		}
+		return best, nil
+	}
+	return nodeScore{}, errUnknownPolicy(f.cfg.Policy)
+}

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting under
+// -update. On a mismatch the observed bytes are dumped next to the golden
+// as <name minus .json>.got.json so CI can upload the diff pair.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		dump := strings.TrimSuffix(path, ".json") + ".got.json"
+		if werr := os.WriteFile(dump, got, 0o644); werr == nil {
+			t.Fatalf("%s: output differs from golden file; observed bytes dumped to %s", name, dump)
+		}
+		t.Fatalf("%s: output differs from golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// renderReport serializes exactly like cmd/fleet, so the golden pins the
+// CLI's byte-for-byte output.
+func renderReport(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestSimGolden is the determinism acceptance test: the seeded scenario
+// must replay to a byte-identical report at workers 1, 4, and GOMAXPROCS,
+// pinned by the golden file the CI smoke step also diffs against.
+func TestSimGolden(t *testing.T) {
+	sc, err := LoadScenario(filepath.Join("testdata", "scenario_seed1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []byte
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		rep, err := NewSim(sc, w).Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := renderReport(t, rep)
+		if ref == nil {
+			ref = got
+			checkGolden(t, "sim_seed1.json", got)
+		} else if !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d report differs from workers=1", w)
+		}
+	}
+}
+
+// TestSimSmokeGolden pins the tiny heterogeneous scenario CI replays.
+func TestSimSmokeGolden(t *testing.T) {
+	sc, err := LoadScenario(filepath.Join("testdata", "scenario_smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewSim(sc, 2).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "sim_smoke.json", renderReport(t, rep))
+}
+
+// TestLeastDegradationBeatsSpread is the policy acceptance criterion: on
+// the golden scenario the model-guided policy must deliver lower fleet
+// time-weighted predicted SPI than the round-robin baseline, and every
+// policy must place the whole trace (no rejections, nothing left behind).
+func TestLeastDegradationBeatsSpread(t *testing.T) {
+	sc, err := LoadScenario(filepath.Join("testdata", "scenario_seed1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewSim(sc, 0).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PolicyReport{}
+	for _, pr := range rep.Policies {
+		byName[pr.Policy] = pr
+		if pr.Rejected != 0 || pr.FinalResidents != 0 {
+			t.Errorf("%s: %d rejected, %d stranded — want 0/0", pr.Policy, pr.Rejected, pr.FinalResidents)
+		}
+		if pr.Placed < uint64(sc.Processes) {
+			t.Errorf("%s placed %d of %d", pr.Policy, pr.Placed, sc.Processes)
+		}
+	}
+	ld, sp := byName["least-degradation"], byName["spread"]
+	if ld.AvgSPI >= sp.AvgSPI {
+		t.Fatalf("least-degradation avg SPI %v not better than spread %v", ld.AvgSPI, sp.AvgSPI)
+	}
+}
+
+// TestScenarioValidation pins the loader's rejection of malformed
+// scenarios.
+func TestScenarioValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(body string) string {
+		p := filepath.Join(dir, "sc.json")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bad := []string{
+		`{`,
+		`{"unknown_field":1}`,
+		`{"machines":[],"processes":1,"mean_interarrival":1,"mean_lifetime":1}`,
+		`{"machines":[{"preset":"cray"}],"processes":1,"mean_interarrival":1,"mean_lifetime":1}`,
+		`{"machines":[{"preset":"laptop"}],"processes":0,"mean_interarrival":1,"mean_lifetime":1}`,
+		`{"machines":[{"preset":"laptop"}],"processes":1,"mean_interarrival":0,"mean_lifetime":1}`,
+		`{"machines":[{"preset":"laptop"}],"processes":1,"mean_interarrival":1,"mean_lifetime":1,"policies":["fifo"]}`,
+		`{"machines":[{"preset":"laptop"}],"processes":1,"mean_interarrival":1,"mean_lifetime":1,"workloads":["doom"]}`,
+	}
+	for _, body := range bad {
+		if _, err := LoadScenario(write(body)); err == nil {
+			t.Errorf("LoadScenario accepted %s", body)
+		}
+	}
+	if _, err := LoadScenario(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadScenario accepted a missing file")
+	}
+}

@@ -32,6 +32,11 @@ var (
 	// ErrUnknownProcess reports a Remove for an instance name that is not
 	// resident.
 	ErrUnknownProcess = errors.New("unknown process")
+	// ErrNoImprovement reports that Rebalance found no layout change worth
+	// making: nothing is resident, no admissible layout beats the current
+	// one by the requested saving, or the best layout is the one already in
+	// place. The assignment is untouched when it is returned.
+	ErrNoImprovement = errors.New("no improving move")
 )
 
 // FeatureSource supplies feature vectors for workloads. It abstracts the
@@ -229,21 +234,12 @@ func (mgr *Manager) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Pla
 
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
-	snapProcs := make([][]string, len(mgr.procs))
-	for c, names := range mgr.procs {
-		snapProcs[c] = append([]string(nil), names...)
-	}
-	snapNextID, snapRR := mgr.nextID, mgr.rrNext
-	var added []string
+	snap := mgr.snapshotLocked()
+	admitted := 0
 	rollback := func(cause error) error {
-		for _, n := range added {
-			delete(mgr.features, n)
-			delete(mgr.specs, n)
-		}
-		mgr.procs = snapProcs
-		mgr.nextID, mgr.rrNext = snapNextID, snapRR
-		if len(added) > 0 {
-			return &RollbackError{Admitted: len(added), Err: cause}
+		mgr.restoreLocked(snap)
+		if admitted > 0 {
+			return &RollbackError{Admitted: admitted, Err: cause}
 		}
 		return cause
 	}
@@ -256,10 +252,78 @@ func (mgr *Manager) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Pla
 		if err != nil {
 			return nil, rollback(err)
 		}
-		added = append(added, name)
+		admitted++
 		out[i] = Placement{Name: name, Core: c, Watts: w}
 	}
 	return out, nil
+}
+
+// Snapshot is a deep copy of a Manager's resident state: the per-core
+// instance lists, the instance feature/spec maps, the instance-name
+// counter, and the round-robin cursor. It is the transaction primitive
+// behind PlaceAll's rollback and the fleet scheduler's cross-machine
+// moves: capture a snapshot, mutate, and Restore on failure.
+type Snapshot struct {
+	procs    [][]string
+	features map[string]*core.FeatureVector
+	specs    map[string]*workload.Spec
+	nextID   int
+	rrNext   int
+}
+
+// Snapshot captures the manager's resident state. The copy is deep, so
+// later mutations of the manager never leak into it and one snapshot can
+// be restored any number of times.
+func (mgr *Manager) Snapshot() *Snapshot {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.snapshotLocked()
+}
+
+func (mgr *Manager) snapshotLocked() *Snapshot {
+	s := &Snapshot{
+		procs:    make([][]string, len(mgr.procs)),
+		features: make(map[string]*core.FeatureVector, len(mgr.features)),
+		specs:    make(map[string]*workload.Spec, len(mgr.specs)),
+		nextID:   mgr.nextID,
+		rrNext:   mgr.rrNext,
+	}
+	for c, names := range mgr.procs {
+		s.procs[c] = append([]string(nil), names...)
+	}
+	for n, f := range mgr.features {
+		s.features[n] = f
+	}
+	for n, sp := range mgr.specs {
+		s.specs[n] = sp
+	}
+	return s
+}
+
+// Restore resets the manager's resident state to a snapshot taken earlier
+// on the same manager. The profile cache is deliberately left alone:
+// feature vectors are deterministic per workload, so keeping them warm
+// after a rollback is always correct.
+func (mgr *Manager) Restore(s *Snapshot) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	mgr.restoreLocked(s)
+}
+
+func (mgr *Manager) restoreLocked(s *Snapshot) {
+	mgr.procs = make([][]string, len(s.procs))
+	for c, names := range s.procs {
+		mgr.procs[c] = append([]string(nil), names...)
+	}
+	mgr.features = make(map[string]*core.FeatureVector, len(s.features))
+	for n, f := range s.features {
+		mgr.features[n] = f
+	}
+	mgr.specs = make(map[string]*workload.Spec, len(s.specs))
+	for n, sp := range s.specs {
+		mgr.specs[n] = sp
+	}
+	mgr.nextID, mgr.rrNext = s.nextID, s.rrNext
 }
 
 // Assignment returns the current model-side assignment.
@@ -317,6 +381,60 @@ func (mgr *Manager) Place(ctx context.Context, spec *workload.Spec) (name string
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
 	return mgr.placeLocked(ctx, spec, f)
+}
+
+// PlaceAt admits a new instance of spec on a specific core, bypassing the
+// manager's own policy: the caller (the fleet scheduler, which scores
+// candidate slots across machines itself) has already chosen where the
+// process belongs. Admissibility under MaxPerCore is still enforced, the
+// round-robin cursor is untouched, and on any error the manager state is
+// exactly as it was.
+func (mgr *Manager) PlaceAt(ctx context.Context, spec *workload.Spec, c int) (name string, watts float64, err error) {
+	f, err := mgr.FeatureOf(ctx, spec)
+	if err != nil {
+		return "", 0, err
+	}
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if c < 0 || c >= mgr.mach.NumCores {
+		return "", 0, fmt.Errorf("manager: core %d out of range [0,%d)", c, mgr.mach.NumCores)
+	}
+	if !mgr.admissible(c) {
+		return "", 0, fmt.Errorf("manager: core %d: %w (MaxPerCore=%d)", c, ErrMachineFull, mgr.opts.MaxPerCore)
+	}
+	watts, err = mgr.cm.EstimateAdditionContext(ctx, mgr.assignmentLocked(), f, c)
+	if err != nil {
+		return "", 0, err
+	}
+	mgr.nextID++
+	name = fmt.Sprintf("%s#%d", spec.Name, mgr.nextID)
+	mgr.procs[c] = append(mgr.procs[c], name)
+	mgr.features[name] = f
+	mgr.specs[name] = spec
+	return name, watts, nil
+}
+
+// Resident describes one placed instance: its unique name, the core it
+// occupies, and the workload identity behind it.
+type Resident struct {
+	Name    string
+	Core    int
+	Spec    *workload.Spec
+	Feature *core.FeatureVector
+}
+
+// Residents lists the placed instances in deterministic order: core by
+// core, arrival order within a core.
+func (mgr *Manager) Residents() []Resident {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	var out []Resident
+	for c, names := range mgr.procs {
+		for _, n := range names {
+			out = append(out, Resident{Name: n, Core: c, Spec: mgr.specs[n], Feature: mgr.features[n]})
+		}
+	}
+	return out
 }
 
 // placeLocked chooses a core, computes the post-placement power estimate,
@@ -448,6 +566,15 @@ func (mgr *Manager) Running() [][]string {
 // minSavingWatts. Returns the number of processes that moved and the
 // estimated power after rebalancing. A cancelled ctx abandons the search
 // within one candidate estimate and leaves the assignment unchanged.
+//
+// Scope: Rebalance only shuffles processes among this machine's own
+// cores — it cannot migrate across machines, because a Manager models
+// exactly one CMP (the paper's single-machine framework). Cross-machine
+// moves are the fleet scheduler's job (internal/fleet), built on the same
+// Snapshot/Restore transaction primitives. When no move is worth making,
+// the typed ErrNoImprovement sentinel is returned (with the current watts
+// estimate still valid) rather than a silent no-op, so callers can
+// distinguish "nothing to do" from "migrated to a better layout".
 func (mgr *Manager) Rebalance(ctx context.Context, minSavingWatts float64) (moved int, watts float64, err error) {
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
@@ -464,7 +591,7 @@ func (mgr *Manager) Rebalance(ctx context.Context, minSavingWatts float64) (move
 		return 0, 0, err
 	}
 	if len(names) == 0 {
-		return 0, current, nil
+		return 0, current, fmt.Errorf("manager: %w: nothing resident", ErrNoImprovement)
 	}
 	results, err := mgr.cm.BestAssignmentContext(ctx, feats, 0)
 	if err != nil {
@@ -488,7 +615,8 @@ func (mgr *Manager) Rebalance(ctx context.Context, minSavingWatts float64) (move
 		}
 	}
 	if !found || current-best.Watts < minSavingWatts {
-		return 0, current, nil
+		return 0, current, fmt.Errorf("manager: %w: best admissible layout saves %.4f W (threshold %.4f W)",
+			ErrNoImprovement, current-best.Watts, minSavingWatts)
 	}
 	// Adopt the new layout. BestAssignment works on features; map the
 	// feature identity back to instance names (features are shared per
@@ -517,6 +645,10 @@ func (mgr *Manager) Rebalance(ctx context.Context, minSavingWatts float64) (move
 				moved++
 			}
 		}
+	}
+	if moved == 0 {
+		// The best admissible layout is the one already in place.
+		return 0, best.Watts, fmt.Errorf("manager: %w: current layout is already optimal", ErrNoImprovement)
 	}
 	mgr.procs = newProcs
 	return moved, best.Watts, nil

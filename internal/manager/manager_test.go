@@ -2,6 +2,7 @@ package manager
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -198,7 +199,7 @@ func TestRebalanceMigratesWhenItPays(t *testing.T) {
 		t.Fatal(err)
 	}
 	moved, after, err := mgr.Rebalance(context.Background(), 0.01)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrNoImprovement) {
 		t.Fatal(err)
 	}
 	if after > before+1e-9 {
@@ -214,10 +215,11 @@ func TestRebalanceMigratesWhenItPays(t *testing.T) {
 			t.Fatalf("rebalance lost processes: %d resident", total)
 		}
 	}
-	// A second rebalance has nothing left to gain.
+	// A second rebalance has nothing left to gain: the typed sentinel
+	// replaces the old silent no-op.
 	moved2, _, err := mgr.Rebalance(context.Background(), 0.01)
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrNoImprovement) {
+		t.Fatalf("second rebalance error %v, want ErrNoImprovement", err)
 	}
 	if moved2 != 0 {
 		t.Fatalf("second rebalance moved %d processes", moved2)
@@ -265,7 +267,7 @@ func TestRebalanceHonoursMaxPerCore(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := mgr.Rebalance(context.Background(), 0); err != nil {
+	if _, _, err := mgr.Rebalance(context.Background(), 0); err != nil && !errors.Is(err, ErrNoImprovement) {
 		t.Fatal(err)
 	}
 	for c, names := range mgr.Running() {

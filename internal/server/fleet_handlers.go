@@ -1,0 +1,128 @@
+// Fleet endpoints: the cluster scheduler behind the same HTTP discipline
+// as the single-machine surface. Served only when Config.Fleet is set:
+//
+//	POST /v1/fleet/place      admit instances fleet-wide (transactional, or queued)
+//	POST /v1/fleet/rebalance  one cross-machine rebalance pass
+//	GET  /v1/fleet/state      per-machine residents, model estimates, queue
+//
+// A rebalance pass that finds no move worth making is a successful
+// no-op — HTTP 200 with moved:false — not an error: "nothing to improve"
+// is a routine answer, and surfacing it as 4xx/5xx would page someone.
+
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"mpmc/internal/fleet"
+	"mpmc/internal/manager"
+)
+
+// FleetPlacementInfo is one fleet-wide admitted instance.
+type FleetPlacementInfo struct {
+	Bench string  `json:"bench"`
+	Node  string  `json:"node"`
+	Name  string  `json:"name"`
+	Core  int     `json:"core"`
+	Watts float64 `json:"watts"` // that machine's estimate after the placement
+}
+
+// FleetPlaceResponse answers POST /v1/fleet/place.
+type FleetPlaceResponse struct {
+	Placements []FleetPlacementInfo `json:"placements"`
+	// Queued lists the benchmarks parked in the admission queue (queue
+	// mode only).
+	Queued     []string `json:"queued,omitempty"`
+	QueueDepth int      `json:"queue_depth"`
+}
+
+// FleetRebalanceResponse answers POST /v1/fleet/rebalance. Moved is false
+// when no migration cleared the improvement threshold; Reason then says
+// why, and Move is absent.
+type FleetRebalanceResponse struct {
+	Moved  bool        `json:"moved"`
+	Move   *fleet.Move `json:"move,omitempty"`
+	Reason string      `json:"reason,omitempty"`
+}
+
+// fleetRoutes wires the /v1/fleet surface (only called when a fleet is
+// configured).
+func (s *Server) fleetRoutes() {
+	s.mux.HandleFunc("POST /v1/fleet/place", s.instrument("fleet_place", s.handleFleetPlace))
+	s.mux.HandleFunc("POST /v1/fleet/rebalance", s.instrument("fleet_rebalance", s.handleFleetRebalance))
+	s.mux.HandleFunc("GET /v1/fleet/state", s.instrument("fleet_state", s.handleFleetState))
+}
+
+func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error {
+	var req FleetPlaceRequest
+	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return err
+	}
+	specs, err := resolveBenches(req.Benches)
+	if err != nil {
+		return err
+	}
+	resp := FleetPlaceResponse{Placements: []FleetPlacementInfo{}}
+	if req.Queue {
+		// Best-effort per instance: place what fits, queue the rest.
+		for _, spec := range specs {
+			p, err := s.fleet.Place(r.Context(), spec)
+			switch {
+			case err == nil:
+				resp.Placements = append(resp.Placements, FleetPlacementInfo{
+					Bench: spec.Name, Node: p.Node, Name: p.Name, Core: p.Core, Watts: p.Watts,
+				})
+			case errors.Is(err, fleet.ErrFleetFull):
+				if _, qerr := s.fleet.Submit(spec, ""); qerr != nil {
+					return qerr
+				}
+				resp.Queued = append(resp.Queued, spec.Name)
+			default:
+				return err
+			}
+		}
+	} else {
+		placed, err := s.fleet.PlaceAll(r.Context(), specs)
+		if err != nil {
+			return err
+		}
+		for i, p := range placed {
+			resp.Placements = append(resp.Placements, FleetPlacementInfo{
+				Bench: specs[i].Name, Node: p.Node, Name: p.Name, Core: p.Core, Watts: p.Watts,
+			})
+		}
+	}
+	resp.QueueDepth = s.fleet.QueueDepth()
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleFleetRebalance(w http.ResponseWriter, r *http.Request) error {
+	var req FleetRebalanceRequest
+	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return err
+	}
+	if req.MinImprovement < 0 {
+		return badRequest("bad_request", "min_improvement must be non-negative")
+	}
+	mv, err := s.fleet.Rebalance(r.Context(), req.MinImprovement)
+	if errors.Is(err, manager.ErrNoImprovement) {
+		writeJSON(w, http.StatusOK, FleetRebalanceResponse{Moved: false, Reason: err.Error()})
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, FleetRebalanceResponse{Moved: true, Move: &mv})
+	return nil
+}
+
+func (s *Server) handleFleetState(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.fleet.State(r.Context())
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, st)
+	return nil
+}

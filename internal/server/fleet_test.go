@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpmc/internal/fleet"
+	"mpmc/internal/machine"
+	"mpmc/internal/metrics"
+)
+
+// newFleetServer builds a test server with a 4× workstation fleet
+// attached (capacity 16: 2 cores × 2 per core × 4 machines), sharing one
+// registry so the fleet gauges land in this server's /metrics.
+func newFleetServer(t *testing.T, policy fleet.Policy, queueCap int) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	pm := fitPowerModel(t)
+	var nodes []fleet.NodeConfig
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, fleet.NodeConfig{
+			Machine:    machine.TwoCoreWorkstation(),
+			Power:      pm,
+			MaxPerCore: 2,
+		})
+	}
+	fl, err := fleet.New(fleet.Config{
+		Nodes:    nodes,
+		Policy:   policy,
+		QueueCap: queueCap,
+		Seed:     1,
+		Workers:  2,
+		Profile:  fleet.ProfileFunc(oracleProfile(nil, 0)),
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Fleet = fl
+		c.Registry = reg
+	})
+	return s, ts
+}
+
+// TestFleetRoutesAbsentWithoutFleet: a server with no fleet must 404 the
+// fleet surface with the typed envelope.
+func TestFleetRoutesAbsentWithoutFleet(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, raw := do(t, ts, "GET", "/v1/fleet/state", "")
+	wantAPIError(t, status, raw, http.StatusNotFound, "not_found")
+}
+
+// TestFleetPlaceStateRemove drives the fleet surface end to end:
+// transactional placement, state inspection, rebalance no-op, and typed
+// errors.
+func TestFleetPlaceStateRemove(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 4)
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art","gzip"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("fleet place status %d: %s", status, raw)
+	}
+	var pr FleetPlaceResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 3 || len(pr.Queued) != 0 {
+		t.Fatalf("placements %+v", pr)
+	}
+	for _, p := range pr.Placements {
+		if p.Node == "" || p.Name == "" || p.Watts <= 0 {
+			t.Fatalf("degenerate placement %+v", p)
+		}
+	}
+
+	status, raw = do(t, ts, "GET", "/v1/fleet/state", "")
+	if status != http.StatusOK {
+		t.Fatalf("fleet state status %d: %s", status, raw)
+	}
+	var st fleet.State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 3 || st.Policy != "least-degradation" || len(st.Nodes) != 4 {
+		t.Fatalf("fleet state %s", raw)
+	}
+
+	// Unknown benchmark → typed 400; unknown method/path → typed 404.
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["doom"]}`)
+	wantAPIError(t, status, raw, http.StatusBadRequest, "unknown_benchmark")
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf"],"nope":1}`)
+	wantAPIError(t, status, raw, http.StatusBadRequest, "bad_json")
+
+	// Rebalance threshold nobody clears → 200 with moved:false, not an
+	// error: a no-op pass is a routine answer.
+	status, raw = do(t, ts, "POST", "/v1/fleet/rebalance", `{"min_improvement":1e9}`)
+	if status != http.StatusOK {
+		t.Fatalf("rebalance status %d: %s", status, raw)
+	}
+	var rr FleetRebalanceResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Moved || rr.Reason == "" || rr.Move != nil {
+		t.Fatalf("no-op rebalance response %s", raw)
+	}
+	status, raw = do(t, ts, "POST", "/v1/fleet/rebalance", `{"min_improvement":-1}`)
+	wantAPIError(t, status, raw, http.StatusBadRequest, "bad_request")
+}
+
+// TestFleetPlaceOverflow pins the typed fleet_full conflict and the
+// transactional all-or-nothing contract at the HTTP layer.
+func TestFleetPlaceOverflow(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.BinPack, 0)
+	benches := make([]string, 16)
+	for i := range benches {
+		benches[i] = []string{"mcf", "art", "gzip", "vpr"}[i%4]
+	}
+	body, _ := json.Marshal(map[string]any{"benches": benches})
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", string(body))
+	if status != http.StatusOK {
+		t.Fatalf("filling place status %d: %s", status, raw)
+	}
+
+	// The fleet is full: a transactional batch of 2 must admit neither.
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art"]}`)
+	wantAPIError(t, status, raw, http.StatusConflict, "fleet_full")
+	var st fleet.State
+	_, sraw := do(t, ts, "GET", "/v1/fleet/state", "")
+	if err := json.Unmarshal(sraw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 16 || st.QueueDepth != 0 {
+		t.Fatalf("state after rejected batch: %s", sraw)
+	}
+
+	// With no queue configured, queue mode reports queue_full.
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf"],"queue":true}`)
+	wantAPIError(t, status, raw, http.StatusTooManyRequests, "queue_full")
+}
+
+// TestFleetQueueMode: queue mode parks what does not fit and a departure
+// pumps it back out.
+func TestFleetQueueMode(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 8)
+	benches := make([]string, 16)
+	for i := range benches {
+		benches[i] = "mcf"
+	}
+	body, _ := json.Marshal(map[string]any{"benches": benches})
+	if status, raw := do(t, ts, "POST", "/v1/fleet/place", string(body)); status != http.StatusOK {
+		t.Fatalf("fill status %d: %s", status, raw)
+	}
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["art","gzip"],"queue":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("queue place status %d: %s", status, raw)
+	}
+	var pr FleetPlaceResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 0 || len(pr.Queued) != 2 || pr.QueueDepth != 2 {
+		t.Fatalf("queue place response %s", raw)
+	}
+}
+
+// TestFleetConcurrentPlacement is the race acceptance test: 32 goroutines
+// hammer POST /v1/fleet/place against the 4-machine fleet (capacity 16).
+// Under -race this must be clean, no machine may exceed its per-core cap,
+// and the metrics counters must sum to the request count.
+func TestFleetConcurrentPlacement(t *testing.T) {
+	s, ts := newFleetServer(t, fleet.LeastDegradation, 0)
+	benches := []string{"mcf", "art", "gzip", "vpr"}
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	codes := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"benches":[%q]}`, benches[i%len(benches)])
+			status, raw, err := doRaw(ts, "POST", "/v1/fleet/place", body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			codes[i] = status
+			if status != http.StatusOK && status != http.StatusConflict {
+				errs[i] = fmt.Errorf("status %d: %s", status, raw)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ok, conflict := 0, 0
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		switch codes[i] {
+		case http.StatusOK:
+			ok++
+		case http.StatusConflict:
+			conflict++
+		}
+	}
+	// Exactly the fleet's capacity lands; everything else conflicts.
+	if ok != 16 || conflict != 16 {
+		t.Fatalf("placed %d, conflicts %d — want 16/16", ok, conflict)
+	}
+
+	var st fleet.State
+	_, raw := do(t, ts, "GET", "/v1/fleet/state", "")
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 16 {
+		t.Fatalf("%d residents, want 16", st.Residents)
+	}
+	for _, n := range st.Nodes {
+		for _, c := range n.Cores {
+			if len(c.Procs) > 2 {
+				t.Fatalf("node %s core %d over capacity: %v", n.Node, c.Core, c.Procs)
+			}
+		}
+	}
+
+	// Counter conservation: every request either placed or was rejected.
+	reg := s.Registry()
+	placed := reg.CounterValue("fleet_place_total")
+	rejected := reg.CounterValue("fleet_place_rejected_total")
+	if placed != 16 || rejected != 16 || placed+rejected != 32 {
+		t.Fatalf("counters placed=%d rejected=%d, want 16+16=32", placed, rejected)
+	}
+}
+
+// TestFleetMetricsExposition checks the fleet gauges and counters appear
+// in the shared /metrics exposition after fleet traffic.
+func TestFleetMetricsExposition(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.Spread, 4)
+	do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art"]}`)
+
+	status, raw := do(t, ts, "GET", "/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"fleet_place_total 2",
+		"fleet_residents 2",
+		"fleet_machines 4",
+		"fleet_queue_depth 0",
+		`fleet_machine_residents{node="m0"}`,
+		`fleet_machine_milliwatts{node="m0"}`,
+		`requests_total{endpoint="fleet_place",code="200"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, "fleet_machine_milliwatts{node=\"m0\"} -1") {
+		t.Error("fleet power gauge reports the failure sentinel")
+	}
+}

@@ -27,6 +27,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			new(PredictRequest),
 			new(AssignRequest),
 			new(PlaceRequest),
+			new(FleetPlaceRequest),
+			new(FleetRebalanceRequest),
 		}
 		for _, dst := range targets {
 			r := httptest.NewRequest("POST", "/v1/fuzz", strings.NewReader(body))

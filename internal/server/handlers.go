@@ -10,6 +10,7 @@ import (
 
 	"mpmc/internal/cli"
 	"mpmc/internal/core"
+	"mpmc/internal/fleet"
 	"mpmc/internal/manager"
 	"mpmc/internal/workload"
 )
@@ -109,6 +110,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/place", s.instrument("place", s.handlePlace))
 	s.mux.HandleFunc("DELETE /v1/place/{name}", s.instrument("unplace", s.handleUnplace))
 	s.mux.HandleFunc("GET /v1/state", s.instrument("state", s.handleState))
+	if s.fleet != nil {
+		s.fleetRoutes()
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("/", s.instrument("not_found", func(w http.ResponseWriter, r *http.Request) error {
@@ -186,6 +190,12 @@ func toAPIError(err error) *apiError {
 		return &apiError{Status: statusClientClosedRequest, Code: "client_closed_request", Message: err.Error()}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &apiError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded", Message: err.Error()}
+	case errors.Is(err, fleet.ErrFleetFull):
+		return &apiError{Status: http.StatusConflict, Code: "fleet_full", Message: err.Error()}
+	case errors.Is(err, fleet.ErrQueueFull):
+		return &apiError{Status: http.StatusTooManyRequests, Code: "queue_full", Message: err.Error()}
+	case errors.Is(err, fleet.ErrUnknownNode):
+		return &apiError{Status: http.StatusNotFound, Code: "unknown_node", Message: err.Error()}
 	case errors.Is(err, manager.ErrMachineFull):
 		return &apiError{Status: http.StatusConflict, Code: "machine_full", Message: err.Error()}
 	case errors.Is(err, manager.ErrUnknownProcess):

@@ -70,6 +70,23 @@ type PlaceRequest struct {
 	Benches []string `json:"benches"`
 }
 
+// FleetPlaceRequest admits benchmark instances into the fleet. Without
+// Queue the batch is transactional: all instances are admitted or none
+// are. With Queue each instance is admitted best-effort and the ones that
+// do not fit wait in the admission queue (so a partial admission is
+// possible by design).
+type FleetPlaceRequest struct {
+	Benches []string `json:"benches"`
+	Queue   bool     `json:"queue,omitempty"`
+}
+
+// FleetRebalanceRequest triggers one cross-machine rebalance pass.
+type FleetRebalanceRequest struct {
+	// MinImprovement is the minimum fleet-wide predicted-SPI saving that
+	// justifies a migration (absolute SPI units; 0 = any improvement).
+	MinImprovement float64 `json:"min_improvement,omitempty"`
+}
+
 // decodeRequest strictly decodes a JSON request body into dst: the body is
 // size-capped, unknown fields and trailing garbage are errors, and every
 // failure is a typed *apiError.

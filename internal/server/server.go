@@ -16,6 +16,13 @@
 //	GET    /metrics         Prometheus text exposition
 //	GET    /healthz         liveness
 //
+// When Config.Fleet attaches a cluster scheduler, the /v1/fleet surface is
+// served too (see fleet_handlers.go):
+//
+//	POST /v1/fleet/place      admit instances fleet-wide
+//	POST /v1/fleet/rebalance  one cross-machine rebalance pass
+//	GET  /v1/fleet/state      per-machine residents and model estimates
+//
 // Production hygiene: every request runs under a context deadline, bodies
 // are size-capped, errors are typed JSON, each request emits one structured
 // log line, and shutdown drains in-flight profiling runs.
@@ -32,6 +39,7 @@ import (
 	"mpmc/internal/cache"
 	"mpmc/internal/cli"
 	"mpmc/internal/core"
+	"mpmc/internal/fleet"
 	"mpmc/internal/machine"
 	"mpmc/internal/manager"
 	"mpmc/internal/metrics"
@@ -73,6 +81,10 @@ type Config struct {
 	Registry *metrics.Registry
 	// Profile overrides the profiling implementation (nil = core.Profile).
 	Profile ProfileFunc
+	// Fleet optionally attaches a cluster scheduler; when set, the
+	// /v1/fleet/* routes are served. Pass the same Registry to the fleet
+	// and the server so the fleet gauges appear in this server's /metrics.
+	Fleet *fleet.Fleet
 }
 
 // Server is the resident prediction and placement service.
@@ -82,6 +94,7 @@ type Server struct {
 	cm    *core.CombinedModel
 	mgr   *manager.Manager
 	feats *featureCache
+	fleet *fleet.Fleet
 	reg   *metrics.Registry
 	log   *slog.Logger
 	mux   *http.ServeMux
@@ -118,11 +131,12 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:  cfg,
-		mach: cfg.Machine,
-		cm:   core.NewCombinedModel(cfg.Machine, cfg.Power),
-		reg:  cfg.Registry,
-		log:  cfg.Logger,
+		cfg:   cfg,
+		mach:  cfg.Machine,
+		cm:    core.NewCombinedModel(cfg.Machine, cfg.Power),
+		fleet: cfg.Fleet,
+		reg:   cfg.Registry,
+		log:   cfg.Logger,
 	}
 	s.feats = newFeatureCache(s)
 	s.mgr = manager.New(cfg.Machine, cfg.Power, manager.Options{

@@ -291,6 +291,10 @@ const (
 	LeastLoaded = manager.LeastLoaded
 )
 
+// ErrNoImprovement is returned by Manager.Rebalance when no layout change
+// is worth making; test for it with errors.Is.
+var ErrNoImprovement = manager.ErrNoImprovement
+
 // NewManager builds a runtime assignment manager for a machine with a
 // trained power model.
 func NewManager(m *Machine, pm *PowerModel, opts ManagerOptions) *Manager {
