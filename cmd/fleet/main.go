@@ -4,9 +4,18 @@
 // scenario file always produces byte-identical output, at any -workers
 // value, so the report doubles as a golden artifact in CI.
 //
+// With -chaos-seed set, the scenario instead replays under the chaos
+// harness (internal/chaos): a seed-deterministic fault schedule — injected
+// profiling/scoring/placement errors, context cancellations, machine loss,
+// queue-pressure bursts — with every model invariant checked after every
+// event. The transcript is byte-identical for a fixed (scenario,
+// -chaos-seed, -chaos-rate) at any -workers value, so it too is pinned as
+// a golden in CI.
+//
 // Usage:
 //
 //	fleet -scenario scenario.json [-workers 4] [-o report.json]
+//	fleet -scenario scenario.json -chaos-seed 1 [-chaos-rate 0.25]
 //
 // See the README "Fleet" section for the scenario schema.
 package main
@@ -20,6 +29,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"mpmc/internal/chaos"
 	"mpmc/internal/fleet"
 )
 
@@ -27,6 +37,8 @@ func main() {
 	scenario := flag.String("scenario", "", "scenario JSON file (required)")
 	workers := flag.Int("workers", 0, "scoring concurrency (0 = GOMAXPROCS; never affects output)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "run the chaos harness with this fault-schedule seed")
+	chaosRate := flag.Float64("chaos-rate", 0.25, "chaos fault intensity in [0,1] (with -chaos-seed)")
 	flag.Parse()
 
 	if *scenario == "" {
@@ -34,6 +46,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	chaosMode := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "chaos-seed" || f.Name == "chaos-rate" {
+			chaosMode = true
+		}
+	})
 	sc, err := fleet.LoadScenario(*scenario)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -43,12 +61,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	rep, err := fleet.NewSim(sc, *workers).Run(ctx)
+	var report any
+	if chaosMode {
+		report, err = chaos.NewHarness(sc, chaos.Options{
+			Seed:    *chaosSeed,
+			Rate:    *chaosRate,
+			Workers: *workers,
+		}).Run(ctx)
+	} else {
+		report, err = fleet.NewSim(sc, *workers).Run(ctx)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// CancelAfter returns a context that cancels itself after the code under
+// test has observed it checks times: each call to Err (the checkpoint
+// every loop in the scheduler stack already makes through ctx.Err() or
+// the parallel engine) decrements a countdown, and the context cancels
+// when it reaches zero. Sweeping checks across 0..N in a test drives
+// cancellation into every checkpoint of an operation deterministically —
+// no timers, no sleeps.
+//
+// checks <= 0 cancels immediately. The returned CancelFunc releases the
+// context's resources and must be called, as with context.WithCancel.
+func CancelAfter(parent context.Context, checks int) (context.Context, context.CancelFunc) {
+	inner, cancel := context.WithCancel(parent)
+	c := &countdownCtx{Context: inner, cancel: cancel}
+	c.remaining.Store(int64(checks))
+	if checks <= 0 {
+		cancel()
+	}
+	return c, cancel
+}
+
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+	cancel    context.CancelFunc
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) <= 0 {
+		c.cancel()
+	}
+	return c.Context.Err()
+}
+
+// Deadline forwards to the inner context; the countdown has no deadline.
+func (c *countdownCtx) Deadline() (time.Time, bool) { return c.Context.Deadline() }

@@ -1,0 +1,612 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"mpmc/internal/cli"
+	"mpmc/internal/core"
+	"mpmc/internal/fleet"
+	"mpmc/internal/machine"
+	"mpmc/internal/manager"
+	"mpmc/internal/workload"
+	"mpmc/internal/xrand"
+)
+
+// Options configures a chaos run.
+type Options struct {
+	// Seed drives every chaos decision. The same (scenario, Seed, Rate)
+	// replays the identical fault schedule.
+	Seed uint64
+	// Rate is the fault intensity in [0, 1]: the probability that an
+	// arrival's operation is faulted, that a node suffers an outage, and
+	// the scale of the queue-pressure burst count.
+	Rate float64
+	// Workers caps scoring concurrency (0 = GOMAXPROCS). It affects
+	// speed, never the transcript.
+	Workers int
+}
+
+// Injection is one scheduled fault, recorded before the run executes. The
+// schedule is a pure function of (scenario, chaos seed, rate) and is
+// shared by every policy, so the transcript names the exact injections a
+// failure replays from.
+type Injection struct {
+	Time   float64 `json:"time"`
+	Kind   string  `json:"kind"`
+	Target string  `json:"target"`
+}
+
+// PolicyOutcome is one policy's bookkeeping over the chaotic replay.
+// Every count is deterministic for a fixed (scenario, seed, rate) at any
+// worker count; scheduling-dependent metrics (profile run/dedup counters)
+// are deliberately excluded.
+type PolicyOutcome struct {
+	Policy string `json:"policy"`
+	// Placed counts direct admissions; QueueAdmitted counts arrivals that
+	// waited in the queue first. Faulted arrivals hit an injected error,
+	// Cancelled ones a cancelled context; Killed residents died with their
+	// machine.
+	Placed          int      `json:"placed"`
+	Faulted         int      `json:"faulted"`
+	Cancelled       int      `json:"cancelled"`
+	Killed          int      `json:"killed"`
+	QueueAdmitted   uint64   `json:"queue_admitted"`
+	QueueAbandoned  uint64   `json:"queue_abandoned"`
+	QueueDropped    uint64   `json:"queue_dropped"`
+	QueueRejected   uint64   `json:"queue_rejected"`
+	Moves           uint64   `json:"moves"`
+	RebalanceFaults int      `json:"rebalance_faults"`
+	NodesLost       int      `json:"nodes_lost"`
+	NodesRestored   int      `json:"nodes_restored"`
+	InvariantChecks int      `json:"invariant_checks"`
+	Violations      []string `json:"violations,omitempty"`
+	AvgSPI          float64  `json:"avg_spi"`
+	AvgWatts        float64  `json:"avg_watts"`
+	FinalResidents  int      `json:"final_residents"`
+}
+
+// Transcript is the full chaos-run record: the fault schedule plus one
+// outcome per policy. Marshalled with json.MarshalIndent it is the golden
+// artifact CI pins.
+type Transcript struct {
+	ScenarioSeed uint64          `json:"scenario_seed"`
+	ChaosSeed    uint64          `json:"chaos_seed"`
+	Rate         float64         `json:"rate"`
+	Machines     []string        `json:"machines"`
+	Processes    int             `json:"processes"`
+	BurstProcs   int             `json:"burst_procs"`
+	Horizon      float64         `json:"horizon"`
+	Injections   []Injection     `json:"injections"`
+	Policies     []PolicyOutcome `json:"policies"`
+}
+
+// Harness replays a fleet scenario under a deterministic fault schedule,
+// checking every model invariant after every event.
+//
+// Determinism contract: every chaos decision is drawn serially from
+// seeded streams while the schedule is built — never inside concurrent
+// code — and faults are armed per sim event, applying uniformly to every
+// seam consult during that one operation. Together with the parallel
+// engine's serial-order first-error rule, the transcript is byte-identical
+// across runs and across worker counts. (A per-consult injector such as
+// Seeded cannot make that promise: under early abort, whether a given
+// consult happens at all depends on the worker count.)
+type Harness struct {
+	sc   *fleet.Scenario
+	opts Options
+}
+
+// NewHarness builds a chaos harness over a validated scenario.
+func NewHarness(sc *fleet.Scenario, opts Options) *Harness {
+	return &Harness{sc: sc, opts: opts}
+}
+
+// Fault classes armed on arrivals, drawn per process up front.
+const (
+	classNone = iota
+	classProfile
+	classScore
+	classPlace
+	classCancel
+)
+
+var className = map[int]string{
+	classProfile: "profile_error",
+	classScore:   "score_error",
+	classPlace:   "place_error",
+	classCancel:  "cancel",
+}
+
+// armer is the event-scoped fault switch behind the Intercept seam: the
+// serial event loop arms one fault class for the duration of one fleet
+// operation, and every seam consult at the matching site — from any
+// worker — observes the same injected failure.
+type armer struct{ v atomic.Int32 }
+
+func (a *armer) arm(class int) { a.v.Store(int32(class)) }
+
+func (a *armer) intercept(site, key string) error {
+	var want string
+	switch a.v.Load() {
+	case classProfile:
+		want = "fleet.profile"
+	case classScore:
+		want = "fleet.score"
+	case classPlace:
+		want = "manager.place_at"
+	case classRebalance:
+		want = "fleet.rebalance"
+	default:
+		return nil
+	}
+	if site == want {
+		return &Fault{Site: site, Key: key}
+	}
+	return nil
+}
+
+const classRebalance = classCancel + 1
+
+// Event kinds in same-timestamp order: departures free capacity first,
+// outages resolve next, then rebalancing sees the layout, then arrivals
+// and bursts claim slots.
+const (
+	evDepart = iota
+	evFail
+	evRestore
+	evRebalance
+	evArrive
+	evBurst
+)
+
+type event struct {
+	time float64
+	kind int
+	seq  int
+	proc int // trace index (arrive/depart/burst)
+	node int // node index (fail/restore)
+}
+
+// schedule is the precomputed chaos plan for one run.
+type schedule struct {
+	nodeNames  []string
+	trace      []fleet.TraceProc // scenario procs then burst procs
+	bursts     int               // count of burst procs appended to trace
+	classes    []int             // per trace proc: armed fault class
+	events     []event
+	rebalFault map[int]bool // rebalance event seq -> inject
+	horizon    float64
+	injections []Injection
+}
+
+func (h *Harness) buildSchedule() *schedule {
+	sc := h.sc
+	s := &schedule{rebalFault: map[int]bool{}}
+	for i, m := range sc.Machines {
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("m%d", i)
+		}
+		s.nodeNames = append(s.nodeNames, name)
+	}
+	s.trace = sc.Trace()
+	traceHorizon := 0.0
+	for _, p := range s.trace {
+		if p.Depart > traceHorizon {
+			traceHorizon = p.Depart
+		}
+	}
+
+	base := xrand.New(h.opts.Seed)
+	outR, burstR, arriveR, rebalR := base.Split(), base.Split(), base.Split(), base.Split()
+	rate := h.opts.Rate
+
+	// Node outages: at most one per node, down inside the first 60% of
+	// the trace so the recovery (and the pump into it) lands in-run.
+	type outage struct {
+		node     int
+		down, up float64
+	}
+	var outages []outage
+	for i := range s.nodeNames {
+		if outR.Float64() >= rate {
+			continue
+		}
+		down := outR.Float64() * traceHorizon * 0.6
+		up := down + (0.1+0.3*outR.Float64())*traceHorizon
+		outages = append(outages, outage{node: i, down: down, up: up})
+	}
+
+	// Queue-pressure bursts: clusters of simultaneous submissions, sized
+	// to overflow a small queue. Burst processes get ordinary lifetimes
+	// so every one departs (or abandons the queue) before the horizon
+	// accounting closes.
+	pool := h.workloadPool()
+	nBursts := int(rate*8 + 0.5)
+	for b := 0; b < nBursts; b++ {
+		at := burstR.Float64() * traceHorizon * 0.8
+		size := 1 + burstR.Intn(3)
+		for j := 0; j < size; j++ {
+			spec := pool[burstR.Intn(len(pool))]
+			life := -sc.MeanLifetime * math.Log(1-burstR.Float64())
+			id := len(s.trace)
+			s.trace = append(s.trace, fleet.TraceProc{ID: id, Spec: spec, Arrive: at, Depart: at + life})
+			s.bursts++
+			s.injections = append(s.injections, Injection{
+				Time: at, Kind: "burst", Target: fmt.Sprintf("%s#%d", spec.Name, id),
+			})
+		}
+	}
+
+	// Per-arrival fault classes for the scenario procs (bursts bypass
+	// placement, so they draw no class). Exactly two uniforms per proc,
+	// so the stream layout is stable under scenario edits elsewhere.
+	s.classes = make([]int, len(s.trace))
+	for i := 0; i < len(s.trace)-s.bursts; i++ {
+		u, pick := arriveR.Float64(), arriveR.Float64()
+		if u >= rate {
+			continue
+		}
+		class := classProfile + int(pick*4)
+		if class > classCancel {
+			class = classCancel
+		}
+		s.classes[i] = class
+		s.injections = append(s.injections, Injection{
+			Time: s.trace[i].Arrive, Kind: className[class],
+			Target: fmt.Sprintf("%s#%d", s.trace[i].Spec.Name, i),
+		})
+	}
+
+	s.horizon = 0
+	for _, p := range s.trace {
+		if p.Depart > s.horizon {
+			s.horizon = p.Depart
+		}
+	}
+
+	for _, p := range s.trace[:len(s.trace)-s.bursts] {
+		s.events = append(s.events,
+			event{time: p.Arrive, kind: evArrive, seq: p.ID, proc: p.ID},
+			event{time: p.Depart, kind: evDepart, seq: p.ID, proc: p.ID},
+		)
+	}
+	for _, p := range s.trace[len(s.trace)-s.bursts:] {
+		s.events = append(s.events,
+			event{time: p.Arrive, kind: evBurst, seq: p.ID, proc: p.ID},
+			event{time: p.Depart, kind: evDepart, seq: p.ID, proc: p.ID},
+		)
+	}
+	for _, o := range outages {
+		s.events = append(s.events, event{time: o.down, kind: evFail, seq: o.node, node: o.node})
+		s.injections = append(s.injections, Injection{Time: o.down, Kind: "node_down", Target: s.nodeNames[o.node]})
+		if o.up < s.horizon {
+			s.events = append(s.events, event{time: o.up, kind: evRestore, seq: o.node, node: o.node})
+			s.injections = append(s.injections, Injection{Time: o.up, Kind: "node_up", Target: s.nodeNames[o.node]})
+		}
+	}
+	if sc.RebalanceEvery > 0 {
+		for k, t := 1, sc.RebalanceEvery; t < s.horizon; k, t = k+1, float64(k+1)*sc.RebalanceEvery {
+			s.events = append(s.events, event{time: t, kind: evRebalance, seq: k})
+			if rebalR.Float64() < rate {
+				s.rebalFault[k] = true
+				s.injections = append(s.injections, Injection{Time: t, Kind: "rebalance_error", Target: fmt.Sprintf("pass %d", k)})
+			}
+		}
+	}
+	sort.SliceStable(s.events, func(i, j int) bool {
+		a, b := s.events[i], s.events[j]
+		if a.time != b.time {
+			return a.time < b.time
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.seq < b.seq
+	})
+	sort.SliceStable(s.injections, func(i, j int) bool {
+		a, b := s.injections[i], s.injections[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Target < b.Target
+	})
+	return s
+}
+
+func (h *Harness) workloadPool() []*workload.Spec {
+	if len(h.sc.Workloads) > 0 {
+		out := make([]*workload.Spec, len(h.sc.Workloads))
+		for i, n := range h.sc.Workloads {
+			out[i] = workload.ByName(n)
+		}
+		return out
+	}
+	return workload.Suite()
+}
+
+func (h *Harness) policies() []string {
+	if len(h.sc.Policies) > 0 {
+		return h.sc.Policies
+	}
+	var out []string
+	for _, p := range fleet.Policies() {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+func (h *Harness) buildFleet(pname string, arm *armer) (*fleet.Fleet, error) {
+	policy, err := fleet.ParsePolicy(pname)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := core.SyntheticPowerModel()
+	if err != nil {
+		return nil, err
+	}
+	var nodes []fleet.NodeConfig
+	for _, m := range h.sc.Machines {
+		preset, err := cli.MachineByName(m.Preset)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, fleet.NodeConfig{
+			Name:       m.Name,
+			Machine:    preset,
+			Power:      pm,
+			MaxPerCore: m.MaxPerCore,
+		})
+	}
+	return fleet.New(fleet.Config{
+		Nodes:          nodes,
+		Policy:         policy,
+		BinPackCeiling: h.sc.BinPackCeiling,
+		QueueCap:       h.sc.QueueCap,
+		Seed:           h.sc.Seed,
+		Workers:        h.opts.Workers,
+		Intercept:      arm.intercept,
+		Profile: func(ctx context.Context, m *machine.Machine, spec *workload.Spec, opts core.ProfileOptions) (*core.FeatureVector, error) {
+			return core.TruthFeature(spec, m), nil
+		},
+	})
+}
+
+// Run replays the scenario under every requested policy against the
+// shared fault schedule.
+func (h *Harness) Run(ctx context.Context) (*Transcript, error) {
+	if h.opts.Rate < 0 || h.opts.Rate > 1 {
+		return nil, fmt.Errorf("chaos: rate %v outside [0, 1]", h.opts.Rate)
+	}
+	if err := h.sc.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	s := h.buildSchedule()
+	tr := &Transcript{
+		ScenarioSeed: h.sc.Seed,
+		ChaosSeed:    h.opts.Seed,
+		Rate:         h.opts.Rate,
+		Processes:    len(s.trace) - s.bursts,
+		BurstProcs:   s.bursts,
+		Horizon:      s.horizon,
+		Injections:   append([]Injection{}, s.injections...),
+	}
+	for i, m := range h.sc.Machines {
+		tr.Machines = append(tr.Machines, s.nodeNames[i]+":"+m.Preset)
+	}
+	for _, pname := range h.policies() {
+		po, err := h.runPolicy(ctx, pname, s)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: policy %s: %w", pname, err)
+		}
+		tr.Policies = append(tr.Policies, po)
+	}
+	return tr, nil
+}
+
+type procState struct {
+	resident bool
+	node     string
+	instance string
+	queued   bool
+	ticket   int
+}
+
+func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (PolicyOutcome, error) {
+	arm := &armer{}
+	f, err := h.buildFleet(pname, arm)
+	if err != nil {
+		return PolicyOutcome{}, err
+	}
+	po := PolicyOutcome{Policy: pname}
+	checker := &Checker{}
+	states := make([]procState, len(s.trace))
+
+	admit := func(placed []fleet.Placed) error {
+		for _, p := range placed {
+			if p.Tag == "" {
+				continue
+			}
+			id, err := strconv.Atoi(p.Tag)
+			if err != nil {
+				return fmt.Errorf("bad queue tag %q: %w", p.Tag, err)
+			}
+			states[id] = procState{resident: true, node: p.Node, instance: p.Name}
+		}
+		return nil
+	}
+
+	prevT := 0.0
+	var spiSec, wattSec float64
+	integrate := func(now float64) error {
+		if now <= prevT {
+			return nil
+		}
+		spi, watts, err := f.Totals(ctx)
+		if err != nil {
+			return err
+		}
+		spiSec += spi * (now - prevT)
+		wattSec += watts * (now - prevT)
+		prevT = now
+		return nil
+	}
+
+	check := func() {
+		po.InvariantChecks++
+		for _, v := range checker.CheckFleet(ctx, f) {
+			if len(po.Violations) < 16 {
+				po.Violations = append(po.Violations, v.String())
+			}
+		}
+	}
+
+	for _, ev := range s.events {
+		if err := ctx.Err(); err != nil {
+			return PolicyOutcome{}, err
+		}
+		if err := integrate(ev.time); err != nil {
+			return PolicyOutcome{}, err
+		}
+		switch ev.kind {
+		case evArrive:
+			p := s.trace[ev.proc]
+			if s.classes[ev.proc] == classCancel {
+				cctx, cancel := context.WithCancel(ctx)
+				cancel()
+				_, err := f.Place(cctx, p.Spec)
+				if !errors.Is(err, context.Canceled) {
+					return PolicyOutcome{}, fmt.Errorf("cancelled place of %s#%d: got %v", p.Spec.Name, p.ID, err)
+				}
+				po.Cancelled++
+				break
+			}
+			arm.arm(s.classes[ev.proc])
+			placed, err := f.Place(ctx, p.Spec)
+			arm.arm(classNone)
+			switch {
+			case err == nil:
+				po.Placed++
+				states[ev.proc] = procState{resident: true, node: placed.Node, instance: placed.Name}
+			case IsFault(err):
+				po.Faulted++
+			case errors.Is(err, fleet.ErrFleetFull):
+				ticket, qerr := f.Submit(p.Spec, strconv.Itoa(p.ID))
+				if qerr == nil {
+					states[ev.proc] = procState{queued: true, ticket: ticket}
+				} else if !errors.Is(qerr, fleet.ErrQueueFull) {
+					return PolicyOutcome{}, qerr
+				}
+			default:
+				return PolicyOutcome{}, err
+			}
+		case evBurst:
+			p := s.trace[ev.proc]
+			ticket, qerr := f.Submit(p.Spec, strconv.Itoa(p.ID))
+			if qerr == nil {
+				states[ev.proc] = procState{queued: true, ticket: ticket}
+			} else if !errors.Is(qerr, fleet.ErrQueueFull) {
+				return PolicyOutcome{}, qerr
+			}
+		case evDepart:
+			st := states[ev.proc]
+			switch {
+			case st.resident:
+				admitted, err := f.Remove(ctx, st.node, st.instance)
+				if err != nil {
+					return PolicyOutcome{}, err
+				}
+				states[ev.proc] = procState{}
+				if err := admit(admitted); err != nil {
+					return PolicyOutcome{}, err
+				}
+			case st.queued:
+				f.CancelQueued(st.ticket)
+				states[ev.proc] = procState{}
+			}
+		case evFail:
+			name := s.nodeNames[ev.node]
+			evicted, err := f.FailNode(name)
+			if err != nil {
+				return PolicyOutcome{}, err
+			}
+			po.NodesLost++
+			byInstance := map[string]bool{}
+			for _, r := range evicted {
+				byInstance[r.Name] = true
+			}
+			for i := range states {
+				if states[i].resident && states[i].node == name && byInstance[states[i].instance] {
+					states[i] = procState{}
+					po.Killed++
+				}
+			}
+		case evRestore:
+			admitted, err := f.RestoreNode(ctx, s.nodeNames[ev.node])
+			if err != nil {
+				return PolicyOutcome{}, err
+			}
+			po.NodesRestored++
+			if err := admit(admitted); err != nil {
+				return PolicyOutcome{}, err
+			}
+		case evRebalance:
+			if s.rebalFault[ev.seq] {
+				arm.arm(classRebalance)
+			}
+			mv, err := f.Rebalance(ctx, h.sc.RebalanceMinImprovement)
+			arm.arm(classNone)
+			switch {
+			case err == nil:
+				for i := range states {
+					if states[i].resident && states[i].node == mv.From && states[i].instance == mv.Name {
+						states[i].node, states[i].instance = mv.To, mv.NewName
+						break
+					}
+				}
+			case IsFault(err):
+				po.RebalanceFaults++
+			case !errors.Is(err, manager.ErrNoImprovement):
+				return PolicyOutcome{}, err
+			}
+		}
+		check()
+	}
+	if err := integrate(s.horizon); err != nil {
+		return PolicyOutcome{}, err
+	}
+
+	reg := f.Registry()
+	po.QueueAdmitted = reg.CounterValue("fleet_queue_admitted_total")
+	po.QueueAbandoned = reg.CounterValue("fleet_queue_abandoned_total")
+	po.QueueDropped = reg.CounterValue("fleet_queue_dropped_total")
+	po.QueueRejected = reg.CounterValue("fleet_queue_rejected_total")
+	po.Moves = reg.CounterValue("fleet_rebalance_moves_total")
+	po.AvgSPI = spiSec / s.horizon
+	po.AvgWatts = wattSec / s.horizon
+	for _, st := range states {
+		if st.resident || st.queued {
+			po.FinalResidents++
+		}
+	}
+
+	// Ledger conservation: every process — scenario arrival or burst —
+	// must end in exactly one disposition.
+	submitted := reg.CounterValue("fleet_queue_submitted_total")
+	total := uint64(po.Placed+po.Faulted+po.Cancelled) + submitted + po.QueueRejected
+	if total != uint64(len(s.trace)) {
+		po.Violations = append(po.Violations, fmt.Sprintf(
+			"conservation/ledger: placed %d + faulted %d + cancelled %d + queued %d + queue-rejected %d != %d processes",
+			po.Placed, po.Faulted, po.Cancelled, submitted, po.QueueRejected, len(s.trace)))
+	}
+	return po, nil
+}

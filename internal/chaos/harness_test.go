@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mpmc/internal/fleet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func chaosScenario(t *testing.T) *fleet.Scenario {
+	t.Helper()
+	sc, err := fleet.LoadScenario(filepath.Join("testdata", "scenario_chaos.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func renderTranscript(t *testing.T, tr *Transcript) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestChaosGolden is the acceptance pin: the transcript for a fixed
+// (scenario, chaos seed, rate) must be byte-identical to the checked-in
+// golden at every worker count.
+func TestChaosGolden(t *testing.T) {
+	sc := chaosScenario(t)
+	golden := filepath.Join("testdata", "chaos_seed1.json")
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		tr, err := NewHarness(sc, Options{Seed: 1, Rate: 0.25, Workers: workers}).Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := renderTranscript(t, tr)
+		if *update && workers == 1 {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			dump := golden + fmt.Sprintf(".got-w%d.json", workers)
+			os.WriteFile(dump, got, 0o644)
+			t.Fatalf("workers=%d: transcript differs from golden; wrote %s", workers, dump)
+		}
+	}
+}
+
+// TestChaosTranscriptExercisesEveryFaultClass guards the schedule itself:
+// a golden that injects nothing pins nothing.
+func TestChaosTranscriptExercisesEveryFaultClass(t *testing.T) {
+	sc := chaosScenario(t)
+	tr, err := NewHarness(sc, Options{Seed: 1, Rate: 0.25, Workers: 2}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, inj := range tr.Injections {
+		kinds[inj.Kind]++
+	}
+	for _, want := range []string{"node_down", "burst", "cancel"} {
+		if kinds[want] == 0 {
+			t.Errorf("schedule has no %q injection (kinds: %v)", want, kinds)
+		}
+	}
+	// At least one of the placement-path error classes must be armed.
+	if kinds["profile_error"]+kinds["score_error"]+kinds["place_error"] == 0 {
+		t.Errorf("schedule arms no placement-path error (kinds: %v)", kinds)
+	}
+	if tr.BurstProcs == 0 {
+		t.Error("no burst processes generated")
+	}
+	for _, po := range tr.Policies {
+		if len(po.Violations) > 0 {
+			t.Errorf("policy %s: invariant violations under chaos: %v", po.Policy, po.Violations)
+		}
+		if po.InvariantChecks == 0 {
+			t.Errorf("policy %s: no invariant checks ran", po.Policy)
+		}
+		if po.FinalResidents != 0 {
+			t.Errorf("policy %s: %d residents leaked past the horizon", po.Policy, po.FinalResidents)
+		}
+		if po.NodesLost == 0 {
+			t.Errorf("policy %s: no machine loss exercised", po.Policy)
+		}
+		if po.Faulted+po.Cancelled == 0 {
+			t.Errorf("policy %s: no arrival-path fault realized", po.Policy)
+		}
+	}
+}
+
+// TestChaosSeedsDiverge: different chaos seeds must produce different
+// schedules — otherwise the seed plumbing is dead.
+func TestChaosSeedsDiverge(t *testing.T) {
+	sc := chaosScenario(t)
+	a, err := NewHarness(sc, Options{Seed: 1, Rate: 0.25}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHarness(sc, Options{Seed: 2, Rate: 0.25}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(renderTranscript(t, a), renderTranscript(t, b)) {
+		t.Fatal("seeds 1 and 2 produced identical transcripts")
+	}
+}
+
+// TestChaosZeroRateMatchesCleanRun: rate 0 injects nothing and every
+// policy completes with clean invariants.
+func TestChaosZeroRateIsFaultFree(t *testing.T) {
+	sc := chaosScenario(t)
+	tr, err := NewHarness(sc, Options{Seed: 1, Rate: 0}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Injections) != 0 || tr.BurstProcs != 0 {
+		t.Fatalf("rate 0 scheduled %d injections, %d bursts", len(tr.Injections), tr.BurstProcs)
+	}
+	for _, po := range tr.Policies {
+		if po.Faulted+po.Cancelled+po.NodesLost != 0 {
+			t.Errorf("policy %s: faults realized at rate 0: %+v", po.Policy, po)
+		}
+		if len(po.Violations) > 0 {
+			t.Errorf("policy %s: violations: %v", po.Policy, po.Violations)
+		}
+	}
+}
+
+func TestHarnessRejectsBadRate(t *testing.T) {
+	sc := chaosScenario(t)
+	if _, err := NewHarness(sc, Options{Seed: 1, Rate: 1.5}).Run(context.Background()); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+}

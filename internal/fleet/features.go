@@ -31,10 +31,11 @@ type featureCache struct {
 	lru    *cache.LRUMap[*core.FeatureVector]
 	flight cache.Flight[*core.FeatureVector]
 
-	profile ProfileFunc
-	seed    uint64
-	quick   bool
-	workers int
+	profile   ProfileFunc
+	intercept func(site, key string) error
+	seed      uint64
+	quick     bool
+	workers   int
 
 	runs      *metrics.Counter
 	dedups    *metrics.Counter
@@ -45,6 +46,7 @@ func newFeatureCache(cfg Config, reg *metrics.Registry) *featureCache {
 	return &featureCache{
 		lru:       cache.NewLRUMap[*core.FeatureVector](cfg.CacheCap),
 		profile:   cfg.Profile,
+		intercept: cfg.Intercept,
 		seed:      cfg.Seed,
 		quick:     cfg.Quick,
 		workers:   cfg.Workers,
@@ -77,6 +79,15 @@ func (fc *featureCache) get(ctx context.Context, m *machine.Machine, spec *workl
 	f, err, shared := fc.flight.Do(key, func() (*core.FeatureVector, error) {
 		if f, ok := fc.lru.Get(key); ok {
 			return f, nil
+		}
+		// The injection seam sits inside the singleflight on purpose: a
+		// burst of deduplicated callers must all observe one injected
+		// failure (and nothing may be cached from it), exactly like a
+		// real profiling error.
+		if fc.intercept != nil {
+			if err := fc.intercept("fleet.profile", key); err != nil {
+				return nil, err
+			}
 		}
 		fc.runs.Inc()
 		fcfg := cli.FeatureConfig{Seed: fc.seed, Quick: fc.quick, Workers: fc.workers}

@@ -92,6 +92,17 @@ type Config struct {
 	Profile ProfileFunc
 	// Registry receives the fleet metrics (nil = fresh registry).
 	Registry *metrics.Registry
+	// Intercept, when non-nil, is consulted at named fault-injection
+	// sites before the guarded operation runs; a non-nil return is
+	// injected as that operation's error. It is the chaos-testing seam
+	// (internal/chaos): sites are "fleet.profile" (key machine\x00bench,
+	// inside the singleflight, so a burst of deduplicated callers all see
+	// one injected failure), "fleet.score" (key node name, ahead of the
+	// equilibrium solves), "fleet.rebalance" (ahead of the cross-machine
+	// pass), and the per-node managers' sites with the node name prefixed
+	// onto the key. Implementations must be safe for concurrent use and
+	// cheap: the seam is consulted on hot paths.
+	Intercept func(site, key string) error
 }
 
 // node pairs one machine's manager with its combined model and config.
@@ -99,6 +110,9 @@ type node struct {
 	cfg NodeConfig
 	mgr *manager.Manager
 	cm  *core.CombinedModel
+	// down marks a lost machine (guarded by the fleet lock): placement,
+	// rebalancing, and the model totals all skip it until RestoreNode.
+	down bool
 }
 
 // Fleet is the cluster scheduler. All methods are safe for concurrent
@@ -182,12 +196,25 @@ func New(cfg Config) (*Fleet, error) {
 		if nc.Power == nil {
 			return nil, fmt.Errorf("fleet: node %q has no power model", nc.Name)
 		}
+		var intercept func(site, key string) error
+		if cfg.Intercept != nil {
+			// Prefix the node identity so an injector can target one
+			// machine's commits without a separate seam per node.
+			ic, name := cfg.Intercept, nc.Name
+			intercept = func(site, key string) error {
+				if key == "" {
+					return ic(site, name)
+				}
+				return ic(site, name+"/"+key)
+			}
+		}
 		mgr := manager.New(nc.Machine, nc.Power, manager.Options{
 			// The node manager's own policy is never exercised: the fleet
 			// scores slots itself and commits with PlaceAt.
 			Policy:     manager.PowerAware,
 			MaxPerCore: nc.MaxPerCore,
 			Features:   nodeSource{fc: f.feats, m: nc.Machine},
+			Intercept:  intercept,
 		})
 		f.nodes = append(f.nodes, &node{
 			cfg: nc,
@@ -343,6 +370,9 @@ func (f *Fleet) placeOneLocked(ctx context.Context, spec *workload.Spec) (Placed
 		return f.placeSpreadLocked(ctx, spec)
 	}
 	scores, err := parallel.Map(ctx, f.cfg.Workers, len(f.nodes), func(i int) (nodeScore, error) {
+		if f.nodes[i].down {
+			return nodeScore{}, nil
+		}
 		return f.scoreNode(ctx, f.nodes[i], spec)
 	})
 	if err != nil {
@@ -395,6 +425,9 @@ func (f *Fleet) placeSpreadLocked(ctx context.Context, spec *workload.Spec) (Pla
 	for tries := 0; tries < nn; tries++ {
 		i := (f.rrNode + tries) % nn
 		n := f.nodes[i]
+		if n.down {
+			continue
+		}
 		running := n.mgr.Running()
 		bestCore, bestLoad := -1, 0
 		for c := 0; c < n.cfg.Machine.NumCores; c++ {
@@ -520,6 +553,102 @@ func (f *Fleet) Remove(ctx context.Context, nodeName, instance string) ([]Placed
 	return f.pumpLocked(ctx)
 }
 
+// FailNode simulates losing a machine: the node is marked down — placement,
+// rebalancing, and the model totals all skip it — and every resident is
+// evicted (processes die with their machine; the fleet does not pretend a
+// lost process can be live-migrated). The evicted residents are returned in
+// deterministic core/arrival order so the caller can resubmit or account
+// for them. Queued arrivals are untouched: they were never bound to a node.
+func (f *Fleet) FailNode(name string) ([]manager.Resident, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.nodeByNameLocked(name)
+	if n == nil {
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownNode, name)
+	}
+	if n.down {
+		return nil, fmt.Errorf("fleet: node %q is already down", name)
+	}
+	n.down = true
+	evicted := n.mgr.Residents()
+	for _, r := range evicted {
+		if err := n.mgr.Remove(r.Name); err != nil {
+			// Residents() just listed it under the same lock; Remove can
+			// only fail on a name that is not resident.
+			return nil, fmt.Errorf("fleet: evicting %s from %s: %w", r.Name, name, err)
+		}
+	}
+	// Registered lazily so fleets that never lose a machine keep their
+	// /metrics exposition (and the server e2e golden) unchanged.
+	f.reg.Counter("fleet_node_down_total").Inc()
+	if len(evicted) > 0 {
+		f.reg.Counter("fleet_node_evicted_total").Add(uint64(len(evicted)))
+	}
+	return evicted, nil
+}
+
+// RestoreNode brings a down machine back (empty, as after a reboot) and
+// pumps the admission queue into the recovered capacity, returning any
+// admissions that resulted.
+func (f *Fleet) RestoreNode(ctx context.Context, name string) ([]Placed, error) {
+	f.mu.Lock()
+	n := f.nodeByNameLocked(name)
+	if n == nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: %w %q", ErrUnknownNode, name)
+	}
+	if !n.down {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: node %q is not down", name)
+	}
+	n.down = false
+	f.reg.Counter("fleet_node_up_total").Inc()
+	f.mu.Unlock()
+	// Pump (not pumpLocked): queued features may need profiling against
+	// this node's machine kind, which must happen outside the fleet lock.
+	return f.Pump(ctx)
+}
+
+// NodeInspection is one node's full scheduler-visible state, exposed for
+// invariant checking (internal/chaos): the paper's Eq. 1/Eq. 10 properties
+// are statements about exactly this data. Residents carry the feature
+// vectors the models actually used, in deterministic core/arrival order.
+type NodeInspection struct {
+	Name       string
+	Machine    *machine.Machine
+	MaxPerCore int
+	Down       bool
+	Residents  []manager.Resident
+}
+
+// Assignment reconstructs the node's model-side assignment from the
+// inspected residents.
+func (ni NodeInspection) Assignment() core.Assignment {
+	asg := make(core.Assignment, ni.Machine.NumCores)
+	for _, r := range ni.Residents {
+		asg[r.Core] = append(asg[r.Core], r.Feature)
+	}
+	return asg
+}
+
+// Inspect captures every node's state under one lock acquisition, so the
+// snapshot is consistent: no placement can commit between two nodes' rows.
+func (f *Fleet) Inspect() []NodeInspection {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NodeInspection, len(f.nodes))
+	for i, n := range f.nodes {
+		out[i] = NodeInspection{
+			Name:       n.cfg.Name,
+			Machine:    n.cfg.Machine,
+			MaxPerCore: n.cfg.MaxPerCore,
+			Down:       n.down,
+			Residents:  n.mgr.Residents(),
+		}
+	}
+	return out
+}
+
 func (f *Fleet) nodeByNameLocked(name string) *node {
 	for _, n := range f.nodes {
 		if n.cfg.Name == name {
@@ -545,6 +674,10 @@ type NodeState struct {
 	FreeSlots      int         `json:"free_slots"` // -1 = unbounded
 	EstimatedWatts float64     `json:"estimated_watts"`
 	PredictedSPI   float64     `json:"predicted_spi"`
+	// Down marks a lost machine (FailNode): no residents, no capacity,
+	// zero model estimates. Omitted while the node is up so existing
+	// state consumers (and goldens) see unchanged output.
+	Down bool `json:"down,omitempty"`
 }
 
 // State is the fleet-wide view: per-machine residents and model estimates
@@ -583,6 +716,16 @@ func (f *Fleet) State(ctx context.Context) (*State, error) {
 }
 
 func (f *Fleet) nodeStateLocked(ctx context.Context, n *node) (NodeState, error) {
+	if n.down {
+		// A lost machine consumes nothing and runs nothing; report it
+		// explicitly rather than pricing an empty-but-powered CMP.
+		return NodeState{
+			Node:       n.cfg.Name,
+			Machine:    n.cfg.Machine.Name,
+			MaxPerCore: n.cfg.MaxPerCore,
+			Down:       true,
+		}, nil
+	}
 	asg := n.mgr.Assignment()
 	running := n.mgr.Running()
 	ns := NodeState{
@@ -618,6 +761,9 @@ func (f *Fleet) Totals(ctx context.Context) (spi, watts float64, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, n := range f.nodes {
+		if n.down {
+			continue
+		}
 		asg := n.mgr.Assignment()
 		w, err := n.cm.EstimateAssignmentContext(ctx, asg)
 		if err != nil {
@@ -642,6 +788,14 @@ func (f *Fleet) collectGauges(r *metrics.Registry) {
 	defer f.mu.Unlock()
 	total := 0
 	for _, n := range f.nodes {
+		if n.down {
+			// A lost machine scrapes as empty with no free slots and zero
+			// draw, so dashboards see the capacity loss immediately.
+			r.Gauge(fmt.Sprintf("fleet_machine_residents{node=%q}", n.cfg.Name)).Set(0)
+			r.Gauge(fmt.Sprintf("fleet_machine_free_slots{node=%q}", n.cfg.Name)).Set(0)
+			r.Gauge(fmt.Sprintf("fleet_machine_milliwatts{node=%q}", n.cfg.Name)).Set(0)
+			continue
+		}
 		running := n.mgr.Running()
 		count := 0
 		for _, names := range running {
@@ -665,27 +819,10 @@ func (f *Fleet) collectGauges(r *metrics.Registry) {
 	r.Gauge("fleet_machines").Set(int64(len(f.nodes)))
 }
 
-// SyntheticPowerModel fits the Eq. 9 MVLR to a fixed full-rank synthetic
-// dataset generated from known coefficients. The simulator and tests use
-// it where power *truth* is irrelevant but determinism and instant startup
-// matter; production fleets train real models per machine kind.
+// SyntheticPowerModel is core.SyntheticPowerModel, re-exported where the
+// fleet's callers historically found it. The implementation lives in core
+// so packages that must not import fleet (manager's fast test variants,
+// the chaos harness's fixtures) can share the same model.
 func SyntheticPowerModel() (*core.PowerModel, error) {
-	coef := []float64{5, 2e-9, 3e-9, 4e-8, 1e-9, 2.5e-9}
-	ds := &core.PowerDataset{}
-	for i := 0; i < 16; i++ {
-		v := []float64{
-			float64(i%5+1) * 1e8,
-			float64(i%3+1) * 5e7,
-			float64(i%7+1) * 1e6,
-			float64(i%4+1) * 2e8,
-			float64(i%6+1) * 1e7,
-		}
-		w := coef[0]
-		for j, c := range coef[1:] {
-			w += c * v[j]
-		}
-		ds.Features = append(ds.Features, v)
-		ds.Watts = append(ds.Watts, w)
-	}
-	return core.FitPowerModel(ds)
+	return core.SyntheticPowerModel()
 }

@@ -1,0 +1,188 @@
+package fleet_test
+
+// Queue edge-case races, run under -race in CI. These live in an external
+// test package so they can drive the exported surface only and reuse the
+// chaos invariant checker (chaos imports fleet, so the internal test
+// package cannot).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mpmc/internal/chaos"
+	"mpmc/internal/core"
+	"mpmc/internal/fleet"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// raceFleet builds a small fleet over instant truth features, with an
+// optional per-profile delay to widen Pump's outside-the-lock window.
+func raceFleet(t *testing.T, nodes, maxPerCore int, delay time.Duration) *fleet.Fleet {
+	t.Helper()
+	pm, err := core.SyntheticPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ncfg []fleet.NodeConfig
+	for i := 0; i < nodes; i++ {
+		ncfg = append(ncfg, fleet.NodeConfig{
+			Name:       fmt.Sprintf("m%d", i),
+			Machine:    machine.TwoCoreWorkstation(),
+			Power:      pm,
+			MaxPerCore: maxPerCore,
+		})
+	}
+	f, err := fleet.New(fleet.Config{
+		Nodes:    ncfg,
+		Policy:   fleet.LeastDegradation,
+		QueueCap: 8,
+		Profile: func(ctx context.Context, m *machine.Machine, spec *workload.Spec, opts core.ProfileOptions) (*core.FeatureVector, error) {
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return core.TruthFeature(spec, m), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func requireConserved(t *testing.T, f *fleet.Fleet) {
+	t.Helper()
+	c := &chaos.Checker{}
+	if vs := c.CheckFleet(context.Background(), f); len(vs) > 0 {
+		t.Fatalf("invariant violations after race: %v", vs)
+	}
+}
+
+// TestCancelQueuedHeadRacesPump races a CancelQueued of the queue head
+// against a Pump that is already draining (its feature-resolution phase
+// runs outside the fleet lock, so the head can vanish mid-pump). Whoever
+// wins, the ticket must be admitted exactly once or abandoned exactly
+// once — never both, never neither.
+func TestCancelQueuedHeadRacesPump(t *testing.T) {
+	ctx := context.Background()
+	for iter := 0; iter < 40; iter++ {
+		f := raceFleet(t, 2, 1, 500*time.Microsecond)
+		head, err := f.Submit(workload.ByName("mcf"), "head")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Submit(workload.ByName("gzip"), "second"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Submit(workload.ByName("art"), "third"); err != nil {
+			t.Fatal(err)
+		}
+
+		var (
+			wg        sync.WaitGroup
+			admitted  []fleet.Placed
+			pumpErr   error
+			cancelled bool
+		)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			admitted, pumpErr = f.Pump(ctx)
+		}()
+		go func() {
+			defer wg.Done()
+			cancelled = f.CancelQueued(head)
+		}()
+		wg.Wait()
+		if pumpErr != nil {
+			t.Fatalf("iter %d: Pump: %v", iter, pumpErr)
+		}
+
+		headAdmitted := false
+		for _, p := range admitted {
+			if p.Tag == "head" {
+				headAdmitted = true
+			}
+		}
+		if cancelled == headAdmitted {
+			t.Fatalf("iter %d: cancelled=%v and admitted=%v for the same ticket", iter, cancelled, headAdmitted)
+		}
+		// The non-head submissions always fit (capacity 4): they must be
+		// admitted by this pump or still queued, and the ledger must hold.
+		depth := f.QueueDepth()
+		if len(admitted)+depth+boolToInt(cancelled) != 3 {
+			t.Fatalf("iter %d: admitted %d + depth %d + cancelled %v does not cover 3 submissions",
+				iter, len(admitted), depth, cancelled)
+		}
+		requireConserved(t, f)
+	}
+}
+
+// TestSubmitRacesDepartureTriggeredPump races a fresh Submit against the
+// pump that a departure triggers while holding the fleet lock. FIFO order
+// and the conservation ledger must survive every interleaving.
+func TestSubmitRacesDepartureTriggeredPump(t *testing.T) {
+	ctx := context.Background()
+	for iter := 0; iter < 40; iter++ {
+		f := raceFleet(t, 1, 1, 0)
+		resident, err := f.Place(ctx, workload.ByName("mcf"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Place(ctx, workload.ByName("gzip")); err != nil {
+			t.Fatal(err)
+		}
+		// Fleet is now full (1 node × 2 cores × 1 per core): queue one.
+		if _, err := f.Submit(workload.ByName("art"), "q1"); err != nil {
+			t.Fatal(err)
+		}
+
+		var (
+			wg       sync.WaitGroup
+			admitted []fleet.Placed
+			rmErr    error
+		)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			admitted, rmErr = f.Remove(ctx, resident.Node, resident.Name)
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := f.Submit(workload.ByName("equake"), "q2"); err != nil {
+				t.Errorf("iter %d: Submit: %v", iter, err)
+			}
+		}()
+		wg.Wait()
+		if rmErr != nil {
+			t.Fatalf("iter %d: Remove: %v", iter, rmErr)
+		}
+
+		// The freed slot admits exactly one process, and FIFO means it can
+		// be q2 only if q2 was enqueued before the departure pump drained.
+		if len(admitted) != 1 {
+			t.Fatalf("iter %d: departure admitted %d processes, want 1", iter, len(admitted))
+		}
+		if got := admitted[0].Tag; got != "q1" {
+			t.Fatalf("iter %d: departure admitted %q, want FIFO head q1", iter, got)
+		}
+		if depth := f.QueueDepth(); depth != 1 {
+			t.Fatalf("iter %d: queue depth %d after race, want 1", iter, depth)
+		}
+		requireConserved(t, f)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

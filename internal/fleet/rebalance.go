@@ -51,6 +51,9 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	f.mu.Lock()
 	var specs []*workload.Spec
 	for _, n := range f.nodes {
+		if n.down {
+			continue
+		}
 		for _, r := range n.mgr.Residents() {
 			specs = append(specs, r.Spec)
 		}
@@ -63,8 +66,21 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
+	if f.cfg.Intercept != nil {
+		// Injection seam ahead of any scoring or mutation: an injected
+		// error abandons the pass with every machine untouched.
+		if err := f.cfg.Intercept("fleet.rebalance", ""); err != nil {
+			return Move{}, err
+		}
+	}
+
 	// Fleet-wide baseline: each node's total predicted SPI as placed.
+	// Down nodes hold no residents and accept no moves; they contribute
+	// zero to the baseline and are skipped below.
 	base, err := parallel.Map(ctx, f.cfg.Workers, len(f.nodes), func(i int) (float64, error) {
+		if f.nodes[i].down {
+			return 0, nil
+		}
 		return assignmentSPI(ctx, f.nodes[i].cfg.Machine, f.nodes[i].mgr.Assignment(), f.cfg.Solver)
 	})
 	if err != nil {
@@ -81,13 +97,16 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	// below is deterministic at any worker count.
 	residents := make([][]manager.Resident, len(f.nodes))
 	for i, n := range f.nodes {
+		if n.down {
+			continue
+		}
 		residents[i] = n.mgr.Residents()
 	}
 	var cands []candidate
 	for i := range f.nodes {
 		for _, r := range residents[i] {
 			for j, dst := range f.nodes {
-				if j == i {
+				if j == i || dst.down {
 					continue
 				}
 				running := dst.mgr.Running()

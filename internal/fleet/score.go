@@ -117,6 +117,13 @@ type nodeScore struct {
 // read once, so the whole scan scores against a consistent snapshot; the
 // fleet placement lock guarantees nothing commits mid-scan.
 func (f *Fleet) scoreNode(ctx context.Context, n *node, spec *workload.Spec) (nodeScore, error) {
+	if f.cfg.Intercept != nil {
+		// Injection seam ahead of the equilibrium solves: an injected
+		// error surfaces exactly like a solver failure for this node.
+		if err := f.cfg.Intercept("fleet.score", n.cfg.Name); err != nil {
+			return nodeScore{}, err
+		}
+	}
 	feat, err := f.feats.get(ctx, n.cfg.Machine, spec)
 	if err != nil {
 		return nodeScore{}, err

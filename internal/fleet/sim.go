@@ -135,12 +135,12 @@ func (sc *Scenario) workloadNames() []string {
 	return out
 }
 
-// traceProc is one simulated process: what it runs and when it arrives
+// TraceProc is one simulated process: what it runs and when it arrives
 // and departs.
-type traceProc struct {
-	id             int
-	spec           *workload.Spec
-	arrive, depart float64
+type TraceProc struct {
+	ID             int
+	Spec           *workload.Spec
+	Arrive, Depart float64
 }
 
 // expSample draws from Exp(mean) — xrand has no exponential sampler, so
@@ -149,26 +149,27 @@ func expSample(r *xrand.Rand, mean float64) float64 {
 	return -mean * math.Log(1-r.Float64())
 }
 
-// genTrace derives the arrival trace from the scenario seed: cumulative
+// Trace derives the arrival trace from the scenario seed: cumulative
 // exponential interarrivals, exponential lifetimes, workloads drawn
 // uniformly from the pool. The trace is generated once and shared by every
-// policy, so policies are compared on identical demand.
-func genTrace(sc *Scenario) []traceProc {
+// policy (and, in the chaos harness, every replay), so runs are compared
+// on identical demand.
+func (sc *Scenario) Trace() []TraceProc {
 	pool := make([]*workload.Spec, 0, len(sc.workloadNames()))
 	for _, name := range sc.workloadNames() {
 		pool = append(pool, workload.ByName(name))
 	}
 	r := xrand.New(sc.Seed)
 	t := 0.0
-	procs := make([]traceProc, sc.Processes)
+	procs := make([]TraceProc, sc.Processes)
 	for i := range procs {
 		t += expSample(r, sc.MeanInterarrival)
 		life := expSample(r, sc.MeanLifetime)
-		procs[i] = traceProc{
-			id:     i,
-			spec:   pool[r.Intn(len(pool))],
-			arrive: t,
-			depart: t + life,
+		procs[i] = TraceProc{
+			ID:     i,
+			Spec:   pool[r.Intn(len(pool))],
+			Arrive: t,
+			Depart: t + life,
 		}
 	}
 	return procs
@@ -237,11 +238,11 @@ type Report struct {
 
 // Run replays the trace under every requested policy.
 func (s *Sim) Run(ctx context.Context) (*Report, error) {
-	trace := genTrace(s.sc)
+	trace := s.sc.Trace()
 	horizon := 0.0
 	for _, p := range trace {
-		if p.depart > horizon {
-			horizon = p.depart
+		if p.Depart > horizon {
+			horizon = p.Depart
 		}
 	}
 	rep := &Report{
@@ -314,7 +315,7 @@ type procState struct {
 	ticket   int
 }
 
-func (s *Sim) runPolicy(ctx context.Context, pname string, trace []traceProc, horizon float64) (PolicyReport, error) {
+func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, horizon float64) (PolicyReport, error) {
 	f, err := s.buildFleet(pname)
 	if err != nil {
 		return PolicyReport{}, err
@@ -323,8 +324,8 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []traceProc, ho
 	var events []event
 	for _, p := range trace {
 		events = append(events,
-			event{time: p.arrive, kind: evArrive, seq: p.id, proc: p.id},
-			event{time: p.depart, kind: evDepart, seq: p.id, proc: p.id},
+			event{time: p.Arrive, kind: evArrive, seq: p.ID, proc: p.ID},
+			event{time: p.Depart, kind: evDepart, seq: p.ID, proc: p.ID},
 		)
 	}
 	if s.sc.RebalanceEvery > 0 {
@@ -386,12 +387,12 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []traceProc, ho
 		switch ev.kind {
 		case evArrive:
 			p := trace[ev.proc]
-			placed, err := f.Place(ctx, p.spec)
+			placed, err := f.Place(ctx, p.Spec)
 			switch {
 			case err == nil:
 				states[ev.proc] = procState{resident: true, node: placed.Node, instance: placed.Name}
 			case errors.Is(err, ErrFleetFull):
-				ticket, qerr := f.Submit(p.spec, strconv.Itoa(p.id))
+				ticket, qerr := f.Submit(p.Spec, strconv.Itoa(p.ID))
 				if qerr == nil {
 					states[ev.proc] = procState{queued: true, ticket: ticket}
 				} else if !errors.Is(qerr, ErrQueueFull) {

@@ -25,6 +25,9 @@ func freshManager(t *testing.T, m *machine.Machine, policy Policy, workers int) 
 // must get the same feature vector no matter how many others were profiled
 // before it.
 func TestProfileSeedOrderIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exercises the built-in stressmark profiler's seeding")
+	}
 	m := machine.FourCoreServer()
 	a := freshManager(t, m, PowerAware, 1)
 	b := freshManager(t, m, PowerAware, 1)
@@ -53,6 +56,9 @@ func TestProfileSeedOrderIndependent(t *testing.T) {
 // PlaceAll with concurrent profiling must produce the same instance names,
 // cores, and power estimates as sequential Place calls.
 func TestPlaceAllMatchesSequentialPlace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles with real stressmark sweeps; fast variant: TestShortBatchMatchesSequential")
+	}
 	m := machine.FourCoreServer()
 	arrivals := []*workload.Spec{
 		workload.ByName("mcf"),

@@ -112,6 +112,23 @@ type Options struct {
 	// deduplication become its responsibility. SharedProfiles is ignored
 	// when Features is set.
 	Features FeatureSource
+	// Intercept, when non-nil, is consulted at named fault-injection
+	// sites; a non-nil return is injected as the guarded operation's
+	// error, before any state mutates, so every injected failure must
+	// leave the manager exactly as it was. Sites: "manager.place" (key =
+	// workload name, ahead of the policy's core choice), "manager.place_at"
+	// (key = workload name, ahead of the fleet-directed commit), and
+	// "manager.rebalance". It is the chaos-testing seam (internal/chaos);
+	// implementations must be safe for concurrent use.
+	Intercept func(site, key string) error
+}
+
+// intercept consults the configured fault-injection seam.
+func (mgr *Manager) intercept(site, key string) error {
+	if mgr.opts.Intercept == nil {
+		return nil
+	}
+	return mgr.opts.Intercept(site, key)
 }
 
 // Manager tracks the machine's assignment and places arrivals. All
@@ -326,6 +343,14 @@ func (mgr *Manager) restoreLocked(s *Snapshot) {
 	mgr.nextID, mgr.rrNext = s.nextID, s.rrNext
 }
 
+// Machine returns the modeled CMP this manager schedules onto.
+func (mgr *Manager) Machine() *machine.Machine { return mgr.mach }
+
+// MaxPerCore reports the configured time-sharing depth bound (0 =
+// unbounded). Invariant checkers use it to verify the cap is never
+// exceeded, whatever path admitted the residents.
+func (mgr *Manager) MaxPerCore() int { return mgr.opts.MaxPerCore }
+
 // Assignment returns the current model-side assignment.
 func (mgr *Manager) Assignment() core.Assignment {
 	mgr.mu.Lock()
@@ -396,6 +421,9 @@ func (mgr *Manager) PlaceAt(ctx context.Context, spec *workload.Spec, c int) (na
 	}
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
+	if err := mgr.intercept("manager.place_at", spec.Name); err != nil {
+		return "", 0, err
+	}
 	if c < 0 || c >= mgr.mach.NumCores {
 		return "", 0, fmt.Errorf("manager: core %d out of range [0,%d)", c, mgr.mach.NumCores)
 	}
@@ -442,6 +470,9 @@ func (mgr *Manager) Residents() []Resident {
 // first mutation, so an error leaves procs, features, specs, nextID and
 // rrNext exactly as they were. Called with the placement lock held.
 func (mgr *Manager) placeLocked(ctx context.Context, spec *workload.Spec, f *core.FeatureVector) (name string, coreID int, watts float64, err error) {
+	if err := mgr.intercept("manager.place", spec.Name); err != nil {
+		return "", 0, 0, err
+	}
 	switch mgr.opts.Policy {
 	case PowerAware:
 		coreID, watts, err = mgr.placePowerAware(ctx, f)
@@ -578,6 +609,9 @@ func (mgr *Manager) Running() [][]string {
 func (mgr *Manager) Rebalance(ctx context.Context, minSavingWatts float64) (moved int, watts float64, err error) {
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
+	if err := mgr.intercept("manager.rebalance", ""); err != nil {
+		return 0, 0, err
+	}
 	var names []string
 	var feats []*core.FeatureVector
 	for _, coreNames := range mgr.procs {

@@ -22,9 +22,17 @@ func sharedPowerModel(t *testing.T, m *machine.Machine) *core.PowerModel {
 	if pm, ok := pmCache[m.Name]; ok {
 		return pm
 	}
-	pm, err := core.TrainPowerModel(context.Background(), m, workload.ModelSet(), core.PowerTrainOptions{
-		Warmup: 1, Duration: 3, Seed: 7, MicrobenchWindows: 6,
-	})
+	var pm *core.PowerModel
+	var err error
+	if testing.Short() {
+		// The fast lane swaps the microbenchmark-trained model for the
+		// synthetic fit: instant, deterministic, same shape.
+		pm, err = core.SyntheticPowerModel()
+	} else {
+		pm, err = core.TrainPowerModel(context.Background(), m, workload.ModelSet(), core.PowerTrainOptions{
+			Warmup: 1, Duration: 3, Seed: 7, MicrobenchWindows: 6,
+		})
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,9 +45,17 @@ func sharedPowerModel(t *testing.T, m *machine.Machine) *core.PowerModel {
 var featShared = map[string]map[string]*core.FeatureVector{}
 
 // testManager builds a manager with a quickly trained power model and the
-// machine's shared profile cache.
+// machine's shared profile cache. Under -short the stressmark profiler is
+// replaced by the analytic truth oracle, so the same scenarios run in
+// milliseconds; tests whose subject is the profiler itself skip instead.
 func testManager(t *testing.T, m *machine.Machine, policy Policy) *Manager {
 	t.Helper()
+	if testing.Short() {
+		return New(m, sharedPowerModel(t, m), Options{
+			Policy:   policy,
+			Features: &truthSource{m: m},
+		})
+	}
 	cache := featShared[m.Name]
 	if cache == nil {
 		cache = map[string]*core.FeatureVector{}
@@ -88,6 +104,9 @@ func TestPlaceAndRemove(t *testing.T) {
 }
 
 func TestProfilingIsMemoized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exercises the built-in stressmark profiler; fast variant: TestShortProfilerMemoized")
+	}
 	m := machine.TwoCoreWorkstation()
 	mgr := testManager(t, m, PowerAware)
 	f1, err := mgr.FeatureOf(context.Background(), workload.ByName("vpr"))
@@ -163,17 +182,26 @@ func TestLeastLoadedBalances(t *testing.T) {
 
 func TestMaxPerCoreEnforced(t *testing.T) {
 	m := machine.TwoCoreWorkstation()
-	pm, err := core.TrainPowerModel(context.Background(), m, workload.ModelSet()[:2], core.PowerTrainOptions{
-		Warmup: 0.5, Duration: 1, Seed: 7, MicrobenchWindows: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
+	var mgr *Manager
+	if testing.Short() {
+		mgr = New(m, sharedPowerModel(t, m), Options{
+			Policy:     RoundRobin,
+			Features:   &truthSource{m: m},
+			MaxPerCore: 1,
+		})
+	} else {
+		pm, err := core.TrainPowerModel(context.Background(), m, workload.ModelSet()[:2], core.PowerTrainOptions{
+			Warmup: 0.5, Duration: 1, Seed: 7, MicrobenchWindows: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr = New(m, pm, Options{
+			Policy:     RoundRobin,
+			Profile:    core.ProfileOptions{Warmup: 0.5, Duration: 1, Seed: 3},
+			MaxPerCore: 1,
+		})
 	}
-	mgr := New(m, pm, Options{
-		Policy:     RoundRobin,
-		Profile:    core.ProfileOptions{Warmup: 0.5, Duration: 1, Seed: 3},
-		MaxPerCore: 1,
-	})
 	for i := 0; i < 2; i++ {
 		if _, _, _, err := mgr.Place(context.Background(), workload.ByName("gzip")); err != nil {
 			t.Fatal(err)
@@ -227,6 +255,9 @@ func TestRebalanceMigratesWhenItPays(t *testing.T) {
 }
 
 func TestPowerAwareBeatsRoundRobinMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured-power comparison needs the wall-clock simulator")
+	}
 	// The end-to-end claim: over an arrival sequence, the power-aware
 	// manager's final layout consumes no more measured power than the
 	// round-robin baseline's.
@@ -255,13 +286,16 @@ func TestPowerAwareBeatsRoundRobinMeasured(t *testing.T) {
 
 func TestRebalanceHonoursMaxPerCore(t *testing.T) {
 	m := machine.FourCoreServer()
-	pm := sharedPowerModel(t, m)
-	mgr := New(m, pm, Options{
+	opts := Options{
 		Policy:         RoundRobin,
 		Profile:        core.ProfileOptions{Warmup: 1.5, Duration: 3, Seed: 17},
 		MaxPerCore:     1,
 		SharedProfiles: featShared[m.Name],
-	})
+	}
+	if testing.Short() {
+		opts.Features = &truthSource{m: m}
+	}
+	mgr := New(m, sharedPowerModel(t, m), opts)
 	for _, n := range []string{"mcf", "art", "gzip", "equake"} {
 		if _, _, _, err := mgr.Place(context.Background(), workload.ByName(n)); err != nil {
 			t.Fatal(err)

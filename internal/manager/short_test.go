@@ -1,0 +1,169 @@
+package manager
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/workload"
+)
+
+// Fast deterministic variants of the stressmark-profiling suites: the
+// analytic truth oracle replaces the simulator, so these run in
+// milliseconds in every lane (including -short -race) and pin the same
+// placement semantics the slow tests validate against real profiles.
+
+// TestShortBatchMatchesSequential is the instant counterpart of
+// TestPlaceAllMatchesSequentialPlace: the batch path must produce exactly
+// the placements a sequential arrival order would.
+func TestShortBatchMatchesSequential(t *testing.T) {
+	m := machine.FourCoreServer()
+	pm, err := core.SyntheticPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := []*workload.Spec{
+		workload.ByName("mcf"),
+		workload.ByName("gzip"),
+		workload.ByName("mcf"),
+		workload.ByName("art"),
+		workload.ByName("equake"),
+	}
+
+	serial := New(m, pm, Options{Policy: PowerAware, Features: &truthSource{m: m}})
+	var want []Placement
+	for _, s := range arrivals {
+		name, c, w, err := serial.Place(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Placement{Name: name, Core: c, Watts: w})
+	}
+
+	batch := New(m, pm, Options{Policy: PowerAware, Features: &truthSource{m: m}})
+	got, err := batch.PlaceAll(context.Background(), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlaceAll diverged from sequential Place:\ngot  %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(batch.Running(), serial.Running()) {
+		t.Fatalf("assignments diverged:\ngot  %v\nwant %v", batch.Running(), serial.Running())
+	}
+}
+
+// countingSource wraps the truth oracle and counts resolutions, standing
+// in for an expensive profiler.
+type countingSource struct {
+	inner truthSource
+	calls int
+}
+
+func (s *countingSource) FeatureOf(ctx context.Context, spec *workload.Spec) (*core.FeatureVector, error) {
+	s.calls++
+	return s.inner.FeatureOf(ctx, spec)
+}
+
+// TestShortProfilerMemoized is the fast counterpart of
+// TestProfilingIsMemoized: with a SharedProfiles cache, each workload is
+// resolved through the profiler exactly once per manager even when the
+// delegate source is bypassed — here we pin the built-in memoization by
+// serving tiny real profiles through the cache path.
+func TestShortProfilerMemoized(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	pm, err := core.SyntheticPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := map[string]*core.FeatureVector{
+		"vpr": core.TruthFeature(workload.ByName("vpr"), m),
+	}
+	mgr := New(m, pm, Options{
+		Policy:         PowerAware,
+		SharedProfiles: cache,
+	})
+	f1, err := mgr.FeatureOf(context.Background(), workload.ByName("vpr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := mgr.FeatureOf(context.Background(), workload.ByName("vpr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("second FeatureOf re-resolved a cached workload")
+	}
+	if f1 != cache["vpr"] {
+		t.Fatal("FeatureOf bypassed the shared profile cache")
+	}
+}
+
+// TestShortFeatureSourceDelegation pins the Options.Features contract:
+// the manager consults the source on every FeatureOf and never layers its
+// own memoization on top.
+func TestShortFeatureSourceDelegation(t *testing.T) {
+	m := machine.TwoCoreWorkstation()
+	pm, err := core.SyntheticPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &countingSource{inner: truthSource{m: m}}
+	mgr := New(m, pm, Options{Policy: PowerAware, Features: src})
+	for i := 0; i < 3; i++ {
+		if _, err := mgr.FeatureOf(context.Background(), workload.ByName("gzip")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.calls != 3 {
+		t.Fatalf("source consulted %d times, want 3 (caching is the source's job)", src.calls)
+	}
+}
+
+// TestShortRebalanceConvergesAndConserves drives a deliberately bad
+// layout through Rebalance with instant features: power must never
+// increase, residents are conserved, and a second pass reports
+// ErrNoImprovement rather than oscillating.
+func TestShortRebalanceConvergesAndConserves(t *testing.T) {
+	m := machine.FourCoreServer()
+	pm, err := core.SyntheticPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := New(m, pm, Options{Policy: RoundRobin, Features: &truthSource{m: m}})
+	for _, n := range []string{"mcf", "art", "gzip", "equake", "mcf", "swim"} {
+		if _, _, _, err := mgr.Place(context.Background(), workload.ByName(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := mgr.EstimatedPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 8; pass++ {
+		moved, after, err := mgr.Rebalance(context.Background(), 0)
+		if err != nil {
+			if errors.Is(err, ErrNoImprovement) {
+				break
+			}
+			t.Fatal(err)
+		}
+		if moved == 0 {
+			t.Fatal("Rebalance reported success without moving anything")
+		}
+		if after > before+1e-9 {
+			t.Fatalf("rebalance increased power %.4f → %.4f", before, after)
+		}
+		before = after
+		total := 0
+		for _, names := range mgr.Running() {
+			total += len(names)
+		}
+		if total != 6 {
+			t.Fatalf("rebalance lost processes: %d resident", total)
+		}
+	}
+}

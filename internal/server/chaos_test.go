@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"mpmc/internal/chaos"
+	"mpmc/internal/fleet"
+	"mpmc/internal/machine"
+	"mpmc/internal/metrics"
+)
+
+// newChaosFleetServer is newFleetServer with a fault-injection seam wired
+// through the fleet config, returning the fleet too so tests can run the
+// invariant checker directly against scheduler state.
+func newChaosFleetServer(t *testing.T, intercept func(site, key string) error) (*fleet.Fleet, *httptest.Server) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	pm := fitPowerModel(t)
+	var nodes []fleet.NodeConfig
+	for i := 0; i < 2; i++ {
+		nodes = append(nodes, fleet.NodeConfig{
+			Machine:    machine.TwoCoreWorkstation(),
+			Power:      pm,
+			MaxPerCore: 2,
+		})
+	}
+	fl, err := fleet.New(fleet.Config{
+		Nodes:     nodes,
+		Policy:    fleet.LeastDegradation,
+		QueueCap:  4,
+		Seed:      1,
+		Workers:   2,
+		Profile:   fleet.ProfileFunc(oracleProfile(nil, 0)),
+		Registry:  reg,
+		Intercept: intercept,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Fleet = fl
+		c.Registry = reg
+	})
+	return fl, ts
+}
+
+// requireFleetClean runs the chaos invariant checker against the live
+// fleet — the same checks the harness applies after every sim event.
+func requireFleetClean(t *testing.T, fl *fleet.Fleet) {
+	t.Helper()
+	c := &chaos.Checker{}
+	if vs := c.CheckFleet(context.Background(), fl); len(vs) > 0 {
+		t.Fatalf("invariant violations behind the HTTP surface: %v", vs)
+	}
+}
+
+// TestFleetPlaceInjectedCommitFaultIsAtomic: a fault at the manager
+// commit seam must surface as a typed 500 "internal", leak nothing into
+// scheduler state (the whole batch rolls back), and a retry must succeed
+// once the seam disarms.
+func TestFleetPlaceInjectedCommitFaultIsAtomic(t *testing.T) {
+	script := chaos.NewScript().Fail("manager.place_at", "", 1)
+	fl, ts := newChaosFleetServer(t, script.Intercept)
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art"]}`)
+	wantAPIError(t, status, raw, http.StatusInternalServerError, "internal")
+
+	var st fleet.State
+	_, sraw := do(t, ts, "GET", "/v1/fleet/state", "")
+	if err := json.Unmarshal(sraw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 0 || st.QueueDepth != 0 {
+		t.Fatalf("state leaked past failed batch: %s", sraw)
+	}
+	requireFleetClean(t, fl)
+
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("retry after disarm: %d: %s", status, raw)
+	}
+	requireFleetClean(t, fl)
+}
+
+// TestFleetScoreFaultNoStateLeak: a scoring-phase fault (before any
+// commit) surfaces as 500 and must leave state byte-identical.
+func TestFleetScoreFaultNoStateLeak(t *testing.T) {
+	script := chaos.NewScript().Fail("fleet.score", "", 1)
+	fl, ts := newChaosFleetServer(t, script.Intercept)
+	before := fl.Inspect()
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["gzip"]}`)
+	wantAPIError(t, status, raw, http.StatusInternalServerError, "internal")
+	if !reflect.DeepEqual(before, fl.Inspect()) {
+		t.Fatal("score fault mutated fleet state")
+	}
+	requireFleetClean(t, fl)
+}
+
+// TestFleetProfileFaultIsNotCachedBehindHTTP: a profiling failure must
+// poison neither the feature cache nor the singleflight group — the
+// immediate retry of the same benchmark re-profiles and succeeds.
+func TestFleetProfileFaultIsNotCachedBehindHTTP(t *testing.T) {
+	script := chaos.NewScript().Fail("fleet.profile", "", 1)
+	fl, ts := newChaosFleetServer(t, script.Intercept)
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["gzip"]}`)
+	wantAPIError(t, status, raw, http.StatusInternalServerError, "internal")
+	requireFleetClean(t, fl)
+
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["gzip"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("retry after profile fault: %d: %s", status, raw)
+	}
+	requireFleetClean(t, fl)
+}
+
+// TestFleetRebalanceFaultIsAtomic: an injected rebalance fault surfaces
+// as 500 with no migration applied; the pass retries clean.
+func TestFleetRebalanceFaultIsAtomic(t *testing.T) {
+	script := chaos.NewScript().Fail("fleet.rebalance", "", 1)
+	fl, ts := newChaosFleetServer(t, script.Intercept)
+	if status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art","gzip","equake"]}`); status != http.StatusOK {
+		t.Fatalf("seed placements: %d: %s", status, raw)
+	}
+	before := fl.Inspect()
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/rebalance", `{"min_improvement":0}`)
+	wantAPIError(t, status, raw, http.StatusInternalServerError, "internal")
+	if !reflect.DeepEqual(before, fl.Inspect()) {
+		t.Fatal("faulted rebalance mutated fleet state")
+	}
+	requireFleetClean(t, fl)
+
+	if status, raw := do(t, ts, "POST", "/v1/fleet/rebalance", `{"min_improvement":0}`); status != http.StatusOK {
+		t.Fatalf("retry rebalance: %d: %s", status, raw)
+	}
+	requireFleetClean(t, fl)
+}
+
+// TestFleetInvariantsAfterEveryServerMutation drives a mixed mutation
+// sequence through the HTTP surface and re-checks every scheduler
+// invariant after each call — the server-side analogue of the harness's
+// per-event checking.
+func TestFleetInvariantsAfterEveryServerMutation(t *testing.T) {
+	fl, ts := newChaosFleetServer(t, nil)
+	mutations := []struct {
+		method, path, body string
+	}{
+		{"POST", "/v1/fleet/place", `{"benches":["mcf","art"]}`},
+		{"POST", "/v1/fleet/place", `{"benches":["gzip","equake","mcf","art","gzip","equake"]}`},
+		{"POST", "/v1/fleet/place", `{"benches":["mcf","art","gzip"],"queue":true}`},
+		{"POST", "/v1/fleet/rebalance", `{"min_improvement":0}`},
+		{"POST", "/v1/fleet/place", `{"benches":["equake"],"queue":true}`},
+	}
+	for i, m := range mutations {
+		status, raw := do(t, ts, m.method, m.path, m.body)
+		if status != http.StatusOK {
+			t.Fatalf("mutation %d (%s %s): %d: %s", i, m.method, m.path, status, raw)
+		}
+		requireFleetClean(t, fl)
+	}
+	var st fleet.State
+	_, sraw := do(t, ts, "GET", "/v1/fleet/state", "")
+	if err := json.Unmarshal(sraw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 8 || st.QueueDepth != 4 {
+		t.Fatalf("final state: %s", sraw)
+	}
+}

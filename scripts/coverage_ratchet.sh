@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Per-package coverage ratchet for the fast deterministic lane.
+#
+#   ./scripts/coverage_ratchet.sh            # fail if any package drops
+#                                            # below its recorded floor
+#   ./scripts/coverage_ratchet.sh -update    # rewrite the floor from the
+#                                            # current run (minus a
+#                                            # 2-point interleaving margin)
+#
+# The floor file (scripts/coverage_floor.txt) only ever moves up: raising
+# it is a deliberate `-update` commit, and CI fails any change that slides
+# a package below its floor. The run also leaves the raw per-package
+# report in coverage_report.txt for artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor_file=scripts/coverage_floor.txt
+report=coverage_report.txt
+
+go test -short -count=1 -cover ./... | tee "$report"
+
+if [ "${1:-}" = "-update" ]; then
+  awk '$1 == "ok" && /coverage:/ {
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") {
+      pct = $(i + 1); sub(/%/, "", pct)
+      floor = pct - 2; if (floor < 0) floor = 0
+      printf "%s %.1f\n", $2, floor
+    }
+  }' "$report" | sort > "$floor_file"
+  echo "wrote $floor_file"
+  exit 0
+fi
+
+awk -v floor_file="$floor_file" '
+  $1 == "ok" && /coverage:/ {
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") {
+      pct = $(i + 1); sub(/%/, "", pct); cur[$2] = pct + 0
+    }
+  }
+  END {
+    bad = 0
+    while ((getline line < floor_file) > 0) {
+      n = split(line, a, " ")
+      if (n != 2) continue
+      pkg = a[1]; floor = a[2] + 0
+      if (!(pkg in cur)) {
+        printf "RATCHET: no coverage reported for %s (floor %.1f%%)\n", pkg, floor
+        bad = 1
+      } else if (cur[pkg] < floor) {
+        printf "RATCHET: %s coverage %.1f%% fell below floor %.1f%%\n", pkg, cur[pkg], floor
+        bad = 1
+      }
+    }
+    if (!bad) print "coverage ratchet: all packages at or above their floors"
+    exit bad
+  }' "$report"
