@@ -36,6 +36,7 @@ import (
 func main() {
 	scenario := flag.String("scenario", "", "scenario JSON file (required)")
 	workers := flag.Int("workers", 0, "scoring concurrency (0 = GOMAXPROCS; never affects output)")
+	scoreCache := flag.Int("score-cache", 0, "score-memo capacity per replayed fleet (0 = default, negative = solve cold; never affects output)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the chaos harness with this fault-schedule seed")
 	chaosRate := flag.Float64("chaos-rate", 0.25, "chaos fault intensity in [0,1] (with -chaos-seed)")
@@ -64,12 +65,15 @@ func main() {
 	var report any
 	if chaosMode {
 		report, err = chaos.NewHarness(sc, chaos.Options{
-			Seed:    *chaosSeed,
-			Rate:    *chaosRate,
-			Workers: *workers,
+			Seed:      *chaosSeed,
+			Rate:      *chaosRate,
+			Workers:   *workers,
+			ColdScore: *scoreCache < 0,
 		}).Run(ctx)
 	} else {
-		report, err = fleet.NewSim(sc, *workers).Run(ctx)
+		sim := fleet.NewSim(sc, *workers)
+		sim.ScoreCacheCap = *scoreCache
+		report, err = sim.Run(ctx)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -57,6 +57,7 @@ func main() {
 	fleetPolicy := flag.String("fleet-policy", "least-degradation", "least-degradation | least-watts | binpack | spread")
 	fleetMaxPerCore := flag.Int("fleet-max-per-core", 2, "per-core time-sharing cap on fleet machines (0 = unbounded)")
 	fleetQueueCap := flag.Int("fleet-queue-cap", 16, "fleet admission-queue capacity (0 = no queue)")
+	scoreCache := flag.Int("score-cache", 0, "fleet score-memo capacity (0 = default, negative = solve cold; same answers either way)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -97,7 +98,7 @@ func main() {
 	var fl *fleet.Fleet
 	if *fleetSpec != "" {
 		fl, err = buildFleet(ctx, logger, reg, *fleetSpec, *fleetPolicy, *fleetMaxPerCore, *fleetQueueCap,
-			m, pm, *seed, *quick, *workers)
+			*scoreCache, m, pm, *seed, *quick, *workers)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				logger.Info("fleet construction interrupted")
@@ -160,7 +161,7 @@ func main() {
 // coefficients are per machine); the serving machine's model is reused
 // when a preset matches it, and the rest train here, once per kind.
 func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
-	spec, policyName string, maxPerCore, queueCap int,
+	spec, policyName string, maxPerCore, queueCap, scoreCacheCap int,
 	served *machine.Machine, servedPM *core.PowerModel,
 	seed uint64, quick bool, workers int) (*fleet.Fleet, error) {
 
@@ -192,12 +193,13 @@ func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
 		})
 	}
 	return fleet.New(fleet.Config{
-		Nodes:    nodes,
-		Policy:   policy,
-		QueueCap: queueCap,
-		Seed:     seed,
-		Quick:    quick,
-		Workers:  workers,
-		Registry: reg,
+		Nodes:         nodes,
+		Policy:        policy,
+		QueueCap:      queueCap,
+		Seed:          seed,
+		Quick:         quick,
+		Workers:       workers,
+		ScoreCacheCap: scoreCacheCap,
+		Registry:      reg,
 	})
 }

@@ -87,6 +87,21 @@ func (l *LRUMap[V]) Put(key string, val V) {
 	l.pushFront(e)
 }
 
+// Delete removes key and reports whether it was present. Targeted
+// invalidation for callers whose values can go stale (e.g. a memoized
+// score whose machine failed); a miss is not an error.
+func (l *LRUMap[V]) Delete(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	l.unlink(e)
+	delete(l.items, key)
+	return true
+}
+
 // Len returns the number of resident entries.
 func (l *LRUMap[V]) Len() int {
 	l.mu.Lock()

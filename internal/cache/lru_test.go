@@ -77,6 +77,47 @@ func TestLRUInvalidCapacity(t *testing.T) {
 	NewLRUMap[int](0)
 }
 
+// TestLRUDelete pins the targeted-invalidation primitive the fleet's
+// score memo builds on: Delete removes exactly its key, reports presence,
+// keeps the recency list and map consistent, and never counts as an
+// eviction.
+func TestLRUDelete(t *testing.T) {
+	l := NewLRUMap[int](3)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("c", 3)
+	if !l.Delete("b") {
+		t.Fatal("Delete(b) = false; want true for a resident key")
+	}
+	if l.Delete("b") {
+		t.Fatal("second Delete(b) = true; want false once removed")
+	}
+	if l.Delete("nope") {
+		t.Fatal("Delete of a never-inserted key reported true")
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b still readable after Delete")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	if v, ok := l.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) = %d, %v; want 3, true", v, ok)
+	}
+	if got, want := l.Keys(), []string{"c", "a"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys() = %v; want %v", got, want)
+	}
+	st := l.Stats()
+	if st.Len != 2 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v; want Len=2 Evictions=0", st)
+	}
+	// The freed slot must be reusable without evicting survivors.
+	l.Put("d", 4)
+	if st := l.Stats(); st.Len != 3 || st.Evictions != 0 {
+		t.Fatalf("stats after refill = %+v; want Len=3 Evictions=0", st)
+	}
+}
+
 // TestLRUConcurrent hammers a small cache from many goroutines so evictions
 // race with gets and puts; the race detector plus the final invariant check
 // (Len never exceeds capacity, list and map agree) make this the satellite

@@ -30,6 +30,11 @@ type Options struct {
 	// Workers caps scoring concurrency (0 = GOMAXPROCS). It affects
 	// speed, never the transcript.
 	Workers int
+	// ColdScore disables the fleet's score memo and solver state, forcing
+	// every scoring pass to solve cold. Like Workers it affects speed,
+	// never the transcript: the differential suite replays chaos runs
+	// cold and cached and asserts the transcripts are byte-identical.
+	ColdScore bool
 }
 
 // Injection is one scheduled fault, recorded before the run executes. The
@@ -367,6 +372,10 @@ func (h *Harness) buildFleet(pname string, arm *armer) (*fleet.Fleet, error) {
 			MaxPerCore: m.MaxPerCore,
 		})
 	}
+	scoreCap := 0
+	if h.opts.ColdScore {
+		scoreCap = -1
+	}
 	return fleet.New(fleet.Config{
 		Nodes:          nodes,
 		Policy:         policy,
@@ -374,6 +383,7 @@ func (h *Harness) buildFleet(pname string, arm *armer) (*fleet.Fleet, error) {
 		QueueCap:       h.sc.QueueCap,
 		Seed:           h.sc.Seed,
 		Workers:        h.opts.Workers,
+		ScoreCacheCap:  scoreCap,
 		Intercept:      arm.intercept,
 		Profile: func(ctx context.Context, m *machine.Machine, spec *workload.Spec, opts core.ProfileOptions) (*core.FeatureVector, error) {
 			return core.TruthFeature(spec, m), nil

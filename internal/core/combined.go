@@ -26,6 +26,10 @@ type CombinedModel struct {
 	Power   *PowerModel
 	// Solver selects the equilibrium algorithm (SolverAuto by default).
 	Solver SolverMethod
+	// State optionally memoizes converged equilibrium solutions across
+	// estimates (see SolverState). Results are bit-identical with or
+	// without it; nil disables reuse.
+	State *SolverState
 }
 
 // NewCombinedModel wires a trained power model to a machine description.
@@ -134,6 +138,18 @@ func (cm *CombinedModel) estimateGroup(ctx context.Context, asg Assignment, grou
 	if len(busy) == 0 {
 		return watts, nil
 	}
+	// The busy-power average is a pure function of the power model, the
+	// solver, the associativity, and the per-core candidate lists, so the
+	// solver state can memoize it. Only the average is cached; the idle
+	// term is recomputed outside it, and watts + avg runs the same float
+	// operations on the same values either way — bit-identical results.
+	var wkey string
+	if cm.State != nil {
+		wkey = cm.State.wattsKey(cm.Power, cm.Solver, cm.Machine.Assoc, asg, busy)
+		if avg, ok := cm.State.wattsSeed(wkey); ok {
+			return watts + avg, nil
+		}
+	}
 	// Enumerate the cross product of per-core process choices.
 	combo := make([]*FeatureVector, len(busy))
 	var sum float64
@@ -141,7 +157,7 @@ func (cm *CombinedModel) estimateGroup(ctx context.Context, asg Assignment, grou
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(busy) {
-			preds, err := PredictGroupContext(ctx, combo, cm.Machine.Assoc, cm.Solver)
+			preds, err := PredictGroupCached(ctx, combo, cm.Machine.Assoc, cm.Solver, cm.State)
 			if err != nil {
 				return err
 			}
@@ -162,7 +178,11 @@ func (cm *CombinedModel) estimateGroup(ctx context.Context, asg Assignment, grou
 	if err := rec(0); err != nil {
 		return 0, err
 	}
-	return watts + sum/float64(count), nil
+	avg := sum / float64(count)
+	if cm.State != nil {
+		cm.State.wattsRecord(wkey, avg)
+	}
+	return watts + avg, nil
 }
 
 // EstimateAddition implements the Figure 1 algorithm: the estimated
@@ -175,16 +195,17 @@ func (cm *CombinedModel) EstimateAddition(asg Assignment, k *FeatureVector, c in
 }
 
 // EstimateAdditionContext is EstimateAddition under a caller-supplied
-// context. It never mutates asg: the tentative assignment is built on a
-// copy, which lets callers evaluate a placement before committing state.
+// context. It never mutates asg: the tentative assignment shares the
+// unchanged per-core slices and rebuilds only core c with a full-slice
+// append, which lets callers evaluate a placement before committing
+// state (estimation only reads the lists).
 func (cm *CombinedModel) EstimateAdditionContext(ctx context.Context, asg Assignment, k *FeatureVector, c int) (float64, error) {
 	if c < 0 || c >= cm.Machine.NumCores {
 		return 0, fmt.Errorf("core: core %d out of range", c)
 	}
 	next := make(Assignment, len(asg))
-	for i, procs := range asg {
-		next[i] = append([]*FeatureVector(nil), procs...)
-	}
-	next[c] = append(next[c], k)
+	copy(next, asg)
+	cur := asg[c]
+	next[c] = append(cur[:len(cur):len(cur)], k)
 	return cm.EstimateAssignmentContext(ctx, next)
 }

@@ -52,6 +52,20 @@ func PredictGroup(features []*FeatureVector, assoc int, method SolverMethod) ([]
 // convergence. The returned error is ctx's error when cancellation (not a
 // solver failure) ended the solve.
 func PredictGroupContext(ctx context.Context, features []*FeatureVector, assoc int, method SolverMethod) ([]Prediction, error) {
+	return PredictGroupCached(ctx, features, assoc, method, nil)
+}
+
+// PredictGroupCached is PredictGroupContext with a solver-state handle:
+// when st has recorded a converged solution for this exact group (same
+// feature-vector identities, associativity, and method), the solve is
+// seeded with it and — because the recorded sizes already satisfy the
+// Eq. 1/Eq. 7 system the cold start would converge to — accepted at
+// iteration zero, returning bit-identical Predictions without running the
+// search. A seed that fails validation (diverged state) falls back to the
+// cold start, whose result replaces it. st == nil is exactly
+// PredictGroupContext. Only contended groups consult st; the solo and
+// uncontended paths are already O(k).
+func PredictGroupCached(ctx context.Context, features []*FeatureVector, assoc int, method SolverMethod, st *SolverState) ([]Prediction, error) {
 	if len(features) == 0 {
 		return nil, fmt.Errorf("core: empty co-run group")
 	}
@@ -86,6 +100,18 @@ func PredictGroupContext(ctx context.Context, features []*FeatureVector, assoc i
 		return out, nil
 	}
 
+	var stateKey string
+	if st != nil {
+		stateKey = st.key(features, assoc, method)
+		if sizes, ok := st.seed(stateKey, features, a); ok {
+			out := make([]Prediction, len(features))
+			for i, f := range features {
+				out[i] = predAt(f, sizes[i])
+			}
+			return out, nil
+		}
+	}
+
 	var sizes []float64
 	var err error
 	switch method {
@@ -108,6 +134,9 @@ func PredictGroupContext(ctx context.Context, features []*FeatureVector, assoc i
 	}
 	if err != nil {
 		return nil, err
+	}
+	if st != nil {
+		st.record(stateKey, sizes)
 	}
 	out := make([]Prediction, len(features))
 	for i, f := range features {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -106,6 +107,34 @@ func FuzzEquilibriumSolve(f *testing.F) {
 			t.Fatalf("auto solver failed: %v", err)
 		}
 		checkEquilibrium(t, features, ap, assoc)
+
+		// Warm-vs-cold differential: a solver-state handle must change
+		// nothing but the amount of work — the populating solve and the
+		// seeded re-solve must both be bit-identical to the cold solve,
+		// for every method that converges on this group.
+		ctx := context.Background()
+		for method, cold := range map[SolverMethod][]Prediction{SolverWindow: preds, SolverAuto: ap} {
+			st := NewSolverState(0)
+			warm1, err := PredictGroupCached(ctx, features, assoc, method, st)
+			if err != nil {
+				t.Fatalf("method %d: populating cached solve failed: %v", method, err)
+			}
+			warm2, err := PredictGroupCached(ctx, features, assoc, method, st)
+			if err != nil {
+				t.Fatalf("method %d: seeded cached solve failed: %v", method, err)
+			}
+			for i := range cold {
+				for _, pair := range [][2]float64{
+					{cold[i].S, warm1[i].S}, {cold[i].MPA, warm1[i].MPA}, {cold[i].SPI, warm1[i].SPI},
+					{cold[i].S, warm2[i].S}, {cold[i].MPA, warm2[i].MPA}, {cold[i].SPI, warm2[i].SPI},
+				} {
+					if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+						t.Fatalf("method %d process %d: warm solve diverged from cold: %x vs %x",
+							method, i, math.Float64bits(pair[0]), math.Float64bits(pair[1]))
+					}
+				}
+			}
+		}
 	})
 }
 

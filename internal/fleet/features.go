@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"mpmc/internal/cache"
 	"mpmc/internal/cli"
@@ -31,6 +32,15 @@ type featureCache struct {
 	lru    *cache.LRUMap[*core.FeatureVector]
 	flight cache.Flight[*core.FeatureVector]
 
+	// keys interns the (machine kind, workload) key strings, keyed by the
+	// pointer pair: key construction sits on the placement hot path, and
+	// the pair space is tiny (kinds × workloads) while the concatenation
+	// was a measurable share of a warm placement. A plain map under an
+	// RWMutex beats sync.Map here — struct keys avoid the interface-boxing
+	// hash that dominated the warm profile.
+	keyMu sync.RWMutex
+	keys  map[featPair]string
+
 	profile   ProfileFunc
 	intercept func(site, key string) error
 	seed      uint64
@@ -44,6 +54,7 @@ type featureCache struct {
 
 func newFeatureCache(cfg Config, reg *metrics.Registry) *featureCache {
 	return &featureCache{
+		keys:      map[featPair]string{},
 		lru:       cache.NewLRUMap[*core.FeatureVector](cfg.CacheCap),
 		profile:   cfg.Profile,
 		intercept: cfg.Intercept,
@@ -63,13 +74,43 @@ func featureKey(m *machine.Machine, spec *workload.Spec) string {
 	return m.Name + "\x00" + spec.Name
 }
 
+// featPair indexes the interned key strings by identity.
+type featPair struct {
+	m    *machine.Machine
+	spec *workload.Spec
+}
+
+// keyOf returns featureKey(m, spec) without rebuilding the string on
+// every call.
+func (fc *featureCache) keyOf(m *machine.Machine, spec *workload.Spec) string {
+	p := featPair{m: m, spec: spec}
+	fc.keyMu.RLock()
+	k, ok := fc.keys[p]
+	fc.keyMu.RUnlock()
+	if ok {
+		return k
+	}
+	k = featureKey(m, spec)
+	fc.keyMu.Lock()
+	fc.keys[p] = k
+	fc.keyMu.Unlock()
+	return k
+}
+
+// peek returns the cached feature vector of (m, spec) without ever
+// profiling: a silent probe for fast paths that fall back to get on a
+// miss.
+func (fc *featureCache) peek(m *machine.Machine, spec *workload.Spec) (*core.FeatureVector, bool) {
+	return fc.lru.Get(fc.keyOf(m, spec))
+}
+
 // get returns the feature vector of spec profiled against machine kind m,
 // running the sweep on first sight. Per-workload seeds derive from the
 // base seed and the workload name alone (core.ProfileSeed via the shared
 // cli.FeatureConfig), so vectors are identical to the ones the
 // single-machine server and the CLI tools produce.
 func (fc *featureCache) get(ctx context.Context, m *machine.Machine, spec *workload.Spec) (*core.FeatureVector, error) {
-	key := featureKey(m, spec)
+	key := fc.keyOf(m, spec)
 	if f, ok := fc.lru.Get(key); ok {
 		return f, nil
 	}

@@ -12,12 +12,12 @@ import (
 
 // Move describes one executed cross-machine migration.
 type Move struct {
-	From     string  `json:"from"`
-	To       string  `json:"to"`
-	Name     string  `json:"name"`     // instance name on the source node
-	NewName  string  `json:"new_name"` // instance name on the target node
-	Workload string  `json:"workload"`
-	Core     int     `json:"core"` // target core
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Name     string `json:"name"`     // instance name on the source node
+	NewName  string `json:"new_name"` // instance name on the target node
+	Workload string `json:"workload"`
+	Core     int    `json:"core"` // target core
 	// SPIBefore/SPIAfter are the fleet-wide predicted SPI totals around the
 	// move; Improvement is their difference (positive = faster fleet).
 	SPIBefore   float64 `json:"spi_before"`
@@ -77,11 +77,19 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	// Fleet-wide baseline: each node's total predicted SPI as placed.
 	// Down nodes hold no residents and accept no moves; they contribute
 	// zero to the baseline and are skipped below.
+	// Warm every live node's assignment snapshot serially first: the
+	// candidate fan-out below reads the same nodes from many workers at
+	// once, and the per-node cache must not see concurrent first fills.
+	for _, n := range f.nodes {
+		if !n.down {
+			f.assignmentOf(n)
+		}
+	}
 	base, err := parallel.Map(ctx, f.cfg.Workers, len(f.nodes), func(i int) (float64, error) {
 		if f.nodes[i].down {
 			return 0, nil
 		}
-		return assignmentSPI(ctx, f.nodes[i].cfg.Machine, f.nodes[i].mgr.Assignment(), f.cfg.Solver)
+		return f.nodeSPI(ctx, f.nodes[i].cfg.Machine, f.assignmentOf(f.nodes[i]))
 	})
 	if err != nil {
 		return Move{}, err
@@ -125,12 +133,18 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	}
 
 	// Score every candidate concurrently: the fleet total if the move were
-	// made. Only the source and target terms change.
+	// made. Only the source and target terms change, and both route
+	// through the group-score memo — so the source machine minus its
+	// departing resident is solved once per (source, resident), not once
+	// per (destination, core) candidate as it used to be (every candidate
+	// sharing a source resident now recalls the same memoized terms, with
+	// the singleflight collapsing concurrent first solves), and candidate
+	// target groups recall any terms placement scoring already solved.
 	totals, err := parallel.Map(ctx, f.cfg.Workers, len(cands), func(k int) (float64, error) {
 		cd := cands[k]
 		srcN, dstN := f.nodes[cd.src], f.nodes[cd.dst]
-		srcAfter, err := assignmentSPI(ctx, srcN.cfg.Machine,
-			withoutResident(srcN.mgr.Assignment(), cd.res), f.cfg.Solver)
+		srcAfter, err := f.nodeSPI(ctx, srcN.cfg.Machine,
+			withoutResident(f.assignmentOf(srcN), cd.res))
 		if err != nil {
 			return 0, err
 		}
@@ -138,8 +152,8 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 		if err != nil {
 			return 0, err
 		}
-		dstAfter, err := assignmentSPI(ctx, dstN.cfg.Machine,
-			withAddition(dstN.mgr.Assignment(), feat, cd.dstCore), f.cfg.Solver)
+		dstAfter, err := f.nodeSPI(ctx, dstN.cfg.Machine,
+			withAdditionShared(f.assignmentOf(dstN), feat, cd.dstCore))
 		if err != nil {
 			return 0, err
 		}

@@ -20,59 +20,24 @@ import (
 // from a time-shared core to an idle machine keeps the number of terms
 // fixed and only changes their contention, so an improvement is a real
 // predicted speed-up, not an artifact of the accounting.
+// It is the memo-free reference implementation: the differential suite
+// replays whole scenarios through it and through the cached nodeSPI path
+// and asserts bit equality. The per-group work lives in groupSPITerms
+// (scorecache.go); the accumulation here is the order every cached replay
+// must reproduce.
 func assignmentSPI(ctx context.Context, m *machine.Machine, asg core.Assignment, solver core.SolverMethod) (float64, error) {
 	total := 0.0
 	for _, group := range m.Groups {
-		var busy []int
-		for _, c := range group {
-			if len(asg[c]) > 0 {
-				busy = append(busy, c)
-			}
-		}
+		busy := busyCores(group, asg)
 		if len(busy) == 0 {
 			continue
 		}
-		// perProc[i][k] accumulates proc k of busy core i's SPI over the
-		// combinations it participates in.
-		perProc := make([][]float64, len(busy))
-		for i, c := range busy {
-			perProc[i] = make([]float64, len(asg[c]))
-		}
-		choice := make([]int, len(busy))
-		combo := make([]*core.FeatureVector, len(busy))
-		combos := 0
-		var rec func(i int) error
-		rec = func(i int) error {
-			if i == len(busy) {
-				preds, err := core.PredictGroupContext(ctx, combo, m.Assoc, solver)
-				if err != nil {
-					return err
-				}
-				for j, p := range preds {
-					perProc[j][choice[j]] += p.SPI
-				}
-				combos++
-				return nil
-			}
-			for k, f := range asg[busy[i]] {
-				choice[i], combo[i] = k, f
-				if err := rec(i + 1); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		if err := rec(0); err != nil {
+		terms, err := groupSPITerms(ctx, m, busy, asg, solver, nil)
+		if err != nil {
 			return 0, err
 		}
-		// Every proc on busy core i appears in combos/len(asg[busy[i]])
-		// combinations (one slot in the core's rotation times every choice
-		// on the other cores).
-		for i, c := range busy {
-			appearances := float64(combos) / float64(len(asg[c]))
-			for _, sum := range perProc[i] {
-				total += sum / appearances
-			}
+		for _, t := range terms {
+			total += t
 		}
 	}
 	return total, nil
@@ -112,10 +77,10 @@ type nodeScore struct {
 }
 
 // scoreNode finds the best admissible core of one node for spec under the
-// fleet policy, scanning cores in index order with strict less-than
-// comparisons so ties resolve to the lowest core. The node's assignment is
-// read once, so the whole scan scores against a consistent snapshot; the
-// fleet placement lock guarantees nothing commits mid-scan.
+// fleet policy. The decision memo short-circuits a node whose exact
+// (assignment, arrival) pair has been scored before; the seam and the
+// feature resolve always run first, so fault injection and profiling
+// semantics are identical warm or cold.
 func (f *Fleet) scoreNode(ctx context.Context, n *node, spec *workload.Spec) (nodeScore, error) {
 	if f.cfg.Intercept != nil {
 		// Injection seam ahead of the equilibrium solves: an injected
@@ -128,7 +93,28 @@ func (f *Fleet) scoreNode(ctx context.Context, n *node, spec *workload.Spec) (no
 	if err != nil {
 		return nodeScore{}, err
 	}
-	asg := n.mgr.Assignment()
+	asg := f.assignmentOf(n)
+	var dkey string
+	if f.scores != nil {
+		dkey = f.decisionKeyOf(n, feat)
+		if s, ok := f.scores.getDecision(dkey); ok {
+			return s, nil
+		}
+	}
+	s, err := f.scoreNodeCold(ctx, n, feat, asg)
+	if err == nil && f.scores != nil {
+		f.scores.putDecision(dkey, s)
+	}
+	return s, err
+}
+
+// scoreNodeCold computes one node's best candidate slot from scratch (up
+// to the term memo), scanning cores in index order with strict less-than
+// comparisons so ties resolve to the lowest core. The node's assignment
+// was read once by the caller, so the whole scan scores against a
+// consistent snapshot; the fleet placement lock guarantees nothing commits
+// mid-scan.
+func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVector, asg core.Assignment) (nodeScore, error) {
 	admissible := func(c int) bool {
 		return n.cfg.MaxPerCore == 0 || len(asg[c]) < n.cfg.MaxPerCore
 	}
@@ -156,22 +142,44 @@ func (f *Fleet) scoreNode(ctx context.Context, n *node, spec *workload.Spec) (no
 		return best, nil
 
 	case LeastDegradation, BinPack:
-		baseSPI, err := assignmentSPI(ctx, n.cfg.Machine, asg, f.cfg.Solver)
+		// Delta evaluation: solve (or recall) the machine's current groups
+		// once, then score "add feat to core c" by re-solving only core c's
+		// group with the newcomer and replaying the whole-machine term
+		// accumulation with that one group's terms swapped in. The replay
+		// walks groups in the same order with the same per-group term
+		// streams a cold assignmentSPI of the candidate assignment would,
+		// so the scores are bit-identical — only the unchanged groups'
+		// solves are skipped.
+		m := n.cfg.Machine
+		baseGroups, err := f.nodeTerms(ctx, m, asg)
 		if err != nil {
 			return nodeScore{}, err
 		}
-		solo, err := soloSPI(ctx, n.cfg.Machine, feat, f.cfg.Solver)
+		baseSPI := replayTerms(baseGroups)
+		solo, err := soloSPI(ctx, m, feat, f.cfg.Solver)
 		if err != nil {
 			return nodeScore{}, err
 		}
 		best := nodeScore{}
-		for c := 0; c < n.cfg.Machine.NumCores; c++ {
+		for c := 0; c < m.NumCores; c++ {
 			if !admissible(c) {
 				continue
 			}
-			after, err := assignmentSPI(ctx, n.cfg.Machine, withAddition(asg, feat, c), f.cfg.Solver)
+			gi := m.GroupOf(c)
+			cand := withAdditionShared(asg, feat, c)
+			candTerms, err := f.groupTerms(ctx, m, busyCores(m.Groups[gi], cand), cand)
 			if err != nil {
 				return nodeScore{}, err
+			}
+			after := 0.0
+			for g := range baseGroups {
+				terms := baseGroups[g]
+				if g == gi {
+					terms = candTerms
+				}
+				for _, t := range terms {
+					after += t
+				}
 			}
 			added := after - baseSPI
 			if !best.ok || added < best.score {

@@ -1,0 +1,450 @@
+// Memoized group scoring: the fleet-level cache over per-group SPI terms.
+//
+// Every scoring pass — placement candidates, rebalance scans, state and
+// totals reports — reduces to solving cache groups to equilibrium, and
+// the same group recurs constantly: a machine's resident groups are
+// re-solved for every candidate slot, every policy consult, and every
+// totals sample between sim events. The scoreCache memoizes the solved
+// per-resident SPI *term list* of one cache group, keyed by the exact
+// content that determines it (machine kind, solver, busy cores and their
+// resident workload names in order), so a recurring group costs one map
+// lookup instead of an equilibrium solve.
+//
+// Byte-identity contract: a cached value must be indistinguishable —
+// bit for bit — from recomputing it cold. Three properties deliver that:
+//
+//  1. Keys are content-addressed. Every input of groupSPITerms appears in
+//     the key: the machine kind name fixes the cache geometry (and which
+//     profile a workload name resolves to — profiling is deterministic
+//     per (fleet seed, kind, name), so equal names imply bit-equal
+//     feature vectors within one fleet), the solver method fixes the
+//     algorithm, and the per-core name lists fix the Eq. 10 enumeration.
+//     A key can therefore never resolve to a stale value: any change to
+//     a group's residents changes its key.
+//  2. Values are term *lists*, not subtotals. assignmentSPI accumulates
+//     one running float total across groups in (group, busy core, proc)
+//     order; float addition is not associative, so the memo stores the
+//     flattened per-resident terms and callers replay the accumulation
+//     in the original order (see replayTerms).
+//  3. Hit/miss/shared counters are scheduling-dependent and never appear
+//     in any golden or transcript; only the pure values do.
+//
+// Invalidation: content-addressing makes departures and rebalance moves
+// self-invalidating (the old key is simply never built again and ages out
+// of the LRU). FailNode/RestoreNode drop the affected node's current
+// group keys eagerly, and FlushScoreCache drops everything — the hook a
+// power-model retrain (which rebuilds the serving stack's models) uses.
+
+package fleet
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"mpmc/internal/cache"
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+)
+
+// ScoreCacheStats is a snapshot of the score memo's counters. The sums
+// obey lookups == hits + misses + shared: every lookup resolves to
+// exactly one of a cache hit, a solve (counted as a miss even when the
+// solve fails), or a ride on another caller's in-flight solve.
+type ScoreCacheStats struct {
+	Lookups     uint64
+	Hits        uint64
+	Misses      uint64
+	Shared      uint64
+	Invalidated uint64
+	Entries     int
+
+	// Decision-memo counters (the second memo level: whole scoreNode
+	// results keyed by node identity + assignment content + arrival).
+	// Every decision actually served from or stored into the memo counts
+	// exactly once; placeOneLocked's speculative all-hit probe counts its
+	// hits only when the probed decisions are really used.
+	DecisionHits    uint64
+	DecisionMisses  uint64
+	DecisionEntries int
+}
+
+// scoreCache memoizes per-group SPI term lists behind a bounded LRU with
+// singleflight deduplication, mirroring featureCache's shape. All methods
+// are safe for concurrent use.
+type scoreCache struct {
+	lru    *cache.LRUMap[[]float64]
+	flight cache.Flight[[]float64]
+
+	// decisions memoizes whole scoreNode results — the second memo level.
+	// A decision is a pure function of the node identity (which fixes the
+	// machine kind, power model, and MaxPerCore), the fleet's immutable
+	// policy knobs, the assignment content, and the arrival's workload
+	// name, so it obeys the same byte-identity contract the term memo
+	// does. No singleflight: recomputing a decision is cheap once the
+	// term memo is warm, so concurrent first scorers just race benignly.
+	decisions *cache.LRUMap[nodeScore]
+
+	// intercept is the fleet's fault-injection seam, consulted at site
+	// "fleet.solve" (key = memo key) inside the singleflight before a
+	// group is solved — the seam solve-count regression tests observe.
+	intercept func(site, key string) error
+
+	lookups, hits, misses, shared, invalidated atomic.Uint64
+	dhits, dmisses                             atomic.Uint64
+}
+
+func newScoreCache(capacity int, intercept func(site, key string) error) *scoreCache {
+	return &scoreCache{
+		lru:       cache.NewLRUMap[[]float64](capacity),
+		decisions: cache.NewLRUMap[nodeScore](capacity),
+		intercept: intercept,
+	}
+}
+
+func (sc *scoreCache) stats() ScoreCacheStats {
+	return ScoreCacheStats{
+		Lookups:         sc.lookups.Load(),
+		Hits:            sc.hits.Load(),
+		Misses:          sc.misses.Load(),
+		Shared:          sc.shared.Load(),
+		Invalidated:     sc.invalidated.Load(),
+		Entries:         sc.lru.Len(),
+		DecisionHits:    sc.dhits.Load(),
+		DecisionMisses:  sc.dmisses.Load(),
+		DecisionEntries: sc.decisions.Len(),
+	}
+}
+
+// peekDecision probes the decision memo without touching any counter —
+// placeOneLocked's all-hit fast path uses it speculatively and credits the
+// hits in bulk only when the probed decisions actually decide a placement.
+func (sc *scoreCache) peekDecision(key string) (nodeScore, bool) {
+	return sc.decisions.Get(key)
+}
+
+// getDecision is the counted probe scoreNode uses: exactly one hit or miss
+// per scoring pass.
+func (sc *scoreCache) getDecision(key string) (nodeScore, bool) {
+	s, ok := sc.decisions.Get(key)
+	if ok {
+		sc.dhits.Add(1)
+	} else {
+		sc.dmisses.Add(1)
+	}
+	return s, ok
+}
+
+func (sc *scoreCache) putDecision(key string, s nodeScore) {
+	sc.decisions.Put(key, s)
+}
+
+// get returns the memoized term list for key, solving via compute on a
+// miss. Errors are never cached (an injected or solver failure must not
+// poison later lookups).
+func (sc *scoreCache) get(key string, compute func() ([]float64, error)) ([]float64, error) {
+	sc.lookups.Add(1)
+	if v, ok := sc.lru.Get(key); ok {
+		sc.hits.Add(1)
+		return v, nil
+	}
+	var innerHit bool
+	v, err, shared := sc.flight.Do(key, func() ([]float64, error) {
+		if v, ok := sc.lru.Get(key); ok {
+			innerHit = true
+			return v, nil
+		}
+		if sc.intercept != nil {
+			if err := sc.intercept("fleet.solve", key); err != nil {
+				return nil, err
+			}
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		sc.lru.Put(key, v)
+		return v, nil
+	})
+	switch {
+	case shared:
+		sc.shared.Add(1)
+	case err == nil && innerHit:
+		sc.hits.Add(1)
+	default:
+		sc.misses.Add(1)
+	}
+	return v, err
+}
+
+// invalidate drops one key, counting it only if it was resident.
+func (sc *scoreCache) invalidate(key string) {
+	if sc.lru.Delete(key) {
+		sc.invalidated.Add(1)
+	}
+}
+
+// flush drops every memoized term list and placement decision.
+func (sc *scoreCache) flush() {
+	for _, k := range sc.lru.Keys() {
+		sc.invalidate(k)
+	}
+	for _, k := range sc.decisions.Keys() {
+		if sc.decisions.Delete(k) {
+			sc.invalidated.Add(1)
+		}
+	}
+}
+
+// scoreKey builds the content identity of one cache group's term list.
+// The busy core IDs are included alongside the per-core workload names:
+// today two symmetric groups with equal residents would solve to equal
+// terms, but per-core factors (machine.CoreSpeed) may one day enter the
+// SPI terms, and the key must already name every input that could. The
+// separators cannot occur in machine or workload names.
+func scoreKey(m *machine.Machine, solver core.SolverMethod, busy []int, asg core.Assignment) string {
+	n := len(m.Name) + 8
+	for _, c := range busy {
+		n += 4
+		for _, f := range asg[c] {
+			n += len(f.Name) + 1
+		}
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, m.Name...)
+	buf = append(buf, '\x00')
+	buf = strconv.AppendInt(buf, int64(solver), 10)
+	for _, c := range busy {
+		buf = append(buf, '\x01')
+		buf = strconv.AppendInt(buf, int64(c), 10)
+		for _, f := range asg[c] {
+			buf = append(buf, '\x02')
+			buf = append(buf, f.Name...)
+		}
+	}
+	return string(buf)
+}
+
+// decisionKey builds the content identity of one node's placement decision
+// for an arrival: the node name (which pins the machine kind, power model,
+// and MaxPerCore — all immutable per fleet), the arrival's workload name,
+// and every core's resident workload names in order (empty cores included:
+// admissibility depends on per-core occupancy). The fleet-wide policy,
+// ceiling, and solver are constants of the fleet the memo lives in, so they
+// need no key bytes.
+func decisionKey(n *node, feat *core.FeatureVector, asg core.Assignment) string {
+	return n.cfg.Name + "\x00" + feat.Name + decisionSuffix(asg)
+}
+
+// decisionSuffix serializes the assignment-content half of a decision key.
+// The fleet caches it per node alongside the assignment snapshot, so a
+// warm probe pays one concatenation, not a full walk.
+func decisionSuffix(asg core.Assignment) string {
+	size := 0
+	for _, procs := range asg {
+		size++
+		for _, f := range procs {
+			size += len(f.Name) + 1
+		}
+	}
+	buf := make([]byte, 0, size)
+	for _, procs := range asg {
+		buf = append(buf, '\x01')
+		for _, f := range procs {
+			buf = append(buf, '\x02')
+			buf = append(buf, f.Name...)
+		}
+	}
+	return string(buf)
+}
+
+// groupSPITerms solves one cache group and returns its flattened
+// per-resident SPI terms in (busy core, proc arrival) order. It is
+// assignmentSPI's inner loop verbatim: the Eq. 10 enumeration of per-core
+// process choices, each combination solved to equilibrium, every
+// resident's prediction averaged over the combinations it appears in.
+// The terms are pure — they depend only on the busy cores' feature
+// vectors, the machine's associativity, and the solver — which is what
+// makes them safe to memoize under a content key.
+func groupSPITerms(ctx context.Context, m *machine.Machine, busy []int, asg core.Assignment, solver core.SolverMethod, st *core.SolverState) ([]float64, error) {
+	perProc := make([][]float64, len(busy))
+	for i, c := range busy {
+		perProc[i] = make([]float64, len(asg[c]))
+	}
+	choice := make([]int, len(busy))
+	combo := make([]*core.FeatureVector, len(busy))
+	combos := 0
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(busy) {
+			preds, err := core.PredictGroupCached(ctx, combo, m.Assoc, solver, st)
+			if err != nil {
+				return err
+			}
+			for j, p := range preds {
+				perProc[j][choice[j]] += p.SPI
+			}
+			combos++
+			return nil
+		}
+		for k, f := range asg[busy[i]] {
+			choice[i], combo[i] = k, f
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	var terms []float64
+	for i, c := range busy {
+		appearances := float64(combos) / float64(len(asg[c]))
+		for _, sum := range perProc[i] {
+			terms = append(terms, sum/appearances)
+		}
+	}
+	return terms, nil
+}
+
+// busyCores returns the group's cores that host at least one process, in
+// group order.
+func busyCores(group []int, asg core.Assignment) []int {
+	var busy []int
+	for _, c := range group {
+		if len(asg[c]) > 0 {
+			busy = append(busy, c)
+		}
+	}
+	return busy
+}
+
+// groupTerms returns one group's term list through the memo (or cold when
+// caching is disabled).
+func (f *Fleet) groupTerms(ctx context.Context, m *machine.Machine, busy []int, asg core.Assignment) ([]float64, error) {
+	if f.scores == nil {
+		return groupSPITerms(ctx, m, busy, asg, f.cfg.Solver, f.solver)
+	}
+	return f.scores.get(scoreKey(m, f.cfg.Solver, busy, asg), func() ([]float64, error) {
+		return groupSPITerms(ctx, m, busy, asg, f.cfg.Solver, f.solver)
+	})
+}
+
+// nodeTerms returns every group's term list for one assignment, nil for
+// idle groups, memoized per group.
+func (f *Fleet) nodeTerms(ctx context.Context, m *machine.Machine, asg core.Assignment) ([][]float64, error) {
+	out := make([][]float64, len(m.Groups))
+	for gi, group := range m.Groups {
+		busy := busyCores(group, asg)
+		if len(busy) == 0 {
+			continue
+		}
+		terms, err := f.groupTerms(ctx, m, busy, asg)
+		if err != nil {
+			return nil, err
+		}
+		out[gi] = terms
+	}
+	return out, nil
+}
+
+// replayTerms accumulates per-group term lists into one total in group
+// order — the exact float-addition sequence assignmentSPI performs, so a
+// replayed total is bit-identical to a cold one.
+func replayTerms(groups [][]float64) float64 {
+	total := 0.0
+	for _, terms := range groups {
+		for _, t := range terms {
+			total += t
+		}
+	}
+	return total
+}
+
+// nodeSPI is assignmentSPI through the memo: identical bytes, amortized
+// solves.
+func (f *Fleet) nodeSPI(ctx context.Context, m *machine.Machine, asg core.Assignment) (float64, error) {
+	groups, err := f.nodeTerms(ctx, m, asg)
+	if err != nil {
+		return 0, err
+	}
+	return replayTerms(groups), nil
+}
+
+// withAdditionShared returns asg with feat appended to core c, sharing
+// every untouched core's slice with asg (copy-on-write: only the per-core
+// slice headers and core c's extended slice are allocated). Callers must
+// treat the result as read-only. The full-capacity slice expression
+// forces the append to copy, so asg's own backing arrays are never
+// written through.
+func withAdditionShared(asg core.Assignment, feat *core.FeatureVector, c int) core.Assignment {
+	next := make(core.Assignment, len(asg))
+	copy(next, asg)
+	cur := asg[c]
+	next[c] = append(cur[:len(cur):len(cur)], feat)
+	return next
+}
+
+// invalidateNodeLocked drops the memo entries for the node's current
+// groups. Content keys cannot go stale, so this is hygiene, not
+// correctness: a failed machine's groups are dead weight the LRU should
+// not have to age out. Called with the fleet lock held.
+func (f *Fleet) invalidateNodeLocked(n *node) {
+	if f.scores == nil {
+		return
+	}
+	m := n.cfg.Machine
+	asg := f.assignmentOf(n)
+	for _, group := range m.Groups {
+		busy := busyCores(group, asg)
+		if len(busy) == 0 {
+			continue
+		}
+		f.scores.invalidate(scoreKey(m, f.cfg.Solver, busy, asg))
+	}
+	// Decision keys embed arrival names the node cannot enumerate, so the
+	// node's decisions are found by their unambiguous "<name>\x00" prefix.
+	prefix := n.cfg.Name + "\x00"
+	for _, k := range f.scores.decisions.Keys() {
+		if strings.HasPrefix(k, prefix) && f.scores.decisions.Delete(k) {
+			f.scores.invalidated.Add(1)
+		}
+	}
+}
+
+// ScoreCacheStats snapshots the score memo's counters (zero value when
+// caching is disabled). The counters are scheduling-dependent under
+// concurrency — they belong in logs and tests, never in goldens.
+func (f *Fleet) ScoreCacheStats() ScoreCacheStats {
+	if f.scores == nil {
+		return ScoreCacheStats{}
+	}
+	return f.scores.stats()
+}
+
+// SolverStateStats snapshots the shared equilibrium solver-state counters
+// (zero value when caching is disabled).
+func (f *Fleet) SolverStateStats() core.SolverStateStats {
+	if f.solver == nil {
+		return core.SolverStateStats{}
+	}
+	return f.solver.Stats()
+}
+
+// FlushScoreCache drops every memoized group score and recorded
+// equilibrium solution. Values are pure functions of their keys, so
+// flushing never changes any result; call it when the models behind the
+// fleet are rebuilt in place (a power-model retrain) or to release
+// memory.
+func (f *Fleet) FlushScoreCache() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scores != nil {
+		f.scores.flush()
+	}
+	if f.solver != nil {
+		f.solver.Flush()
+	}
+}

@@ -197,6 +197,12 @@ type event struct {
 type Sim struct {
 	sc      *Scenario
 	workers int
+
+	// ScoreCacheCap overrides Config.ScoreCacheCap for every replayed
+	// fleet (0 = the fleet default, negative = cold solving). Like
+	// workers it affects speed, never output — the differential suite
+	// replays scenarios at both settings and asserts byte equality.
+	ScoreCacheCap int
 }
 
 // NewSim builds a simulator. workers caps scoring concurrency (0 =
@@ -211,13 +217,13 @@ type PolicyReport struct {
 	// Placed counts every admission (direct and from the queue); Rejected
 	// counts arrivals that found no admissible machine; QueueAdmitted,
 	// QueueAbandoned and QueueRejected break down the queue's fate.
-	Placed        uint64 `json:"placed"`
-	Rejected      uint64 `json:"rejected"`
-	QueueAdmitted uint64 `json:"queue_admitted"`
+	Placed         uint64 `json:"placed"`
+	Rejected       uint64 `json:"rejected"`
+	QueueAdmitted  uint64 `json:"queue_admitted"`
 	QueueAbandoned uint64 `json:"queue_abandoned"`
-	QueueRejected uint64 `json:"queue_rejected"`
-	Moves         uint64 `json:"moves"`
-	ProfileRuns   uint64 `json:"profile_runs"`
+	QueueRejected  uint64 `json:"queue_rejected"`
+	Moves          uint64 `json:"moves"`
+	ProfileRuns    uint64 `json:"profile_runs"`
 	// AvgSPI and AvgWatts are time-weighted fleet-wide averages over the
 	// simulated horizon (first arrival to last departure).
 	AvgSPI   float64 `json:"avg_spi"`
@@ -300,6 +306,7 @@ func (s *Sim) buildFleet(pname string) (*Fleet, error) {
 		QueueCap:       s.sc.QueueCap,
 		Seed:           s.sc.Seed,
 		Workers:        s.workers,
+		ScoreCacheCap:  s.ScoreCacheCap,
 		Profile: func(ctx context.Context, m *machine.Machine, spec *workload.Spec, opts core.ProfileOptions) (*core.FeatureVector, error) {
 			return core.TruthFeature(spec, m), nil
 		},

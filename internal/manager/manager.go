@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"mpmc/internal/core"
@@ -112,6 +113,11 @@ type Options struct {
 	// deduplication become its responsibility. SharedProfiles is ignored
 	// when Features is set.
 	Features FeatureSource
+	// SolverState, when non-nil, memoizes converged equilibrium solutions
+	// across this manager's power estimates (and across managers when
+	// shared, as the fleet scheduler does). Estimates are bit-identical
+	// with or without it — see core.PredictGroupCached.
+	SolverState *core.SolverState
 	// Intercept, when non-nil, is consulted at named fault-injection
 	// sites; a non-nil return is injected as the guarded operation's
 	// error, before any state mutates, so every injected failure must
@@ -151,6 +157,18 @@ type Manager struct {
 	specs    map[string]*workload.Spec      // by instance name
 	nextID   int
 	rrNext   int
+	// version counts assignment mutations (placements, removals,
+	// restores, rebalances). Callers that cache derived views of the
+	// assignment (the fleet's per-node snapshots) compare it to decide
+	// whether their copy is current.
+	version uint64
+	// asgCache memoizes assignmentLocked's model-side view for the current
+	// version. The cached value is never written again once handed out —
+	// mutations rebuild procs/features and bump version, so a stale cache
+	// is simply rebuilt — which keeps the snapshot semantics callers rely
+	// on (a held Assignment() result stays the pre-mutation view).
+	asgCache  core.Assignment
+	asgCacheV uint64
 }
 
 // New builds a manager for machine m with a trained power model.
@@ -159,9 +177,11 @@ func New(m *machine.Machine, pm *core.PowerModel, opts Options) *Manager {
 	if profiles == nil {
 		profiles = map[string]*core.FeatureVector{}
 	}
+	cm := core.NewCombinedModel(m, pm)
+	cm.State = opts.SolverState
 	return &Manager{
 		mach:     m,
-		cm:       core.NewCombinedModel(m, pm),
+		cm:       cm,
 		opts:     opts,
 		profiles: profiles,
 		procs:    make([][]string, m.NumCores),
@@ -341,6 +361,7 @@ func (mgr *Manager) restoreLocked(s *Snapshot) {
 		mgr.specs[n] = sp
 	}
 	mgr.nextID, mgr.rrNext = s.nextID, s.rrNext
+	mgr.version++
 }
 
 // Machine returns the modeled CMP this manager schedules onto.
@@ -351,6 +372,18 @@ func (mgr *Manager) Machine() *machine.Machine { return mgr.mach }
 // exceeded, whatever path admitted the residents.
 func (mgr *Manager) MaxPerCore() int { return mgr.opts.MaxPerCore }
 
+// Version returns the assignment mutation counter: it changes whenever a
+// placement, removal, restore, or rebalance commits, so a caller holding
+// a derived view (an Assignment copy, a memo key) can cheaply check
+// whether the view is still current. The counter says nothing about
+// *what* changed — equal versions mean an identical assignment, different
+// versions mean only "re-read".
+func (mgr *Manager) Version() uint64 {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.version
+}
+
 // Assignment returns the current model-side assignment.
 func (mgr *Manager) Assignment() core.Assignment {
 	mgr.mu.Lock()
@@ -359,12 +392,16 @@ func (mgr *Manager) Assignment() core.Assignment {
 }
 
 func (mgr *Manager) assignmentLocked() core.Assignment {
+	if mgr.asgCache != nil && mgr.asgCacheV == mgr.version {
+		return mgr.asgCache
+	}
 	asg := make(core.Assignment, mgr.mach.NumCores)
 	for c, names := range mgr.procs {
 		for _, n := range names {
 			asg[c] = append(asg[c], mgr.features[n])
 		}
 	}
+	mgr.asgCache, mgr.asgCacheV = asg, mgr.version
 	return asg
 }
 
@@ -435,10 +472,11 @@ func (mgr *Manager) PlaceAt(ctx context.Context, spec *workload.Spec, c int) (na
 		return "", 0, err
 	}
 	mgr.nextID++
-	name = fmt.Sprintf("%s#%d", spec.Name, mgr.nextID)
+	name = spec.Name + "#" + strconv.Itoa(mgr.nextID)
 	mgr.procs[c] = append(mgr.procs[c], name)
 	mgr.features[name] = f
 	mgr.specs[name] = spec
+	mgr.version++
 	return name, watts, nil
 }
 
@@ -495,10 +533,11 @@ func (mgr *Manager) placeLocked(ctx context.Context, spec *workload.Spec, f *cor
 		}
 	}
 	mgr.nextID++
-	name = fmt.Sprintf("%s#%d", spec.Name, mgr.nextID)
+	name = spec.Name + "#" + strconv.Itoa(mgr.nextID)
 	mgr.procs[coreID] = append(mgr.procs[coreID], name)
 	mgr.features[name] = f
 	mgr.specs[name] = spec
+	mgr.version++
 	if mgr.opts.Policy == RoundRobin {
 		mgr.rrNext = (coreID + 1) % mgr.mach.NumCores
 	}
@@ -574,6 +613,7 @@ func (mgr *Manager) Remove(name string) error {
 				mgr.procs[c] = append(names[:i], names[i+1:]...)
 				delete(mgr.features, name)
 				delete(mgr.specs, name)
+				mgr.version++
 				return nil
 			}
 		}
@@ -685,5 +725,6 @@ func (mgr *Manager) Rebalance(ctx context.Context, minSavingWatts float64) (move
 		return 0, best.Watts, fmt.Errorf("manager: %w: current layout is already optimal", ErrNoImprovement)
 	}
 	mgr.procs = newProcs
+	mgr.version++
 	return moved, best.Watts, nil
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Fleet placement benchmark runner.
+#
+#   ./scripts/bench_fleet.sh          # run at a fixed -benchtime, append the
+#                                     # stamped result block to BENCH_fleet.json
+#   ./scripts/bench_fleet.sh -check   # same, plus a warn-only mean-ns/op diff
+#                                     # against the committed BENCH_fleet.json
+#
+# The fixed iteration count (-benchtime 20000x) makes runs benchstat-
+# comparable across commits and keeps the p99-ns/op metric stable: the
+# cache-speedup acceptance number is BenchmarkFleetPlace's p99 against
+# BenchmarkFleetPlaceCold's in one block. BENCH_fleet.json is an
+# append-only log — each block is one commit's numbers under a `# ...`
+# stamp line — so the history of the placement path rides with the repo.
+# The -check diff never fails the build: benchmarks on shared CI runners
+# are advisory, and regressions are for a human to read in the uploaded
+# artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_fleet.json
+benchtime=${BENCHTIME:-20000x}
+count=${COUNT:-3}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/fleet/ -run '^$' -bench 'BenchmarkFleet' -benchmem \
+  -benchtime "$benchtime" -count "$count" | tee "$tmp"
+
+if [ "${1:-}" = "-check" ] && git show "HEAD:$out" >/dev/null 2>&1; then
+  git show "HEAD:$out" | awk -v cur="$tmp" '
+    function mean(sum, n) { return n ? sum / n : 0 }
+    # BENCH_fleet.json is append-only; each "# ..." stamp starts a block.
+    # Only the newest committed block is the comparison baseline.
+    /^# / { delete bsum; delete bn }
+    /^Benchmark/ { bsum[$1] += $3; bn[$1]++ }
+    END {
+      while ((getline line < cur) > 0) {
+        split(line, f, /[ \t]+/)
+        if (f[1] !~ /^Benchmark/) continue
+        csum[f[1]] += f[3]; cn[f[1]]++
+      }
+      for (b in csum) {
+        if (!(b in bsum)) continue
+        base = mean(bsum[b], bn[b]); now = mean(csum[b], cn[b])
+        printf "bench-diff: %-28s baseline %12.0f ns/op  now %12.0f ns/op  (%+.1f%%)\n",
+          b, base, now, base ? (now - base) * 100 / base : 0
+        if (base && now > base * 1.2)
+          printf "bench-diff: WARNING: %s regressed more than 20%% vs committed baseline\n", b
+      }
+    }'
+fi
+
+{
+  echo "# $(go version | awk '{print $3}') $(git rev-parse --short HEAD 2>/dev/null || echo worktree) benchtime=$benchtime count=$count"
+  cat "$tmp"
+} >> "$out"
+echo "appended to $out"
