@@ -8,14 +8,19 @@
 // harness (internal/chaos): a seed-deterministic fault schedule — injected
 // profiling/scoring/placement errors, context cancellations, machine loss,
 // queue-pressure bursts — with every model invariant checked after every
-// event. The transcript is byte-identical for a fixed (scenario,
-// -chaos-seed, -chaos-rate) at any -workers value, so it too is pinned as
-// a golden in CI.
+// event. -chaos-preempt-rate additionally schedules high-priority
+// arrivals (the preemption fault class): they evict lower-class residents
+// on a full fleet, some with commit faults armed to force the
+// transactional rollback, and the harness checks victims are always
+// requeued or reported and that no priority inversion survives
+// consecutive fault-free pumps. The transcript is byte-identical for a
+// fixed (scenario, -chaos-seed, -chaos-rate, -chaos-preempt-rate) at any
+// -workers value, so it too is pinned as a golden in CI.
 //
 // Usage:
 //
 //	fleet -scenario scenario.json [-workers 4] [-o report.json]
-//	fleet -scenario scenario.json -chaos-seed 1 [-chaos-rate 0.25]
+//	fleet -scenario scenario.json -chaos-seed 1 [-chaos-rate 0.25] [-chaos-preempt-rate 0.5]
 //
 // See the README "Fleet" section for the scenario schema.
 package main
@@ -40,6 +45,7 @@ func main() {
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the chaos harness with this fault-schedule seed")
 	chaosRate := flag.Float64("chaos-rate", 0.25, "chaos fault intensity in [0,1] (with -chaos-seed)")
+	preemptRate := flag.Float64("chaos-preempt-rate", 0, "preemption fault-class intensity in [0,1]: schedules high-priority arrivals, some with commit faults (with -chaos-seed)")
 	flag.Parse()
 
 	if *scenario == "" {
@@ -49,7 +55,7 @@ func main() {
 	}
 	chaosMode := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "chaos-seed" || f.Name == "chaos-rate" {
+		if f.Name == "chaos-seed" || f.Name == "chaos-rate" || f.Name == "chaos-preempt-rate" {
 			chaosMode = true
 		}
 	})
@@ -65,10 +71,11 @@ func main() {
 	var report any
 	if chaosMode {
 		report, err = chaos.NewHarness(sc, chaos.Options{
-			Seed:      *chaosSeed,
-			Rate:      *chaosRate,
-			Workers:   *workers,
-			ColdScore: *scoreCache < 0,
+			Seed:        *chaosSeed,
+			Rate:        *chaosRate,
+			Workers:     *workers,
+			ColdScore:   *scoreCache < 0,
+			PreemptRate: *preemptRate,
 		}).Run(ctx)
 	} else {
 		sim := fleet.NewSim(sc, *workers)

@@ -35,6 +35,15 @@ type Options struct {
 	// never the transcript: the differential suite replays chaos runs
 	// cold and cached and asserts the transcripts are byte-identical.
 	ColdScore bool
+	// PreemptRate in (0, 1] enables the preemption fault class: the
+	// schedule gains high-priority arrivals (some with a commit fault
+	// armed, exercising the preemption rollback), every process is tagged
+	// so victims stay tracked across eviction and requeue, and the run
+	// ends with a settle phase asserting no priority inversion survives a
+	// fault-free pump. 0 (the default) leaves the schedule — and every
+	// pre-existing golden — untouched: the extra random stream is only
+	// split off when the class is enabled.
+	PreemptRate float64
 }
 
 // Injection is one scheduled fault, recorded before the run executes. The
@@ -57,16 +66,25 @@ type PolicyOutcome struct {
 	// waited in the queue first. Faulted arrivals hit an injected error,
 	// Cancelled ones a cancelled context; Killed residents died with their
 	// machine.
-	Placed          int      `json:"placed"`
-	Faulted         int      `json:"faulted"`
-	Cancelled       int      `json:"cancelled"`
-	Killed          int      `json:"killed"`
-	QueueAdmitted   uint64   `json:"queue_admitted"`
-	QueueAbandoned  uint64   `json:"queue_abandoned"`
-	QueueDropped    uint64   `json:"queue_dropped"`
-	QueueRejected   uint64   `json:"queue_rejected"`
-	Moves           uint64   `json:"moves"`
-	RebalanceFaults int      `json:"rebalance_faults"`
+	Placed          int    `json:"placed"`
+	Faulted         int    `json:"faulted"`
+	Cancelled       int    `json:"cancelled"`
+	Killed          int    `json:"killed"`
+	QueueAdmitted   uint64 `json:"queue_admitted"`
+	QueueAbandoned  uint64 `json:"queue_abandoned"`
+	QueueDropped    uint64 `json:"queue_dropped"`
+	QueueRejected   uint64 `json:"queue_rejected"`
+	Moves           uint64 `json:"moves"`
+	RebalanceFaults int    `json:"rebalance_faults"`
+	// Preemption accounting (present only when the preemption fault class
+	// is enabled). PreemptPlaced counts priority arrivals admitted
+	// directly; Preemptions..PreemptAborted mirror the fleet's
+	// fleet_preempt_* counters at the end of the run.
+	PreemptPlaced   int      `json:"preempt_placed,omitempty"`
+	Preemptions     uint64   `json:"preemptions,omitempty"`
+	PreemptRequeued uint64   `json:"preempt_requeued,omitempty"`
+	PreemptDropped  uint64   `json:"preempt_dropped,omitempty"`
+	PreemptAborted  uint64   `json:"preempt_aborted,omitempty"`
 	NodesLost       int      `json:"nodes_lost"`
 	NodesRestored   int      `json:"nodes_restored"`
 	InvariantChecks int      `json:"invariant_checks"`
@@ -83,9 +101,11 @@ type Transcript struct {
 	ScenarioSeed uint64          `json:"scenario_seed"`
 	ChaosSeed    uint64          `json:"chaos_seed"`
 	Rate         float64         `json:"rate"`
+	PreemptRate  float64         `json:"preempt_rate,omitempty"`
 	Machines     []string        `json:"machines"`
 	Processes    int             `json:"processes"`
 	BurstProcs   int             `json:"burst_procs"`
+	PreemptProcs int             `json:"preempt_procs,omitempty"`
 	Horizon      float64         `json:"horizon"`
 	Injections   []Injection     `json:"injections"`
 	Policies     []PolicyOutcome `json:"policies"`
@@ -143,7 +163,7 @@ func (a *armer) intercept(site, key string) error {
 		want = "fleet.profile"
 	case classScore:
 		want = "fleet.score"
-	case classPlace:
+	case classPlace, classPreemptFault:
 		want = "manager.place_at"
 	case classRebalance:
 		want = "fleet.rebalance"
@@ -156,7 +176,13 @@ func (a *armer) intercept(site, key string) error {
 	return nil
 }
 
-const classRebalance = classCancel + 1
+const (
+	classRebalance = classCancel + 1
+	// classPreemptFault faults the placement commit of a high-priority
+	// arrival: on a full fleet that lands mid-preemption — after the
+	// victim's eviction — forcing the transactional rollback path.
+	classPreemptFault = classRebalance + 1
+)
 
 // Event kinds in same-timestamp order: departures free capacity first,
 // outages resolve next, then rebalancing sees the layout, then arrivals
@@ -168,6 +194,9 @@ const (
 	evRebalance
 	evArrive
 	evBurst
+	// evPreempt sorts after ordinary arrivals at the same timestamp, so a
+	// priority arrival always contends against the fullest fleet.
+	evPreempt
 )
 
 type event struct {
@@ -181,9 +210,11 @@ type event struct {
 // schedule is the precomputed chaos plan for one run.
 type schedule struct {
 	nodeNames  []string
-	trace      []fleet.TraceProc // scenario procs then burst procs
+	trace      []fleet.TraceProc // scenario procs, then bursts, then preempt procs
 	bursts     int               // count of burst procs appended to trace
+	preempts   int               // count of priority procs appended after the bursts
 	classes    []int             // per trace proc: armed fault class
+	prios      []int             // per trace proc: priority class (0 except preempt procs)
 	events     []event
 	rebalFault map[int]bool // rebalance event seq -> inject
 	horizon    float64
@@ -269,6 +300,39 @@ func (h *Harness) buildSchedule() *schedule {
 		})
 	}
 
+	// High-priority arrivals for the preemption fault class. The fifth
+	// stream is only split off when the class is enabled, so a disabled
+	// run draws the exact byte-identical schedule it always did. Some
+	// priority arrivals additionally arm a commit fault, exercising the
+	// preemption rollback under chaos.
+	s.prios = make([]int, len(s.trace))
+	if h.opts.PreemptRate > 0 {
+		preR := base.Split()
+		nPre := 2 + int(h.opts.PreemptRate*8+0.5)
+		for k := 0; k < nPre; k++ {
+			// Land inside the congested middle of the trace so the fleet
+			// is plausibly full when the priority arrival hits it.
+			at := (0.2 + 0.6*preR.Float64()) * traceHorizon
+			spec := pool[preR.Intn(len(pool))]
+			life := -sc.MeanLifetime * math.Log(1-preR.Float64())
+			prio := 1 + preR.Intn(3)
+			class := classNone
+			if preR.Float64() < rate {
+				class = classPreemptFault
+			}
+			id := len(s.trace)
+			s.trace = append(s.trace, fleet.TraceProc{ID: id, Spec: spec, Arrive: at, Depart: at + life})
+			s.classes = append(s.classes, class)
+			s.prios = append(s.prios, prio)
+			s.preempts++
+			target := fmt.Sprintf("%s#%d:p%d", spec.Name, id, prio)
+			s.injections = append(s.injections, Injection{Time: at, Kind: "preempt_arrival", Target: target})
+			if class == classPreemptFault {
+				s.injections = append(s.injections, Injection{Time: at, Kind: "preempt_commit_error", Target: target})
+			}
+		}
+	}
+
 	s.horizon = 0
 	for _, p := range s.trace {
 		if p.Depart > s.horizon {
@@ -276,15 +340,22 @@ func (h *Harness) buildSchedule() *schedule {
 		}
 	}
 
-	for _, p := range s.trace[:len(s.trace)-s.bursts] {
+	n0 := len(s.trace) - s.bursts - s.preempts
+	for _, p := range s.trace[:n0] {
 		s.events = append(s.events,
 			event{time: p.Arrive, kind: evArrive, seq: p.ID, proc: p.ID},
 			event{time: p.Depart, kind: evDepart, seq: p.ID, proc: p.ID},
 		)
 	}
-	for _, p := range s.trace[len(s.trace)-s.bursts:] {
+	for _, p := range s.trace[n0 : n0+s.bursts] {
 		s.events = append(s.events,
 			event{time: p.Arrive, kind: evBurst, seq: p.ID, proc: p.ID},
+			event{time: p.Depart, kind: evDepart, seq: p.ID, proc: p.ID},
+		)
+	}
+	for _, p := range s.trace[n0+s.bursts:] {
+		s.events = append(s.events,
+			event{time: p.Arrive, kind: evPreempt, seq: p.ID, proc: p.ID},
 			event{time: p.Depart, kind: evDepart, seq: p.ID, proc: p.ID},
 		)
 	}
@@ -397,6 +468,9 @@ func (h *Harness) Run(ctx context.Context) (*Transcript, error) {
 	if h.opts.Rate < 0 || h.opts.Rate > 1 {
 		return nil, fmt.Errorf("chaos: rate %v outside [0, 1]", h.opts.Rate)
 	}
+	if h.opts.PreemptRate < 0 || h.opts.PreemptRate > 1 {
+		return nil, fmt.Errorf("chaos: preempt rate %v outside [0, 1]", h.opts.PreemptRate)
+	}
 	if err := h.sc.Validate(); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
@@ -405,8 +479,10 @@ func (h *Harness) Run(ctx context.Context) (*Transcript, error) {
 		ScenarioSeed: h.sc.Seed,
 		ChaosSeed:    h.opts.Seed,
 		Rate:         h.opts.Rate,
-		Processes:    len(s.trace) - s.bursts,
+		PreemptRate:  h.opts.PreemptRate,
+		Processes:    len(s.trace) - s.bursts - s.preempts,
 		BurstProcs:   s.bursts,
+		PreemptProcs: s.preempts,
 		Horizon:      s.horizon,
 		Injections:   append([]Injection{}, s.injections...),
 	}
@@ -441,8 +517,46 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 	checker := &Checker{}
 	states := make([]procState, len(s.trace))
 
+	// With the preemption class enabled every process carries its trace ID
+	// as its tag, so a victim stays tracked across eviction and requeue
+	// (PreemptedInfo echoes the tag). Disabled runs keep the legacy
+	// untagged placements and their byte-identical transcripts.
+	tagOf := func(id int) string {
+		if h.opts.PreemptRate > 0 {
+			return strconv.Itoa(id)
+		}
+		return ""
+	}
+
+	// noteVictim re-points a preemption victim's state at its new life:
+	// back in the queue under its fresh ticket, or gone (the drop is
+	// counted by the fleet and checked against the ledger at the end).
+	noteVictim := func(pi *fleet.PreemptedInfo) error {
+		if pi == nil {
+			return nil
+		}
+		if pi.Tag == "" {
+			return fmt.Errorf("preemption victim %s/%s has no tag", pi.Node, pi.Name)
+		}
+		id, err := strconv.Atoi(pi.Tag)
+		if err != nil {
+			return fmt.Errorf("bad victim tag %q: %w", pi.Tag, err)
+		}
+		if pi.Requeued {
+			states[id] = procState{queued: true, ticket: pi.Ticket}
+		} else {
+			states[id] = procState{}
+		}
+		return nil
+	}
+
 	admit := func(placed []fleet.Placed) error {
 		for _, p := range placed {
+			// A pumped high-priority entry may itself preempt: its victim
+			// changes state in the same breath as the admission.
+			if err := noteVictim(p.Preempted); err != nil {
+				return err
+			}
 			if p.Tag == "" {
 				continue
 			}
@@ -480,6 +594,30 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 		}
 	}
 
+	// Priority-inversion law: Remove and RestoreNode pump the queue, and
+	// those pumps are always fault-free (faults are only armed on arrival
+	// and rebalance operations). An entry inverted at one pump may simply
+	// have been requeued mid-pump (its backoff starts next round); one
+	// that stays inverted under the same ticket across two consecutive
+	// pumps was eligible for a full pump while outranking a resident —
+	// that pump should have preempted on its behalf.
+	prevInverted := map[int]bool{}
+	pumped := func() {
+		if h.opts.PreemptRate <= 0 {
+			return
+		}
+		cur := map[int]bool{}
+		for _, q := range PriorityInversions(f) {
+			cur[q.Ticket] = true
+			if prevInverted[q.Ticket] && len(po.Violations) < 16 {
+				po.Violations = append(po.Violations, fmt.Sprintf(
+					"preempt/inversion: ticket %d (%s, class %d) still outranks a resident after consecutive fault-free pumps",
+					q.Ticket, q.Workload, q.Priority))
+			}
+		}
+		prevInverted = cur
+	}
+
 	for _, ev := range s.events {
 		if err := ctx.Err(); err != nil {
 			return PolicyOutcome{}, err
@@ -501,7 +639,7 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 				break
 			}
 			arm.arm(s.classes[ev.proc])
-			placed, err := f.Place(ctx, p.Spec)
+			placed, err := f.PlaceWith(ctx, p.Spec, fleet.PlaceOptions{Tag: tagOf(p.ID)})
 			arm.arm(classNone)
 			switch {
 			case err == nil:
@@ -527,6 +665,37 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 			} else if !errors.Is(qerr, fleet.ErrQueueFull) {
 				return PolicyOutcome{}, qerr
 			}
+		case evPreempt:
+			p := s.trace[ev.proc]
+			arm.arm(s.classes[ev.proc])
+			placed, err := f.PlaceWith(ctx, p.Spec, fleet.PlaceOptions{
+				Tag:      tagOf(p.ID),
+				Priority: s.prios[ev.proc],
+			})
+			arm.arm(classNone)
+			switch {
+			case err == nil:
+				po.PreemptPlaced++
+				states[ev.proc] = procState{resident: true, node: placed.Node, instance: placed.Name}
+				if err := noteVictim(placed.Preempted); err != nil {
+					return PolicyOutcome{}, err
+				}
+			case IsFault(err):
+				// The armed commit fault fired — possibly mid-preemption,
+				// in which case the fleet just rolled the eviction back.
+				po.Faulted++
+			case errors.Is(err, fleet.ErrFleetFull):
+				// Full and nothing outranked: wait in the queue at class;
+				// a later pump may still preempt on its behalf.
+				ticket, qerr := f.SubmitWith(p.Spec, strconv.Itoa(p.ID), s.prios[ev.proc])
+				if qerr == nil {
+					states[ev.proc] = procState{queued: true, ticket: ticket}
+				} else if !errors.Is(qerr, fleet.ErrQueueFull) {
+					return PolicyOutcome{}, qerr
+				}
+			default:
+				return PolicyOutcome{}, err
+			}
 		case evDepart:
 			st := states[ev.proc]
 			switch {
@@ -539,6 +708,7 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 				if err := admit(admitted); err != nil {
 					return PolicyOutcome{}, err
 				}
+				pumped()
 			case st.queued:
 				f.CancelQueued(st.ticket)
 				states[ev.proc] = procState{}
@@ -569,6 +739,7 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 			if err := admit(admitted); err != nil {
 				return PolicyOutcome{}, err
 			}
+			pumped()
 		case evRebalance:
 			if s.rebalFault[ev.seq] {
 				arm.arm(classRebalance)
@@ -601,6 +772,10 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 	po.QueueDropped = reg.CounterValue("fleet_queue_dropped_total")
 	po.QueueRejected = reg.CounterValue("fleet_queue_rejected_total")
 	po.Moves = reg.CounterValue("fleet_rebalance_moves_total")
+	po.Preemptions = reg.CounterValue("fleet_preempt_total")
+	po.PreemptRequeued = reg.CounterValue("fleet_preempt_requeued_total")
+	po.PreemptDropped = reg.CounterValue("fleet_preempt_dropped_total")
+	po.PreemptAborted = reg.CounterValue("fleet_preempt_aborted_total")
 	po.AvgSPI = spiSec / s.horizon
 	po.AvgWatts = wattSec / s.horizon
 	for _, st := range states {
@@ -609,14 +784,17 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 		}
 	}
 
-	// Ledger conservation: every process — scenario arrival or burst —
-	// must end in exactly one disposition.
+	// Ledger conservation: every process — scenario arrival, burst, or
+	// priority arrival — must end in exactly one disposition. A preemption
+	// victim is intentionally counted twice (once placed, once resubmitted
+	// by its requeue), so the expected total grows by the requeue count.
 	submitted := reg.CounterValue("fleet_queue_submitted_total")
-	total := uint64(po.Placed+po.Faulted+po.Cancelled) + submitted + po.QueueRejected
-	if total != uint64(len(s.trace)) {
+	total := uint64(po.Placed+po.PreemptPlaced+po.Faulted+po.Cancelled) + submitted + po.QueueRejected
+	want := uint64(len(s.trace)) + po.PreemptRequeued
+	if total != want {
 		po.Violations = append(po.Violations, fmt.Sprintf(
-			"conservation/ledger: placed %d + faulted %d + cancelled %d + queued %d + queue-rejected %d != %d processes",
-			po.Placed, po.Faulted, po.Cancelled, submitted, po.QueueRejected, len(s.trace)))
+			"conservation/ledger: placed %d + preempt-placed %d + faulted %d + cancelled %d + queued %d + queue-rejected %d != %d processes + %d requeues",
+			po.Placed, po.PreemptPlaced, po.Faulted, po.Cancelled, submitted, po.QueueRejected, len(s.trace), po.PreemptRequeued))
 	}
 	return po, nil
 }

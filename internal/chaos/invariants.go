@@ -72,6 +72,51 @@ func (c *Checker) CheckFleet(ctx context.Context, f *fleet.Fleet) []Violation {
 				submitted, admitted, abandoned, dropped, depth),
 		})
 	}
+	// Preemption disposition: every committed preemption's victim is
+	// either requeued or reported dropped — never lost silently. Aborted
+	// (rolled-back) preemptions count in neither side. All three counters
+	// read 0 on fleets that never preempt, so the law is vacuous there.
+	preempts := reg.CounterValue("fleet_preempt_total")
+	requeued := reg.CounterValue("fleet_preempt_requeued_total")
+	vdropped := reg.CounterValue("fleet_preempt_dropped_total")
+	if preempts != requeued+vdropped {
+		out = append(out, Violation{
+			Invariant: "conservation/preemption",
+			Detail: fmt.Sprintf("preemptions %d != requeued %d + dropped %d (a victim vanished)",
+				preempts, requeued, vdropped),
+		})
+	}
+	return out
+}
+
+// PriorityInversions returns the queue entries that are currently both
+// eligible (backoff served) and strictly outranking some resident on an
+// up node — entries a preempting pump should have admitted. An inversion
+// is legal transiently: a victim requeued during a pump only becomes
+// eligible at the next round. The harness therefore only flags an entry
+// that stays inverted, under the same ticket, across two consecutive
+// fault-free pumps.
+func PriorityInversions(f *fleet.Fleet) []fleet.QueuedEntry {
+	minPrio, any := 0, false
+	for _, ni := range f.Inspect() {
+		if ni.Down {
+			continue
+		}
+		for _, p := range ni.Priorities {
+			if !any || p < minPrio {
+				minPrio, any = p, true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	var out []fleet.QueuedEntry
+	for _, q := range f.QueuedInfo() {
+		if q.Eligible && q.Priority > minPrio {
+			out = append(out, q)
+		}
+	}
 	return out
 }
 

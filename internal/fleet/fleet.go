@@ -22,12 +22,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
 	"mpmc/internal/manager"
 	"mpmc/internal/metrics"
 	"mpmc/internal/parallel"
+	"mpmc/internal/sched"
 	"mpmc/internal/workload"
 )
 
@@ -61,6 +63,13 @@ type NodeConfig struct {
 	// MaxPerCore bounds time-sharing depth on this node (0 = unbounded,
 	// which also makes the node — and therefore the fleet — never full).
 	MaxPerCore int
+	// Labels are scheduler-visible key/value pairs for LabelMatch
+	// predicates (Config.ExtraPredicates); nil is fine.
+	Labels map[string]string
+	// Taints lists taint keys. They are inert until a sched.Taint
+	// predicate is added through Config.ExtraPredicates; then arrivals
+	// must tolerate every key to land here.
+	Taints []string
 }
 
 // Config assembles a Fleet.
@@ -77,6 +86,24 @@ type Config struct {
 	// QueueCap bounds the admission queue (<= 0 disables queueing:
 	// Submit always reports ErrQueueFull).
 	QueueCap int
+	// ExtraPredicates appends filters to the policy bundle's pipeline
+	// (the bundle always starts with sched.NodeUp). Capacity predicates
+	// (sched.FreeSlot, sched.PerCoreCap) prune full nodes before any
+	// model solve — the scale configuration — and sched.Taint /
+	// sched.LabelMatch enforce the node Labels/Taints. Adding predicates
+	// (or a MaxFeasible cut) disables the all-hit peek fast path: the
+	// memoized reduction spans every up node, which is only equivalent to
+	// the pipeline when nothing else filters.
+	ExtraPredicates []sched.Predicate
+	// MaxFeasible stops scoring after this many candidates survive the
+	// predicates (0 = score everything). See sched.Pipeline.MaxFeasible.
+	MaxFeasible int
+	// PreemptMaxAttempts / PreemptMaxBackoff tune the preemption retry
+	// ledger (0 = the sched.Ledger defaults: 3 attempts, 8-round backoff
+	// cap). Preemption itself needs no switch: only arrivals with a
+	// positive priority class ever preempt.
+	PreemptMaxAttempts int
+	PreemptMaxBackoff  int
 	// Seed, Quick and Workers configure profiling exactly like the
 	// single-machine server: per-workload seeds derive from Seed by name,
 	// so vectors are reproducible and shared with the other front ends.
@@ -145,6 +172,23 @@ type node struct {
 	// pointer only costs downstream memo misses, never wrong bytes).
 	peekSpec *workload.Spec
 	peekFeat *core.FeatureVector
+
+	// meta tracks scheduler-side facts about residents the node manager
+	// does not know: priority class and the submitter's tag (a preempted
+	// victim is requeued under both). Keyed by instance name, allocated
+	// lazily — legacy flows that never tag or prioritize leave it nil.
+	meta map[string]residentMeta
+}
+
+// residentMeta is the fleet-side record of one placed instance. key is
+// the preemption ledger identity (assigned at first preemption, carried
+// through requeue and readmission so repeat preemptions of the same
+// logical process escalate its backoff).
+type residentMeta struct {
+	spec     *workload.Spec
+	tag      string
+	priority int
+	key      string
 }
 
 // assignmentOf returns n's current assignment through the per-node
@@ -189,13 +233,34 @@ type Fleet struct {
 	solver *core.SolverState
 	reg    *metrics.Registry
 
+	// pipe is the policy bundle every placement decides through; built
+	// once in New (immutable afterwards).
+	pipe *bundle
+	// allowPeek gates the all-hit decision-memo fast path: it reduces
+	// over every up node, which matches the pipeline only when nothing
+	// but NodeUp filters (no extra predicates, no feasibility cut, no
+	// fault seam, and a policy that consults the memo at all).
+	allowPeek bool
+	// solves counts executed cache-group equilibrium solves (groupTerms
+	// computes; memo hits excluded). See SolverInvocations.
+	solves atomic.Uint64
+
 	mu sync.Mutex
 	// peekBuf is peekDecisionsLocked's reusable result slice (guarded by
 	// mu; never retained past the placement that filled it).
 	peekBuf []nodeScore
-	rrNode  int // Spread's machine rotation cursor
-	queue   []queued
-	seq     int // ticket source
+	// cands/candPtrs are candidatesLocked's reusable buffers (guarded by
+	// mu; refreshed per placement).
+	cands    []sched.CandidateNode
+	candPtrs []*sched.CandidateNode
+	rrNode   int // Spread's machine rotation cursor
+	queue    []queued
+	seq      int // ticket source
+	// ledger tracks preemption requeues: exponential backoff per victim
+	// key, drop after the attempt budget. pumpRound is the round clock
+	// backoff is measured on (one tick per queue pump).
+	ledger    sched.Ledger
+	pumpRound int
 
 	placed     *metrics.Counter
 	rejected   *metrics.Counter
@@ -210,12 +275,15 @@ type Fleet struct {
 }
 
 // queued is one pending arrival: the workload, the caller's tag (the sim
-// uses it to map admissions back to trace processes), and the FIFO ticket
-// CancelQueued takes.
+// uses it to map admissions back to trace processes), the FIFO ticket
+// CancelQueued takes, the priority class, and the ledger key backoff
+// eligibility is tracked under (empty for never-preempted entries).
 type queued struct {
-	spec   *workload.Spec
-	tag    string
-	ticket int
+	spec     *workload.Spec
+	tag      string
+	ticket   int
+	priority int
+	key      string
 }
 
 // New validates cfg, applies defaults, and assembles the fleet.
@@ -298,6 +366,18 @@ func New(cfg Config) (*Fleet, error) {
 			cm:  cm,
 		})
 	}
+	if cfg.MaxFeasible < 0 {
+		return nil, fmt.Errorf("fleet: negative MaxFeasible %d", cfg.MaxFeasible)
+	}
+	pipe, err := newBundle(f)
+	if err != nil {
+		return nil, err
+	}
+	f.pipe = pipe
+	f.allowPeek = f.scores != nil && cfg.Intercept == nil &&
+		len(cfg.ExtraPredicates) == 0 && cfg.MaxFeasible == 0 && cfg.Policy != Spread
+	f.ledger.MaxAttempts = cfg.PreemptMaxAttempts
+	f.ledger.MaxBackoff = cfg.PreemptMaxBackoff
 	f.placed = f.reg.Counter("fleet_place_total")
 	f.rejected = f.reg.Counter("fleet_place_rejected_total")
 	f.rollbacks = f.reg.Counter("fleet_place_rollback_total")
@@ -342,6 +422,33 @@ type Placed struct {
 	// Tag echoes the Submit tag when the instance was admitted from the
 	// queue (empty for direct placements).
 	Tag string `json:"-"`
+
+	// Preempted reports the resident this placement evicted, when the
+	// arrival's priority class forced a preemption (nil otherwise — in
+	// particular for every priority-0 placement, so legacy transcripts
+	// are unchanged). A victim is never dropped silently: it is either
+	// requeued through the admission queue or reported here with
+	// Requeued false.
+	Preempted *PreemptedInfo `json:"preempted,omitempty"`
+}
+
+// PreemptedInfo identifies a preemption victim and its disposition.
+type PreemptedInfo struct {
+	// Node and Name locate the evicted instance; Workload names its spec.
+	Node     string `json:"node"`
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	// Tag is the victim's original submission tag (requeues keep it).
+	Tag string `json:"tag,omitempty"`
+	// Priority is the victim's priority class.
+	Priority int `json:"priority,omitempty"`
+	// Requeued is true when the victim re-entered the admission queue;
+	// false when the retry ledger's attempt budget was exhausted or the
+	// queue could not hold it (the drop is counted either way).
+	Requeued bool `json:"requeued"`
+	// Ticket is the victim's new queue ticket when Requeued (it cancels
+	// the requeued entry exactly like a Submit ticket would).
+	Ticket int `json:"ticket,omitempty"`
 }
 
 // resolveFeatures profiles every (machine kind, spec) pair the placement
@@ -386,16 +493,39 @@ func (f *Fleet) resolveFeatures(ctx context.Context, specs []*workload.Spec) err
 	})
 }
 
+// PlaceOptions carries the scheduler-side facts of one arrival that are
+// not part of the workload itself.
+type PlaceOptions struct {
+	// Tag is an opaque caller identity echoed on the Placed and preserved
+	// across preemption requeues (the simulator maps placements back to
+	// trace processes with it).
+	Tag string
+	// Priority is the arrival's priority class. Positive classes may
+	// preempt residents of strictly lower classes when no candidate
+	// survives the pipeline; class 0 (every legacy caller) never preempts
+	// and is what everything else may preempt.
+	Priority int
+	// Tolerations lists taint keys the arrival accepts (consulted only
+	// when a sched.Taint predicate is configured).
+	Tolerations map[string]bool
+}
+
 // Place admits one arrival at the policy's best slot. A single placement
 // is atomic by construction (scoring mutates nothing; the commit either
 // happens wholly or not at all), so no snapshot is needed.
 func (f *Fleet) Place(ctx context.Context, spec *workload.Spec) (Placed, error) {
+	return f.PlaceWith(ctx, spec, PlaceOptions{})
+}
+
+// PlaceWith is Place with explicit scheduling options (tag, priority
+// class, taint tolerations).
+func (f *Fleet) PlaceWith(ctx context.Context, spec *workload.Spec, opts PlaceOptions) (Placed, error) {
 	if err := f.resolveFeatures(ctx, []*workload.Spec{spec}); err != nil {
 		return Placed{}, err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	p, err := f.placeOneLocked(ctx, spec)
+	p, err := f.placeOneLocked(ctx, spec, opts)
 	if err != nil {
 		if errors.Is(err, ErrFleetFull) {
 			f.rejected.Inc()
@@ -442,7 +572,7 @@ func (f *Fleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Placed,
 		if err := ctx.Err(); err != nil {
 			return nil, rollback(err)
 		}
-		p, err := f.placeOneLocked(ctx, s)
+		p, err := f.placeOneLocked(ctx, s, PlaceOptions{})
 		if err != nil {
 			return nil, rollback(err)
 		}
@@ -453,30 +583,83 @@ func (f *Fleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Placed,
 	return out, nil
 }
 
-// placeOneLocked scores the nodes under the active policy, picks the best
-// (machine, core) slot, and commits through the node manager. Candidate
-// machines are scored concurrently through the parallel engine; results
-// land in per-node slots and the reduction is serial in node order, so
-// ties always resolve to the lowest node index at any worker count.
-func (f *Fleet) placeOneLocked(ctx context.Context, spec *workload.Spec) (Placed, error) {
-	if f.cfg.Policy == Spread {
-		return f.placeSpreadLocked(ctx, spec)
-	}
-	if scores, ok, err := f.peekDecisionsLocked(ctx, spec); err != nil {
-		return Placed{}, err
-	} else if ok {
-		return f.commitBestLocked(ctx, spec, scores)
-	}
-	scores, err := parallel.Map(ctx, f.cfg.Workers, len(f.nodes), func(i int) (nodeScore, error) {
-		if f.nodes[i].down {
-			return nodeScore{}, nil
+// placeOneLocked runs the policy pipeline for one arrival and commits the
+// winning slot; when nothing survives and the arrival outranks a
+// resident, it escalates to preemption.
+func (f *Fleet) placeOneLocked(ctx context.Context, spec *workload.Spec, opts PlaceOptions) (Placed, error) {
+	p, err := f.decideAndCommitLocked(ctx, spec, opts)
+	if err != nil && errors.Is(err, ErrFleetFull) && opts.Priority > 0 {
+		if pp, ok, perr := f.preemptLocked(ctx, spec, opts); perr != nil {
+			return Placed{}, perr
+		} else if ok {
+			return pp, nil
 		}
-		return f.scoreNode(ctx, f.nodes[i], spec)
-	})
+	}
+	return p, err
+}
+
+// decideAndCommitLocked decides one arrival through the policy bundle —
+// the all-hit memo fast path when eligible, the full pipeline otherwise —
+// and commits the winner. Candidate machines are scored concurrently
+// through the parallel engine; results land in index-addressed slots and
+// the selector reduces serially in node order, so ties always resolve to
+// the lowest node index at any worker count.
+func (f *Fleet) decideAndCommitLocked(ctx context.Context, spec *workload.Spec, opts PlaceOptions) (Placed, error) {
+	if f.allowPeek {
+		if scores, ok, err := f.peekDecisionsLocked(ctx, spec); err != nil {
+			return Placed{}, err
+		} else if ok {
+			// The memoized decisions cover every up node (down nodes'
+			// zero scores are not OK), so reducing them with the bundle's
+			// selector replays exactly the pipeline's reduction.
+			pick := f.pipe.pipe.Selector().Pick(scores)
+			if pick < 0 {
+				return Placed{}, fmt.Errorf("fleet: %w for %s", ErrFleetFull, spec.Name)
+			}
+			return f.commitLocked(ctx, spec, opts, pick, scores[pick])
+		}
+	}
+	arr := sched.Arrival{Key: spec.Name, Priority: opts.Priority, Tolerations: opts.Tolerations, Payload: spec}
+	dec, err := f.pipe.pipe.Decide(ctx, arr, f.candidatesLocked(), f.runner())
 	if err != nil {
 		return Placed{}, err
 	}
-	return f.commitBestLocked(ctx, spec, scores)
+	if dec.Node < 0 {
+		return Placed{}, fmt.Errorf("fleet: %w for %s", ErrFleetFull, spec.Name)
+	}
+	return f.commitLocked(ctx, spec, opts, dec.Node, dec.Score)
+}
+
+// runner adapts the parallel engine into the pipeline's fan-out contract:
+// index-addressed work, first error in serial index order.
+func (f *Fleet) runner() sched.Runner {
+	return func(ctx context.Context, n int, fn func(i int) error) error {
+		return parallel.ForEach(ctx, f.cfg.Workers, n, fn)
+	}
+}
+
+// commitLocked commits one decided slot through its node manager and
+// records the arrival's scheduler-side metadata.
+func (f *Fleet) commitLocked(ctx context.Context, spec *workload.Spec, opts PlaceOptions, best int, s nodeScore) (Placed, error) {
+	n := f.nodes[best]
+	name, watts, err := n.mgr.PlaceAt(ctx, spec, s.Core)
+	if err != nil {
+		return Placed{}, err
+	}
+	if opts.Tag != "" || opts.Priority != 0 {
+		if n.meta == nil {
+			n.meta = map[string]residentMeta{}
+		}
+		n.meta[name] = residentMeta{spec: spec, tag: opts.Tag, priority: opts.Priority}
+	}
+	score := s.Value
+	if f.pipe.zeroScore {
+		score = 0
+	}
+	if f.pipe.advance {
+		f.rrNode = (best + 1) % len(f.nodes)
+	}
+	return Placed{Node: n.cfg.Name, Name: name, Core: s.Core, Watts: watts, Score: score}, nil
 }
 
 // peekDecisionsLocked is the steady-state fast path: when every live
@@ -486,9 +669,6 @@ func (f *Fleet) placeOneLocked(ctx context.Context, spec *workload.Spec) (Placed
 // recomputes and memoizes); the fault-injection seam disables it entirely
 // so injected errors keep firing per scored node.
 func (f *Fleet) peekDecisionsLocked(ctx context.Context, spec *workload.Spec) ([]nodeScore, bool, error) {
-	if f.scores == nil || f.cfg.Intercept != nil {
-		return nil, false, nil
-	}
 	if cap(f.peekBuf) < len(f.nodes) {
 		f.peekBuf = make([]nodeScore, len(f.nodes))
 	}
@@ -521,83 +701,6 @@ func (f *Fleet) peekDecisionsLocked(ctx context.Context, spec *workload.Spec) ([
 	return scores, true, nil
 }
 
-// commitBestLocked reduces per-node scores serially in node index order
-// (ties to the lowest index at any worker count) and commits the winning
-// slot through its node manager.
-func (f *Fleet) commitBestLocked(ctx context.Context, spec *workload.Spec, scores []nodeScore) (Placed, error) {
-	best := -1
-	switch f.cfg.Policy {
-	case LeastDegradation, LeastWatts:
-		for i, s := range scores {
-			if s.ok && (best < 0 || s.score < scores[best].score) {
-				best = i
-			}
-		}
-	case BinPack:
-		// First machine (index order) still under the ceiling; otherwise
-		// the least relative degradation anywhere.
-		for i, s := range scores {
-			if s.ok && s.rel <= f.cfg.BinPackCeiling {
-				best = i
-				break
-			}
-		}
-		if best < 0 {
-			for i, s := range scores {
-				if s.ok && (best < 0 || s.rel < scores[best].rel) {
-					best = i
-				}
-			}
-		}
-	default:
-		return Placed{}, errUnknownPolicy(f.cfg.Policy)
-	}
-	if best < 0 {
-		return Placed{}, fmt.Errorf("fleet: %w for %s", ErrFleetFull, spec.Name)
-	}
-	n := f.nodes[best]
-	name, watts, err := n.mgr.PlaceAt(ctx, spec, scores[best].core)
-	if err != nil {
-		return Placed{}, err
-	}
-	return Placed{Node: n.cfg.Name, Name: name, Core: scores[best].core, Watts: watts, Score: scores[best].score}, nil
-}
-
-// placeSpreadLocked is the round-robin baseline: machines in rotation
-// starting at the cursor, the least loaded admissible core within the
-// chosen machine (ties to the lowest core index). The cursor advances only
-// on success, mirroring the manager's own round-robin contract.
-func (f *Fleet) placeSpreadLocked(ctx context.Context, spec *workload.Spec) (Placed, error) {
-	nn := len(f.nodes)
-	for tries := 0; tries < nn; tries++ {
-		i := (f.rrNode + tries) % nn
-		n := f.nodes[i]
-		if n.down {
-			continue
-		}
-		running := n.mgr.Running()
-		bestCore, bestLoad := -1, 0
-		for c := 0; c < n.cfg.Machine.NumCores; c++ {
-			if n.cfg.MaxPerCore != 0 && len(running[c]) >= n.cfg.MaxPerCore {
-				continue
-			}
-			if bestCore < 0 || len(running[c]) < bestLoad {
-				bestCore, bestLoad = c, len(running[c])
-			}
-		}
-		if bestCore < 0 {
-			continue
-		}
-		name, watts, err := n.mgr.PlaceAt(ctx, spec, bestCore)
-		if err != nil {
-			return Placed{}, err
-		}
-		f.rrNode = (i + 1) % nn
-		return Placed{Node: n.cfg.Name, Name: name, Core: bestCore, Watts: watts}, nil
-	}
-	return Placed{}, fmt.Errorf("fleet: %w for %s", ErrFleetFull, spec.Name)
-}
-
 // Submit enqueues an arrival the fleet cannot place right now. tag is an
 // opaque caller identity echoed on the eventual Placed (the simulator maps
 // admissions back to trace processes with it). The returned ticket cancels
@@ -605,6 +708,13 @@ func (f *Fleet) placeSpreadLocked(ctx context.Context, spec *workload.Spec) (Pla
 // oldest first, and a head that still does not fit blocks the rest
 // (head-of-line blocking keeps admission order deterministic and fair).
 func (f *Fleet) Submit(spec *workload.Spec, tag string) (int, error) {
+	return f.SubmitWith(spec, tag, 0)
+}
+
+// SubmitWith is Submit with a priority class: the entry is pumped ahead
+// of every lower class (FIFO within its own), and pumping it may preempt
+// lower-priority residents when the fleet is full.
+func (f *Fleet) SubmitWith(spec *workload.Spec, tag string, priority int) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.cfg.QueueCap <= 0 || len(f.queue) >= f.cfg.QueueCap {
@@ -612,7 +722,7 @@ func (f *Fleet) Submit(spec *workload.Spec, tag string) (int, error) {
 		return 0, fmt.Errorf("fleet: %w (cap %d) for %s", ErrQueueFull, f.cfg.QueueCap, spec.Name)
 	}
 	f.seq++
-	f.queue = append(f.queue, queued{spec: spec, tag: tag, ticket: f.seq})
+	f.queue = append(f.queue, queued{spec: spec, tag: tag, ticket: f.seq, priority: priority})
 	f.qSubmitted.Inc()
 	return f.seq, nil
 }
@@ -626,6 +736,9 @@ func (f *Fleet) CancelQueued(ticket int) bool {
 	for i, q := range f.queue {
 		if q.ticket == ticket {
 			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			if q.key != "" {
+				f.ledger.Forget(q.key)
+			}
 			f.qAbandoned.Inc()
 			return true
 		}
@@ -638,6 +751,36 @@ func (f *Fleet) QueueDepth() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return len(f.queue)
+}
+
+// QueuedEntry is one pending arrival's scheduler-visible facts.
+type QueuedEntry struct {
+	Workload string
+	Tag      string
+	Ticket   int
+	Priority int
+	// Eligible reports whether the entry may be tried at the next pump
+	// (false while a preemption backoff is still running).
+	Eligible bool
+}
+
+// QueuedInfo snapshots the admission queue in queue order. The chaos
+// invariants read it to prove victims are requeued, never dropped
+// silently, and that no eligible entry outranks a resident after a pump.
+func (f *Fleet) QueuedInfo() []QueuedEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]QueuedEntry, len(f.queue))
+	for i, q := range f.queue {
+		out[i] = QueuedEntry{
+			Workload: q.spec.Name,
+			Tag:      q.tag,
+			Ticket:   q.ticket,
+			Priority: q.priority,
+			Eligible: q.key == "" || f.ledger.Eligible(q.key, f.pumpRound+1),
+		}
+	}
+	return out
 }
 
 // Pump tries to admit queued arrivals in FIFO order, stopping at the first
@@ -661,27 +804,68 @@ func (f *Fleet) Pump(ctx context.Context) ([]Placed, error) {
 }
 
 func (f *Fleet) pumpLocked(ctx context.Context) ([]Placed, error) {
+	f.pumpRound++
 	var out []Placed
 	for len(f.queue) > 0 {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		head := f.queue[0]
-		p, err := f.placeOneLocked(ctx, head.spec)
+		// Admission order: highest priority class first, FIFO (ticket
+		// order) within a class — for the all-class-0 legacy queue that
+		// is exactly oldest-first. Entries still serving a preemption
+		// backoff are skipped, not blocking; everything else keeps the
+		// strict head-of-line contract.
+		head := -1
+		for i, q := range f.queue {
+			if q.key != "" && !f.ledger.Eligible(q.key, f.pumpRound) {
+				continue
+			}
+			if head < 0 || q.priority > f.queue[head].priority {
+				head = i
+			}
+		}
+		if head < 0 {
+			break
+		}
+		q := f.queue[head]
+		p, err := f.placeOneLocked(ctx, q.spec, PlaceOptions{Tag: q.tag, Priority: q.priority})
 		if errors.Is(err, ErrFleetFull) {
 			break
 		}
-		f.queue = f.queue[1:]
+		f.queue = append(f.queue[:head], f.queue[head+1:]...)
 		if err != nil {
 			f.qDropped.Inc()
 			continue
 		}
-		p.Tag = head.tag
+		if q.key != "" {
+			// The victim is resident again. Its ledger entry survives —
+			// attempts escalate across repeat preemptions of the same
+			// logical process and only a clean exit discharges them — and
+			// the identity re-attaches to the new instance.
+			f.attachKeyLocked(p, q)
+		}
+		p.Tag = q.tag
 		f.placed.Inc()
 		f.qAdmitted.Inc()
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// attachKeyLocked re-binds a requeued victim's ledger key (and original
+// tag/priority, for entries commitLocked had no reason to record) to the
+// freshly admitted instance.
+func (f *Fleet) attachKeyLocked(p Placed, q queued) {
+	n := f.nodeByNameLocked(p.Node)
+	if n == nil {
+		return
+	}
+	if n.meta == nil {
+		n.meta = map[string]residentMeta{}
+	}
+	m := n.meta[p.Name]
+	m.spec, m.tag, m.priority, m.key = q.spec, q.tag, q.priority, q.key
+	n.meta[p.Name] = m
 }
 
 // Remove evicts the named instance from the named node (process exit) and
@@ -696,6 +880,14 @@ func (f *Fleet) Remove(ctx context.Context, nodeName, instance string) ([]Placed
 	}
 	if err := n.mgr.Remove(instance); err != nil {
 		return nil, err
+	}
+	if m, ok := n.meta[instance]; ok {
+		// A clean exit discharges the preemption ledger: the next life of
+		// this workload starts with a fresh backoff budget.
+		if m.key != "" {
+			f.ledger.Forget(m.key)
+		}
+		delete(n.meta, instance)
 	}
 	return f.pumpLocked(ctx)
 }
@@ -729,6 +921,12 @@ func (f *Fleet) FailNode(name string) ([]manager.Resident, error) {
 			return nil, fmt.Errorf("fleet: evicting %s from %s: %w", r.Name, name, err)
 		}
 	}
+	for _, m := range n.meta {
+		if m.key != "" {
+			f.ledger.Forget(m.key)
+		}
+	}
+	n.meta = nil
 	// Registered lazily so fleets that never lose a machine keep their
 	// /metrics exposition (and the server e2e golden) unchanged.
 	f.reg.Counter("fleet_node_down_total").Inc()
@@ -775,6 +973,10 @@ type NodeInspection struct {
 	MaxPerCore int
 	Down       bool
 	Residents  []manager.Resident
+	// Priorities holds each resident's priority class, indexed like
+	// Residents (class 0 for residents placed without options). The
+	// chaos priority-inversion invariant reads it.
+	Priorities []int
 }
 
 // Assignment reconstructs the node's model-side assignment from the
@@ -794,12 +996,18 @@ func (f *Fleet) Inspect() []NodeInspection {
 	defer f.mu.Unlock()
 	out := make([]NodeInspection, len(f.nodes))
 	for i, n := range f.nodes {
+		residents := n.mgr.Residents()
+		prios := make([]int, len(residents))
+		for j, r := range residents {
+			prios[j] = n.meta[r.Name].priority
+		}
 		out[i] = NodeInspection{
 			Name:       n.cfg.Name,
 			Machine:    n.cfg.Machine,
 			MaxPerCore: n.cfg.MaxPerCore,
 			Down:       n.down,
-			Residents:  n.mgr.Residents(),
+			Residents:  residents,
+			Priorities: prios,
 		}
 	}
 	return out

@@ -193,6 +193,15 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	if err != nil {
 		return Move{}, rollback(err)
 	}
+	// A migrated resident keeps its scheduler metadata (priority class,
+	// tag, preemption-ledger identity) under its new instance name.
+	if meta, ok := srcN.meta[cd.res.Name]; ok {
+		delete(srcN.meta, cd.res.Name)
+		if dstN.meta == nil {
+			dstN.meta = map[string]residentMeta{}
+		}
+		dstN.meta[newName] = meta
+	}
 	f.moves.Inc()
 	return Move{
 		From:        srcN.cfg.Name,

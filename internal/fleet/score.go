@@ -6,6 +6,7 @@ import (
 
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
+	"mpmc/internal/sched"
 	"mpmc/internal/workload"
 )
 
@@ -46,9 +47,11 @@ func assignmentSPI(ctx context.Context, m *machine.Machine, asg core.Assignment,
 // soloSPI returns a process's predicted SPI running alone on the machine:
 // the whole cache to itself, the Eq. 3 line at min(GMax, A) ways. It is
 // the interference-free baseline behind BinPack's relative-degradation
-// ceiling.
-func soloSPI(ctx context.Context, m *machine.Machine, f *core.FeatureVector, solver core.SolverMethod) (float64, error) {
-	preds, err := core.PredictGroupContext(ctx, []*core.FeatureVector{f}, m.Assoc, solver)
+// ceiling. The shared solver state makes repeat baselines a recall — the
+// solution is a pure function of the feature vector and associativity, so
+// warm and cold calls are bit-identical (st == nil solves cold).
+func soloSPI(ctx context.Context, m *machine.Machine, f *core.FeatureVector, solver core.SolverMethod, st *core.SolverState) (float64, error) {
+	preds, err := core.PredictGroupCached(ctx, []*core.FeatureVector{f}, m.Assoc, solver, st)
 	if err != nil {
 		return 0, err
 	}
@@ -68,13 +71,11 @@ func withAddition(asg core.Assignment, f *core.FeatureVector, c int) core.Assign
 }
 
 // nodeScore is one node's best candidate slot for an arrival under the
-// active policy. ok is false when the node has no admissible core.
-type nodeScore struct {
-	ok    bool
-	core  int
-	score float64 // policy metric; lower is better
-	rel   float64 // relative SPI degradation (BinPack's ceiling metric)
-}
+// active policy — exactly the pipeline's Score shape (OK false when the
+// node has no admissible core, Value the policy metric, Rel BinPack's
+// relative-degradation ceiling metric). The alias lets the decision memo,
+// the peek fast path, and sched's selectors all speak one type.
+type nodeScore = sched.Score
 
 // scoreNode finds the best admissible core of one node for spec under the
 // fleet policy. The decision memo short-circuits a node whose exact
@@ -135,8 +136,8 @@ func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVe
 				return nodeScore{}, err
 			}
 			added := w - baseW
-			if !best.ok || added < best.score {
-				best = nodeScore{ok: true, core: c, score: added}
+			if !best.OK || added < best.Value {
+				best = nodeScore{OK: true, Core: c, Value: added}
 			}
 		}
 		return best, nil
@@ -156,7 +157,7 @@ func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVe
 			return nodeScore{}, err
 		}
 		baseSPI := replayTerms(baseGroups)
-		solo, err := soloSPI(ctx, m, feat, f.cfg.Solver)
+		solo, err := soloSPI(ctx, m, feat, f.cfg.Solver, f.solver)
 		if err != nil {
 			return nodeScore{}, err
 		}
@@ -182,23 +183,23 @@ func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVe
 				}
 			}
 			added := after - baseSPI
-			if !best.ok || added < best.score {
+			if !best.OK || added < best.Value {
 				rel := 0.0
 				if solo > 0 {
 					rel = (added - solo) / solo
 				}
-				best = nodeScore{ok: true, core: c, score: added, rel: rel}
+				best = nodeScore{OK: true, Core: c, Value: added, Rel: rel}
 			}
 		}
 		return best, nil
 
 	case Spread:
-		// Spread never scores; chooseSpread handles it. Report
-		// admissibility only.
+		// Spread never consults the model; the spread prioritizer handles
+		// live placement. Report admissibility only.
 		best := nodeScore{}
 		for c := 0; c < n.cfg.Machine.NumCores; c++ {
 			if admissible(c) {
-				best = nodeScore{ok: true, core: c, score: math.NaN()}
+				best = nodeScore{OK: true, Core: c, Value: math.NaN()}
 				break
 			}
 		}

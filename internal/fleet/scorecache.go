@@ -322,12 +322,17 @@ func busyCores(group []int, asg core.Assignment) []int {
 }
 
 // groupTerms returns one group's term list through the memo (or cold when
-// caching is disabled).
+// caching is disabled). Every actual groupSPITerms execution — a real
+// equilibrium solve of one cache group, the unit of work predicates exist
+// to avoid — bumps the fleet's solver-invocation counter; memo hits do
+// not, so SolverInvocations measures solve work, not demand.
 func (f *Fleet) groupTerms(ctx context.Context, m *machine.Machine, busy []int, asg core.Assignment) ([]float64, error) {
 	if f.scores == nil {
+		f.solves.Add(1)
 		return groupSPITerms(ctx, m, busy, asg, f.cfg.Solver, f.solver)
 	}
 	return f.scores.get(scoreKey(m, f.cfg.Solver, busy, asg), func() ([]float64, error) {
+		f.solves.Add(1)
 		return groupSPITerms(ctx, m, busy, asg, f.cfg.Solver, f.solver)
 	})
 }

@@ -1,0 +1,188 @@
+// Scale-stress lane: a synthetic churn trace over a large fleet, sized to
+// prove the predicate stages earn their keep. A score-everything pipeline
+// consults the model for every up node on every arrival; a predicated one
+// (FreeSlot + PerCoreCap + a MaxFeasible cut) prunes on cheap candidate
+// facts first and solves for a handful of survivors. RunStress replays
+// the identical trace either way and reports the solver-invocation count,
+// so the ≥10× cut is a pinned number, not a slogan.
+
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"mpmc/internal/core"
+	"mpmc/internal/machine"
+	"mpmc/internal/sched"
+	"mpmc/internal/workload"
+	"mpmc/internal/xrand"
+)
+
+// StressConfig sizes one synthetic scale run.
+type StressConfig struct {
+	// Machines is the fleet size; presets cycle workstation, server,
+	// laptop so assignments diverge. Arrivals is the trace length.
+	Machines int
+	Arrivals int
+	// Predicated installs the scale pipeline: FreeSlot and PerCoreCap
+	// predicates plus the MaxFeasible cut (0 = 8). Off, the fleet scores
+	// every up node exactly like the legacy policy bundles.
+	Predicated  bool
+	MaxFeasible int
+	// Occupancy holds the fleet at this fraction of its slot capacity
+	// (0 = 0.75): once the resident count reaches it, each arrival first
+	// retires the oldest resident, so the steady state is a full, churning
+	// fleet rather than a monotone fill.
+	Occupancy float64
+	// Workers caps scoring concurrency (0 = GOMAXPROCS). It never affects
+	// the report: decisions reduce serially in index order.
+	Workers int
+	// Seed drives the workload draw. ColdScore disables the score memo
+	// and solver state, making SolverInvocations count every scored
+	// candidate exactly.
+	Seed      uint64
+	ColdScore bool
+}
+
+// StressReport is the deterministic outcome of one stress run. Everything
+// serialized is byte-identical for a fixed (config minus Workers);
+// SolverInvocations stays out of the golden because the score memo's LRU
+// eviction order — and with it the exact recompute count — may shift with
+// scheduling when the working set outgrows the cache.
+type StressReport struct {
+	Machines       int     `json:"machines"`
+	Slots          int     `json:"slots"`
+	Arrivals       int     `json:"arrivals"`
+	Predicated     bool    `json:"predicated"`
+	Placed         int     `json:"placed"`
+	Rejected       int     `json:"rejected"`
+	Retired        int     `json:"retired"`
+	FinalResidents int     `json:"final_residents"`
+	FinalSPI       float64 `json:"final_spi"`
+	FinalWatts     float64 `json:"final_watts"`
+	// DecisionDigest is an FNV-64a hash over the placement stream (node,
+	// core, or a rejection mark, per arrival): any divergence anywhere in
+	// the run changes it.
+	DecisionDigest string `json:"decision_digest"`
+
+	SolverInvocations uint64 `json:"-"`
+}
+
+// stressPresets cycle so neighbouring nodes differ in kind: identical
+// machines in identical states would collapse into one memo entry and
+// understate the score-everything cost.
+var stressPresets = []func() *machine.Machine{
+	machine.TwoCoreWorkstation,
+	machine.FourCoreServer,
+	machine.TwoCoreLaptop,
+}
+
+// RunStress builds the fleet and replays the churn trace.
+func RunStress(ctx context.Context, cfg StressConfig) (*StressReport, error) {
+	if cfg.Machines <= 0 || cfg.Arrivals <= 0 {
+		return nil, fmt.Errorf("fleet: stress needs machines and arrivals, got %d/%d", cfg.Machines, cfg.Arrivals)
+	}
+	pm, err := core.SyntheticPowerModel()
+	if err != nil {
+		return nil, err
+	}
+	const maxPerCore = 2
+	nodes := make([]NodeConfig, cfg.Machines)
+	slots := 0
+	for i := range nodes {
+		m := stressPresets[i%len(stressPresets)]()
+		nodes[i] = NodeConfig{Machine: m, Power: pm, MaxPerCore: maxPerCore}
+		slots += maxPerCore * m.NumCores
+	}
+	fcfg := Config{
+		Nodes:   nodes,
+		Policy:  LeastDegradation,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Profile: func(_ context.Context, m *machine.Machine, spec *workload.Spec, _ core.ProfileOptions) (*core.FeatureVector, error) {
+			return core.TruthFeature(spec, m), nil
+		},
+	}
+	if cfg.ColdScore {
+		fcfg.ScoreCacheCap = -1
+	}
+	if cfg.Predicated {
+		fcfg.ExtraPredicates = []sched.Predicate{sched.FreeSlot{}, sched.PerCoreCap{}}
+		fcfg.MaxFeasible = cfg.MaxFeasible
+		if fcfg.MaxFeasible == 0 {
+			fcfg.MaxFeasible = 8
+		}
+	}
+	f, err := New(fcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	occ := cfg.Occupancy
+	if occ == 0 {
+		occ = 0.75
+	}
+	target := int(occ * float64(slots))
+	if target < 1 {
+		target = 1
+	}
+
+	rep := &StressReport{
+		Machines:   cfg.Machines,
+		Slots:      slots,
+		Arrivals:   cfg.Arrivals,
+		Predicated: cfg.Predicated,
+	}
+	r := xrand.New(cfg.Seed)
+	pool := workload.Suite()
+	digest := fnv.New64a()
+	type ref struct{ node, name string }
+	fifo := make([]ref, 0, target+1)
+	head := 0
+
+	for i := 0; i < cfg.Arrivals; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if len(fifo)-head >= target {
+			old := fifo[head]
+			head++
+			if _, err := f.Remove(ctx, old.node, old.name); err != nil {
+				return nil, fmt.Errorf("fleet: stress retire %s/%s: %w", old.node, old.name, err)
+			}
+			rep.Retired++
+			// Compact the retired prefix in place instead of letting the
+			// backing array grow with the whole trace.
+			if head == cap(fifo)/2 {
+				fifo = append(fifo[:0], fifo[head:]...)
+				head = 0
+			}
+		}
+		spec := pool[r.Intn(len(pool))]
+		p, err := f.Place(ctx, spec)
+		switch {
+		case err == nil:
+			rep.Placed++
+			fifo = append(fifo, ref{p.Node, p.Name})
+			digest.Write([]byte(p.Node))
+			digest.Write([]byte{0, byte(p.Core)})
+		case errors.Is(err, ErrFleetFull):
+			rep.Rejected++
+			digest.Write([]byte{0xff})
+		default:
+			return nil, err
+		}
+	}
+
+	rep.FinalResidents = len(fifo) - head
+	rep.FinalSPI, rep.FinalWatts, err = f.Totals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.DecisionDigest = fmt.Sprintf("%016x", digest.Sum64())
+	rep.SolverInvocations = f.SolverInvocations()
+	return rep, nil
+}

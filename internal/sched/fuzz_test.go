@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// reverseRun is a hostile Runner: it executes the fan-out in reverse index
+// order, standing in for an arbitrary parallel schedule. Index-addressed
+// result slots make execution order unobservable, so decisions under
+// reverseRun must match serial decisions exactly.
+func reverseRun(ctx context.Context, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	for i := n - 1; i >= 0; i-- {
+		errs[i] = fn(i)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+func randomCandidates(r *rand.Rand, n int) []*CandidateNode {
+	out := make([]*CandidateNode, n)
+	for i := range out {
+		cores := 1 + r.Intn(4)
+		perCore := make([]int, cores)
+		maxPerCore := r.Intn(4) // 0 = unbounded
+		free := -1
+		if maxPerCore != 0 {
+			free = cores * maxPerCore
+			for c := range perCore {
+				perCore[c] = r.Intn(maxPerCore + 1)
+				free -= perCore[c]
+			}
+		} else {
+			for c := range perCore {
+				perCore[c] = r.Intn(3)
+			}
+		}
+		out[i] = &CandidateNode{
+			Index:      i,
+			Name:       fmt.Sprintf("n%02d", i),
+			Up:         r.Intn(5) != 0,
+			PerCore:    perCore,
+			MaxPerCore: maxPerCore,
+			FreeSlots:  free,
+		}
+	}
+	return out
+}
+
+// FuzzSchedulePipeline fuzzes the three pipeline laws the fleet refactor
+// rests on:
+//
+//	(a) soundness — the capacity predicates never filter a candidate the
+//	    full scorer would have chosen, so a predicated decision equals the
+//	    score-everything decision;
+//	(b) invariance — decisions do not depend on worker count (Runner
+//	    schedule) or on plugin registration order;
+//	(c) conservation — every failure recorded in the Ledger is either
+//	    requeued with a future eligibility round or reported dropped;
+//	    nothing vanishes.
+func FuzzSchedulePipeline(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(6))
+	f.Add(int64(42), uint8(1), uint8(0))
+	f.Add(int64(7), uint8(30), uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, nNodes, nOps uint8) {
+		r := rand.New(rand.NewSource(seed))
+		cands := randomCandidates(r, 1+int(nNodes)%32)
+		arrival := Arrival{Key: fmt.Sprintf("w%d", r.Intn(9))}
+		scorer := Weighted{Prioritizer: loadScorer{name: "load"}, Weight: 1}
+		tieBreak := Weighted{Prioritizer: loadScorer{name: "aux"}, Weight: 0.5}
+		ctx := context.Background()
+
+		// (a) Predicates only ever remove candidates the scorer finds
+		// infeasible, so the decision with and without them is identical.
+		bare, err := New("bare", nil, []Weighted{scorer}, MinValue{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds := []Predicate{NodeUp{}, FreeSlot{}, PerCoreCap{}}
+		full, err := New("full", preds, []Weighted{scorer}, MinValue{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := bare.Decide(ctx, arrival, cands, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := full.Decide(ctx, arrival, cands, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Node != want.Node || got.Score != want.Score {
+			t.Fatalf("soundness: predicated decision %+v != score-everything decision %+v", got, want)
+		}
+		if got.Feasible > want.Feasible {
+			t.Fatalf("predicates admitted %d candidates but only %d score feasible", got.Feasible, want.Feasible)
+		}
+
+		// (b) Registration order and Runner schedule are unobservable.
+		shuffledPreds := append([]Predicate(nil), preds...)
+		r.Shuffle(len(shuffledPreds), func(i, j int) {
+			shuffledPreds[i], shuffledPreds[j] = shuffledPreds[j], shuffledPreds[i]
+		})
+		for _, prios := range [][]Weighted{
+			{scorer, tieBreak},
+			{tieBreak, scorer},
+		} {
+			p, err := New("inv", shuffledPreds, prios, MinValue{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.MaxFeasible = int(nNodes) % 5 // exercise the cut too; 0 = off
+			serial, err := p.Decide(ctx, arrival, cands, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallelDec, err := p.Decide(ctx, arrival, cands, reverseRun)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != parallelDec {
+				t.Fatalf("invariance: serial %+v != reordered-runner %+v", serial, parallelDec)
+			}
+			if got.Node >= 0 && p.MaxFeasible == 0 && serial.Node < 0 {
+				t.Fatalf("invariance pipeline lost feasibility: %+v", serial)
+			}
+		}
+
+		// (c) Ledger conservation: recorded = requeued + dropped, requeued
+		// entries carry a future eligibility round, dropped keys are
+		// forgotten, and Snapshot/Restore round-trips mid-sequence.
+		l := &Ledger{MaxAttempts: 1 + r.Intn(4), MaxBackoff: 1 + r.Intn(8)}
+		recorded, requeued, dropped := 0, 0, 0
+		live := map[string]bool{}
+		round := 0
+		for op := 0; op < int(nOps)%64; op++ {
+			key := fmt.Sprintf("t%d", r.Intn(6))
+			switch r.Intn(4) {
+			case 0:
+				l.Forget(key)
+				delete(live, key)
+			case 1:
+				snap := l.Snapshot()
+				l.Record(key, round)
+				l.Restore(snap)
+				if (l.Attempts(key) > 0) != live[key] {
+					t.Fatalf("restore did not roll back key %s", key)
+				}
+			default:
+				recorded++
+				ok, notBefore := l.Record(key, round)
+				if ok {
+					requeued++
+					live[key] = true
+					if notBefore <= round {
+						t.Fatalf("requeue of %s has no backoff: notBefore %d at round %d", key, notBefore, round)
+					}
+					if l.Eligible(key, round) {
+						t.Fatalf("%s eligible immediately after requeue", key)
+					}
+					if !l.Eligible(key, notBefore) {
+						t.Fatalf("%s not eligible at its notBefore round", key)
+					}
+				} else {
+					dropped++
+					delete(live, key)
+					if l.Attempts(key) != 0 {
+						t.Fatalf("dropped key %s still has attempts", key)
+					}
+				}
+			}
+			round += r.Intn(3)
+		}
+		if recorded != requeued+dropped {
+			t.Fatalf("conservation: recorded %d != requeued %d + dropped %d", recorded, requeued, dropped)
+		}
+		if l.Len() != len(live) {
+			t.Fatalf("ledger holds %d entries, reference model %d", l.Len(), len(live))
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package sched
+
+// Ledger is the fail/retry bookkeeping behind a scheduling queue: each
+// key (the host uses queue ticket identities) accumulates requeue
+// attempts, and each requeue earns an exponential backoff measured in
+// pump rounds — a preempted process re-enters the queue immediately but
+// only becomes *eligible* again once the round counter passes its
+// NotBefore, so a high-priority arrival cannot thrash the same victim
+// through an evict/requeue/evict cycle round after round.
+//
+// The ledger never drops silently: Record reports the drop decision to
+// the caller, who must count it. Conservation — every recorded failure
+// is either requeued (entry retained with a future NotBefore) or
+// reported dropped (entry forgotten) — is fuzzed in FuzzSchedulePipeline.
+//
+// Ledger is not safe for concurrent use; the host serializes access
+// under its scheduling lock (the fleet's placement mutex).
+type Ledger struct {
+	// MaxAttempts is the number of requeues a key is allowed before
+	// Record reports it should be dropped (0 = 3).
+	MaxAttempts int
+	// MaxBackoff caps the per-retry backoff in rounds (0 = 8).
+	MaxBackoff int
+
+	entries map[string]ledgerEntry
+}
+
+type ledgerEntry struct {
+	attempts  int
+	notBefore int
+}
+
+func (l *Ledger) maxAttempts() int {
+	if l.MaxAttempts > 0 {
+		return l.MaxAttempts
+	}
+	return 3
+}
+
+func (l *Ledger) maxBackoff() int {
+	if l.MaxBackoff > 0 {
+		return l.MaxBackoff
+	}
+	return 8
+}
+
+// Record registers one scheduling failure (a preemption or a requeue) of
+// key at the given pump round. It returns whether the key may be
+// requeued and, if so, the round at which it becomes eligible again
+// (exponential backoff: 1, 2, 4, ... rounds, capped at MaxBackoff).
+// When the attempt budget is exhausted the entry is forgotten and the
+// caller must report the drop — never swallow it.
+func (l *Ledger) Record(key string, round int) (requeue bool, notBefore int) {
+	if l.entries == nil {
+		l.entries = map[string]ledgerEntry{}
+	}
+	e := l.entries[key]
+	e.attempts++
+	if e.attempts > l.maxAttempts() {
+		delete(l.entries, key)
+		return false, 0
+	}
+	backoff := 1 << (e.attempts - 1)
+	if backoff > l.maxBackoff() {
+		backoff = l.maxBackoff()
+	}
+	e.notBefore = round + backoff
+	l.entries[key] = e
+	return true, e.notBefore
+}
+
+// Attempts returns the recorded attempt count for key (0 if unknown).
+func (l *Ledger) Attempts(key string) int { return l.entries[key].attempts }
+
+// Eligible reports whether key may be tried at the given round. Unknown
+// keys are always eligible.
+func (l *Ledger) Eligible(key string, round int) bool {
+	return round >= l.entries[key].notBefore
+}
+
+// Forget discharges a key (admitted, cancelled, or dropped elsewhere).
+func (l *Ledger) Forget(key string) { delete(l.entries, key) }
+
+// Len returns the number of live entries.
+func (l *Ledger) Len() int { return len(l.entries) }
+
+// Snapshot deep-copies the ledger state, for transactional hosts that
+// must restore it when a preemption aborts.
+func (l *Ledger) Snapshot() map[string]ledgerEntry {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	out := make(map[string]ledgerEntry, len(l.entries))
+	for k, v := range l.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the ledger state with a Snapshot result.
+func (l *Ledger) Restore(s map[string]ledgerEntry) {
+	if s == nil {
+		l.entries = nil
+		return
+	}
+	out := make(map[string]ledgerEntry, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	l.entries = out
+}

@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Prioritizer scores one candidate for one arrival. Lower Value is
+// better. Implementations may be expensive (the fleet's call the
+// equilibrium solver) — that is exactly why predicates run first.
+// Score must be a pure function of (arrival, candidate, host state the
+// prioritizer reads under the host's lock).
+type Prioritizer interface {
+	// Name identifies the prioritizer (canonical ordering, diagnostics).
+	Name() string
+	// Score scores the candidate; OK=false marks it infeasible.
+	Score(ctx context.Context, a Arrival, n *CandidateNode) (Score, error)
+}
+
+// Weighted attaches a positive weight to a prioritizer. The combined
+// Value is the weight-scaled sum over every prioritizer (in canonical
+// name order); a single prioritizer with weight 1 contributes its Value
+// bit-identically.
+type Weighted struct {
+	Prioritizer Prioritizer
+	Weight      float64
+}
+
+// Selector reduces scored candidates — in candidate order — to one
+// winner. Pick returns an index into scores, or -1 when nothing is
+// feasible. Implementations must reduce serially with strict less-than
+// comparisons so ties resolve to the earliest candidate.
+type Selector interface {
+	Name() string
+	Pick(scores []Score) int
+}
+
+// MinValue picks the feasible candidate with the smallest Value (ties to
+// the earliest).
+type MinValue struct{}
+
+func (MinValue) Name() string { return "min-value" }
+func (MinValue) Pick(scores []Score) int {
+	best := -1
+	for i, s := range scores {
+		if s.OK && (best < 0 || s.Value < scores[best].Value) {
+			best = i
+		}
+	}
+	return best
+}
+
+// CeilingFirstFit picks the first feasible candidate whose Rel is within
+// Ceiling (bin-packing: fill the earliest candidate until it is "full
+// enough"); when every candidate exceeds the ceiling it falls back to
+// the smallest Rel, never rejecting while capacity remains.
+type CeilingFirstFit struct {
+	Ceiling float64
+}
+
+func (CeilingFirstFit) Name() string { return "ceiling-first-fit" }
+func (s CeilingFirstFit) Pick(scores []Score) int {
+	for i, sc := range scores {
+		if sc.OK && sc.Rel <= s.Ceiling {
+			return i
+		}
+	}
+	best := -1
+	for i, sc := range scores {
+		if sc.OK && (best < 0 || sc.Rel < scores[best].Rel) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Pipeline is one assembled scheduling policy: predicates prune,
+// prioritizers score, the selector reduces. Construct with New — the
+// zero value is not usable.
+type Pipeline struct {
+	name         string
+	predicates   []Predicate
+	prioritizers []Weighted
+	selector     Selector
+
+	// MaxFeasible stops the predicate scan after this many candidates
+	// survive (0 = no cut). The cut is deterministic — always the first
+	// K feasible candidates in candidate order — and exists for scale:
+	// scoring 50 of 1000 near-equivalent feasible machines is the
+	// k8s-style "percentage of nodes to score" trade. Selectors that
+	// fill in candidate order (CeilingFirstFit) are unaffected by the
+	// cut; MinValue trades global optimality for bounded solve work.
+	MaxFeasible int
+}
+
+// New canonicalizes and validates a pipeline. Predicates and
+// prioritizers are sorted by name (stable), so two pipelines assembled
+// from the same plugin set decide identically regardless of
+// registration order.
+func New(name string, preds []Predicate, prios []Weighted, sel Selector) (*Pipeline, error) {
+	if len(prios) == 0 {
+		return nil, errors.New("sched: pipeline needs at least one prioritizer")
+	}
+	if sel == nil {
+		return nil, errors.New("sched: pipeline needs a selector")
+	}
+	for _, w := range prios {
+		if w.Prioritizer == nil {
+			return nil, errors.New("sched: nil prioritizer")
+		}
+		if w.Weight <= 0 {
+			return nil, fmt.Errorf("sched: prioritizer %s: weight %v must be positive", w.Prioritizer.Name(), w.Weight)
+		}
+	}
+	for _, p := range preds {
+		if p == nil {
+			return nil, errors.New("sched: nil predicate")
+		}
+	}
+	p := &Pipeline{
+		name:         name,
+		predicates:   append([]Predicate(nil), preds...),
+		prioritizers: append([]Weighted(nil), prios...),
+		selector:     sel,
+	}
+	sort.SliceStable(p.predicates, func(i, j int) bool {
+		return p.predicates[i].Name() < p.predicates[j].Name()
+	})
+	sort.SliceStable(p.prioritizers, func(i, j int) bool {
+		return p.prioritizers[i].Prioritizer.Name() < p.prioritizers[j].Prioritizer.Name()
+	})
+	return p, nil
+}
+
+// Name returns the pipeline's configured name.
+func (p *Pipeline) Name() string { return p.name }
+
+// Selector returns the pipeline's selector (hosts replaying memoized
+// scores reduce with it directly).
+func (p *Pipeline) Selector() Selector { return p.selector }
+
+// Admit runs every predicate over one candidate (canonical order).
+func (p *Pipeline) Admit(a Arrival, n *CandidateNode) bool {
+	for _, pred := range p.predicates {
+		if !pred.Admit(a, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Decide runs the full pipeline for one arrival over the candidates, in
+// order. run fans the prioritizer calls out (nil = serial); results land
+// in index-addressed slots and the reduction is serial, so the decision
+// is identical at any concurrency.
+func (p *Pipeline) Decide(ctx context.Context, a Arrival, nodes []*CandidateNode, run Runner) (Decision, error) {
+	if run == nil {
+		run = serialRun
+	}
+	feasible := make([]*CandidateNode, 0, len(nodes))
+	truncated := false
+	for i, n := range nodes {
+		if !p.Admit(a, n) {
+			continue
+		}
+		feasible = append(feasible, n)
+		if p.MaxFeasible > 0 && len(feasible) == p.MaxFeasible {
+			truncated = i != len(nodes)-1
+			break
+		}
+	}
+	dec := Decision{Node: -1, Feasible: len(feasible), Truncated: truncated}
+	if len(feasible) == 0 {
+		return dec, nil
+	}
+	scores := make([]Score, len(feasible))
+	err := run(ctx, len(feasible), func(i int) error {
+		s, err := p.scoreOne(ctx, a, feasible[i])
+		if err != nil {
+			return err
+		}
+		scores[i] = s
+		return nil
+	})
+	if err != nil {
+		return Decision{Node: -1}, err
+	}
+	dec.Scored = len(feasible) * len(p.prioritizers)
+	if pick := p.selector.Pick(scores); pick >= 0 {
+		dec.Node = feasible[pick].Index
+		dec.Score = scores[pick]
+	}
+	return dec, nil
+}
+
+// scoreOne combines every prioritizer's score for one candidate: OK only
+// when all agree the candidate is feasible, Core and Rel from the first
+// prioritizer in canonical order (the primary owns slot choice), Value
+// the weight-scaled sum. A single weight-1 prioritizer passes through
+// bit-identically.
+func (p *Pipeline) scoreOne(ctx context.Context, a Arrival, n *CandidateNode) (Score, error) {
+	first := p.prioritizers[0]
+	s, err := first.Prioritizer.Score(ctx, a, n)
+	if err != nil || !s.OK {
+		return Score{}, err
+	}
+	if len(p.prioritizers) == 1 {
+		if first.Weight != 1 {
+			s.Value *= first.Weight
+		}
+		return s, nil
+	}
+	out := s
+	out.Value = first.Weight * s.Value
+	for _, w := range p.prioritizers[1:] {
+		si, err := w.Prioritizer.Score(ctx, a, n)
+		if err != nil {
+			return Score{}, err
+		}
+		if !si.OK {
+			return Score{}, nil
+		}
+		out.Value += w.Weight * si.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// loadScorer is the capacity-respecting synthetic prioritizer the tests
+// and the fuzzer score with: feasible iff some core is under the cap (and
+// the node is up), core = least-loaded admissible (ties low), value from
+// a deterministic mix of the arrival key, node name, and load — a stand-in
+// for the fleet's model scorer with the same admissibility semantics.
+type loadScorer struct{ name string }
+
+func (s loadScorer) Name() string { return s.name }
+
+func (s loadScorer) Score(_ context.Context, a Arrival, n *CandidateNode) (Score, error) {
+	if !n.Up {
+		return Score{}, nil
+	}
+	bestCore, bestLoad := -1, 0
+	total := 0
+	for c, load := range n.PerCore {
+		total += load
+		if n.MaxPerCore != 0 && load >= n.MaxPerCore {
+			continue
+		}
+		if bestCore < 0 || load < bestLoad {
+			bestCore, bestLoad = c, load
+		}
+	}
+	if bestCore < 0 {
+		return Score{}, nil
+	}
+	v := float64(total*31+bestCore*7) + float64(len(a.Key)+len(n.Name)*13+len(s.name))
+	return Score{OK: true, Core: bestCore, Value: v, Rel: v / 100}, nil
+}
+
+func mustNew(t *testing.T, preds []Predicate, prios []Weighted, sel Selector) *Pipeline {
+	t.Helper()
+	p, err := New("test", preds, prios, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func nodes(specs ...CandidateNode) []*CandidateNode {
+	out := make([]*CandidateNode, len(specs))
+	for i := range specs {
+		specs[i].Index = i
+		out[i] = &specs[i]
+	}
+	return out
+}
+
+func TestPredicates(t *testing.T) {
+	up := CandidateNode{Up: true, PerCore: []int{1, 0}, MaxPerCore: 2, FreeSlots: 3}
+	cases := []struct {
+		name string
+		pred Predicate
+		node CandidateNode
+		a    Arrival
+		want bool
+	}{
+		{"node-up/up", NodeUp{}, up, Arrival{}, true},
+		{"node-up/down", NodeUp{}, CandidateNode{Up: false}, Arrival{}, false},
+		{"free-slot/has", FreeSlot{}, up, Arrival{}, true},
+		{"free-slot/full", FreeSlot{}, CandidateNode{Up: true, FreeSlots: 0}, Arrival{}, false},
+		{"free-slot/unbounded", FreeSlot{}, CandidateNode{Up: true, FreeSlots: -1}, Arrival{}, true},
+		{"per-core/has", PerCoreCap{}, up, Arrival{}, true},
+		{"per-core/full", PerCoreCap{}, CandidateNode{Up: true, PerCore: []int{2, 2}, MaxPerCore: 2}, Arrival{}, false},
+		{"per-core/unbounded", PerCoreCap{}, CandidateNode{Up: true, PerCore: []int{9}}, Arrival{}, true},
+		{"taint/none", Taint{}, up, Arrival{}, true},
+		{"taint/untolerated", Taint{}, CandidateNode{Up: true, Taints: []string{"gpu"}}, Arrival{}, false},
+		{"taint/tolerated", Taint{}, CandidateNode{Up: true, Taints: []string{"gpu"}},
+			Arrival{Tolerations: map[string]bool{"gpu": true}}, true},
+		{"label/match", LabelMatch{Key: "zone", Value: "a"},
+			CandidateNode{Up: true, Labels: map[string]string{"zone": "a"}}, Arrival{}, true},
+		{"label/miss", LabelMatch{Key: "zone", Value: "a"},
+			CandidateNode{Up: true, Labels: map[string]string{"zone": "b"}}, Arrival{}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.pred.Admit(tc.a, &tc.node); got != tc.want {
+				t.Fatalf("Admit = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaxDegradationFailsOpen(t *testing.T) {
+	n := CandidateNode{Up: true}
+	known := map[string]float64{"hot": 0.9}
+	p := MaxDegradation{Ceiling: 0.5, RelOf: func(a Arrival, _ *CandidateNode) (float64, bool) {
+		r, ok := known[a.Key]
+		return r, ok
+	}}
+	if !p.Admit(Arrival{Key: "unknown"}, &n) {
+		t.Fatal("unknown degradation must fail open")
+	}
+	if p.Admit(Arrival{Key: "hot"}, &n) {
+		t.Fatal("known degradation above ceiling must filter")
+	}
+	if !(MaxDegradation{Ceiling: 0.5}).Admit(Arrival{Key: "hot"}, &n) {
+		t.Fatal("nil RelOf must fail open")
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	scores := []Score{
+		{OK: false, Value: 0, Rel: 0},
+		{OK: true, Value: 5, Rel: 0.9},
+		{OK: true, Value: 2, Rel: 0.4},
+		{OK: true, Value: 2, Rel: 0.1},
+	}
+	if got := (MinValue{}).Pick(scores); got != 2 {
+		t.Fatalf("MinValue tie must resolve to the earliest: got %d, want 2", got)
+	}
+	if got := (CeilingFirstFit{Ceiling: 0.5}).Pick(scores); got != 2 {
+		t.Fatalf("CeilingFirstFit first-under-ceiling: got %d, want 2", got)
+	}
+	if got := (CeilingFirstFit{Ceiling: 0.05}).Pick(scores); got != 3 {
+		t.Fatalf("CeilingFirstFit fallback to min Rel: got %d, want 3", got)
+	}
+	if got := (MinValue{}).Pick([]Score{{}, {}}); got != -1 {
+		t.Fatalf("all-infeasible must pick -1: got %d", got)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	prio := Weighted{Prioritizer: loadScorer{name: "s"}, Weight: 1}
+	for name, build := range map[string]func() (*Pipeline, error){
+		"no-prioritizer": func() (*Pipeline, error) { return New("p", nil, nil, MinValue{}) },
+		"no-selector":    func() (*Pipeline, error) { return New("p", nil, []Weighted{prio}, nil) },
+		"zero-weight": func() (*Pipeline, error) {
+			return New("p", nil, []Weighted{{Prioritizer: loadScorer{name: "s"}}}, MinValue{})
+		},
+		"nil-predicate": func() (*Pipeline, error) {
+			return New("p", []Predicate{nil}, []Weighted{prio}, MinValue{})
+		},
+	} {
+		if _, err := build(); err == nil {
+			t.Errorf("%s: New accepted an invalid pipeline", name)
+		}
+	}
+}
+
+func TestDecideFiltersBeforeScoring(t *testing.T) {
+	var scored []string
+	count := countingScorer{inner: loadScorer{name: "s"}, scored: &scored}
+	p := mustNew(t, []Predicate{NodeUp{}, FreeSlot{}, PerCoreCap{}},
+		[]Weighted{{Prioritizer: count, Weight: 1}}, MinValue{})
+	cands := nodes(
+		CandidateNode{Name: "down", Up: false, FreeSlots: 4, PerCore: []int{0}},
+		CandidateNode{Name: "full", Up: true, FreeSlots: 0, PerCore: []int{2}, MaxPerCore: 2},
+		CandidateNode{Name: "open", Up: true, FreeSlots: 2, PerCore: []int{0}, MaxPerCore: 2},
+	)
+	dec, err := p.Decide(context.Background(), Arrival{Key: "w"}, cands, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Node != 2 || dec.Feasible != 1 {
+		t.Fatalf("Decide = %+v, want node 2 with 1 feasible", dec)
+	}
+	if len(scored) != 1 || scored[0] != "open" {
+		t.Fatalf("scored %v, want exactly [open]: predicates must prune before scoring", scored)
+	}
+}
+
+type countingScorer struct {
+	inner  Prioritizer
+	scored *[]string
+}
+
+func (c countingScorer) Name() string { return c.inner.Name() }
+func (c countingScorer) Score(ctx context.Context, a Arrival, n *CandidateNode) (Score, error) {
+	*c.scored = append(*c.scored, n.Name)
+	return c.inner.Score(ctx, a, n)
+}
+
+func TestDecideMaxFeasibleCut(t *testing.T) {
+	p := mustNew(t, []Predicate{NodeUp{}}, []Weighted{{Prioritizer: loadScorer{name: "s"}, Weight: 1}}, MinValue{})
+	p.MaxFeasible = 2
+	var specs []CandidateNode
+	for i := 0; i < 5; i++ {
+		specs = append(specs, CandidateNode{Name: fmt.Sprintf("n%d", i), Up: true, PerCore: []int{i}, FreeSlots: -1})
+	}
+	dec, err := p.Decide(context.Background(), Arrival{Key: "w"}, nodes(specs...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Feasible != 2 || !dec.Truncated {
+		t.Fatalf("Decide = %+v, want 2 feasible, truncated", dec)
+	}
+	if dec.Node != 0 {
+		t.Fatalf("cut must keep the first K in candidate order: got node %d", dec.Node)
+	}
+}
+
+func TestDecideNoFeasible(t *testing.T) {
+	p := mustNew(t, []Predicate{NodeUp{}}, []Weighted{{Prioritizer: loadScorer{name: "s"}, Weight: 1}}, MinValue{})
+	dec, err := p.Decide(context.Background(), Arrival{}, nodes(CandidateNode{Up: false}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Node != -1 || dec.Feasible != 0 {
+		t.Fatalf("Decide = %+v, want none feasible", dec)
+	}
+}
+
+type errScorer struct{ name string }
+
+func (e errScorer) Name() string { return e.name }
+func (e errScorer) Score(context.Context, Arrival, *CandidateNode) (Score, error) {
+	return Score{}, errors.New("boom:" + e.name)
+}
+
+func TestDecidePropagatesScoreError(t *testing.T) {
+	p := mustNew(t, nil, []Weighted{{Prioritizer: errScorer{name: "e"}, Weight: 1}}, MinValue{})
+	_, err := p.Decide(context.Background(), Arrival{}, nodes(CandidateNode{Up: true}), nil)
+	if err == nil || err.Error() != "boom:e" {
+		t.Fatalf("err = %v, want boom:e", err)
+	}
+}
+
+func TestDecideCancelled(t *testing.T) {
+	p := mustNew(t, nil, []Weighted{{Prioritizer: loadScorer{name: "s"}, Weight: 1}}, MinValue{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Decide(ctx, Arrival{}, nodes(CandidateNode{Up: true, PerCore: []int{0}}), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWeightedCombination(t *testing.T) {
+	// Two prioritizers, canonical (name-sorted) order fixes the sum order:
+	// value = 2*a + 3*b regardless of registration order.
+	a := constScorer{name: "a", value: 5, core: 1}
+	b := constScorer{name: "b", value: 7, core: 2}
+	for _, prios := range [][]Weighted{
+		{{Prioritizer: a, Weight: 2}, {Prioritizer: b, Weight: 3}},
+		{{Prioritizer: b, Weight: 3}, {Prioritizer: a, Weight: 2}},
+	} {
+		p := mustNew(t, nil, prios, MinValue{})
+		dec, err := p.Decide(context.Background(), Arrival{}, nodes(CandidateNode{Up: true}), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Score.Value != 2*5+3*7 {
+			t.Fatalf("combined value = %v, want 31", dec.Score.Value)
+		}
+		if dec.Score.Core != 1 {
+			t.Fatalf("core = %d, want the first canonical prioritizer's core 1", dec.Score.Core)
+		}
+	}
+}
+
+type constScorer struct {
+	name  string
+	value float64
+	core  int
+}
+
+func (c constScorer) Name() string { return c.name }
+func (c constScorer) Score(context.Context, Arrival, *CandidateNode) (Score, error) {
+	return Score{OK: true, Core: c.core, Value: c.value}, nil
+}
+
+func TestLedgerBackoffAndDrop(t *testing.T) {
+	l := &Ledger{MaxAttempts: 3, MaxBackoff: 4}
+	round := 0
+	// Attempts 1..3 requeue with backoff 1, 2, 4 (capped); attempt 4 drops.
+	wantBackoff := []int{1, 2, 4}
+	for i, wb := range wantBackoff {
+		requeue, nb := l.Record("k", round)
+		if !requeue {
+			t.Fatalf("attempt %d: dropped early", i+1)
+		}
+		if nb != round+wb {
+			t.Fatalf("attempt %d: notBefore = %d, want %d", i+1, nb, round+wb)
+		}
+		if l.Eligible("k", nb-1) {
+			t.Fatalf("attempt %d: eligible before notBefore", i+1)
+		}
+		if !l.Eligible("k", nb) {
+			t.Fatalf("attempt %d: not eligible at notBefore", i+1)
+		}
+		round = nb
+	}
+	if requeue, _ := l.Record("k", round); requeue {
+		t.Fatal("attempt past MaxAttempts must report drop")
+	}
+	if l.Len() != 0 || l.Attempts("k") != 0 {
+		t.Fatal("dropped key must be forgotten")
+	}
+}
+
+func TestLedgerSnapshotRestore(t *testing.T) {
+	l := &Ledger{}
+	l.Record("a", 0)
+	l.Record("b", 3)
+	snap := l.Snapshot()
+	l.Record("a", 5)
+	l.Forget("b")
+	l.Record("c", 1)
+	l.Restore(snap)
+	if l.Len() != 2 || l.Attempts("a") != 1 || l.Attempts("b") != 1 || l.Attempts("c") != 0 {
+		t.Fatalf("restore did not round-trip: len=%d a=%d b=%d c=%d",
+			l.Len(), l.Attempts("a"), l.Attempts("b"), l.Attempts("c"))
+	}
+	l.Restore(nil)
+	if l.Len() != 0 {
+		t.Fatal("Restore(nil) must empty the ledger")
+	}
+	if !l.Eligible("a", 0) {
+		t.Fatal("unknown keys are always eligible")
+	}
+}

@@ -1,0 +1,98 @@
+package sched
+
+// Predicate is a cheap boolean filter over candidates. Predicates run
+// before any prioritizer, so an expensive model solve is never spent on a
+// candidate a predicate can reject from the CandidateNode facts alone.
+// Admit must be pure: same (arrival, candidate) facts, same answer.
+//
+// Soundness contract: a predicate may only reject candidates the
+// pipeline's prioritizers would score infeasible (or score strictly worse
+// than some admitted candidate). The built-in capacity predicates derive
+// from exactly the facts admissibility checks use, so filtering with them
+// never changes the decision — FuzzSchedulePipeline holds them to that.
+type Predicate interface {
+	// Name identifies the predicate (canonical ordering, diagnostics).
+	Name() string
+	// Admit reports whether the candidate stays in the running.
+	Admit(a Arrival, n *CandidateNode) bool
+}
+
+// NodeUp filters candidates that are down.
+type NodeUp struct{}
+
+func (NodeUp) Name() string                           { return "node-up" }
+func (NodeUp) Admit(_ Arrival, n *CandidateNode) bool { return n.Up }
+
+// FreeSlot filters candidates with no remaining capacity. Unbounded
+// candidates (FreeSlots < 0) always pass.
+type FreeSlot struct{}
+
+func (FreeSlot) Name() string { return "free-slot" }
+func (FreeSlot) Admit(_ Arrival, n *CandidateNode) bool {
+	return n.FreeSlots != 0
+}
+
+// PerCoreCap filters candidates where every core is at its time-sharing
+// cap. It is FreeSlot's per-core refinement: a candidate can report free
+// aggregate capacity while a host-specific invariant still pins each
+// core, so this predicate re-derives admissibility from the PerCore
+// counts themselves.
+type PerCoreCap struct{}
+
+func (PerCoreCap) Name() string { return "per-core-cap" }
+func (PerCoreCap) Admit(_ Arrival, n *CandidateNode) bool {
+	if n.MaxPerCore == 0 {
+		return true
+	}
+	for _, c := range n.PerCore {
+		if c < n.MaxPerCore {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDegradation filters candidates whose already-known relative SPI
+// degradation for this arrival exceeds Ceiling. RelOf consults the
+// host's memo (the fleet peeks its decision cache); when the degradation
+// is not yet known the predicate fails open — filtering may only ever
+// skip a solve, never force one.
+type MaxDegradation struct {
+	Ceiling float64
+	// RelOf reports the candidate's memoized relative degradation for
+	// the arrival, and whether it is known.
+	RelOf func(a Arrival, n *CandidateNode) (rel float64, known bool)
+}
+
+func (MaxDegradation) Name() string { return "max-degradation" }
+func (p MaxDegradation) Admit(a Arrival, n *CandidateNode) bool {
+	if p.RelOf == nil {
+		return true
+	}
+	rel, known := p.RelOf(a, n)
+	return !known || rel <= p.Ceiling
+}
+
+// Taint filters candidates carrying a taint key the arrival does not
+// tolerate.
+type Taint struct{}
+
+func (Taint) Name() string { return "taint" }
+func (Taint) Admit(a Arrival, n *CandidateNode) bool {
+	for _, t := range n.Taints {
+		if !a.Tolerations[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelMatch filters candidates whose Labels[Key] differs from Value.
+type LabelMatch struct {
+	Key, Value string
+}
+
+func (p LabelMatch) Name() string { return "label-match:" + p.Key }
+func (p LabelMatch) Admit(_ Arrival, n *CandidateNode) bool {
+	return n.Labels[p.Key] == p.Value
+}

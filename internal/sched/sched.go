@@ -1,0 +1,116 @@
+// Package sched is the pluggable scheduling pipeline the fleet places
+// through: cheap boolean Predicates prune the candidate set, Prioritizers
+// score what survives (the expensive model consults live here), and a
+// Selector reduces the scores to one winner. The shape follows cluster
+// schedulers like k8s-cluster-simulator — filter plugins, score plugins,
+// a fail/retry queue with backoff — while the scoring substance stays the
+// paper's: the fleet's prioritizers call the Eq. 1 equilibrium solver and
+// the Eq. 10 power model, so predicates exist precisely to keep those
+// solves off candidates that could never win.
+//
+// The package is deliberately host-agnostic: it knows nothing about
+// machines, managers, or feature vectors. The host (internal/fleet)
+// adapts its nodes into CandidateNode facts, wraps its model scoring in
+// Prioritizer implementations, and injects concurrency through a Runner.
+// That keeps the pipeline a pure, separately fuzzable decision procedure:
+// FuzzSchedulePipeline proves predicate soundness, worker-count
+// invariance, and registration-order invariance without ever touching a
+// solver.
+//
+// Determinism contract: Decide's outcome is a pure function of
+// (arrival, candidates, pipeline). Candidates are considered in slice
+// order, scores land in index-addressed slots, and the selector reduces
+// serially with strict less-than comparisons, so ties always resolve to
+// the earliest candidate at any Runner concurrency. Predicates and
+// prioritizers are canonicalized (sorted by name) at construction, so
+// the order plugins were registered in never reaches a decision either.
+package sched
+
+import "context"
+
+// Arrival is one unit of work asking for a slot.
+type Arrival struct {
+	// Key names the workload (the fleet uses the benchmark name).
+	Key string
+	// Priority is the arrival's priority class. Higher classes may preempt
+	// residents of strictly lower classes when no candidate survives the
+	// pipeline; class 0 (the default) never preempts.
+	Priority int
+	// Tolerations lists taint keys this arrival accepts (Taint predicate).
+	Tolerations map[string]bool
+	// Payload carries host data opaque to the pipeline (the fleet passes
+	// the *workload.Spec its prioritizers score with).
+	Payload any
+}
+
+// CandidateNode is one placement target as the predicates see it: the
+// cheap, model-free facts. The host refreshes these from its own state;
+// prioritizers that need expensive quantities compute them on demand.
+type CandidateNode struct {
+	// Index is the node's stable position in the host's node order; ties
+	// resolve to the lowest index, so hosts must keep it consistent.
+	Index int
+	// Name is the node identity (diagnostics and taint/label targeting).
+	Name string
+	// Up is false while the node is unavailable (lost machine).
+	Up bool
+	// PerCore holds the resident count of each core.
+	PerCore []int
+	// MaxPerCore bounds time-sharing depth per core (0 = unbounded).
+	MaxPerCore int
+	// FreeSlots is the remaining capacity (-1 = unbounded).
+	FreeSlots int
+	// Labels are host-assigned key/value pairs (LabelMatch predicate).
+	Labels map[string]string
+	// Taints lists taint keys; arrivals must tolerate every one (Taint
+	// predicate).
+	Taints []string
+}
+
+// Score is one candidate's pipeline score. Lower Value is better.
+type Score struct {
+	// OK is false when the candidate has no admissible slot.
+	OK bool
+	// Core is the chosen core within the candidate.
+	Core int
+	// Value is the policy metric (lower is better).
+	Value float64
+	// Rel is the relative SPI degradation (CeilingFirstFit's metric).
+	Rel float64
+}
+
+// Decision is the pipeline's outcome for one arrival.
+type Decision struct {
+	// Node is the winner's Index, -1 when no candidate survived the
+	// predicates and scored feasible.
+	Node int
+	// Score is the winner's combined score (zero value when Node < 0).
+	Score Score
+	// Feasible counts candidates that survived every predicate (after
+	// the MaxFeasible cut).
+	Feasible int
+	// Scored counts prioritizer invocations (Feasible × prioritizers).
+	Scored int
+	// Truncated reports that the MaxFeasible cut stopped the predicate
+	// scan before every candidate was considered.
+	Truncated bool
+}
+
+// Runner fans fn(0..n-1) out across workers. Implementations must write
+// results only through fn's index (no shared accumulation) and must
+// return the first error in serial index order, so decisions and error
+// identity are invariant under concurrency. A nil Runner runs serially.
+// The fleet passes internal/parallel.ForEach, which honors both rules.
+type Runner func(ctx context.Context, n int, fn func(i int) error) error
+
+func serialRun(ctx context.Context, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -26,6 +26,10 @@ type FleetPlacementInfo struct {
 	Name  string  `json:"name"`
 	Core  int     `json:"core"`
 	Watts float64 `json:"watts"` // that machine's estimate after the placement
+	// Preempted reports the resident this placement evicted when the
+	// request's priority class forced a preemption (absent for every
+	// class-0 placement, so pre-priority clients see unchanged bodies).
+	Preempted *fleet.PreemptedInfo `json:"preempted,omitempty"`
 }
 
 // FleetPlaceResponse answers POST /v1/fleet/place.
@@ -63,18 +67,27 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return err
 	}
+	if req.Priority < 0 {
+		return badRequest("bad_request", "priority must be non-negative")
+	}
+	if req.Priority > 0 && !req.Queue {
+		return badRequest("bad_request", "priority requires queue mode: preemption victims are requeued, which the transactional batch cannot roll back")
+	}
 	resp := FleetPlaceResponse{Placements: []FleetPlacementInfo{}}
 	if req.Queue {
-		// Best-effort per instance: place what fits, queue the rest.
+		// Best-effort per instance: place what fits, queue the rest. A
+		// positive priority class may preempt lower-class residents; the
+		// victim's disposition rides back on the placement.
 		for _, spec := range specs {
-			p, err := s.fleet.Place(r.Context(), spec)
+			p, err := s.fleet.PlaceWith(r.Context(), spec, fleet.PlaceOptions{Priority: req.Priority})
 			switch {
 			case err == nil:
 				resp.Placements = append(resp.Placements, FleetPlacementInfo{
 					Bench: spec.Name, Node: p.Node, Name: p.Name, Core: p.Core, Watts: p.Watts,
+					Preempted: p.Preempted,
 				})
 			case errors.Is(err, fleet.ErrFleetFull):
-				if _, qerr := s.fleet.Submit(spec, ""); qerr != nil {
+				if _, qerr := s.fleet.SubmitWith(spec, "", req.Priority); qerr != nil {
 					return qerr
 				}
 				resp.Queued = append(resp.Queued, spec.Name)

@@ -170,6 +170,58 @@ func TestFleetQueueMode(t *testing.T) {
 	}
 }
 
+// TestFleetPriorityPreemption drives the priority surface: a class-1
+// arrival on a full fleet evicts a class-0 resident, the response carries
+// the victim's disposition, and the victim waits in the admission queue.
+// Priority composes only with queue mode; the strict batch rejects it.
+func TestFleetPriorityPreemption(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 8)
+	benches := make([]string, 16)
+	for i := range benches {
+		benches[i] = "mcf"
+	}
+	body, _ := json.Marshal(map[string]any{"benches": benches})
+	if status, raw := do(t, ts, "POST", "/v1/fleet/place", string(body)); status != http.StatusOK {
+		t.Fatalf("fill status %d: %s", status, raw)
+	}
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["art"],"queue":true,"priority":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("priority place status %d: %s", status, raw)
+	}
+	var pr FleetPlaceResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 1 || len(pr.Queued) != 0 {
+		t.Fatalf("priority place response %s", raw)
+	}
+	v := pr.Placements[0].Preempted
+	if v == nil || v.Workload != "mcf" || !v.Requeued || v.Ticket == 0 {
+		t.Fatalf("victim disposition %s", raw)
+	}
+	if pr.QueueDepth != 1 {
+		t.Fatalf("queue depth %d after requeued victim, want 1", pr.QueueDepth)
+	}
+
+	// Class 0 placements never carry a disposition, full fleet or not.
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["gzip"],"queue":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("class-0 place status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 0 || len(pr.Queued) != 1 {
+		t.Fatalf("class-0 arrival on a full fleet should queue, got %s", raw)
+	}
+
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["art"],"priority":1}`)
+	wantAPIError(t, status, raw, http.StatusBadRequest, "bad_request")
+	status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["art"],"queue":true,"priority":-1}`)
+	wantAPIError(t, status, raw, http.StatusBadRequest, "bad_request")
+}
+
 // TestFleetConcurrentPlacement is the race acceptance test: 32 goroutines
 // hammer POST /v1/fleet/place against the 4-machine fleet (capacity 16).
 // Under -race this must be clean, no machine may exceed its per-core cap,

@@ -78,6 +78,13 @@ type PlaceRequest struct {
 type FleetPlaceRequest struct {
 	Benches []string `json:"benches"`
 	Queue   bool     `json:"queue,omitempty"`
+	// Priority is the arrivals' priority class. Positive classes may
+	// preempt lower-class residents when the fleet is full; evicted
+	// victims re-enter the admission queue with backoff. Priority
+	// composes only with Queue mode: preemption's victim disposition is
+	// itself a queue operation, and the strict all-or-none batch does not
+	// roll it back, so the transactional path stays class 0.
+	Priority int `json:"priority,omitempty"`
 }
 
 // FleetRebalanceRequest triggers one cross-machine rebalance pass.

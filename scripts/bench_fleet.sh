@@ -15,18 +15,31 @@
 # The -check diff never fails the build: benchmarks on shared CI runners
 # are advisory, and regressions are for a human to read in the uploaded
 # artifact.
+#
+# The scale-stress benchmarks (BenchmarkFleetStress*) run in their own
+# single-iteration lane: each iteration is a full churn run over a large
+# fleet, so the 20000x microbench lane would take days on them. The
+# default point is 100 machines / 10k arrivals; STRESS_FULL=1 adds the
+# headline 1000-machine / 1M-arrival BenchmarkFleetStressFull (minutes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_fleet.json
 benchtime=${BENCHTIME:-20000x}
 count=${COUNT:-3}
+stress_bench='BenchmarkFleetStress$'
+if [ "${STRESS_FULL:-0}" = "1" ]; then
+  stress_bench='BenchmarkFleetStress(Full)?$'
+fi
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test ./internal/fleet/ -run '^$' -bench 'BenchmarkFleet' -benchmem \
+go test ./internal/fleet/ -run '^$' -bench 'BenchmarkFleet(Place|Rebalance)' -benchmem \
   -benchtime "$benchtime" -count "$count" | tee "$tmp"
+
+go test ./internal/fleet/ -run '^$' -bench "$stress_bench" -benchmem \
+  -benchtime 1x -count 1 -timeout 60m | tee -a "$tmp"
 
 if [ "${1:-}" = "-check" ] && git show "HEAD:$out" >/dev/null 2>&1; then
   git show "HEAD:$out" | awk -v cur="$tmp" '
