@@ -17,10 +17,19 @@
 // fixed (scenario, -chaos-seed, -chaos-rate, -chaos-preempt-rate) at any
 // -workers value, so it too is pinned as a golden in CI.
 //
+// With -serve-stress set to an op count, the command instead runs the
+// sustained-load lane for the sharded serving tier: concurrent clients
+// churning placements against one sharded fleet, wall-clock timed,
+// reporting placements/sec and latency percentiles as JSON. That lane
+// is intentionally nondeterministic (it measures the concurrency
+// ceiling, not decisions); scripts/bench_serve.sh appends its report to
+// BENCH_fleet.json.
+//
 // Usage:
 //
 //	fleet -scenario scenario.json [-workers 4] [-o report.json]
 //	fleet -scenario scenario.json -chaos-seed 1 [-chaos-rate 0.25] [-chaos-preempt-rate 0.5]
+//	fleet -serve-stress 40000 [-serve-machines 24] [-serve-shards 4] [-serve-clients 8] [-seed 1]
 //
 // See the README "Fleet" section for the scenario schema.
 package main
@@ -46,7 +55,30 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the chaos harness with this fault-schedule seed")
 	chaosRate := flag.Float64("chaos-rate", 0.25, "chaos fault intensity in [0,1] (with -chaos-seed)")
 	preemptRate := flag.Float64("chaos-preempt-rate", 0, "preemption fault-class intensity in [0,1]: schedules high-priority arrivals, some with commit faults (with -chaos-seed)")
+	serveOps := flag.Int("serve-stress", 0, "run the sustained-load serving lane with this many placement ops (0 = off; ignores -scenario)")
+	serveMachines := flag.Int("serve-machines", 24, "serving-lane fleet size (with -serve-stress)")
+	serveShards := flag.Int("serve-shards", 4, "serving-lane shard count (with -serve-stress)")
+	serveClients := flag.Int("serve-clients", 8, "serving-lane concurrent churn clients (with -serve-stress)")
+	seed := flag.Uint64("seed", 1, "serving-lane workload-draw seed (with -serve-stress)")
 	flag.Parse()
+
+	if *serveOps > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		rep, err := fleet.RunServeStress(ctx, fleet.ServeStressConfig{
+			Machines: *serveMachines,
+			Shards:   *serveShards,
+			Clients:  *serveClients,
+			Ops:      *serveOps,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeReport(rep, *out)
+		return
+	}
 
 	if *scenario == "" {
 		fmt.Fprintln(os.Stderr, "fleet: -scenario is required")
@@ -86,17 +118,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	writeReport(report, *out)
+}
+
+// writeReport marshals the report (indented, trailing newline) to the
+// file, or stdout when the path is empty.
+func writeReport(report any, out string) {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

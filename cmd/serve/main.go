@@ -9,9 +9,15 @@
 //
 //	serve -addr :8080 -machine server [-policy power-aware] [-max-per-core 2]
 //	      [-fleet "workstation,workstation,server"] [-fleet-policy least-degradation]
-//	      [-debug-addr 127.0.0.1:6060]
+//	      [-shards 4] [-state-dir /var/lib/mpmc] [-debug-addr 127.0.0.1:6060]
 //
 // -fleet attaches a multi-machine scheduler (the /v1/fleet endpoints);
+// -shards splits it into independently locked node groups so placements
+// on disjoint machines commit concurrently; -state-dir persists every
+// fleet mutation to a snapshot+WAL directory (internal/wal) and recovers
+// residents and the pending queue byte-identically on restart;
+// -synthetic swaps trained models for the closed-form synthetic ones so
+// the process is serving in milliseconds (smoke tests, recovery drills);
 // -debug-addr opens net/http/pprof on a separate, private listener. See
 // the README "Serving" and "Fleet" sections for curl examples and the
 // metrics glossary.
@@ -37,6 +43,7 @@ import (
 	"mpmc/internal/machine"
 	"mpmc/internal/metrics"
 	"mpmc/internal/server"
+	"mpmc/internal/wal"
 	"mpmc/internal/workload"
 )
 
@@ -58,6 +65,9 @@ func main() {
 	fleetMaxPerCore := flag.Int("fleet-max-per-core", 2, "per-core time-sharing cap on fleet machines (0 = unbounded)")
 	fleetQueueCap := flag.Int("fleet-queue-cap", 16, "fleet admission-queue capacity (0 = no queue)")
 	scoreCache := flag.Int("score-cache", 0, "fleet score-memo capacity (0 = default, negative = solve cold; same answers either way)")
+	shards := flag.Int("shards", 1, "fleet shard count: independently locked node groups (>1 enables concurrent commits; decisions are shard-count-invariant)")
+	stateDir := flag.String("state-dir", "", "persist fleet placements to a snapshot+WAL directory and recover them on restart (requires -fleet)")
+	synthetic := flag.Bool("synthetic", false, "use the closed-form synthetic power model and truth-table features instead of training (instant startup; smoke/recovery drills)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -73,32 +83,71 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *stateDir != "" && *fleetSpec == "" {
+		fmt.Fprintln(os.Stderr, "serve: -state-dir requires -fleet (it persists fleet placements)")
+		os.Exit(2)
+	}
+
 	// The signal context is installed before training so ^C during the
 	// (minutes-long, full-length) startup training aborts it promptly
 	// instead of only taking effect once serving starts.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger.Info("training power model", "machine", m.Name, "quick", *quick)
-	trainStart := time.Now()
-	pm, err := core.TrainPowerModel(ctx, m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			logger.Info("power-model training interrupted")
+	// profile stays nil outside synthetic mode (nil = real profiling in
+	// both the server and the fleet).
+	var profile func(context.Context, *machine.Machine, *workload.Spec, core.ProfileOptions) (*core.FeatureVector, error)
+	var pm *core.PowerModel
+	if *synthetic {
+		pm, err = core.SyntheticPowerModel()
+		if err != nil {
+			logger.Error("synthetic power model failed", "error", err.Error())
 			os.Exit(1)
 		}
-		logger.Error("power-model training failed", "error", err.Error())
-		os.Exit(1)
+		profile = func(_ context.Context, m *machine.Machine, spec *workload.Spec, _ core.ProfileOptions) (*core.FeatureVector, error) {
+			return core.TruthFeature(spec, m), nil
+		}
+		logger.Info("synthetic power model ready", "r2", pm.R2())
+	} else {
+		logger.Info("training power model", "machine", m.Name, "quick", *quick)
+		trainStart := time.Now()
+		pm, err = core.TrainPowerModel(ctx, m, workload.ModelSet(), cli.TrainOptions(*seed, *quick, *workers))
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				logger.Info("power-model training interrupted")
+				os.Exit(1)
+			}
+			logger.Error("power-model training failed", "error", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("power model ready", "r2", pm.R2(), "train_seconds", time.Since(trainStart).Seconds())
 	}
-	logger.Info("power model ready", "r2", pm.R2(), "train_seconds", time.Since(trainStart).Seconds())
 
 	// One registry shared by the server and the fleet, so the fleet gauges
 	// show up in the same /metrics exposition.
 	reg := metrics.NewRegistry()
-	var fl *fleet.Fleet
+	var fl fleetBackend
+	var stateLog *wal.Log
 	if *fleetSpec != "" {
+		var journal func([]wal.Event)
+		var recovered *wal.State
+		if *stateDir != "" {
+			stateLog, recovered, err = wal.Open(*stateDir)
+			if err != nil {
+				logger.Error("state directory open failed", "error", err.Error())
+				os.Exit(1)
+			}
+			l := stateLog
+			journal = func(events []wal.Event) {
+				if aerr := l.Append(events); aerr != nil {
+					logger.Error("wal append failed", "error", aerr.Error())
+				}
+			}
+			logger.Info("state directory opened", "dir", *stateDir,
+				"residents", len(recovered.Residents), "queued", len(recovered.Queue))
+		}
 		fl, err = buildFleet(ctx, logger, reg, *fleetSpec, *fleetPolicy, *fleetMaxPerCore, *fleetQueueCap,
-			*scoreCache, m, pm, *seed, *quick, *workers)
+			*scoreCache, *shards, m, pm, profile, journal, *seed, *quick, *synthetic, *workers)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				logger.Info("fleet construction interrupted")
@@ -106,6 +155,17 @@ func main() {
 			}
 			logger.Error("fleet construction failed", "error", err.Error())
 			os.Exit(2)
+		}
+		if recovered != nil {
+			if err := fl.Recover(ctx, recovered); err != nil {
+				logger.Error("state recovery failed", "error", err.Error())
+				os.Exit(1)
+			}
+			// Fold the replayed log into a fresh snapshot so restart cost
+			// stays O(state), not O(history since the last compaction).
+			if err := stateLog.Compact(); err != nil {
+				logger.Warn("wal compaction failed", "error", err.Error())
+			}
 		}
 	}
 
@@ -127,9 +187,10 @@ func main() {
 		}()
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Machine:        m,
 		Power:          pm,
+		Profile:        profile,
 		Seed:           *seed,
 		Quick:          *quick,
 		Workers:        *workers,
@@ -140,30 +201,56 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		Logger:         logger,
 		Registry:       reg,
-		Fleet:          fl,
-	})
+	}
+	if fl != nil {
+		// Assigned conditionally: a nil fleetBackend stuffed into the
+		// config's interface field would read as "fleet attached".
+		scfg.Fleet = fl
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		logger.Error("server construction failed", "error", err.Error())
 		os.Exit(1)
 	}
 
 	logger.Info("serving", "addr", *addr, "machine", m.Name, "policy", policy.String(),
-		"fleet", *fleetSpec != "")
+		"fleet", *fleetSpec != "", "shards", *shards, "durable", *stateDir != "")
 	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil && err != http.ErrServerClosed {
 		logger.Error("server exited", "error", err.Error())
 		os.Exit(1)
 	}
+	if stateLog != nil {
+		// The graceful drain above finished every in-flight mutation, so
+		// the log is quiescent; close it cleanly.
+		if err := stateLog.Close(); err != nil {
+			logger.Warn("wal close failed", "error", err.Error())
+		}
+	}
 	logger.Info("stopped")
+}
+
+// fleetBackend is what buildFleet returns: the HTTP tier's scheduler
+// surface plus WAL recovery. Both *fleet.Fleet and *fleet.Sharded
+// satisfy it.
+type fleetBackend interface {
+	server.FleetBackend
+	Recover(ctx context.Context, st *wal.State) error
 }
 
 // buildFleet assembles the cluster scheduler from a comma-separated preset
 // list. Each distinct preset needs its own trained power model (Eq. 9
 // coefficients are per machine); the serving machine's model is reused
-// when a preset matches it, and the rest train here, once per kind.
+// when a preset matches it, and the rest train here, once per kind — in
+// synthetic mode the shared closed-form model serves every preset and no
+// training happens. shards > 1 builds the independently locked node
+// groups; journal, when non-nil, receives every completed mutation's WAL
+// events.
 func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
-	spec, policyName string, maxPerCore, queueCap, scoreCacheCap int,
+	spec, policyName string, maxPerCore, queueCap, scoreCacheCap, shards int,
 	served *machine.Machine, servedPM *core.PowerModel,
-	seed uint64, quick bool, workers int) (*fleet.Fleet, error) {
+	profile func(context.Context, *machine.Machine, *workload.Spec, core.ProfileOptions) (*core.FeatureVector, error),
+	journal func([]wal.Event),
+	seed uint64, quick, synthetic bool, workers int) (fleetBackend, error) {
 
 	policy, err := fleet.ParsePolicy(policyName)
 	if err != nil {
@@ -179,10 +266,14 @@ func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
 		}
 		pm, ok := models[m.Name]
 		if !ok {
-			logger.Info("training fleet power model", "machine", m.Name, "quick", quick)
-			pm, err = core.TrainPowerModel(ctx, m, workload.ModelSet(), cli.TrainOptions(seed, quick, workers))
-			if err != nil {
-				return nil, fmt.Errorf("training power model for %s: %w", m.Name, err)
+			if synthetic {
+				pm = servedPM
+			} else {
+				logger.Info("training fleet power model", "machine", m.Name, "quick", quick)
+				pm, err = core.TrainPowerModel(ctx, m, workload.ModelSet(), cli.TrainOptions(seed, quick, workers))
+				if err != nil {
+					return nil, fmt.Errorf("training power model for %s: %w", m.Name, err)
+				}
 			}
 			models[m.Name] = pm
 		}
@@ -192,7 +283,7 @@ func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
 			MaxPerCore: maxPerCore,
 		})
 	}
-	return fleet.New(fleet.Config{
+	cfg := fleet.Config{
 		Nodes:         nodes,
 		Policy:        policy,
 		QueueCap:      queueCap,
@@ -201,5 +292,21 @@ func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
 		Workers:       workers,
 		ScoreCacheCap: scoreCacheCap,
 		Registry:      reg,
-	})
+		Profile:       profile,
+		Journal:       journal,
+	}
+	// Explicit nil returns on error: `return fleet.New(cfg)` would wrap a
+	// nil concrete pointer in a non-nil interface.
+	if shards > 1 {
+		s, err := fleet.NewSharded(cfg, shards)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	f, err := fleet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
 }

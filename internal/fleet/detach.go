@@ -1,0 +1,226 @@
+// Detached scoring: the queue pump's equilibrium solves run outside the
+// fleet lock against a version-stamped view, so Submit/Cancel/State are
+// never blocked behind a scoring pass. Correctness rests on three facts:
+// captured assignment snapshots are immutable (assignmentOf replaces, and
+// every scoring path copies on write), the score/feature caches and the
+// solver state are concurrency-safe and content-addressed, and a commit
+// only lands when the WINNING node's version still equals the view's
+// per-node stamp — a mutation on the chosen node forces a re-score
+// (which then decides exactly what a fresh in-lock pass would), while
+// mutations on other nodes never invalidate, so disjoint placements
+// commit concurrently. A no-fit outcome is the one fleet-wide claim and
+// revalidates against the fleet version instead.
+
+package fleet
+
+import (
+	"context"
+
+	"mpmc/internal/core"
+	"mpmc/internal/parallel"
+	"mpmc/internal/sched"
+	"mpmc/internal/workload"
+)
+
+// viewNode is one node's scoring inputs, captured under the fleet lock.
+type viewNode struct {
+	n    *node
+	ver  uint64 // the node's version at capture time
+	cand sched.CandidateNode
+	feat *core.FeatureVector
+	asg  core.Assignment
+	dkey string
+}
+
+// placeView is a consistent, version-stamped snapshot of every node's
+// scoring inputs for one arrival.
+type placeView struct {
+	nodes []viewNode
+	ver   uint64 // fleet version, revalidating no-fit outcomes
+}
+
+// captureNodeLocked snapshots one node's scoring inputs for one
+// arrival. Callers must hold the fleet lock.
+func (f *Fleet) captureNodeLocked(ctx context.Context, i int, spec *workload.Spec) (viewNode, error) {
+	n := f.nodes[i]
+	vn := viewNode{n: n, ver: n.version}
+	vn.cand = sched.CandidateNode{
+		Index:      i,
+		Name:       n.cfg.Name,
+		Up:         !n.down,
+		MaxPerCore: n.cfg.MaxPerCore,
+		Labels:     n.cfg.Labels,
+		Taints:     n.cfg.Taints,
+	}
+	if n.down {
+		return vn, nil
+	}
+	feat, ok := f.feats.peek(n.cfg.Machine, spec)
+	if !ok {
+		// Entries submitted after Pump's resolve sweep (or evicted
+		// since) profile here, exactly like the in-lock path would.
+		var err error
+		if feat, err = f.feats.get(ctx, n.cfg.Machine, spec); err != nil {
+			return viewNode{}, err
+		}
+	}
+	asg := f.assignmentOf(n)
+	vn.feat, vn.asg = feat, asg
+	if f.scores != nil {
+		vn.dkey = f.decisionKeyOf(n, feat)
+	}
+	vn.cand.PerCore = make([]int, len(asg))
+	residents := 0
+	for ci := range asg {
+		vn.cand.PerCore[ci] = len(asg[ci])
+		residents += len(asg[ci])
+	}
+	vn.cand.FreeSlots = -1
+	if n.cfg.MaxPerCore > 0 {
+		vn.cand.FreeSlots = n.cfg.MaxPerCore*n.cfg.Machine.NumCores - residents
+	}
+	return vn, nil
+}
+
+// captureViewLocked snapshots the fleet for one arrival. Callers must
+// hold the fleet lock; the returned view is safe to score after release
+// because nothing in it is ever mutated in place.
+func (f *Fleet) captureViewLocked(ctx context.Context, spec *workload.Spec) (*placeView, error) {
+	v := &placeView{nodes: make([]viewNode, len(f.nodes)), ver: f.version}
+	for i := range f.nodes {
+		vn, err := f.captureNodeLocked(ctx, i, spec)
+		if err != nil {
+			return nil, err
+		}
+		v.nodes[i] = vn
+	}
+	return v, nil
+}
+
+// scoreViewDetached scores spec against a captured view, reproducing
+// Pipeline.Decide exactly: feasible candidates collected in index order
+// (MaxFeasible cut included), scored into index-addressed slots through
+// the parallel engine, infeasible nodes left !OK. The caller reduces the
+// returned node-indexed vector with the pipeline's selector — selectors
+// skip !OK entries, so the winner is bit-identical to the in-lock
+// decision against the same state, at any worker count.
+func (f *Fleet) scoreViewDetached(ctx context.Context, v *placeView, spec *workload.Spec, opts PlaceOptions) ([]nodeScore, error) {
+	arr := sched.Arrival{Key: spec.Name, Priority: opts.Priority, Tolerations: opts.Tolerations, Payload: spec}
+	feasible := make([]int, 0, len(v.nodes))
+	for i := range v.nodes {
+		vn := &v.nodes[i]
+		if !vn.cand.Up || !f.pipe.pipe.Admit(arr, &vn.cand) {
+			continue
+		}
+		feasible = append(feasible, i)
+		if f.cfg.MaxFeasible > 0 && len(feasible) == f.cfg.MaxFeasible {
+			break
+		}
+	}
+	scores := make([]nodeScore, len(v.nodes))
+	err := parallel.ForEach(ctx, f.cfg.Workers, len(feasible), func(i int) error {
+		ni := feasible[i]
+		s, serr := f.scoreNodeDetached(ctx, &v.nodes[ni], spec)
+		if serr != nil {
+			return serr
+		}
+		scores[ni] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// scoreNodeDetached is scoreNode against captured inputs: same fault
+// seam, same decision memo, same cold scoring — but reading only the
+// view (the decision key was built under the lock at capture time, so
+// the per-node key caches are never touched here).
+func (f *Fleet) scoreNodeDetached(ctx context.Context, vn *viewNode, spec *workload.Spec) (nodeScore, error) {
+	if f.cfg.Intercept != nil {
+		if err := f.cfg.Intercept("fleet.score", vn.n.cfg.Name); err != nil {
+			return nodeScore{}, err
+		}
+	}
+	if f.scores != nil {
+		if s, ok := f.scores.getDecision(vn.dkey); ok {
+			return s, nil
+		}
+	}
+	s, err := f.scoreNodeCold(ctx, vn.n, vn.feat, vn.asg)
+	if err == nil && f.scores != nil {
+		f.scores.putDecision(vn.dkey, s)
+	}
+	return s, err
+}
+
+// scoreArrivalDetached captures a view under the lock and scores it
+// detached — the sharded fleet's per-shard scoring primitive. The
+// returned per-node version stamps revalidate the eventual commit (pass
+// the winning node's stamp to commitScored).
+func (f *Fleet) scoreArrivalDetached(ctx context.Context, spec *workload.Spec, opts PlaceOptions) ([]nodeScore, []uint64, error) {
+	f.mu.Lock()
+	view, err := f.captureViewLocked(ctx, spec)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	scores, err := f.scoreViewDetached(ctx, view, spec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	vers := make([]uint64, len(view.nodes))
+	for i := range view.nodes {
+		vers[i] = view.nodes[i].ver
+	}
+	return scores, vers, nil
+}
+
+// rescoreNodeDetached refreshes a single node's entry in a detached
+// score vector after a commit conflict: only the conflicted node's
+// inputs are recaptured (one node, not the fleet) and re-scored, with a
+// fresh version stamp for the retried commit. The other entries stay as
+// captured — safe, because an unchanged stamp certifies an unchanged
+// assignment, and commitScored revalidates whichever node eventually
+// wins. Callers with a MaxFeasible cut must not use this (the cut is a
+// property of the whole feasible set); NewSharded rejects that
+// combination for shards > 1 and the sharded fast path re-scores fully
+// when a cut is configured.
+func (f *Fleet) rescoreNodeDetached(ctx context.Context, i int, spec *workload.Spec, opts PlaceOptions) (nodeScore, uint64, error) {
+	f.mu.Lock()
+	vn, err := f.captureNodeLocked(ctx, i, spec)
+	f.mu.Unlock()
+	if err != nil {
+		return nodeScore{}, 0, err
+	}
+	arr := sched.Arrival{Key: spec.Name, Priority: opts.Priority, Tolerations: opts.Tolerations, Payload: spec}
+	if !vn.cand.Up || !f.pipe.pipe.Admit(arr, &vn.cand) {
+		return nodeScore{}, vn.ver, nil
+	}
+	s, err := f.scoreNodeDetached(ctx, &vn, spec)
+	if err != nil {
+		return nodeScore{}, 0, err
+	}
+	return s, vn.ver, nil
+}
+
+// commitScored commits a detached decision: under the lock, the winning
+// node's version stamp is revalidated (a mismatch returns ok=false and
+// commits nothing — the caller re-scores) and the winning slot commits
+// through the node manager exactly like an in-lock placement.
+func (f *Fleet) commitScored(ctx context.Context, spec *workload.Spec, opts PlaceOptions, best int, s nodeScore, ver uint64) (Placed, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.nodes[best].version != ver {
+		return Placed{}, false, nil
+	}
+	p, err := f.commitLocked(ctx, spec, opts, best, s)
+	if err != nil {
+		f.discardJournalLocked()
+		return Placed{}, false, err
+	}
+	f.placed.Inc()
+	f.flushJournalLocked()
+	return p, true, nil
+}

@@ -30,6 +30,7 @@ import (
 	"mpmc/internal/metrics"
 	"mpmc/internal/parallel"
 	"mpmc/internal/sched"
+	"mpmc/internal/wal"
 	"mpmc/internal/workload"
 )
 
@@ -126,6 +127,13 @@ type Config struct {
 	Profile ProfileFunc
 	// Registry receives the fleet metrics (nil = fresh registry).
 	Registry *metrics.Registry
+	// Journal, when non-nil, receives every completed mutation's events
+	// as one batch, under the fleet lock, in commit order — the write-
+	// ahead-log hook (internal/wal: one batch = one CRC-framed record, so
+	// recovery replays whole operations or nothing). Rolled-back
+	// operations emit nothing. Implementations must be fast and must not
+	// call back into the fleet.
+	Journal func(events []wal.Event)
 	// Intercept, when non-nil, is consulted at named fault-injection
 	// sites before the guarded operation runs; a non-nil return is
 	// injected as that operation's error. It is the chaos-testing seam
@@ -137,6 +145,14 @@ type Config struct {
 	// onto the key. Implementations must be safe for concurrent use and
 	// cheap: the seam is consulted on hot paths.
 	Intercept func(site, key string) error
+
+	// sharedFeats/sharedScores/sharedSolver let a Sharded fleet hand its
+	// shards one feature cache, score memo, and solver state: content-
+	// addressed and concurrency-safe, so sharing them never changes any
+	// value — it only avoids profiling one machine kind once per shard.
+	sharedFeats  *featureCache
+	sharedScores *scoreCache
+	sharedSolver *core.SolverState
 }
 
 // node pairs one machine's manager with its combined model and config.
@@ -147,6 +163,13 @@ type node struct {
 	// down marks a lost machine (guarded by the fleet lock): placement,
 	// rebalancing, and the model totals all skip it until RestoreNode.
 	down bool
+	// version counts this node's state changes (guarded by the fleet
+	// lock): placements, departures, evictions, migrations, down/up.
+	// Detached commits revalidate the WINNING node's stamp only — a
+	// concurrent commit on another node never invalidates a decision,
+	// which is what lets sharded placements on disjoint machines land
+	// without re-scoring each other.
+	version uint64
 
 	// asgSnap caches the manager's deep-copied assignment (and asgSuffix
 	// the decision-key bytes derived from it), re-read only when the
@@ -261,6 +284,16 @@ type Fleet struct {
 	// backoff is measured on (one tick per queue pump).
 	ledger    sched.Ledger
 	pumpRound int
+	// version stamps the fleet's placement state: bumped (under mu) by
+	// every mutation that can change a scoring outcome — commits,
+	// removals, node fail/restore, rebalance moves, recovery. Detached
+	// scoring captures it with the view and re-validates at commit time:
+	// an unchanged version proves the scored snapshot is still current.
+	version uint64
+	// jbuf accumulates the current operation's journal events (guarded by
+	// mu); flushJournalLocked hands the batch to cfg.Journal, rollbacks
+	// discard it.
+	jbuf []wal.Event
 
 	placed     *metrics.Counter
 	rejected   *metrics.Counter
@@ -284,6 +317,11 @@ type queued struct {
 	ticket   int
 	priority int
 	key      string
+	// pumping marks an entry whose placement is being scored outside the
+	// lock. CancelQueued may still remove it — cancellation wins, the
+	// pump's commit-time revalidation finds the ticket gone and never
+	// places it — which is what makes CancelQueued's true unambiguous.
+	pumping bool
 }
 
 // New validates cfg, applies defaults, and assembles the fleet.
@@ -311,8 +349,14 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	seen := map[string]bool{}
 	f := &Fleet{cfg: cfg, reg: cfg.Registry}
-	f.feats = newFeatureCache(cfg, f.reg)
-	if cfg.ScoreCacheCap > 0 {
+	if cfg.sharedFeats != nil {
+		f.feats = cfg.sharedFeats
+	} else {
+		f.feats = newFeatureCache(cfg, f.reg)
+	}
+	if cfg.sharedScores != nil {
+		f.scores, f.solver = cfg.sharedScores, cfg.sharedSolver
+	} else if cfg.ScoreCacheCap > 0 {
 		f.scores = newScoreCache(cfg.ScoreCacheCap, cfg.Intercept)
 		f.solver = core.NewSolverState(cfg.ScoreCacheCap)
 	}
@@ -508,6 +552,11 @@ type PlaceOptions struct {
 	// Tolerations lists taint keys the arrival accepts (consulted only
 	// when a sched.Taint predicate is configured).
 	Tolerations map[string]bool
+
+	// ticket threads a pumped queue entry's ticket into the journal's
+	// admitted event, so replay consumes the matching queue entry. Zero
+	// for direct placements.
+	ticket int
 }
 
 // Place admits one arrival at the policy's best slot. A single placement
@@ -527,12 +576,14 @@ func (f *Fleet) PlaceWith(ctx context.Context, spec *workload.Spec, opts PlaceOp
 	defer f.mu.Unlock()
 	p, err := f.placeOneLocked(ctx, spec, opts)
 	if err != nil {
+		f.discardJournalLocked()
 		if errors.Is(err, ErrFleetFull) {
 			f.rejected.Inc()
 		}
 		return Placed{}, err
 	}
 	f.placed.Inc()
+	f.flushJournalLocked()
 	return p, nil
 }
 
@@ -558,6 +609,10 @@ func (f *Fleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Placed,
 			n.mgr.Restore(snaps[i])
 		}
 		f.rrNode = snapRR
+		// Rolled-back placements must leave no trace in the journal (the
+		// version stamp stays bumped — a spurious conflict is harmless,
+		// a missed one is not).
+		f.discardJournalLocked()
 		if errors.Is(cause, ErrFleetFull) {
 			f.rejected.Inc()
 		}
@@ -580,6 +635,7 @@ func (f *Fleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Placed,
 		out[i] = p
 	}
 	f.placed.Add(uint64(len(out)))
+	f.flushJournalLocked()
 	return out, nil
 }
 
@@ -659,6 +715,12 @@ func (f *Fleet) commitLocked(ctx context.Context, spec *workload.Spec, opts Plac
 	if f.pipe.advance {
 		f.rrNode = (best + 1) % len(f.nodes)
 	}
+	f.version++
+	n.version++
+	f.journalLocked(wal.Event{
+		Type: wal.EvAdmitted, Node: n.cfg.Name, Name: name, Core: s.Core,
+		Bench: spec.Name, Tag: opts.Tag, Priority: opts.Priority, Ticket: opts.ticket,
+	})
 	return Placed{Node: n.cfg.Name, Name: name, Core: s.Core, Watts: watts, Score: score}, nil
 }
 
@@ -724,12 +786,17 @@ func (f *Fleet) SubmitWith(spec *workload.Spec, tag string, priority int) (int, 
 	f.seq++
 	f.queue = append(f.queue, queued{spec: spec, tag: tag, ticket: f.seq, priority: priority})
 	f.qSubmitted.Inc()
+	f.journalLocked(wal.Event{Type: wal.EvSubmitted, Bench: spec.Name, Tag: tag, Priority: priority, Ticket: f.seq})
+	f.flushJournalLocked()
 	return f.seq, nil
 }
 
 // CancelQueued withdraws a pending submission (the simulator's "process
 // departed before it was ever placed"). It reports whether the ticket was
-// still queued.
+// still queued — and true is unambiguous: an entry the pump is scoring
+// outside the lock is still cancellable, because the pump revalidates the
+// ticket under this same lock before committing and a cancelled entry is
+// never placed.
 func (f *Fleet) CancelQueued(ticket int) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -740,6 +807,8 @@ func (f *Fleet) CancelQueued(ticket int) bool {
 				f.ledger.Forget(q.key)
 			}
 			f.qAbandoned.Inc()
+			f.journalLocked(wal.Event{Type: wal.EvCancelled, Ticket: ticket})
+			f.flushJournalLocked()
 			return true
 		}
 	}
@@ -783,10 +852,20 @@ func (f *Fleet) QueuedInfo() []QueuedEntry {
 	return out
 }
 
-// Pump tries to admit queued arrivals in FIFO order, stopping at the first
-// head that still does not fit anywhere. A head failing for any reason
-// other than a full fleet is dropped (and counted) rather than wedging the
+// Pump tries to admit queued arrivals in admission order (highest
+// priority class first, FIFO within a class), stopping at the first head
+// that still does not fit anywhere. A head failing for any reason other
+// than a full fleet is dropped (and counted) rather than wedging the
 // queue. Returns the admissions, tags attached.
+//
+// For model-scoring policies the equilibrium solves run *outside* the
+// fleet lock against a version-stamped view: Submit, CancelQueued,
+// QueueDepth, and State are never blocked behind a scoring pass, and a
+// commit only lands when the fleet state is provably unchanged since the
+// view was captured (otherwise the head is re-scored — same decision a
+// fresh in-lock pass would make). A cancelled context returns with every
+// unplaced entry still queued: nothing is ever dropped between dequeue
+// and commit, so shutdown loses no submissions.
 func (f *Fleet) Pump(ctx context.Context) ([]Placed, error) {
 	// Resolve features for the current queue outside the lock first.
 	f.mu.Lock()
@@ -798,11 +877,21 @@ func (f *Fleet) Pump(ctx context.Context) ([]Placed, error) {
 	if err := f.resolveFeatures(ctx, pending); err != nil {
 		return nil, err
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.pumpLocked(ctx)
+	if f.cfg.Policy == Spread {
+		// Spread scores nothing (its rotation cursor is read during the
+		// decision, so there is no coherent detached view) — the in-lock
+		// pump holds the lock only for map probes.
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		out, err := f.pumpLocked(ctx)
+		f.flushJournalLocked()
+		return out, err
+	}
+	return f.pumpDetached(ctx)
 }
 
+// pumpLocked is the in-lock pump loop (queue cascades under Remove and
+// RestoreNode, and the Spread policy). Callers flush the journal.
 func (f *Fleet) pumpLocked(ctx context.Context) ([]Placed, error) {
 	f.pumpRound++
 	var out []Placed
@@ -810,46 +899,212 @@ func (f *Fleet) pumpLocked(ctx context.Context) ([]Placed, error) {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		// Admission order: highest priority class first, FIFO (ticket
-		// order) within a class — for the all-class-0 legacy queue that
-		// is exactly oldest-first. Entries still serving a preemption
-		// backoff are skipped, not blocking; everything else keeps the
-		// strict head-of-line contract.
-		head := -1
-		for i, q := range f.queue {
-			if q.key != "" && !f.ledger.Eligible(q.key, f.pumpRound) {
-				continue
-			}
-			if head < 0 || q.priority > f.queue[head].priority {
-				head = i
-			}
-		}
+		head := f.headLocked()
 		if head < 0 {
 			break
 		}
 		q := f.queue[head]
-		p, err := f.placeOneLocked(ctx, q.spec, PlaceOptions{Tag: q.tag, Priority: q.priority})
+		p, err := f.placeOneLocked(ctx, q.spec, PlaceOptions{Tag: q.tag, Priority: q.priority, ticket: q.ticket})
 		if errors.Is(err, ErrFleetFull) {
 			break
 		}
-		f.queue = append(f.queue[:head], f.queue[head+1:]...)
 		if err != nil {
-			f.qDropped.Inc()
+			f.dropQueuedLocked(head, q)
 			continue
 		}
-		if q.key != "" {
-			// The victim is resident again. Its ledger entry survives —
-			// attempts escalate across repeat preemptions of the same
-			// logical process and only a clean exit discharges them — and
-			// the identity re-attaches to the new instance.
-			f.attachKeyLocked(p, q)
-		}
-		p.Tag = q.tag
-		f.placed.Inc()
-		f.qAdmitted.Inc()
+		f.queue = append(f.queue[:head], f.queue[head+1:]...)
+		f.admitQueuedLocked(&p, q)
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// headLocked picks the next pumpable entry: highest priority class first,
+// FIFO (ticket order) within a class — for the all-class-0 legacy queue
+// that is exactly oldest-first. Entries still serving a preemption
+// backoff are skipped, not blocking; everything else keeps the strict
+// head-of-line contract. Returns -1 when nothing is eligible.
+func (f *Fleet) headLocked() int {
+	head := -1
+	for i, q := range f.queue {
+		if q.key != "" && !f.ledger.Eligible(q.key, f.pumpRound) {
+			continue
+		}
+		if head < 0 || q.priority > f.queue[head].priority {
+			head = i
+		}
+	}
+	return head
+}
+
+// ticketIndexLocked finds a queue entry by ticket (-1 when gone).
+func (f *Fleet) ticketIndexLocked(ticket int) int {
+	for i, q := range f.queue {
+		if q.ticket == ticket {
+			return i
+		}
+	}
+	return -1
+}
+
+// dropQueuedLocked discards queue entry i after a non-capacity placement
+// failure and journals the drop.
+func (f *Fleet) dropQueuedLocked(i int, q queued) {
+	f.queue = append(f.queue[:i], f.queue[i+1:]...)
+	f.qDropped.Inc()
+	f.journalLocked(wal.Event{Type: wal.EvDropped, Ticket: q.ticket})
+}
+
+// admitQueuedLocked records a queue entry's successful admission: the
+// preemption-ledger key re-attaches to the new instance (attempts
+// escalate across repeat preemptions of the same logical process; only a
+// clean exit discharges them), the tag is echoed, and the counters move.
+func (f *Fleet) admitQueuedLocked(p *Placed, q queued) {
+	if q.key != "" {
+		f.attachKeyLocked(*p, q)
+	}
+	p.Tag = q.tag
+	f.placed.Inc()
+	f.qAdmitted.Inc()
+}
+
+// pumpDetached is the scoring-policy pump loop: capture a consistent view
+// of the fleet under the lock, score it detached, then revalidate the
+// version stamp (and the entry's continued existence — cancellation wins)
+// before committing under the lock again.
+func (f *Fleet) pumpDetached(ctx context.Context) ([]Placed, error) {
+	var out []Placed
+	first := true
+	for {
+		f.mu.Lock()
+		if err := ctx.Err(); err != nil {
+			// Shutdown contract: an entry is only removed after its commit
+			// succeeded, so everything not yet admitted is still queued.
+			f.flushJournalLocked()
+			f.mu.Unlock()
+			return out, err
+		}
+		if first {
+			f.pumpRound++
+			first = false
+		}
+		head := f.headLocked()
+		if head < 0 {
+			f.flushJournalLocked()
+			f.mu.Unlock()
+			return out, nil
+		}
+		q := f.queue[head]
+		view, err := f.captureViewLocked(ctx, q.spec)
+		if err != nil {
+			f.dropQueuedLocked(head, q)
+			f.flushJournalLocked()
+			f.mu.Unlock()
+			continue
+		}
+		f.queue[head].pumping = true
+		f.mu.Unlock()
+
+		scores, serr := f.scoreViewDetached(ctx, view, q.spec, PlaceOptions{Priority: q.priority})
+		pick := -1
+		if serr == nil {
+			pick = f.pipe.pipe.Selector().Pick(scores)
+		}
+
+		f.mu.Lock()
+		idx := f.ticketIndexLocked(q.ticket)
+		if idx < 0 {
+			// Cancelled (or failed over) while scoring: nothing committed,
+			// nothing to do — CancelQueued's true stays truthful.
+			f.mu.Unlock()
+			continue
+		}
+		f.queue[idx].pumping = false
+		if serr != nil {
+			f.dropQueuedLocked(idx, q)
+			f.flushJournalLocked()
+			f.mu.Unlock()
+			continue
+		}
+		if pick >= 0 && f.nodes[pick].version != view.nodes[pick].ver {
+			// The winning node changed while scoring; its score is stale.
+			// Re-score — the fresh pass sees exactly what an in-lock pump
+			// would have. Changes on OTHER nodes don't invalidate: the
+			// winner's score is still exact, and the selection races the
+			// same way concurrent arrivals always have.
+			f.mu.Unlock()
+			continue
+		}
+		if pick < 0 && f.version != view.ver {
+			// "Nowhere fits" is a fleet-wide claim: any mutation anywhere
+			// (a departure may have freed capacity) invalidates it.
+			f.mu.Unlock()
+			continue
+		}
+		opts := PlaceOptions{Tag: q.tag, Priority: q.priority, ticket: q.ticket}
+		if pick < 0 {
+			if q.priority > 0 {
+				pp, ok, perr := f.preemptLocked(ctx, q.spec, opts)
+				if perr != nil {
+					f.discardJournalLocked()
+					f.dropQueuedLocked(idx, q)
+					f.flushJournalLocked()
+					f.mu.Unlock()
+					continue
+				}
+				if ok {
+					f.queue = append(f.queue[:idx], f.queue[idx+1:]...)
+					f.admitQueuedLocked(&pp, q)
+					f.flushJournalLocked()
+					f.mu.Unlock()
+					out = append(out, pp)
+					continue
+				}
+			}
+			// Nowhere fits: the head blocks the queue (strict head-of-line).
+			f.flushJournalLocked()
+			f.mu.Unlock()
+			return out, nil
+		}
+		p, err := f.commitLocked(ctx, q.spec, opts, pick, scores[pick])
+		if err != nil {
+			f.discardJournalLocked()
+			f.dropQueuedLocked(idx, q)
+			f.flushJournalLocked()
+			f.mu.Unlock()
+			continue
+		}
+		f.queue = append(f.queue[:idx], f.queue[idx+1:]...)
+		f.admitQueuedLocked(&p, q)
+		f.flushJournalLocked()
+		f.mu.Unlock()
+		out = append(out, p)
+	}
+}
+
+// journalLocked stages one event onto the current operation's batch
+// (free when no journal is configured).
+func (f *Fleet) journalLocked(e wal.Event) {
+	if f.cfg.Journal == nil {
+		return
+	}
+	f.jbuf = append(f.jbuf, e)
+}
+
+// flushJournalLocked hands the staged batch to the journal as one atomic
+// record and resets the buffer.
+func (f *Fleet) flushJournalLocked() {
+	if len(f.jbuf) == 0 {
+		return
+	}
+	f.cfg.Journal(f.jbuf)
+	f.jbuf = f.jbuf[:0]
+}
+
+// discardJournalLocked drops staged events after a rollback: a rolled-
+// back operation must leave no trace in the log.
+func (f *Fleet) discardJournalLocked() {
+	f.jbuf = f.jbuf[:0]
 }
 
 // attachKeyLocked re-binds a requeued victim's ledger key (and original
@@ -881,6 +1136,9 @@ func (f *Fleet) Remove(ctx context.Context, nodeName, instance string) ([]Placed
 	if err := n.mgr.Remove(instance); err != nil {
 		return nil, err
 	}
+	f.version++
+	n.version++
+	f.journalLocked(wal.Event{Type: wal.EvDeparted, Node: nodeName, Name: instance})
 	if m, ok := n.meta[instance]; ok {
 		// A clean exit discharges the preemption ledger: the next life of
 		// this workload starts with a fresh backoff budget.
@@ -889,7 +1147,11 @@ func (f *Fleet) Remove(ctx context.Context, nodeName, instance string) ([]Placed
 		}
 		delete(n.meta, instance)
 	}
-	return f.pumpLocked(ctx)
+	// The departure and its queue cascade are one operation batch: replay
+	// lands on the post-cascade state, never between.
+	out, err := f.pumpLocked(ctx)
+	f.flushJournalLocked()
+	return out, err
 }
 
 // FailNode simulates losing a machine: the node is marked down — placement,
@@ -927,6 +1189,12 @@ func (f *Fleet) FailNode(name string) ([]manager.Resident, error) {
 		}
 	}
 	n.meta = nil
+	f.version++
+	n.version++
+	// One event covers the eviction cascade: replay evicts the node's
+	// residents implicitly, so a per-resident departed would double-remove.
+	f.journalLocked(wal.Event{Type: wal.EvNodeDown, Node: name})
+	f.flushJournalLocked()
 	// Registered lazily so fleets that never lose a machine keep their
 	// /metrics exposition (and the server e2e golden) unchanged.
 	f.reg.Counter("fleet_node_down_total").Inc()
@@ -956,6 +1224,10 @@ func (f *Fleet) RestoreNode(ctx context.Context, name string) ([]Placed, error) 
 	// re-placed workloads elsewhere between fail and restore) are hygiene
 	// to drop, never a correctness requirement — keys are content-addressed.
 	f.invalidateNodeLocked(n)
+	f.version++
+	n.version++
+	f.journalLocked(wal.Event{Type: wal.EvNodeUp, Node: name})
+	f.flushJournalLocked()
 	f.reg.Counter("fleet_node_up_total").Inc()
 	f.mu.Unlock()
 	// Pump (not pumpLocked): queued features may need profiling against

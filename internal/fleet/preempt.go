@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"mpmc/internal/manager"
+	"mpmc/internal/wal"
 	"mpmc/internal/workload"
 )
 
@@ -110,6 +111,9 @@ func (f *Fleet) preemptLocked(ctx context.Context, spec *workload.Spec, opts Pla
 		return Placed{}, false, fmt.Errorf("fleet: preemption rolled back: %w", err)
 	}
 
+	// The arrival is committed (commitLocked stamped its node); the
+	// victim's node changed too.
+	vnode.version++
 	// The arrival is committed; now disposition the victim. Ledger key:
 	// reuse the victim's recorded identity so repeat preemptions escalate
 	// its backoff; first-time victims get the tag or a fresh ticket-based
@@ -150,6 +154,16 @@ func (f *Fleet) preemptLocked(ctx context.Context, spec *workload.Spec, opts Pla
 		f.reg.Counter("fleet_preempt_dropped_total").Inc()
 	}
 	f.reg.Counter("fleet_preempt_total").Inc()
+	// One journal event carries the whole victim disposition; it lands in
+	// the same batch as the arrival's admitted event, so replay sees the
+	// exchange atomically. (The admitted event precedes it in the batch —
+	// the arrival appends at the end of the resident order either way, so
+	// replay reproduces per-core arrival order exactly.)
+	f.journalLocked(wal.Event{
+		Type: wal.EvPreempted, Node: vnode.cfg.Name, Name: victim.Name,
+		Bench: victim.Spec.Name, Tag: vmeta.tag, Priority: vmeta.priority,
+		Requeued: info.Requeued, Ticket: info.Ticket,
+	})
 	p.Preempted = info
 	return p, true, nil
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether the race detector instruments this build;
+// the sustained-load assertions scale their throughput floor by it.
+const raceEnabled = false

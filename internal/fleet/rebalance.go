@@ -7,6 +7,7 @@ import (
 	"mpmc/internal/core"
 	"mpmc/internal/manager"
 	"mpmc/internal/parallel"
+	"mpmc/internal/wal"
 	"mpmc/internal/workload"
 )
 
@@ -195,14 +196,28 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	}
 	// A migrated resident keeps its scheduler metadata (priority class,
 	// tag, preemption-ledger identity) under its new instance name.
-	if meta, ok := srcN.meta[cd.res.Name]; ok {
+	var meta residentMeta
+	if m, ok := srcN.meta[cd.res.Name]; ok {
+		meta = m
 		delete(srcN.meta, cd.res.Name)
 		if dstN.meta == nil {
 			dstN.meta = map[string]residentMeta{}
 		}
-		dstN.meta[newName] = meta
+		dstN.meta[newName] = m
 	}
 	f.moves.Inc()
+	f.version++
+	srcN.version++
+	dstN.version++
+	// Both halves of the migration land in one journal batch, so replay
+	// sees the move atomically (departed first: the new instance appends
+	// at the end of the resident order, exactly like PlaceAt did).
+	f.journalLocked(wal.Event{Type: wal.EvDeparted, Node: srcN.cfg.Name, Name: cd.res.Name})
+	f.journalLocked(wal.Event{
+		Type: wal.EvAdmitted, Node: dstN.cfg.Name, Name: newName, Core: cd.dstCore,
+		Bench: cd.res.Spec.Name, Tag: meta.tag, Priority: meta.priority,
+	})
+	f.flushJournalLocked()
 	return Move{
 		From:        srcN.cfg.Name,
 		To:          dstN.cfg.Name,

@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpmc/internal/machine"
+	"mpmc/internal/metrics"
+	"mpmc/internal/workload"
+)
+
+// This file is the sharding equivalence sweep: an unsharded Fleet and a
+// Sharded fleet built from the same node list, seed, and policy are
+// driven through identical randomized traces, and every placement
+// decision — node, core, and bit-identical score — must match, along
+// with a running FNV-64a digest of the full decision sequence. The sweep
+// covers all shardable policies (Spread is serial and rejected by
+// NewSharded), cold and cached scoring, worker counts 1..3, and machine
+// failures mid-trace.
+
+// shardablePolicies are the policies NewSharded accepts with shards > 1.
+func shardablePolicies() []Policy {
+	var out []Policy
+	for _, p := range Policies() {
+		if p != Spread {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// equivNodePair builds two structurally identical node lists (fresh
+// machine instances, same kinds and limits) so the two fleets never
+// share mutable state.
+func equivNodePair(t *testing.T, r *rand.Rand, nNodes int) (a, b []NodeConfig) {
+	t.Helper()
+	pm := testPower(t)
+	kinds := []func() *machine.Machine{
+		machine.TwoCoreWorkstation, machine.TwoCoreLaptop, machine.FourCoreServer,
+	}
+	a = make([]NodeConfig, nNodes)
+	b = make([]NodeConfig, nNodes)
+	for i := 0; i < nNodes; i++ {
+		k := r.Intn(len(kinds))
+		mpc := 1 + r.Intn(2)
+		a[i] = NodeConfig{Machine: kinds[k](), Power: pm, MaxPerCore: mpc}
+		b[i] = NodeConfig{Machine: kinds[k](), Power: pm, MaxPerCore: mpc}
+	}
+	return a, b
+}
+
+// runShardedEquivSweep drives one randomized trace through an unsharded
+// and a sharded fleet in lockstep, failing at the first divergence and
+// comparing decision digests at the end.
+func runShardedEquivSweep(t *testing.T, seed int64, cacheCap int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	pols := shardablePolicies()
+	policy := pols[int(seed)%len(pols)]
+	nNodes := 3 + r.Intn(4)
+	shards := 2 + r.Intn(2)
+	if shards > nNodes {
+		shards = nNodes
+	}
+	flatNodes, shardNodes := equivNodePair(t, r, nNodes)
+	fseed := uint64(r.Int63())
+	workers := 1 + r.Intn(3)
+	flat, err := New(Config{
+		Nodes: flatNodes, Policy: policy, QueueCap: 4, Seed: fseed,
+		Workers: workers, ScoreCacheCap: cacheCap, Profile: oracle(nil, 0),
+		Registry: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	sharded, err := NewSharded(Config{
+		Nodes: shardNodes, Policy: policy, QueueCap: 4, Seed: fseed,
+		Workers: workers, ScoreCacheCap: cacheCap, Profile: oracle(nil, 0),
+		Registry: metrics.NewRegistry(),
+	}, shards)
+	if err != nil {
+		t.Fatalf("fleet.NewSharded: %v", err)
+	}
+
+	ctx := context.Background()
+	suite := workload.Suite()
+	flatDigest, shardDigest := fnv.New64a(), fnv.New64a()
+	type placedRef struct{ node, name string }
+	var residents []placedRef
+
+	events := 25 + r.Intn(15)
+	for ev := 0; ev < events; ev++ {
+		switch op := r.Intn(10); {
+		case op < 6: // arrival
+			spec := suite[r.Intn(len(suite))]
+			fp, ferr := flat.Place(ctx, spec)
+			sp, serr := sharded.Place(ctx, spec)
+			if (ferr == nil) != (serr == nil) {
+				t.Fatalf("seed %d ev %d (%s, %s): flat err=%v, sharded err=%v",
+					seed, ev, policy, spec.Name, ferr, serr)
+			}
+			if ferr != nil {
+				continue
+			}
+			if fp.Node != sp.Node || fp.Core != sp.Core || fp.Name != sp.Name {
+				t.Fatalf("seed %d ev %d (%s, %s): flat %s/core%d/%s, sharded %s/core%d/%s",
+					seed, ev, policy, spec.Name, fp.Node, fp.Core, fp.Name, sp.Node, sp.Core, sp.Name)
+			}
+			if fp.Score != sp.Score && !(math.IsNaN(fp.Score) && math.IsNaN(sp.Score)) {
+				t.Fatalf("seed %d ev %d: score %v != %v (must be bit-identical)", seed, ev, fp.Score, sp.Score)
+			}
+			fmt.Fprintf(flatDigest, "%s/%d/%s/%x;", fp.Node, fp.Core, fp.Name, math.Float64bits(fp.Score))
+			fmt.Fprintf(shardDigest, "%s/%d/%s/%x;", sp.Node, sp.Core, sp.Name, math.Float64bits(sp.Score))
+			residents = append(residents, placedRef{fp.Node, fp.Name})
+		case op < 9: // departure
+			if len(residents) == 0 {
+				continue
+			}
+			i := r.Intn(len(residents))
+			ref := residents[i]
+			residents = append(residents[:i], residents[i+1:]...)
+			if _, err := flat.Remove(ctx, ref.node, ref.name); err != nil {
+				t.Fatalf("seed %d ev %d: flat remove %s/%s: %v", seed, ev, ref.node, ref.name, err)
+			}
+			if _, err := sharded.Remove(ctx, ref.node, ref.name); err != nil {
+				t.Fatalf("seed %d ev %d: sharded remove %s/%s: %v", seed, ev, ref.node, ref.name, err)
+			}
+		default: // fail + restore one machine (evicts its residents)
+			name := flat.NodeNames()[r.Intn(nNodes)]
+			fev, ferr := flat.FailNode(name)
+			sev, serr := sharded.FailNode(name)
+			if (ferr == nil) != (serr == nil) {
+				t.Fatalf("seed %d ev %d: fail %s: flat err=%v, sharded err=%v", seed, ev, name, ferr, serr)
+			}
+			if ferr != nil {
+				continue
+			}
+			if len(fev) != len(sev) {
+				t.Fatalf("seed %d ev %d: fail %s evicted %d vs %d residents", seed, ev, name, len(fev), len(sev))
+			}
+			kept := residents[:0]
+			for _, ref := range residents {
+				if ref.node != name {
+					kept = append(kept, ref)
+				}
+			}
+			residents = kept
+			if _, err := flat.RestoreNode(ctx, name); err != nil {
+				t.Fatalf("seed %d ev %d: flat restore %s: %v", seed, ev, name, err)
+			}
+			if _, err := sharded.RestoreNode(ctx, name); err != nil {
+				t.Fatalf("seed %d ev %d: sharded restore %s: %v", seed, ev, name, err)
+			}
+		}
+	}
+	if f, s := flatDigest.Sum64(), shardDigest.Sum64(); f != s {
+		t.Fatalf("seed %d: decision digest %016x != sharded %016x", seed, f, s)
+	}
+
+	// Terminal cross-check: identical cluster layout, byte for byte.
+	fi, si := flat.Inspect(), sharded.Inspect()
+	if len(fi) != len(si) {
+		t.Fatalf("seed %d: inspect length %d != %d", seed, len(fi), len(si))
+	}
+	for i := range fi {
+		if fi[i].Name != si[i].Name || len(fi[i].Residents) != len(si[i].Residents) {
+			t.Fatalf("seed %d: node %d layout diverged: %+v vs %+v", seed, i, fi[i], si[i])
+		}
+		for j := range fi[i].Residents {
+			fr, sr := fi[i].Residents[j], si[i].Residents[j]
+			if fr.Name != sr.Name || fr.Core != sr.Core || fr.Spec.Name != sr.Spec.Name {
+				t.Fatalf("seed %d: node %s resident %d: %s/core%d/%s vs %s/core%d/%s",
+					seed, fi[i].Name, j, fr.Name, fr.Core, fr.Spec.Name, sr.Name, sr.Core, sr.Spec.Name)
+			}
+		}
+	}
+}
+
+// TestShardedEquivalence is the 150-seed sweep: a sharded fleet must
+// decide identically to the unsharded scheduler — same node, core,
+// instance name, and bit-identical score, same decision digest — across
+// randomized heterogeneous fleets, shard counts, traces, and failures.
+func TestShardedEquivalence(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 24
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			cacheCap := 0 // default: cached
+			if seed%3 == 0 {
+				cacheCap = -1 // cold: every decision re-solved
+			}
+			runShardedEquivSweep(t, int64(seed), cacheCap)
+		})
+	}
+}

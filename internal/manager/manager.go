@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 
 	"mpmc/internal/core"
@@ -478,6 +479,40 @@ func (mgr *Manager) PlaceAt(ctx context.Context, spec *workload.Spec, c int) (na
 	mgr.specs[name] = spec
 	mgr.version++
 	return name, watts, nil
+}
+
+// Adopt reinstates a recovered instance under its original name on a
+// specific core — the WAL recovery path. Unlike PlaceAt it allocates no
+// instance name: the name is the logbook's, and the ID counter only
+// ratchets past any adopted "#<id>" suffix so future placements never
+// collide with recovered names. Admissibility is still enforced; no
+// power estimate is computed (recovery replays facts, not decisions).
+func (mgr *Manager) Adopt(ctx context.Context, spec *workload.Spec, name string, c int) error {
+	f, err := mgr.FeatureOf(ctx, spec)
+	if err != nil {
+		return err
+	}
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if c < 0 || c >= mgr.mach.NumCores {
+		return fmt.Errorf("manager: core %d out of range [0,%d)", c, mgr.mach.NumCores)
+	}
+	if _, ok := mgr.specs[name]; ok {
+		return fmt.Errorf("manager: instance %q already resident", name)
+	}
+	if !mgr.admissible(c) {
+		return fmt.Errorf("manager: core %d: %w (MaxPerCore=%d)", c, ErrMachineFull, mgr.opts.MaxPerCore)
+	}
+	if i := strings.LastIndexByte(name, '#'); i >= 0 {
+		if id, aerr := strconv.Atoi(name[i+1:]); aerr == nil && id > mgr.nextID {
+			mgr.nextID = id
+		}
+	}
+	mgr.procs[c] = append(mgr.procs[c], name)
+	mgr.features[name] = f
+	mgr.specs[name] = spec
+	mgr.version++
+	return nil
 }
 
 // Resident describes one placed instance: its unique name, the core it

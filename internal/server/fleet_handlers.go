@@ -1,22 +1,35 @@
 // Fleet endpoints: the cluster scheduler behind the same HTTP discipline
 // as the single-machine surface. Served only when Config.Fleet is set:
 //
-//	POST /v1/fleet/place      admit instances fleet-wide (transactional, or queued)
-//	POST /v1/fleet/rebalance  one cross-machine rebalance pass
-//	GET  /v1/fleet/state      per-machine residents, model estimates, queue
+//	POST   /v1/fleet/place              admit instances fleet-wide (transactional, queued, or async)
+//	GET    /v1/fleet/ticket/{id}        async placement ticket (?watch=1 long-polls to a terminal state)
+//	DELETE /v1/fleet/ticket/{id}        cancel a still-queued async placement
+//	DELETE /v1/fleet/place/{node}/{name} remove a fleet resident (process exit)
+//	POST   /v1/fleet/rebalance          one cross-machine rebalance pass
+//	GET    /v1/fleet/state              per-machine residents, model estimates, queue
 //
 // A rebalance pass that finds no move worth making is a successful
 // no-op — HTTP 200 with moved:false — not an error: "nothing to improve"
 // is a routine answer, and surfacing it as 4xx/5xx would page someone.
+//
+// async:true on place detaches the head-of-line wait: the response is an
+// immediate 202 with a ticket, and the placement runs in a background
+// worker (bounded by the request timeout, drained on shutdown). The
+// ticket reports queued → placed / failed / cancelled; DELETE cancels
+// only while nothing has executed, so cancelled always means "the fleet
+// never saw it".
 
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http"
+	"strings"
 
 	"mpmc/internal/fleet"
 	"mpmc/internal/manager"
+	"mpmc/internal/workload"
 )
 
 // FleetPlacementInfo is one fleet-wide admitted instance.
@@ -54,6 +67,9 @@ type FleetRebalanceResponse struct {
 // configured).
 func (s *Server) fleetRoutes() {
 	s.mux.HandleFunc("POST /v1/fleet/place", s.instrument("fleet_place", s.handleFleetPlace))
+	s.mux.HandleFunc("DELETE /v1/fleet/place/{node}/{name}", s.instrument("fleet_unplace", s.handleFleetUnplace))
+	s.mux.HandleFunc("GET /v1/fleet/ticket/{id}", s.instrument("fleet_ticket", s.handleFleetTicket))
+	s.mux.HandleFunc("DELETE /v1/fleet/ticket/{id}", s.instrument("fleet_ticket_cancel", s.handleFleetTicketCancel))
 	s.mux.HandleFunc("POST /v1/fleet/rebalance", s.instrument("fleet_rebalance", s.handleFleetRebalance))
 	s.mux.HandleFunc("GET /v1/fleet/state", s.instrument("fleet_state", s.handleFleetState))
 }
@@ -73,13 +89,28 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error 
 	if req.Priority > 0 && !req.Queue {
 		return badRequest("bad_request", "priority requires queue mode: preemption victims are requeued, which the transactional batch cannot roll back")
 	}
-	resp := FleetPlaceResponse{Placements: []FleetPlacementInfo{}}
+	if req.Async {
+		return s.startAsyncPlace(w, specs, req)
+	}
+	resp, err := s.executeFleetPlace(r.Context(), specs, req)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// executeFleetPlace runs one placement request — transactional or
+// best-effort queued — and is shared by the synchronous handler and the
+// async ticket worker.
+func (s *Server) executeFleetPlace(ctx context.Context, specs []*workload.Spec, req FleetPlaceRequest) (*FleetPlaceResponse, error) {
+	resp := &FleetPlaceResponse{Placements: []FleetPlacementInfo{}}
 	if req.Queue {
 		// Best-effort per instance: place what fits, queue the rest. A
 		// positive priority class may preempt lower-class residents; the
 		// victim's disposition rides back on the placement.
 		for _, spec := range specs {
-			p, err := s.fleet.PlaceWith(r.Context(), spec, fleet.PlaceOptions{Priority: req.Priority})
+			p, err := s.fleet.PlaceWith(ctx, spec, fleet.PlaceOptions{Priority: req.Priority})
 			switch {
 			case err == nil:
 				resp.Placements = append(resp.Placements, FleetPlacementInfo{
@@ -88,17 +119,17 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error 
 				})
 			case errors.Is(err, fleet.ErrFleetFull):
 				if _, qerr := s.fleet.SubmitWith(spec, "", req.Priority); qerr != nil {
-					return qerr
+					return nil, qerr
 				}
 				resp.Queued = append(resp.Queued, spec.Name)
 			default:
-				return err
+				return nil, err
 			}
 		}
 	} else {
-		placed, err := s.fleet.PlaceAll(r.Context(), specs)
+		placed, err := s.fleet.PlaceAll(ctx, specs)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for i, p := range placed {
 			resp.Placements = append(resp.Placements, FleetPlacementInfo{
@@ -107,6 +138,101 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error 
 		}
 	}
 	resp.QueueDepth = s.fleet.QueueDepth()
+	return resp, nil
+}
+
+// startAsyncPlace acknowledges the request with a 202 + ticket and hands
+// the placement to a background worker. The worker's context is detached
+// from the request (the client already has its answer) but keeps the
+// request-timeout bound, and is tracked by asyncWG so shutdown drains it.
+func (s *Server) startAsyncPlace(w http.ResponseWriter, specs []*workload.Spec, req FleetPlaceRequest) error {
+	tk := s.tickets.create(req.Benches)
+	s.reg.Counter("fleet_tickets_created_total").Inc()
+	s.asyncWG.Add(1)
+	go func() {
+		defer s.asyncWG.Done()
+		if !s.tickets.claim(tk) {
+			return // cancelled before execution: the fleet never saw it
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		resp, err := s.executeFleetPlace(ctx, specs, req)
+		if err != nil {
+			s.reg.Counter("fleet_tickets_failed_total").Inc()
+			s.tickets.complete(tk, nil, toAPIError(err))
+			return
+		}
+		s.reg.Counter("fleet_tickets_placed_total").Inc()
+		s.tickets.complete(tk, resp, nil)
+	}()
+	writeJSON(w, http.StatusAccepted, s.tickets.snapshot(tk))
+	return nil
+}
+
+func (s *Server) handleFleetTicket(w http.ResponseWriter, r *http.Request) error {
+	tk := s.tickets.get(r.PathValue("id"))
+	if tk == nil {
+		return unknownTicket(r.PathValue("id"))
+	}
+	if r.URL.Query().Get("watch") == "1" {
+		// Long-poll: wait for a terminal state within the request deadline;
+		// on timeout report the current (still queued) state — 200, not an
+		// error, so pollers distinguish "pending" from "broken".
+		select {
+		case <-tk.done:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, s.tickets.snapshot(tk))
+	return nil
+}
+
+func (s *Server) handleFleetTicketCancel(w http.ResponseWriter, r *http.Request) error {
+	tk := s.tickets.get(r.PathValue("id"))
+	if tk == nil {
+		return unknownTicket(r.PathValue("id"))
+	}
+	if !s.tickets.cancel(tk) {
+		snap := s.tickets.snapshot(tk)
+		return &apiError{
+			Status: http.StatusConflict,
+			Code:   "ticket_not_cancellable",
+			Message: "ticket " + tk.id + " is " + snap.State +
+				": its placement has executed (or is executing) and will be reported on the ticket",
+		}
+	}
+	s.reg.Counter("fleet_tickets_cancelled_total").Inc()
+	writeJSON(w, http.StatusOK, s.tickets.snapshot(tk))
+	return nil
+}
+
+// FleetUnplaceResponse answers DELETE /v1/fleet/place/{node}/{name}: the
+// removal plus any queued arrivals pumped into the freed capacity.
+type FleetUnplaceResponse struct {
+	Removed    string               `json:"removed"`
+	Node       string               `json:"node"`
+	Pumped     []FleetPlacementInfo `json:"pumped,omitempty"`
+	QueueDepth int                  `json:"queue_depth"`
+}
+
+func (s *Server) handleFleetUnplace(w http.ResponseWriter, r *http.Request) error {
+	node, name := r.PathValue("node"), r.PathValue("name")
+	pumped, err := s.fleet.Remove(r.Context(), node, name)
+	if err != nil {
+		return err
+	}
+	resp := FleetUnplaceResponse{Removed: name, Node: node, QueueDepth: s.fleet.QueueDepth()}
+	for _, p := range pumped {
+		// Instance names are "<bench>#<id>"; recover the bench for the
+		// response the same way the manager minted the name.
+		bench := p.Name
+		if i := strings.LastIndexByte(bench, '#'); i >= 0 {
+			bench = bench[:i]
+		}
+		resp.Pumped = append(resp.Pumped, FleetPlacementInfo{
+			Bench: bench, Node: p.Node, Name: p.Name, Core: p.Core, Watts: p.Watts,
+		})
+	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -317,5 +318,114 @@ func TestFleetMetricsExposition(t *testing.T) {
 	}
 	if strings.Contains(text, "fleet_machine_milliwatts{node=\"m0\"} -1") {
 		t.Error("fleet power gauge reports the failure sentinel")
+	}
+}
+
+// TestFleetUnplacePumpsQueue drives DELETE /v1/fleet/place/{node}/{name}:
+// the removal frees a slot, the queued arrival is pumped into it, and the
+// response reports both; unknown targets get the typed 404.
+func TestFleetUnplacePumpsQueue(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 4)
+
+	// Fill all 16 slots, remembering one placement to remove.
+	var victim FleetPlacementInfo
+	for i := 0; i < 4; i++ {
+		status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art","gzip","vpr"]}`)
+		if status != http.StatusOK {
+			t.Fatalf("fill %d status %d: %s", i, status, raw)
+		}
+		var pr FleetPlaceResponse
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			t.Fatal(err)
+		}
+		victim = pr.Placements[0]
+	}
+
+	// Queue one arrival behind the full fleet.
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["swim"],"queue":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("queue place status %d: %s", status, raw)
+	}
+	if !strings.Contains(string(raw), `"queued":["swim"]`) {
+		t.Fatalf("expected swim queued: %s", raw)
+	}
+
+	status, raw = do(t, ts, "DELETE", "/v1/fleet/place/"+victim.Node+"/"+url.PathEscape(victim.Name), "")
+	if status != http.StatusOK {
+		t.Fatalf("unplace status %d: %s", status, raw)
+	}
+	var ur FleetUnplaceResponse
+	if err := json.Unmarshal(raw, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Removed != victim.Name || ur.Node != victim.Node {
+		t.Fatalf("unplace response %s", raw)
+	}
+	if len(ur.Pumped) != 1 || ur.Pumped[0].Bench != "swim" || ur.QueueDepth != 0 {
+		t.Fatalf("freed slot did not pump the queue: %s", raw)
+	}
+
+	status, raw = do(t, ts, "DELETE", "/v1/fleet/place/nope/ghost", "")
+	wantAPIError(t, status, raw, http.StatusNotFound, "unknown_node")
+}
+
+// TestFleetShardedBackend serves the /v1/fleet surface from a sharded
+// fleet: the HTTP layer is backend-agnostic, so placement, state, and
+// unplace behave exactly as with the single-lock fleet.
+func TestFleetShardedBackend(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pm := fitPowerModel(t)
+	var nodes []fleet.NodeConfig
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, fleet.NodeConfig{
+			Machine:    machine.TwoCoreWorkstation(),
+			Power:      pm,
+			MaxPerCore: 2,
+		})
+	}
+	fl, err := fleet.NewSharded(fleet.Config{
+		Nodes:    nodes,
+		Policy:   fleet.LeastDegradation,
+		QueueCap: 4,
+		Seed:     1,
+		Workers:  2,
+		Profile:  fleet.ProfileFunc(oracleProfile(nil, 0)),
+		Registry: reg,
+	}, 2)
+	if err != nil {
+		t.Fatalf("fleet.NewSharded: %v", err)
+	}
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Fleet = fl
+		c.Registry = reg
+	})
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art","gzip"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("place status %d: %s", status, raw)
+	}
+	var pr FleetPlaceResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 3 {
+		t.Fatalf("placements %s", raw)
+	}
+
+	var st fleet.State
+	status, sraw := do(t, ts, "GET", "/v1/fleet/state", "")
+	if status != http.StatusOK {
+		t.Fatalf("state status %d: %s", status, sraw)
+	}
+	if err := json.Unmarshal(sraw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 3 || len(st.Nodes) != 4 {
+		t.Fatalf("sharded state %s", sraw)
+	}
+
+	status, raw = do(t, ts, "DELETE", "/v1/fleet/place/"+pr.Placements[0].Node+"/"+url.PathEscape(pr.Placements[0].Name), "")
+	if status != http.StatusOK {
+		t.Fatalf("unplace status %d: %s", status, raw)
 	}
 }

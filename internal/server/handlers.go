@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -153,6 +154,9 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 		if err != nil {
 			ae := toAPIError(err)
 			errCode = ae.Code
+			if ae.RetryAfter > 0 {
+				sw.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfter))
+			}
 			writeJSON(sw, ae.Status, errorEnvelope{Error: ae})
 		}
 		elapsed := time.Since(start)
@@ -193,7 +197,10 @@ func toAPIError(err error) *apiError {
 	case errors.Is(err, fleet.ErrFleetFull):
 		return &apiError{Status: http.StatusConflict, Code: "fleet_full", Message: err.Error()}
 	case errors.Is(err, fleet.ErrQueueFull):
-		return &apiError{Status: http.StatusTooManyRequests, Code: "queue_full", Message: err.Error()}
+		// 429 with Retry-After: the queue drains as residents depart, so
+		// "one second" is honest backpressure, not a magic number — it is
+		// the shortest standard granularity, and clients double from there.
+		return &apiError{Status: http.StatusTooManyRequests, Code: "queue_full", Message: err.Error(), RetryAfter: 1}
 	case errors.Is(err, fleet.ErrUnknownNode):
 		return &apiError{Status: http.StatusNotFound, Code: "unknown_node", Message: err.Error()}
 	case errors.Is(err, manager.ErrMachineFull):

@@ -26,6 +26,10 @@ type apiError struct {
 	Status  int    `json:"-"`
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfter, when positive, is surfaced as a Retry-After header (in
+	// seconds) — set for backpressure errors like queue_full so clients
+	// and proxies get a standard signal instead of parsing the body.
+	RetryAfter int `json:"-"`
 }
 
 func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
@@ -78,6 +82,11 @@ type PlaceRequest struct {
 type FleetPlaceRequest struct {
 	Benches []string `json:"benches"`
 	Queue   bool     `json:"queue,omitempty"`
+	// Async detaches the placement from the request: the response is an
+	// immediate 202 with a ticket, and GET /v1/fleet/ticket/{id} (or its
+	// ?watch=1 long-poll) reports the outcome. Composes with Queue and
+	// Priority; the background execution is identical.
+	Async bool `json:"async,omitempty"`
 	// Priority is the arrivals' priority class. Positive classes may
 	// preempt lower-class residents when the fleet is full; evicted
 	// victims re-enter the admission queue with backoff. Priority

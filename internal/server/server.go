@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"mpmc/internal/cache"
@@ -82,22 +83,46 @@ type Config struct {
 	// Profile overrides the profiling implementation (nil = core.Profile).
 	Profile ProfileFunc
 	// Fleet optionally attaches a cluster scheduler; when set, the
-	// /v1/fleet/* routes are served. Pass the same Registry to the fleet
-	// and the server so the fleet gauges appear in this server's /metrics.
-	Fleet *fleet.Fleet
+	// /v1/fleet/* routes are served. Both *fleet.Fleet and *fleet.Sharded
+	// satisfy the interface. Pass the same Registry to the fleet and the
+	// server so the fleet gauges appear in this server's /metrics.
+	// Assign conditionally — a typed-nil pointer in the interface would
+	// read as "fleet present".
+	Fleet FleetBackend
+}
+
+// FleetBackend is the cluster-scheduler surface the HTTP tier serves.
+// *fleet.Fleet implements it directly; *fleet.Sharded implements it with
+// per-group locking so placements on disjoint machines commit
+// concurrently.
+type FleetBackend interface {
+	PlaceWith(ctx context.Context, spec *workload.Spec, opts fleet.PlaceOptions) (fleet.Placed, error)
+	PlaceAll(ctx context.Context, specs []*workload.Spec) ([]fleet.Placed, error)
+	SubmitWith(spec *workload.Spec, tag string, priority int) (int, error)
+	CancelQueued(ticket int) bool
+	QueueDepth() int
+	Pump(ctx context.Context) ([]fleet.Placed, error)
+	Remove(ctx context.Context, node, instance string) ([]fleet.Placed, error)
+	Rebalance(ctx context.Context, minImprovement float64) (fleet.Move, error)
+	State(ctx context.Context) (*fleet.State, error)
 }
 
 // Server is the resident prediction and placement service.
 type Server struct {
-	cfg   Config
-	mach  *machine.Machine
-	cm    *core.CombinedModel
-	mgr   *manager.Manager
-	feats *featureCache
-	fleet *fleet.Fleet
-	reg   *metrics.Registry
-	log   *slog.Logger
-	mux   *http.ServeMux
+	cfg     Config
+	mach    *machine.Machine
+	cm      *core.CombinedModel
+	mgr     *manager.Manager
+	feats   *featureCache
+	fleet   FleetBackend
+	tickets *ticketStore
+	// asyncWG tracks async placement workers so graceful shutdown drains
+	// them: an accepted ticket either completes or fails visibly, never
+	// silently dies with the process.
+	asyncWG sync.WaitGroup
+	reg     *metrics.Registry
+	log     *slog.Logger
+	mux     *http.ServeMux
 }
 
 // New validates cfg, applies defaults, and assembles the service.
@@ -131,12 +156,13 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:   cfg,
-		mach:  cfg.Machine,
-		cm:    core.NewCombinedModel(cfg.Machine, cfg.Power),
-		fleet: cfg.Fleet,
-		reg:   cfg.Registry,
-		log:   cfg.Logger,
+		cfg:     cfg,
+		mach:    cfg.Machine,
+		cm:      core.NewCombinedModel(cfg.Machine, cfg.Power),
+		fleet:   cfg.Fleet,
+		tickets: newTicketStore(),
+		reg:     cfg.Registry,
+		log:     cfg.Logger,
 	}
 	s.feats = newFeatureCache(s)
 	s.mgr = manager.New(cfg.Machine, cfg.Power, manager.Options{
@@ -158,7 +184,11 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // ListenAndServe runs the service on addr until ctx is cancelled, then
 // shuts down gracefully, draining in-flight requests (profiling included)
-// for up to grace.
+// AND in-flight async placement workers for up to grace. The async drain
+// runs after the HTTP drain: an accepted ticket's placement either
+// commits or fails visibly before the process exits, so the fleet's
+// queue ledger (submitted = admitted + abandoned + dropped + depth)
+// balances across a shutdown.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -174,7 +204,23 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("server: shutdown: %w", err)
 	}
-	return nil
+	return s.drainAsync(shutdownCtx)
+}
+
+// drainAsync waits for outstanding async placement workers within the
+// shutdown grace window.
+func (s *Server) drainAsync(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.asyncWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: async placements still in flight: %w", ctx.Err())
+	}
 }
 
 // featureCache is the server's FeatureSource: a bounded LRU of profiled

@@ -1,0 +1,171 @@
+// Placement tickets: the async face of POST /v1/fleet/place. A request
+// with async:true is acknowledged immediately with a ticket; a background
+// worker (detached from the request's cancellation, but bounded by the
+// request timeout and drained on shutdown) runs the same placement logic,
+// and the ticket reports queued → placed / failed / cancelled.
+//
+// Cancellation discipline mirrors the fleet queue's cancel-vs-pump
+// contract: a worker claims its ticket before executing, and DELETE on a
+// claimed ticket reports conflict — the placement will land, and the
+// ticket will say so — so a true cancel always means "nothing happened".
+
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+const (
+	ticketQueued    = "queued"
+	ticketPlaced    = "placed"
+	ticketFailed    = "failed"
+	ticketCancelled = "cancelled"
+)
+
+// TicketResponse is the wire form of a placement ticket.
+type TicketResponse struct {
+	Ticket  string   `json:"ticket"`
+	State   string   `json:"state"`
+	Benches []string `json:"benches"`
+	// Result carries the placement outcome once State is "placed".
+	Result *FleetPlaceResponse `json:"result,omitempty"`
+	// Error carries the failure once State is "failed".
+	Error *apiError `json:"error,omitempty"`
+	// Watch is the long-poll URL for this ticket.
+	Watch string `json:"watch,omitempty"`
+}
+
+// ticket is one async placement's lifecycle record.
+type ticket struct {
+	id      string
+	state   string
+	benches []string
+	result  *FleetPlaceResponse
+	err     *apiError
+	// claimed is set by the worker before it executes: a claimed ticket
+	// refuses cancellation (the placement is in flight and will land).
+	claimed bool
+	// done closes when the ticket reaches a terminal state.
+	done chan struct{}
+}
+
+// ticketStoreCap bounds retained tickets; the oldest terminal tickets
+// are evicted first, so a burst of async traffic cannot grow memory
+// without bound while live tickets stay resolvable.
+const ticketStoreCap = 4096
+
+type ticketStore struct {
+	mu    sync.Mutex
+	seq   int
+	byID  map[string]*ticket
+	order []string
+}
+
+func newTicketStore() *ticketStore {
+	return &ticketStore{byID: map[string]*ticket{}}
+}
+
+// create mints a queued ticket.
+func (ts *ticketStore) create(benches []string) *ticket {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.seq++
+	tk := &ticket{
+		id:      "t-" + strconv.Itoa(ts.seq),
+		state:   ticketQueued,
+		benches: benches,
+		done:    make(chan struct{}),
+	}
+	ts.byID[tk.id] = tk
+	ts.order = append(ts.order, tk.id)
+	ts.evictLocked()
+	return tk
+}
+
+// evictLocked drops the oldest terminal tickets over capacity. Live
+// (queued) tickets are never evicted; the store can only exceed its cap
+// while more than ticketStoreCap placements are genuinely in flight.
+func (ts *ticketStore) evictLocked() {
+	if len(ts.order) <= ticketStoreCap {
+		return
+	}
+	kept := ts.order[:0]
+	over := len(ts.order) - ticketStoreCap
+	for _, id := range ts.order {
+		tk := ts.byID[id]
+		if over > 0 && tk != nil && tk.state != ticketQueued {
+			delete(ts.byID, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	ts.order = kept
+}
+
+func (ts *ticketStore) get(id string) *ticket {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.byID[id]
+}
+
+// claim marks a queued ticket as executing; false means the ticket was
+// already cancelled (the worker must not run it).
+func (ts *ticketStore) claim(tk *ticket) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if tk.state != ticketQueued {
+		return false
+	}
+	tk.claimed = true
+	return true
+}
+
+// complete transitions a claimed ticket to its terminal state.
+func (ts *ticketStore) complete(tk *ticket, result *FleetPlaceResponse, err *apiError) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if tk.state != ticketQueued {
+		return
+	}
+	if err != nil {
+		tk.state, tk.err = ticketFailed, err
+	} else {
+		tk.state, tk.result = ticketPlaced, result
+	}
+	close(tk.done)
+}
+
+// cancel withdraws a queued, unclaimed ticket. ok reports success;
+// conflict reports a claimed-or-terminal ticket that cannot cancel.
+func (ts *ticketStore) cancel(tk *ticket) (ok bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if tk.state != ticketQueued || tk.claimed {
+		return false
+	}
+	tk.state = ticketCancelled
+	close(tk.done)
+	return true
+}
+
+// snapshot renders the ticket's current state for the wire.
+func (ts *ticketStore) snapshot(tk *ticket) TicketResponse {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return TicketResponse{
+		Ticket:  tk.id,
+		State:   tk.state,
+		Benches: tk.benches,
+		Result:  tk.result,
+		Error:   tk.err,
+		Watch:   "/v1/fleet/ticket/" + tk.id + "?watch=1",
+	}
+}
+
+// unknownTicket maps a missing ticket onto the typed 404.
+func unknownTicket(id string) *apiError {
+	return &apiError{Status: http.StatusNotFound, Code: "unknown_ticket", Message: "no ticket " + id}
+}

@@ -1,0 +1,342 @@
+package server
+
+// Async placement ticket lifecycle, cancellation semantics, the
+// Retry-After contract on queue_full, and the shutdown drain of
+// in-flight async workers.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpmc/internal/fleet"
+	"mpmc/internal/workload"
+)
+
+// gatedFleet is a FleetBackend stub whose placement calls park on a gate,
+// so tests can hold an async worker mid-execution deterministically.
+type gatedFleet struct {
+	mu      sync.Mutex
+	gate    chan struct{} // placement calls block here until closed
+	entered chan struct{} // closed when the first placement call arrives
+	once    sync.Once
+	placed  int
+}
+
+func newGatedFleet() *gatedFleet {
+	return &gatedFleet{gate: make(chan struct{}), entered: make(chan struct{})}
+}
+
+func (g *gatedFleet) park(ctx context.Context) error {
+	g.once.Do(func() { close(g.entered) })
+	select {
+	case <-g.gate:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gatedFleet) PlaceWith(ctx context.Context, spec *workload.Spec, opts fleet.PlaceOptions) (fleet.Placed, error) {
+	if err := g.park(ctx); err != nil {
+		return fleet.Placed{}, err
+	}
+	g.mu.Lock()
+	g.placed++
+	n := g.placed
+	g.mu.Unlock()
+	return fleet.Placed{Node: "stub0", Name: fmt.Sprintf("%s#%d", spec.Name, n), Core: 0}, nil
+}
+
+func (g *gatedFleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]fleet.Placed, error) {
+	out := make([]fleet.Placed, len(specs))
+	for i, spec := range specs {
+		p, err := g.PlaceWith(ctx, spec, fleet.PlaceOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func (g *gatedFleet) SubmitWith(spec *workload.Spec, tag string, priority int) (int, error) {
+	return 0, fmt.Errorf("stub: %w", fleet.ErrQueueFull)
+}
+func (g *gatedFleet) CancelQueued(int) bool                        { return false }
+func (g *gatedFleet) QueueDepth() int                              { return 0 }
+func (g *gatedFleet) Pump(context.Context) ([]fleet.Placed, error) { return nil, nil }
+func (g *gatedFleet) Remove(context.Context, string, string) ([]fleet.Placed, error) {
+	return nil, nil
+}
+func (g *gatedFleet) Rebalance(context.Context, float64) (fleet.Move, error) {
+	return fleet.Move{}, nil
+}
+func (g *gatedFleet) State(context.Context) (*fleet.State, error) { return &fleet.State{}, nil }
+
+// TestAsyncPlaceLifecycle drives the happy path against a real fleet:
+// 202 + queued ticket on submit, watch=1 long-poll resolves to placed
+// with the placements on the ticket, and the terminal snapshot is
+// idempotent.
+func TestAsyncPlaceLifecycle(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 0)
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","gzip"],"async":true}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("async place: status %d, body %s", status, raw)
+	}
+	var tk TicketResponse
+	if err := json.Unmarshal(raw, &tk); err != nil {
+		t.Fatalf("ticket decode: %v", err)
+	}
+	if tk.Ticket == "" {
+		t.Fatal("202 without a ticket id")
+	}
+	if tk.State != ticketQueued && tk.State != ticketPlaced {
+		t.Fatalf("fresh ticket state %q", tk.State)
+	}
+
+	status, raw = do(t, ts, "GET", "/v1/fleet/ticket/"+tk.Ticket+"?watch=1", "")
+	if status != http.StatusOK {
+		t.Fatalf("watch: status %d, body %s", status, raw)
+	}
+	var final TicketResponse
+	if err := json.Unmarshal(raw, &final); err != nil {
+		t.Fatalf("watch decode: %v", err)
+	}
+	if final.State != ticketPlaced {
+		t.Fatalf("watched ticket state %q, want %q (body %s)", final.State, ticketPlaced, raw)
+	}
+	if final.Result == nil || len(final.Result.Placements) != 2 {
+		t.Fatalf("ticket result %+v, want 2 placements", final.Result)
+	}
+	// The placements really landed: the fleet state shows both residents.
+	status, raw = do(t, ts, "GET", "/v1/fleet/state", "")
+	if status != http.StatusOK || !strings.Contains(string(raw), "mcf") {
+		t.Fatalf("state after async place: %d %s", status, raw)
+	}
+}
+
+// TestAsyncPlaceFailureReportsOnTicket: an async transactional batch that
+// cannot fit resolves the ticket to failed with the typed fleet_full
+// error — the client finds out on the ticket, never via a dropped spec.
+func TestAsyncPlaceFailureReportsOnTicket(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 0)
+	// 4 machines × 2 cores × 2 per core = 16 slots; 17 cannot fit.
+	benches := make([]string, 17)
+	for i := range benches {
+		benches[i] = "mcf"
+	}
+	body, _ := json.Marshal(FleetPlaceRequest{Benches: benches, Async: true})
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", string(body))
+	if status != http.StatusAccepted {
+		t.Fatalf("async place: status %d, body %s", status, raw)
+	}
+	var tk TicketResponse
+	if err := json.Unmarshal(raw, &tk); err != nil {
+		t.Fatal(err)
+	}
+	_, raw = do(t, ts, "GET", "/v1/fleet/ticket/"+tk.Ticket+"?watch=1", "")
+	var final TicketResponse
+	if err := json.Unmarshal(raw, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != ticketFailed {
+		t.Fatalf("ticket state %q, want %q (body %s)", final.State, ticketFailed, raw)
+	}
+	if final.Error == nil || final.Error.Code != "fleet_full" {
+		t.Fatalf("ticket error %+v, want fleet_full", final.Error)
+	}
+	// The failed batch rolled back: nothing placed.
+	var st fleet.State
+	_, raw = do(t, ts, "GET", "/v1/fleet/state", "")
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Residents != 0 {
+		t.Fatalf("failed async batch left %d residents", st.Residents)
+	}
+}
+
+// TestAsyncTicketCancelSemantics pins cancelled-means-never-executed:
+// a ticket whose worker has claimed it refuses cancellation with 409,
+// an unknown ticket 404s, and the store-level cancel wins only before
+// the claim.
+func TestAsyncTicketCancelSemantics(t *testing.T) {
+	g := newGatedFleet()
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Fleet = g
+		c.RequestTimeout = 30 * time.Second
+	})
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf"],"async":true}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("async place: %d %s", status, raw)
+	}
+	var tk TicketResponse
+	if err := json.Unmarshal(raw, &tk); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered // the worker has claimed the ticket and is mid-placement
+
+	status, raw = do(t, ts, "DELETE", "/v1/fleet/ticket/"+tk.Ticket, "")
+	wantAPIError(t, status, raw, http.StatusConflict, "ticket_not_cancellable")
+
+	status, raw = do(t, ts, "DELETE", "/v1/fleet/ticket/does-not-exist", "")
+	wantAPIError(t, status, raw, http.StatusNotFound, "unknown_ticket")
+
+	close(g.gate)
+	_, raw = do(t, ts, "GET", "/v1/fleet/ticket/"+tk.Ticket+"?watch=1", "")
+	var final TicketResponse
+	if err := json.Unmarshal(raw, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != ticketPlaced {
+		t.Fatalf("ticket state %q after release, want placed", final.State)
+	}
+
+	// Store-level: cancel wins only strictly before the claim.
+	fresh := s.tickets.create([]string{"mcf"})
+	if !s.tickets.cancel(fresh) {
+		t.Fatal("cancel of an unclaimed ticket failed")
+	}
+	if s.tickets.claim(fresh) {
+		t.Fatal("claim succeeded on a cancelled ticket: the worker would execute a cancelled placement")
+	}
+	if got := s.tickets.snapshot(fresh).State; got != ticketCancelled {
+		t.Fatalf("cancelled ticket state %q", got)
+	}
+}
+
+// TestQueueFullSetsRetryAfter: the 429 a full admission queue returns
+// must carry a Retry-After header so well-behaved clients back off
+// instead of hammering the queue.
+func TestQueueFullSetsRetryAfter(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 1)
+	// Fill all 16 slots, then one queued entry takes the only queue slot.
+	benches := make([]string, 16)
+	for i := range benches {
+		benches[i] = "mcf"
+	}
+	body, _ := json.Marshal(FleetPlaceRequest{Benches: benches})
+	if status, raw := do(t, ts, "POST", "/v1/fleet/place", string(body)); status != http.StatusOK {
+		t.Fatalf("fill: %d %s", status, raw)
+	}
+	if status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["gzip"],"queue":true}`); status != http.StatusOK {
+		t.Fatalf("queue head: %d %s", status, raw)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/fleet/place", strings.NewReader(`{"benches":["vpr"],"queue":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After header %q, want \"1\"", ra)
+	}
+}
+
+// TestShutdownDrainsAsyncPlacements pins the graceful-shutdown drain: an
+// accepted ticket's worker still parked in the fleet keeps drainAsync
+// waiting (erroring out only at the grace deadline), and once the
+// placement completes the drain returns clean with the ticket terminal.
+func TestShutdownDrainsAsyncPlacements(t *testing.T) {
+	g := newGatedFleet()
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Fleet = g
+		c.RequestTimeout = 30 * time.Second
+	})
+	status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf"],"async":true}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("async place: %d %s", status, raw)
+	}
+	var tk TicketResponse
+	if err := json.Unmarshal(raw, &tk); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered
+
+	// Grace expires while the worker is parked: the drain must say so.
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := s.drainAsync(short)
+	cancel()
+	if err == nil {
+		t.Fatal("drainAsync returned clean while an async placement was in flight")
+	}
+
+	close(g.gate)
+	if err := s.drainAsync(context.Background()); err != nil {
+		t.Fatalf("drainAsync after release: %v", err)
+	}
+	_, raw = do(t, ts, "GET", "/v1/fleet/ticket/"+tk.Ticket, "")
+	var final TicketResponse
+	if err := json.Unmarshal(raw, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != ticketPlaced {
+		t.Fatalf("ticket state %q after drain, want placed — shutdown dropped an in-flight placement", final.State)
+	}
+}
+
+// TestShutdownQueueLedgerBalances asserts the chaos queue ledger across
+// an async shutdown against a real fleet in queue mode: everything that
+// was submitted is admitted, abandoned, dropped, or still queued — a
+// SIGTERM between dequeue and commit never loses a spec.
+func TestShutdownQueueLedgerBalances(t *testing.T) {
+	s, ts := newFleetServer(t, fleet.LeastDegradation, 8)
+	// Fill the fleet, then queue three more via async queue-mode places.
+	benches := make([]string, 16)
+	for i := range benches {
+		benches[i] = "mcf"
+	}
+	body, _ := json.Marshal(FleetPlaceRequest{Benches: benches})
+	if status, raw := do(t, ts, "POST", "/v1/fleet/place", string(body)); status != http.StatusOK {
+		t.Fatalf("fill: %d %s", status, raw)
+	}
+	var tickets []string
+	for _, b := range []string{"gzip", "vpr", "twolf"} {
+		status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["`+b+`"],"queue":true,"async":true}`)
+		if status != http.StatusAccepted {
+			t.Fatalf("async queue place: %d %s", status, raw)
+		}
+		var tk TicketResponse
+		if err := json.Unmarshal(raw, &tk); err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk.Ticket)
+	}
+	for _, id := range tickets {
+		if _, raw := do(t, ts, "GET", "/v1/fleet/ticket/"+id+"?watch=1", ""); !strings.Contains(string(raw), `"state"`) {
+			t.Fatalf("ticket %s: %s", id, raw)
+		}
+	}
+	if err := s.drainAsync(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	reg := s.Registry()
+	submitted := reg.Counter("fleet_queue_submitted_total").Value()
+	admitted := reg.Counter("fleet_queue_admitted_total").Value()
+	abandoned := reg.Counter("fleet_queue_abandoned_total").Value()
+	dropped := reg.Counter("fleet_queue_dropped_total").Value()
+	var st fleet.State
+	_, raw := do(t, ts, "GET", "/v1/fleet/state", "")
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if submitted != admitted+abandoned+dropped+uint64(st.QueueDepth) {
+		t.Fatalf("ledger: submitted %d != admitted %d + abandoned %d + dropped %d + depth %d",
+			submitted, admitted, abandoned, dropped, st.QueueDepth)
+	}
+	if submitted != 3 {
+		t.Fatalf("submitted %d, want 3", submitted)
+	}
+}

@@ -1,0 +1,37 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordDecode hammers the frame decoder with arbitrary bytes: it
+// must never panic, never return a record longer than its input, and
+// every decoded frame must re-encode to the exact bytes it came from.
+func FuzzRecordDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	if rec, err := encodeRecord([]byte(`[{"t":"submitted","bench":"mcf","ticket":1}]`)); err == nil {
+		f.Add(rec)
+		f.Add(rec[:len(rec)-1])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := decodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n < recordHeader || n > len(data) {
+			t.Fatalf("decoded length %d out of range (input %d)", n, len(data))
+		}
+		if len(payload) != n-recordHeader {
+			t.Fatalf("payload %d bytes vs frame %d", len(payload), n)
+		}
+		re, err := encodeRecord(payload)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encoded frame differs from input")
+		}
+	})
+}

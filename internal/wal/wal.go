@@ -1,0 +1,431 @@
+// Package wal persists the fleet scheduler's placement state as a
+// snapshot plus an append-only log of admission events, so a restarted
+// server recovers its residents and pending queue byte-identically.
+//
+// The unit of durability is the *operation batch*: every fleet mutation
+// (a placement, a departure with its cascade of queue admissions, a
+// preemption exchange, a node loss) emits its events as one CRC-framed
+// record written with a single write call. Recovery replays whole
+// records only — a torn tail (the crash landed mid-write) fails the CRC
+// and is truncated, so the recovered state is always "before the
+// operation" or "after the operation", never between.
+//
+// Record framing, little-endian:
+//
+//	uint32 length | uint32 crc32(payload) | payload (JSON array of Event)
+//
+// The snapshot file uses the identical framing around one JSON State and
+// is committed by atomic rename; a generation number links each snapshot
+// to its log file so a crash between "snapshot renamed" and "old log
+// removed" can never replay stale events against the new snapshot.
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Event types. The set mirrors the fleet's mutation vocabulary; recovery
+// replays them through State.Apply.
+const (
+	// EvAdmitted records one instance landing on a node. Ticket, when
+	// positive, names the queue entry this admission consumed.
+	EvAdmitted = "admitted"
+	// EvDeparted records one instance leaving a node (process exit or a
+	// rebalance move's source half).
+	EvDeparted = "departed"
+	// EvPreempted records an eviction by a higher-priority arrival; with
+	// Requeued set the victim re-entered the queue under Ticket.
+	EvPreempted = "preempted"
+	// EvSubmitted records one entry joining the admission queue.
+	EvSubmitted = "submitted"
+	// EvCancelled records a queue entry withdrawn by its submitter.
+	EvCancelled = "cancelled"
+	// EvDropped records a queue entry discarded after a non-capacity
+	// placement failure.
+	EvDropped = "dropped"
+	// EvNodeDown / EvNodeUp record machine loss and recovery. A down node
+	// implicitly evicts every resident it held.
+	EvNodeDown = "node_down"
+	EvNodeUp   = "node_up"
+)
+
+// Event is one fleet mutation. Fields are sparse per type; omitempty
+// keeps records small.
+type Event struct {
+	Type     string `json:"t"`
+	Node     string `json:"node,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Core     int    `json:"core,omitempty"`
+	Bench    string `json:"bench,omitempty"`
+	Tag      string `json:"tag,omitempty"`
+	Priority int    `json:"prio,omitempty"`
+	Ticket   int    `json:"ticket,omitempty"`
+	Requeued bool   `json:"requeued,omitempty"`
+}
+
+// Resident is one recovered instance. Order in State.Residents is global
+// admission order; replaying it with manager PlaceAt/Adopt semantics
+// reproduces each core's arrival order (and therefore instance naming
+// and model reduction order) exactly.
+type Resident struct {
+	Node     string `json:"node"`
+	Name     string `json:"name"`
+	Core     int    `json:"core"`
+	Bench    string `json:"bench"`
+	Tag      string `json:"tag,omitempty"`
+	Priority int    `json:"prio,omitempty"`
+}
+
+// QueueEntry is one recovered pending arrival, in queue order.
+type QueueEntry struct {
+	Bench    string `json:"bench"`
+	Tag      string `json:"tag,omitempty"`
+	Ticket   int    `json:"ticket"`
+	Priority int    `json:"prio,omitempty"`
+}
+
+// State is the materialized fleet placement state: what a snapshot
+// stores and what replaying the log reconstructs.
+type State struct {
+	Residents []Resident   `json:"residents,omitempty"`
+	Queue     []QueueEntry `json:"queue,omitempty"`
+	// Down lists nodes that were down, in the order they went down.
+	Down []string `json:"down,omitempty"`
+	// Seq is the highest queue ticket ever issued (the fleet's ticket
+	// source resumes above it so recovered tickets stay unique).
+	Seq int `json:"seq,omitempty"`
+}
+
+// Apply folds one event into the state. Unknown residents, tickets, or
+// event types are errors: the log is written by the fleet under its own
+// lock, so any mismatch means corruption, not a race.
+func (s *State) Apply(e Event) error {
+	if e.Ticket > s.Seq {
+		s.Seq = e.Ticket
+	}
+	switch e.Type {
+	case EvAdmitted:
+		for _, r := range s.Residents {
+			if r.Node == e.Node && r.Name == e.Name {
+				return fmt.Errorf("wal: admitted duplicate %s/%s", e.Node, e.Name)
+			}
+		}
+		s.Residents = append(s.Residents, Resident{
+			Node: e.Node, Name: e.Name, Core: e.Core, Bench: e.Bench,
+			Tag: e.Tag, Priority: e.Priority,
+		})
+		if e.Ticket > 0 {
+			if !s.dropTicket(e.Ticket) {
+				return fmt.Errorf("wal: admitted unknown ticket %d", e.Ticket)
+			}
+		}
+		return nil
+	case EvDeparted:
+		if !s.dropResident(e.Node, e.Name) {
+			return fmt.Errorf("wal: departed unknown resident %s/%s", e.Node, e.Name)
+		}
+		return nil
+	case EvPreempted:
+		if !s.dropResident(e.Node, e.Name) {
+			return fmt.Errorf("wal: preempted unknown resident %s/%s", e.Node, e.Name)
+		}
+		if e.Requeued {
+			s.Queue = append(s.Queue, QueueEntry{
+				Bench: e.Bench, Tag: e.Tag, Ticket: e.Ticket, Priority: e.Priority,
+			})
+		}
+		return nil
+	case EvSubmitted:
+		s.Queue = append(s.Queue, QueueEntry{
+			Bench: e.Bench, Tag: e.Tag, Ticket: e.Ticket, Priority: e.Priority,
+		})
+		return nil
+	case EvCancelled, EvDropped:
+		if !s.dropTicket(e.Ticket) {
+			return fmt.Errorf("wal: %s unknown ticket %d", e.Type, e.Ticket)
+		}
+		return nil
+	case EvNodeDown:
+		for _, d := range s.Down {
+			if d == e.Node {
+				return fmt.Errorf("wal: node %q already down", e.Node)
+			}
+		}
+		s.Down = append(s.Down, e.Node)
+		// Processes die with their machine; one event covers the cascade.
+		kept := s.Residents[:0]
+		for _, r := range s.Residents {
+			if r.Node != e.Node {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			kept = nil
+		}
+		s.Residents = kept
+		return nil
+	case EvNodeUp:
+		for i, d := range s.Down {
+			if d == e.Node {
+				s.Down = append(s.Down[:i], s.Down[i+1:]...)
+				if len(s.Down) == 0 {
+					s.Down = nil
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("wal: node %q was not down", e.Node)
+	default:
+		return fmt.Errorf("wal: unknown event type %q", e.Type)
+	}
+}
+
+func (s *State) dropResident(node, name string) bool {
+	for i, r := range s.Residents {
+		if r.Node == node && r.Name == name {
+			s.Residents = append(s.Residents[:i], s.Residents[i+1:]...)
+			if len(s.Residents) == 0 {
+				s.Residents = nil // keep empty == nil so recovered states DeepEqual fresh ones
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (s *State) dropTicket(ticket int) bool {
+	for i, q := range s.Queue {
+		if q.Ticket == ticket {
+			s.Queue = append(s.Queue[:i], s.Queue[i+1:]...)
+			if len(s.Queue) == 0 {
+				s.Queue = nil
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the state (recovery hands the caller a copy it may
+// mutate while the log keeps folding events into its own).
+func (s *State) Clone() *State {
+	c := &State{Seq: s.Seq}
+	c.Residents = append([]Resident(nil), s.Residents...)
+	c.Queue = append([]QueueEntry(nil), s.Queue...)
+	c.Down = append([]string(nil), s.Down...)
+	return c
+}
+
+// snapshot pairs the state with the generation that names its log file.
+type snapshot struct {
+	Gen   uint64 `json:"gen"`
+	State *State `json:"state"`
+}
+
+const (
+	snapshotFile = "snapshot.wal"
+	logPrefix    = "events."
+	logSuffix    = ".wal"
+)
+
+// Log is an open write-ahead log. Append is safe for concurrent use.
+type Log struct {
+	dir string
+
+	mu  sync.Mutex
+	f   *os.File
+	gen uint64
+	// applied mirrors everything durably recorded: the snapshot state
+	// plus every appended batch. Compact persists it.
+	applied *State
+}
+
+// Open loads (or initializes) the state under dir and opens the log for
+// appending. The returned state is the caller's to mutate; a torn tail
+// on the log is truncated in place (whole trailing records only).
+func Open(dir string) (*Log, *State, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	st := &State{}
+	var gen uint64
+	snapPath := filepath.Join(dir, snapshotFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		payload, _, perr := decodeRecord(data)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("wal: corrupt snapshot %s: %w", snapPath, perr)
+		}
+		var snap snapshot
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return nil, nil, fmt.Errorf("wal: corrupt snapshot %s: %w", snapPath, err)
+		}
+		if snap.State != nil {
+			st = snap.State
+		}
+		gen = snap.Gen
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+
+	logPath := filepath.Join(dir, logName(gen))
+	if err := replayLog(logPath, st); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, f: f, gen: gen, applied: st.Clone()}
+	l.removeStaleLogs()
+	return l, st, nil
+}
+
+// replayLog folds every whole record of the log at path into st,
+// truncating the file at the first torn or corrupt record.
+func replayLog(path string, st *State) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		payload, n, perr := decodeRecord(data[off:])
+		if perr != nil {
+			// Torn tail: everything before off replayed cleanly; drop the
+			// partial record so the next append starts on a frame boundary.
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", path, terr)
+			}
+			return nil
+		}
+		var events []Event
+		if err := json.Unmarshal(payload, &events); err != nil {
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", path, terr)
+			}
+			return nil
+		}
+		for _, e := range events {
+			if err := st.Apply(e); err != nil {
+				return fmt.Errorf("wal: replaying %s: %w", path, err)
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// Append durably records one operation's events as a single framed
+// record. An empty batch is a no-op.
+func (l *Log) Append(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	payload, err := json.Marshal(events)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	rec, err := encodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range events {
+		if err := l.applied.Apply(e); err != nil {
+			return fmt.Errorf("wal: applying appended event: %w", err)
+		}
+	}
+	return nil
+}
+
+// Compact snapshots the current applied state under a new generation and
+// starts a fresh, empty log. The rename of the snapshot is the commit
+// point: a crash anywhere else leaves either the old (snapshot, log)
+// pair or the new one, both self-consistent.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	gen := l.gen + 1
+	payload, err := json.Marshal(snapshot{Gen: gen, State: l.applied})
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	rec, err := encodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	// The new generation's log must exist before the snapshot points at
+	// it; an empty log replays as "nothing after the snapshot".
+	newLog, err := os.OpenFile(filepath.Join(l.dir, logName(gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmp := filepath.Join(l.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, rec, 0o644); err != nil {
+		newLog.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFile)); err != nil {
+		newLog.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	old := l.f
+	l.f, l.gen = newLog, gen
+	old.Close()
+	l.removeStaleLogs()
+	return nil
+}
+
+// removeStaleLogs deletes log files from other generations (best
+// effort; a leftover is ignored by every future Open).
+func (l *Log) removeStaleLogs() {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, logPrefix) || !strings.HasSuffix(name, logSuffix) {
+			continue
+		}
+		if name != logName(l.gen) {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+	}
+}
+
+// Close closes the log file. Further Appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+func logName(gen uint64) string {
+	return logPrefix + strconv.FormatUint(gen, 10) + logSuffix
+}

@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Log, *State) {
+	t.Helper()
+	l, st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, st
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, st := mustOpen(t, dir)
+	if len(st.Residents) != 0 || len(st.Queue) != 0 {
+		t.Fatalf("fresh state not empty: %+v", st)
+	}
+	batches := [][]Event{
+		{{Type: EvAdmitted, Node: "m0", Name: "mcf#1", Core: 0, Bench: "mcf"}},
+		{{Type: EvSubmitted, Bench: "art", Tag: "t-1", Ticket: 1}},
+		{{Type: EvAdmitted, Node: "m1", Name: "art#1", Core: 1, Bench: "art", Tag: "t-1", Ticket: 1}},
+		{{Type: EvAdmitted, Node: "m0", Name: "gzip#2", Core: 1, Bench: "gzip", Priority: 2}},
+		{{Type: EvDeparted, Node: "m0", Name: "mcf#1"}},
+		{{Type: EvSubmitted, Bench: "mcf", Ticket: 2}, {Type: EvCancelled, Ticket: 2}},
+	}
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, st2 := mustOpen(t, dir)
+	defer l2.Close()
+	want := &State{
+		Residents: []Resident{
+			{Node: "m1", Name: "art#1", Core: 1, Bench: "art", Tag: "t-1"},
+			{Node: "m0", Name: "gzip#2", Core: 1, Bench: "gzip", Priority: 2},
+		},
+		Seq: 2,
+	}
+	if !reflect.DeepEqual(st2, want) {
+		t.Fatalf("recovered state\n got %+v\nwant %+v", st2, want)
+	}
+}
+
+func TestCompactStartsFreshGeneration(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Event{{Type: EvAdmitted, Node: "m0", Name: "mcf#1", Bench: "mcf"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := l.Append([]Event{{Type: EvAdmitted, Node: "m0", Name: "art#2", Core: 1, Bench: "art"}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// The old generation's log must be gone (and would be ignored anyway).
+	if _, err := os.Stat(filepath.Join(dir, logName(0))); !os.IsNotExist(err) {
+		t.Fatalf("generation-0 log survived compaction: %v", err)
+	}
+	l2, st := mustOpen(t, dir)
+	defer l2.Close()
+	if len(st.Residents) != 2 {
+		t.Fatalf("recovered %d residents, want 2: %+v", len(st.Residents), st.Residents)
+	}
+	if st.Residents[0].Name != "mcf#1" || st.Residents[1].Name != "art#2" {
+		t.Fatalf("bad admission order: %+v", st.Residents)
+	}
+}
+
+func TestNodeDownEvictsAndNodeUpRestores(t *testing.T) {
+	st := &State{}
+	evs := []Event{
+		{Type: EvAdmitted, Node: "m0", Name: "mcf#1", Bench: "mcf"},
+		{Type: EvAdmitted, Node: "m1", Name: "art#1", Bench: "art"},
+		{Type: EvNodeDown, Node: "m0"},
+	}
+	for _, e := range evs {
+		if err := st.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(st.Residents) != 1 || st.Residents[0].Node != "m1" {
+		t.Fatalf("node_down did not evict: %+v", st.Residents)
+	}
+	if len(st.Down) != 1 || st.Down[0] != "m0" {
+		t.Fatalf("down list wrong: %v", st.Down)
+	}
+	if err := st.Apply(Event{Type: EvNodeUp, Node: "m0"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Down) != 0 {
+		t.Fatalf("node_up did not clear: %v", st.Down)
+	}
+}
+
+func TestApplyRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []Event
+	}{
+		{"departed-unknown", []Event{{Type: EvDeparted, Node: "m0", Name: "x#1"}}},
+		{"cancelled-unknown", []Event{{Type: EvCancelled, Ticket: 9}}},
+		{"admit-duplicate", []Event{
+			{Type: EvAdmitted, Node: "m0", Name: "x#1", Bench: "x"},
+			{Type: EvAdmitted, Node: "m0", Name: "x#1", Bench: "x"},
+		}},
+		{"unknown-type", []Event{{Type: "bogus"}}},
+		{"up-not-down", []Event{{Type: EvNodeUp, Node: "m0"}}},
+	}
+	for _, tc := range cases {
+		st := &State{}
+		var err error
+		for _, e := range tc.evs {
+			if err = st.Apply(e); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("%s: Apply accepted corrupt sequence", tc.name)
+		}
+	}
+}
+
+// TestTornWriteEveryByteBoundary is the satellite's torn-write sweep:
+// the log is truncated at every byte length of its final record, and
+// recovery must yield either the pre-record state (partial frame
+// dropped) or the post-record state (whole frame kept) — never a
+// partial application, and never an error.
+func TestTornWriteEveryByteBoundary(t *testing.T) {
+	build := func(t *testing.T, dir string) {
+		l, _ := mustOpen(t, dir)
+		if err := l.Append([]Event{{Type: EvAdmitted, Node: "m0", Name: "mcf#1", Core: 0, Bench: "mcf"}}); err != nil {
+			t.Fatal(err)
+		}
+		// The final record is a batch, so a torn tail would tear a
+		// multi-event operation if recovery were per-event.
+		if err := l.Append([]Event{
+			{Type: EvSubmitted, Bench: "art", Tag: "last", Ticket: 7},
+			{Type: EvAdmitted, Node: "m1", Name: "art#1", Core: 1, Bench: "art", Tag: "last", Ticket: 7},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ref := t.TempDir()
+	build(t, ref)
+	logPath := filepath.Join(ref, logName(0))
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the final record's start offset by walking whole frames.
+	lastStart := 0
+	for off := 0; off < len(full); {
+		_, n, derr := decodeRecord(full[off:])
+		if derr != nil {
+			t.Fatalf("reference log has torn record at %d", off)
+		}
+		lastStart = off
+		off += n
+	}
+
+	preState := &State{
+		Residents: []Resident{{Node: "m0", Name: "mcf#1", Core: 0, Bench: "mcf"}},
+	}
+	postState := &State{
+		Residents: []Resident{
+			{Node: "m0", Name: "mcf#1", Core: 0, Bench: "mcf"},
+			{Node: "m1", Name: "art#1", Core: 1, Bench: "art", Tag: "last"},
+		},
+		Seq: 7,
+	}
+
+	for cut := lastStart; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, st, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: Open failed: %v", cut, err)
+		}
+		want := preState
+		if cut == len(full) {
+			want = postState
+		}
+		if !reflect.DeepEqual(st, want) {
+			t.Fatalf("cut=%d: recovered\n got %+v\nwant %+v", cut, st, want)
+		}
+		// The torn tail must be gone: appending and reopening replays
+		// cleanly from the truncation point.
+		if err := l.Append([]Event{{Type: EvSubmitted, Bench: "gzip", Ticket: 99}}); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		l.Close()
+		l2, st2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		l2.Close()
+		if len(st2.Queue) != 1 || st2.Queue[0].Ticket != 99 {
+			t.Fatalf("cut=%d: post-truncation append lost: %+v", cut, st2)
+		}
+	}
+}
+
+// TestTornBitFlip corrupts one byte inside the last record: CRC must
+// reject the frame and recovery falls back to the pre-record state.
+func TestTornBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Event{{Type: EvAdmitted, Node: "m0", Name: "mcf#1", Bench: "mcf"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Event{{Type: EvAdmitted, Node: "m1", Name: "art#1", Bench: "art"}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(dir, logName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, st := mustOpen(t, dir)
+	l2.Close()
+	if len(st.Residents) != 1 || st.Residents[0].Name != "mcf#1" {
+		t.Fatalf("bit flip not contained to last record: %+v", st.Residents)
+	}
+}
+
+func TestOversizeLengthHeaderIsTorn(t *testing.T) {
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], maxRecord+1)
+	if _, _, err := decodeRecord(hdr[:]); err == nil {
+		t.Fatal("oversize length accepted")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir())
+	l.Close()
+	if err := l.Append([]Event{{Type: EvSubmitted, Bench: "x", Ticket: 1}}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Sustained-load benchmark for the sharded serving tier.
+#
+#   ./scripts/bench_serve.sh          # run the serve-stress lane, append the
+#                                     # stamped result block to BENCH_fleet.json
+#   ./scripts/bench_serve.sh -check   # same, plus a warn-only placements/sec
+#                                     # diff against the committed baseline
+#
+# Two artifacts per run, both appended under one stamp:
+#
+#   * BenchmarkServeSustained at a fixed -benchtime (iterations are
+#     placements, so the count pins the measured op mix), reporting
+#     placements/s and the p50/p99 latency tail as benchmark metrics.
+#   * One `fleet -serve-stress` JSON report (the CLI lane CI uploads),
+#     flattened onto a single `# serve-stress` line so the append-only
+#     log stays line-oriented.
+#
+# Throughput here is wall-clock and machine-dependent; like bench_fleet.sh
+# the -check diff warns and never fails the build. Decision correctness
+# under sharding is pinned separately by the equivalence sweep in
+# internal/fleet, not by this lane.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_fleet.json
+benchtime=${BENCHTIME:-40000x}
+count=${COUNT:-3}
+ops=${SERVE_OPS:-40000}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/fleet/ -run '^$' -bench 'BenchmarkServeSustained' -benchmem \
+  -benchtime "$benchtime" -count "$count" -timeout 30m | tee "$tmp"
+
+report=$(go run ./cmd/fleet -serve-stress "$ops" | tr -d '\n' | tr -s ' ')
+
+if [ "${1:-}" = "-check" ] && git show "HEAD:$out" >/dev/null 2>&1; then
+  git show "HEAD:$out" | awk -v cur="$tmp" '
+    function mean(sum, n) { return n ? sum / n : 0 }
+    # placements/s rides as a custom metric: "<value> placements/s" pairs
+    # on each BenchmarkServeSustained line of the newest committed block.
+    /^# / { bsum = 0; bn = 0 }
+    /^BenchmarkServeSustained/ {
+      for (i = 2; i < NF; i++) if ($(i + 1) == "placements/s") { bsum += $i; bn++ }
+    }
+    END {
+      csum = 0; cn = 0
+      while ((getline line < cur) > 0) {
+        n = split(line, f, /[ \t]+/)
+        if (f[1] !~ /^BenchmarkServeSustained/) continue
+        for (i = 2; i < n; i++) if (f[i + 1] == "placements/s") { csum += f[i]; cn++ }
+      }
+      base = mean(bsum, bn); now = mean(csum, cn)
+      if (base && now) {
+        printf "bench-diff: BenchmarkServeSustained baseline %10.0f placements/s  now %10.0f placements/s  (%+.1f%%)\n",
+          base, now, (now - base) * 100 / base
+        if (now < base * 0.8)
+          printf "bench-diff: WARNING: sustained throughput regressed more than 20%% vs committed baseline\n"
+      }
+    }'
+fi
+
+{
+  echo "# $(go version | awk '{print $3}') $(git rev-parse --short HEAD 2>/dev/null || echo worktree) serve-stress benchtime=$benchtime count=$count ops=$ops"
+  cat "$tmp"
+  echo "# serve-stress $report"
+} >> "$out"
+echo "appended to $out"
