@@ -55,6 +55,7 @@ var experiments = []experiment{
 	{"hetero", "Study: heterogeneous-core prediction (contribution 4)", wrap(exp.HeteroStudy)},
 	{"stability", "Study: spread of validation error across seeds", wrap(exp.SeedStability)},
 	{"bandwidth", "Study: model error under memory-bandwidth saturation", wrap(exp.BandwidthStudy)},
+	{"threads", "Study: thread-group placement — co-locate vs spread vs oblivious across sharing fractions", wrap(exp.ThreadsStudy)},
 }
 
 func main() {

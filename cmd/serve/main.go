@@ -61,7 +61,7 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (off by default; keep it private)")
 	fleetSpec := flag.String("fleet", "", "comma-separated machine presets for a fleet (e.g. \"workstation,workstation,server\"); empty = no fleet surface")
-	fleetPolicy := flag.String("fleet-policy", "least-degradation", "least-degradation | least-watts | binpack | spread")
+	fleetPolicy := flag.String("fleet-policy", "least-degradation", "least-degradation | least-watts | binpack | spread | colocate-sharers | spread-sharers")
 	fleetMaxPerCore := flag.Int("fleet-max-per-core", 2, "per-core time-sharing cap on fleet machines (0 = unbounded)")
 	fleetQueueCap := flag.Int("fleet-queue-cap", 16, "fleet admission-queue capacity (0 = no queue)")
 	scoreCache := flag.Int("score-cache", 0, "fleet score-memo capacity (0 = default, negative = solve cold; same answers either way)")

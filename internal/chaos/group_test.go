@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mpmc/internal/fleet"
+)
+
+// TestGroupInvariantsAfterEverySimEvent is the per-group conservation
+// acceptance test: the sharing scenario (mixed group sizes, sharing
+// fractions 0/0.5/0.9, both sharer-aware policies plus a group-oblivious
+// arm) is replayed with a CheckFleet sweep after EVERY sim event —
+// arrivals, departures, rebalances. Any broken invariant (member
+// occupancy split, coherence-when-colocated, group ledger) aborts the
+// sim at the exact event time, at every worker count.
+func TestGroupInvariantsAfterEverySimEvent(t *testing.T) {
+	sc, err := fleet.LoadScenario("../fleet/testdata/scenario_threads.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.ThreadGroups == nil {
+		t.Fatal("scenario_threads.json lost its thread_groups block")
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		var c Checker
+		checks := 0
+		sim := fleet.NewSim(sc, workers)
+		sim.AfterEvent = func(f *fleet.Fleet) error {
+			checks++
+			if vs := c.CheckFleet(context.Background(), f); len(vs) > 0 {
+				return fmt.Errorf("%d invariant violation(s), first: %v", len(vs), vs[0])
+			}
+			return nil
+		}
+		if _, err := sim.Run(context.Background()); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Every arrival and departure must have been swept; with three
+		// policies and 14 processes that is at least 3×2×14 events.
+		if min := 3 * 2 * sc.Processes; checks < min {
+			t.Fatalf("workers=%d: only %d invariant sweeps ran, want >= %d", workers, checks, min)
+		}
+	}
+}
+
+// TestGroupLedgerViolationDetected proves the ledger check has teeth: a
+// fleet whose spawned-members counter is bumped without a matching
+// placement or fault must be flagged.
+func TestGroupLedgerViolationDetected(t *testing.T) {
+	f := newTestFleet(t, nil)
+	f.Registry().Counter("fleet_group_spawned_members_total").Add(3)
+	var c Checker
+	vs := c.CheckFleet(context.Background(), f)
+	found := false
+	for _, v := range vs {
+		if v.Invariant == "conservation/group-ledger" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unbalanced group ledger not flagged; violations: %v", vs)
+	}
+}

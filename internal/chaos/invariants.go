@@ -8,6 +8,7 @@ import (
 	"mpmc/internal/core"
 	"mpmc/internal/fleet"
 	"mpmc/internal/manager"
+	"mpmc/internal/threads"
 )
 
 // Violation is one failed invariant check: which guarantee broke and the
@@ -84,6 +85,20 @@ func (c *Checker) CheckFleet(ctx context.Context, f *fleet.Fleet) []Violation {
 			Invariant: "conservation/preemption",
 			Detail: fmt.Sprintf("preemptions %d != requeued %d + dropped %d (a victim vanished)",
 				preempts, requeued, vdropped),
+		})
+	}
+	// Thread-group member ledger: every spawned member is either placed
+	// (its group admitted whole) or faulted (its group rolled back whole).
+	// All three counters read 0 on fleets that never place a group, so the
+	// law is vacuous there.
+	spawned := reg.CounterValue("fleet_group_spawned_members_total")
+	gplaced := reg.CounterValue("fleet_group_placed_members_total")
+	faulted := reg.CounterValue("fleet_group_faulted_members_total")
+	if spawned != gplaced+faulted {
+		out = append(out, Violation{
+			Invariant: "conservation/group-ledger",
+			Detail: fmt.Sprintf("members spawned %d != placed %d + faulted %d (a member vanished)",
+				spawned, gplaced, faulted),
 		})
 	}
 	return out
@@ -261,6 +276,7 @@ func (c *Checker) checkGroup(ctx context.Context, node string, gi int, combo []*
 		}
 		sum += p.S
 		appetite += combo[i].GMax()
+		out = append(out, c.checkBundle(node, gi, combo[i], p.S, tol)...)
 	}
 	switch {
 	case len(preds) == 1:
@@ -275,6 +291,52 @@ func (c *Checker) checkGroup(ctx context.Context, node string, gi int, combo []*
 		if math.Abs(sum-a) > tol {
 			bad("eq1/capacity", "ΣS=%.9g, want A=%g", sum, a)
 		}
+	}
+	return out
+}
+
+// checkBundle verifies the thread-group contract for one resident whose
+// name parses as a bundle (internal/threads); legacy residents pass
+// through untouched. Three laws:
+//
+//   - The feature's Members width matches the local member count encoded
+//     in the bundle name (otherwise per-group Eq. 1 terms are weighted
+//     wrong).
+//   - The coherence term is exactly zero when every sharer shares one
+//     cache (remote = 0).
+//   - Σ member occupancy = group occupancy: splitting the bundle's
+//     solved Eq. 1 size S into the merged shared footprint plus the
+//     per-member private footprints reconstructs S.
+func (c *Checker) checkBundle(node string, gi int, f *core.FeatureVector, s, tol float64) []Violation {
+	g, local, remote, ok := threads.ParseBundleName(f.Name)
+	if !ok {
+		return nil
+	}
+	var out []Violation
+	bad := func(invariant, format string, args ...any) {
+		out = append(out, Violation{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf("node %s group %d bundle %s: ", node, gi, f.Name) + fmt.Sprintf(format, args...),
+		})
+	}
+	if f.Members != local && !(local == 1 && f.Members <= 1) {
+		bad("group/members", "feature Members=%d, name encodes local=%d", f.Members, local)
+	}
+	if remote == 0 {
+		if coh := threads.Coherence(g.SharedFrac, g.WriteFrac, remote, g.Threads); coh != 0 {
+			bad("group/coherence-colocated", "co-located sharers pay coherence %v, want 0", coh)
+		}
+	}
+	shared, private := threads.SplitOccupancy(s, local, g.SharedFrac)
+	got := shared
+	for _, p := range private {
+		if p < -tol {
+			bad("group/occupancy-split", "negative private footprint %v", p)
+		}
+		got += p
+	}
+	if math.Abs(got-s) > tol {
+		bad("group/occupancy-split", "shared %v + Σprivate = %v, want group S=%v", shared, got, s)
 	}
 	return out
 }

@@ -44,6 +44,13 @@ type FeatureVector struct {
 	BRPI            float64
 	FPPI            float64
 
+	// Members is the thread-group width carried over from the profiled
+	// spec (workload.Spec.Members): when > 1 this feature describes the
+	// combined stream of Members co-located member threads, and group
+	// equilibrium terms weight its SPI contribution by Members. Zero or
+	// one means an ordinary single-thread feature.
+	Members int
+
 	g *gCell // lazily built G(n) table
 }
 

@@ -82,14 +82,23 @@ func ProfileSeed(base uint64, name string) uint64 {
 // deadline bounds the work to at most one in-flight profiling step.
 func Profile(ctx context.Context, m *machine.Machine, spec *workload.Spec, opts ProfileOptions) (*FeatureVector, error) {
 	o := opts.withDefaults()
+	var f *FeatureVector
+	var err error
 	switch o.Method {
 	case ProfileStressmark:
-		return profileStressmark(ctx, m, spec, o)
+		f, err = profileStressmark(ctx, m, spec, o)
 	case ProfileIdeal:
-		return profileIdeal(ctx, m, spec, o)
+		f, err = profileIdeal(ctx, m, spec, o)
 	default:
 		return nil, fmt.Errorf("core: unknown profile method %d", o.Method)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Thread-group width rides along from the spec: it is placement
+	// metadata, not a measured quantity, so both methods share the stamp.
+	f.Members = spec.Members
+	return f, nil
 }
 
 // profileStressmark implements the Section 3.4 sweep.

@@ -39,5 +39,6 @@ func TruthFeature(spec *workload.Spec, m *machine.Machine) *FeatureVector {
 	f.L1RPI = spec.L1RPI
 	f.BRPI = spec.BRPI
 	f.FPPI = spec.FPPI
+	f.Members = spec.Members
 	return f
 }

@@ -72,6 +72,7 @@ func TestStudyEquivalence(t *testing.T) {
 		{"seed_stability.json", func(x *Context) (any, error) { return SeedStability(x) }},
 		{"prefetch_study.json", func(x *Context) (any, error) { return PrefetchStudy(x) }},
 		{"sensitivity_sweep.json", func(x *Context) (any, error) { return SensitivitySweep(x) }},
+		{"threads_study.json", func(x *Context) (any, error) { return ThreadsStudy(x) }},
 	}
 	for _, st := range studies {
 		var ref []byte

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mpmc/internal/fleet"
+)
+
+// ThreadsRow is one sharing-fraction point of the thread-group placement
+// study: the time-weighted fleet SPI under each placement arm for the
+// same arrival trace.
+type ThreadsRow struct {
+	SharedFrac float64
+	// ColocateSPI / SpreadSPI are the sharer-aware arms; ObliviousSPI is
+	// the legacy least-degradation policy placing every member as an
+	// independent process (no shared-footprint or coherence modeling).
+	ColocateSPI  float64
+	SpreadSPI    float64
+	ObliviousSPI float64
+}
+
+// ThreadsResult is the co-locate vs. spread vs. oblivious study across
+// sharing fractions.
+type ThreadsResult struct {
+	Machines  int
+	Processes int
+	Rows      []ThreadsRow
+}
+
+// Format renders one row per sharing fraction plus the headline: which
+// arm wins at each extreme.
+func (r *ThreadsResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Thread-group placement study (%d machines, %d group arrivals per arm):\n",
+		r.Machines, r.Processes)
+	b.WriteString("shared_frac  colocate-SPI  spread-SPI    oblivious-SPI  winner\n")
+	for _, row := range r.Rows {
+		winner := "colocate"
+		if row.SpreadSPI < row.ColocateSPI {
+			winner = "spread"
+		}
+		fmt.Fprintf(&b, "%-12.2f %-13.3e %-13.3e %-14.3e %s\n",
+			row.SharedFrac, row.ColocateSPI, row.SpreadSPI, row.ObliviousSPI, winner)
+	}
+	return b.String()
+}
+
+// threadsScenario builds the per-σ scenario. Every σ uses the SAME seed,
+// so the arrival trace (timing, workloads, group sizes) is identical
+// across rows and only the sharing fraction moves.
+func threadsScenario(x *Context, sharedFrac float64) *fleet.Scenario {
+	processes := 24
+	if x.Cfg.Quick {
+		processes = 12
+	}
+	return &fleet.Scenario{
+		Seed: x.Cfg.Seed + hash("threads"),
+		Machines: []fleet.ScenarioMachine{
+			{Name: "m0", Preset: "server", MaxPerCore: 2},
+			{Name: "m1", Preset: "server", MaxPerCore: 2},
+		},
+		Policies:         []string{"colocate-sharers", "spread-sharers", "least-degradation"},
+		Processes:        processes,
+		Workloads:        []string{"gzip", "vpr", "twolf", "bzip2", "ammp"},
+		MeanInterarrival: 1.0,
+		MeanLifetime:     8.0,
+		ThreadGroups: &fleet.ThreadGroupConfig{
+			MaxThreads:  4,
+			SharedFracs: []float64{sharedFrac},
+			WriteFrac:   0.5,
+		},
+	}
+}
+
+// ThreadsStudy sweeps the sharing fraction and replays one arrival trace
+// under the two sharer-aware policies and the group-oblivious baseline.
+// The model's prediction: at high sharing, co-locating members merges
+// their shared footprint into one occupancy and avoids coherence misses,
+// so colocate wins; with nothing shared, co-location only dilates every
+// private reuse distance by the member count, so spreading wins.
+func ThreadsStudy(x *Context) (*ThreadsResult, error) {
+	res := &ThreadsResult{Machines: 2}
+	for _, sf := range []float64{0, 0.25, 0.5, 0.9} {
+		sc := threadsScenario(x, sf)
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		res.Processes = sc.Processes
+		rep, err := fleet.NewSim(sc, x.Cfg.Workers).Run(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("shared_frac %v: %w", sf, err)
+		}
+		row := ThreadsRow{SharedFrac: sf}
+		for _, pr := range rep.Policies {
+			switch pr.Policy {
+			case "colocate-sharers":
+				row.ColocateSPI = pr.AvgSPI
+			case "spread-sharers":
+				row.SpreadSPI = pr.AvgSPI
+			case "least-degradation":
+				row.ObliviousSPI = pr.AvgSPI
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

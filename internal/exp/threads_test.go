@@ -1,0 +1,47 @@
+package exp
+
+import "testing"
+
+// TestThreadsStudyCrossover is the study's acceptance criterion: with
+// nothing shared, co-locating members only dilates their private reuse
+// distances, so spreading must win; at 90% sharing the merged footprint
+// and absent coherence misses must flip the order. The oblivious arm
+// models no sharing at all, so its SPI must not move with σ.
+func TestThreadsStudyCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps in -short")
+	}
+	x := NewContext(Config{Quick: true, Seed: 42, Workers: 0})
+	r, err := ThreadsStudy(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[float64]ThreadsRow{}
+	for _, row := range r.Rows {
+		rows[row.SharedFrac] = row
+	}
+	lo, hi := rows[0], rows[0.9]
+	if lo.SpreadSPI > lo.ColocateSPI {
+		t.Errorf("shared_frac 0: spread SPI %v worse than colocate %v — dilation cost not modeled",
+			lo.SpreadSPI, lo.ColocateSPI)
+	}
+	if hi.ColocateSPI >= hi.SpreadSPI {
+		t.Errorf("shared_frac 0.9: colocate SPI %v not better than spread %v — shared-footprint merge not paying off",
+			hi.ColocateSPI, hi.SpreadSPI)
+	}
+	for _, row := range r.Rows {
+		if row.ObliviousSPI != lo.ObliviousSPI {
+			t.Errorf("oblivious arm moved with shared_frac %v: %v != %v",
+				row.SharedFrac, row.ObliviousSPI, lo.ObliviousSPI)
+		}
+	}
+	// The colocate arm's cost must fall monotonically as sharing rises:
+	// more merged mass, less dilation, same trace.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].ColocateSPI >= r.Rows[i-1].ColocateSPI {
+			t.Errorf("colocate SPI not decreasing in sharing: %v at %v, %v at %v",
+				r.Rows[i-1].ColocateSPI, r.Rows[i-1].SharedFrac,
+				r.Rows[i].ColocateSPI, r.Rows[i].SharedFrac)
+		}
+	}
+}

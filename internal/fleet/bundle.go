@@ -89,7 +89,10 @@ func newBundle(f *Fleet) (*bundle, error) {
 	var prio sched.Prioritizer
 	var sel sched.Selector
 	switch f.cfg.Policy {
-	case LeastDegradation, LeastWatts:
+	case LeastDegradation, LeastWatts, ColocateSharers, SpreadSharers:
+		// The thread-group policies differ from LeastDegradation only in
+		// how PlaceGroup shapes arrivals into bundles; per-spec scoring
+		// is the same least-total-SPI-increase pipeline.
 		prio, sel = modelPrioritizer{f}, sched.MinValue{}
 	case BinPack:
 		prio, sel = modelPrioritizer{f}, sched.CeilingFirstFit{Ceiling: f.cfg.BinPackCeiling}

@@ -139,6 +139,12 @@ func (fc *featureCache) get(ctx context.Context, m *machine.Machine, spec *workl
 			}
 			return nil, fmt.Errorf("fleet: profiling %s on %s: %w", spec.Name, m.Name, err)
 		}
+		// Thread-group bundles carry their member count on the spec;
+		// stamp it here so every profiler (including injected test
+		// profilers that ignore the field) yields group-weighted terms.
+		if spec.Members > 1 && f.Members != spec.Members {
+			f.Members = spec.Members
+		}
 		fc.lru.Put(key, f)
 		return f, nil
 	})

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpmc/internal/machine"
+	"mpmc/internal/threads"
+	"mpmc/internal/workload"
+)
+
+func groupFleet(t *testing.T, policy Policy, machines int) *Fleet {
+	t.Helper()
+	pm := testPower(t)
+	nodes := make([]NodeConfig, machines)
+	for i := range nodes {
+		nodes[i] = NodeConfig{Machine: machine.TwoCoreWorkstation(), Power: pm, MaxPerCore: 1}
+	}
+	f, err := New(Config{Nodes: nodes, Policy: policy, Profile: oracle(nil, 0)})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	return f
+}
+
+func testGroup(t *testing.T, bench string, n int, sharedFrac float64) threads.GroupSpec {
+	t.Helper()
+	base := workload.ByName(bench)
+	if base == nil {
+		t.Fatalf("%s missing from suite", bench)
+	}
+	return threads.GroupSpec{Base: base, Threads: n, SharedFrac: sharedFrac, WriteFrac: 0.5}
+}
+
+// TestPlaceGroupShaping pins the policy shaping on the single-lock
+// fleet: colocate admits one bundle instance, spread admits T member
+// instances on distinct machines, and a group-oblivious policy admits T
+// independent base-spec instances.
+func TestPlaceGroupShaping(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		policy        Policy
+		wantInstances int
+		wantNodes     int
+	}{
+		{ColocateSharers, 1, 1},
+		{SpreadSharers, 3, 3},
+		{LeastDegradation, 3, 0}, // oblivious: any node split is legal
+	} {
+		f := groupFleet(t, tc.policy, 4)
+		placed, err := f.PlaceGroup(ctx, testGroup(t, "gzip", 3, 0.5))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.policy, err)
+		}
+		if len(placed) != tc.wantInstances {
+			t.Fatalf("%s: placed %d instances, want %d", tc.policy, len(placed), tc.wantInstances)
+		}
+		nodes := map[string]bool{}
+		for _, p := range placed {
+			nodes[p.Node] = true
+		}
+		if tc.wantNodes > 0 && len(nodes) != tc.wantNodes {
+			t.Errorf("%s: members on %d machines, want %d", tc.policy, len(nodes), tc.wantNodes)
+		}
+		if got := f.Registry().CounterValue("fleet_group_placed_members_total"); got != 3 {
+			t.Errorf("%s: placed members = %d, want 3", tc.policy, got)
+		}
+	}
+}
+
+// TestPlaceGroupFullRollsBack: a group that cannot fully fit must leave
+// the fleet exactly as it was — partial members rolled back, the ledger
+// recording the whole group as faulted, and the error carrying both the
+// rollback count and ErrFleetFull.
+func TestPlaceGroupFullRollsBack(t *testing.T) {
+	ctx := context.Background()
+	// 2 machines x 2 cores x MaxPerCore 1 = 4 slots.
+	f := groupFleet(t, SpreadSharers, 2)
+	if _, err := f.PlaceAll(ctx, []*workload.Spec{workload.ByName("mcf"), workload.ByName("art")}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.PlaceGroup(ctx, testGroup(t, "gzip", 3, 0.5))
+	if !errors.Is(err, ErrFleetFull) {
+		t.Fatalf("oversized group: got %v, want ErrFleetFull", err)
+	}
+	reg := f.Registry()
+	if got := reg.CounterValue("fleet_group_faulted_members_total"); got != 3 {
+		t.Errorf("faulted members = %d, want 3 (whole group)", got)
+	}
+	if got := reg.CounterValue("fleet_place_rollback_total"); got != 1 {
+		t.Errorf("rollbacks = %d, want 1 (two members were admitted before the failure)", got)
+	}
+	// The two original residents survived the rollback untouched and the
+	// freed slots admit a right-sized group.
+	placed, err := f.PlaceGroup(ctx, testGroup(t, "gzip", 2, 0.5))
+	if err != nil {
+		t.Fatalf("post-rollback group: %v", err)
+	}
+	if len(placed) != 2 {
+		t.Fatalf("post-rollback group placed %d, want 2", len(placed))
+	}
+}
+
+// TestPlaceGroupContextCancelled: a cancelled context rolls the group
+// back and surfaces the cause.
+func TestPlaceGroupContextCancelled(t *testing.T) {
+	f := groupFleet(t, SpreadSharers, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.PlaceGroup(ctx, testGroup(t, "gzip", 2, 0.5)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := f.Registry().CounterValue("fleet_group_placed_members_total"); got != 0 {
+		t.Errorf("placed members = %d after cancellation, want 0", got)
+	}
+}
+
+// TestPlaceGroupRejectsInvalid: validation failures surface before any
+// state or ledger movement.
+func TestPlaceGroupRejectsInvalid(t *testing.T) {
+	f := groupFleet(t, ColocateSharers, 2)
+	bad := []threads.GroupSpec{
+		{Base: nil, Threads: 2},
+		{Base: workload.ByName("gzip"), Threads: 0},
+		{Base: workload.ByName("gzip"), Threads: 2, SharedFrac: 1.5},
+		{Base: workload.ByName("gzip"), Threads: 2, SharedFrac: 0.5, WriteFrac: -1},
+	}
+	for _, g := range bad {
+		if _, err := f.PlaceGroup(context.Background(), g); err == nil {
+			t.Errorf("PlaceGroup accepted invalid group %+v", g)
+		}
+	}
+	if got := f.Registry().CounterValue("fleet_group_spawned_members_total"); got != 0 {
+		t.Errorf("spawned members = %d after rejected validation, want 0", got)
+	}
+}

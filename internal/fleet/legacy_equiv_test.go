@@ -9,6 +9,7 @@ import (
 
 	"mpmc/internal/machine"
 	"mpmc/internal/parallel"
+	"mpmc/internal/threads"
 	"mpmc/internal/workload"
 )
 
@@ -36,7 +37,10 @@ func legacyDecide(ctx context.Context, f *Fleet, spec *workload.Spec) (best int,
 	}
 	best = -1
 	switch f.cfg.Policy {
-	case LeastDegradation, LeastWatts:
+	// The sharer-aware policies reuse the model prioritizer with
+	// MinValue; at T=1 (no group shaping) they must decide exactly like
+	// LeastDegradation did pre-refactor.
+	case LeastDegradation, LeastWatts, ColocateSharers, SpreadSharers:
 		for i, sc := range scores {
 			if sc.OK && (best < 0 || sc.Value < scores[best].Value) {
 				best = i
@@ -129,7 +133,12 @@ func equivFleet(t *testing.T, r *rand.Rand, policy Policy, cacheCap int) *Fleet 
 func runEquivSweep(t *testing.T, seed int64, cacheCap int) {
 	t.Helper()
 	r := rand.New(rand.NewSource(seed))
-	policy := Policies()[int(seed)%len(Policies())]
+	// The rotation covers the four legacy policies plus both sharer-aware
+	// ones: at T=1 the latter must be indistinguishable from the legacy
+	// model path, and half their arrivals go through PlaceGroup to pin
+	// that a single-thread group IS a legacy Place.
+	pols := append(Policies(), ColocateSharers, SpreadSharers)
+	policy := pols[int(seed)%len(pols)]
 	f := equivFleet(t, r, policy, cacheCap)
 	ctx := context.Background()
 	suite := workload.Suite()
@@ -157,8 +166,22 @@ func runEquivSweep(t *testing.T, seed int64, cacheCap int) {
 				}
 				wantNode, wantCore, wantScore = b, s.Core, s.Value
 			}
-			got, err := f.placeOneLocked(ctx, spec, PlaceOptions{})
-			f.mu.Unlock()
+			var got Placed
+			var err error
+			if policy.GroupAware() && ev%2 == 1 {
+				// Route through the group path as a T=1 group: shapeGroup
+				// returns the base spec untouched, so the decision must be
+				// bit-identical to a legacy Place of the same spec.
+				f.mu.Unlock()
+				var ps []Placed
+				ps, err = f.PlaceGroup(ctx, threads.GroupSpec{Base: spec, Threads: 1})
+				if err == nil {
+					got = ps[0]
+				}
+			} else {
+				got, err = f.placeOneLocked(ctx, spec, PlaceOptions{})
+				f.mu.Unlock()
+			}
 			if wantNode < 0 {
 				if err == nil {
 					t.Fatalf("seed %d ev %d: pipeline placed %s where legacy found the fleet full", seed, ev, spec.Name)

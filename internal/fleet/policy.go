@@ -29,6 +29,19 @@ const (
 	// Spread is the round-robin baseline: machines in rotation, the least
 	// loaded admissible core within the machine, no model consulted.
 	Spread
+	// ColocateSharers is the thread-group-aware policy that keeps a
+	// group's member threads on ONE cache: the group arrives as a single
+	// merged bundle (internal/threads), so sharers pay no coherence
+	// misses and the shared footprint is counted once. Single-thread
+	// arrivals score exactly like LeastDegradation.
+	ColocateSharers
+	// SpreadSharers is the thread-group-aware policy that scatters a
+	// group's member threads across machines, one single-member bundle
+	// each, preferring nodes no sibling already occupies: each member
+	// keeps undilated private distances but pays the coherence term for
+	// its remote siblings. Single-thread arrivals score exactly like
+	// LeastDegradation.
+	SpreadSharers
 )
 
 // String names the policy, matching ParsePolicy's accepted spellings.
@@ -42,6 +55,10 @@ func (p Policy) String() string {
 		return "binpack"
 	case Spread:
 		return "spread"
+	case ColocateSharers:
+		return "colocate-sharers"
+	case SpreadSharers:
+		return "spread-sharers"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
@@ -57,11 +74,22 @@ func ParsePolicy(name string) (Policy, error) {
 		return BinPack, nil
 	case "spread":
 		return Spread, nil
+	case "colocate-sharers":
+		return ColocateSharers, nil
+	case "spread-sharers":
+		return SpreadSharers, nil
 	}
-	return 0, fmt.Errorf("unknown fleet policy %q (want least-degradation, least-watts, binpack, or spread)", name)
+	return 0, fmt.Errorf("unknown fleet policy %q (want least-degradation, least-watts, binpack, spread, colocate-sharers, or spread-sharers)", name)
 }
 
-// Policies lists every policy in a fixed order (the sim report order).
+// Policies lists the four legacy policies in a fixed order (the sim
+// report order and the default scenario policy set — the thread-group
+// policies are opt-in, so legacy scenario goldens are unaffected).
 func Policies() []Policy {
 	return []Policy{LeastDegradation, LeastWatts, BinPack, Spread}
 }
+
+// GroupAware reports whether the policy places thread groups with the
+// sharing-aware bundle transformation (internal/threads) rather than
+// treating members as independent legacy processes.
+func (p Policy) GroupAware() bool { return p == ColocateSharers || p == SpreadSharers }

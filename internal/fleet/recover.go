@@ -12,8 +12,8 @@ import (
 	"errors"
 	"fmt"
 
+	"mpmc/internal/threads"
 	"mpmc/internal/wal"
-	"mpmc/internal/workload"
 )
 
 // Recover reinstates a recovered placement state into a freshly built
@@ -49,7 +49,9 @@ func (f *Fleet) Recover(ctx context.Context, st *wal.State) error {
 		if n == nil {
 			return fmt.Errorf("fleet: %w %q in recovered state", ErrUnknownNode, r.Node)
 		}
-		spec := workload.ByName(r.Bench)
+		// ResolveSpec covers both suite workloads and thread-group bundle
+		// names (rebuilt deterministically from the recorded name).
+		spec := threads.ResolveSpec(r.Bench)
 		if spec == nil {
 			return fmt.Errorf("fleet: recovered resident %s names unknown workload %q", r.Name, r.Bench)
 		}
@@ -64,7 +66,7 @@ func (f *Fleet) Recover(ctx context.Context, st *wal.State) error {
 		}
 	}
 	for _, qe := range st.Queue {
-		spec := workload.ByName(qe.Bench)
+		spec := threads.ResolveSpec(qe.Bench)
 		if spec == nil {
 			return fmt.Errorf("fleet: recovered ticket %d names unknown workload %q", qe.Ticket, qe.Bench)
 		}

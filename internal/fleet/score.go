@@ -142,7 +142,7 @@ func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVe
 		}
 		return best, nil
 
-	case LeastDegradation, BinPack:
+	case LeastDegradation, BinPack, ColocateSharers, SpreadSharers:
 		// Delta evaluation: solve (or recall) the machine's current groups
 		// once, then score "add feat to core c" by re-solving only core c's
 		// group with the newcomer and replaying the whole-machine term

@@ -302,8 +302,17 @@ func groupSPITerms(ctx context.Context, m *machine.Machine, busy []int, asg core
 	var terms []float64
 	for i, c := range busy {
 		appearances := float64(combos) / float64(len(asg[c]))
-		for _, sum := range perProc[i] {
-			terms = append(terms, sum/appearances)
+		for j, sum := range perProc[i] {
+			t := sum / appearances
+			// A thread-group bundle resident stands for Members
+			// co-located threads: its solved SPI is the per-member SPI of
+			// the merged stream, so the group total counts it Members
+			// times. Legacy features (Members ≤ 1) skip the multiply so
+			// their terms stay bit-identical to the pre-threads code.
+			if m := asg[c][j].Members; m > 1 {
+				t *= float64(m)
+			}
+			terms = append(terms, t)
 		}
 	}
 	return terms, nil

@@ -34,6 +34,7 @@ import (
 	"mpmc/internal/manager"
 	"mpmc/internal/metrics"
 	"mpmc/internal/parallel"
+	"mpmc/internal/threads"
 	"mpmc/internal/wal"
 	"mpmc/internal/workload"
 )
@@ -482,6 +483,98 @@ func (s *Sharded) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Place
 		sh.flushJournalLocked()
 	}
 	s.placed.Add(uint64(len(out)))
+	return out, nil
+}
+
+// PlaceGroup admits one thread-group arrival transactionally across all
+// shards, mirroring Fleet.PlaceGroup: the policy shapes the group into
+// bundle specs (internal/threads), every member is admitted or every
+// shard's machines are restored, and the group member ledger balances
+// either way. Under SpreadSharers the sibling anti-affinity preference
+// spans the whole fleet (global node indices), so decisions match the
+// single-lock fleet whenever both see the same scores.
+func (s *Sharded) PlaceGroup(ctx context.Context, g threads.GroupSpec) ([]Placed, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	specs, antiAffinity, err := shapeGroup(s.cfg.Policy, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.resolveFeatures(ctx, specs); err != nil {
+		return nil, err
+	}
+	members := uint64(g.Threads)
+	s.lockAll()
+	defer s.unlockAll()
+	s.reg.Counter("fleet_group_spawned_members_total").Add(members)
+	var snaps [][]*manager.Snapshot
+	for _, sh := range s.shards {
+		ss := make([]*manager.Snapshot, len(sh.nodes))
+		for i, n := range sh.nodes {
+			ss[i] = n.mgr.Snapshot()
+		}
+		snaps = append(snaps, ss)
+	}
+	admitted := 0
+	rollback := func(cause error) error {
+		for si, sh := range s.shards {
+			for i, n := range sh.nodes {
+				n.mgr.Restore(snaps[si][i])
+			}
+			sh.discardJournalLocked()
+		}
+		s.reg.Counter("fleet_group_faulted_members_total").Add(members)
+		s.reg.Counter("fleet_groups_rejected_total").Inc()
+		if errors.Is(cause, ErrFleetFull) {
+			s.rejected.Inc()
+		}
+		if admitted > 0 {
+			return fmt.Errorf("fleet: group rolled back after %d member placement(s): %w", admitted, cause)
+		}
+		return cause
+	}
+	out := make([]Placed, len(specs))
+	used := map[int]bool{}
+	for i, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, rollback(err)
+		}
+		scores, err := s.decideAllLocked(ctx, spec, PlaceOptions{})
+		if err != nil {
+			return nil, rollback(err)
+		}
+		pick := -1
+		if antiAffinity {
+			// Prefer nodes no sibling of this arrival occupies; fall back
+			// to the plain selector when every admissible node is taken.
+			for j, sc := range scores {
+				if sc.OK && !used[j] && (pick < 0 || sc.Value < scores[pick].Value) {
+					pick = j
+				}
+			}
+		}
+		if pick < 0 {
+			pick = s.selector().Pick(scores)
+		}
+		if pick < 0 {
+			return nil, rollback(fmt.Errorf("fleet: %w for %s", ErrFleetFull, spec.Name))
+		}
+		shard, local := s.shardOf(pick)
+		p, err := s.shards[shard].commitLocked(ctx, spec, PlaceOptions{}, local, scores[pick])
+		if err != nil {
+			return nil, rollback(err)
+		}
+		used[pick] = true
+		admitted++
+		out[i] = p
+	}
+	for _, sh := range s.shards {
+		sh.flushJournalLocked()
+	}
+	s.placed.Add(uint64(len(out)))
+	s.reg.Counter("fleet_group_placed_members_total").Add(members)
+	s.reg.Counter("fleet_groups_placed_total").Inc()
 	return out, nil
 }
 
@@ -1081,7 +1174,7 @@ func (s *Sharded) Recover(ctx context.Context, st *wal.State) error {
 		return errors.New("fleet: recover with a non-empty queue")
 	}
 	for _, qe := range st.Queue {
-		spec := workload.ByName(qe.Bench)
+		spec := threads.ResolveSpec(qe.Bench)
 		if spec == nil {
 			return fmt.Errorf("fleet: recovered ticket %d names unknown workload %q", qe.Ticket, qe.Bench)
 		}

@@ -1,0 +1,110 @@
+package fleet_test
+
+// Short-lane coverage of thread-group placement on the sharded serving
+// tier: shaping per policy, sibling anti-affinity across shards, the
+// all-shard rollback, and the group ledger counters.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpmc/internal/fleet"
+	"mpmc/internal/threads"
+	"mpmc/internal/workload"
+)
+
+func groupOf(t *testing.T, bench string, n int, sharedFrac float64) threads.GroupSpec {
+	t.Helper()
+	base := workload.ByName(bench)
+	if base == nil {
+		t.Fatalf("%s missing from suite", bench)
+	}
+	return threads.GroupSpec{Base: base, Threads: n, SharedFrac: sharedFrac, WriteFrac: 0.5}
+}
+
+func TestShardedPlaceGroupColocate(t *testing.T) {
+	ctx := context.Background()
+	s := surfaceFleet(t, 4, 2, func(c *fleet.Config) { c.Policy = fleet.ColocateSharers })
+
+	placed, err := s.PlaceGroup(ctx, groupOf(t, "gzip", 3, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 1 {
+		t.Fatalf("colocate placed %d instances for one group, want 1", len(placed))
+	}
+	reg := s.Registry()
+	for name, want := range map[string]uint64{
+		"fleet_group_spawned_members_total": 3,
+		"fleet_group_placed_members_total":  3,
+		"fleet_groups_placed_total":         1,
+		"fleet_groups_rejected_total":       0,
+	} {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// A T=1 group is a legacy single placement of the base spec.
+	placed, err = s.PlaceGroup(ctx, groupOf(t, "vpr", 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 1 {
+		t.Fatalf("T=1 group placed %d instances, want 1", len(placed))
+	}
+}
+
+func TestShardedPlaceGroupSpreadAntiAffinity(t *testing.T) {
+	ctx := context.Background()
+	s := surfaceFleet(t, 4, 2, func(c *fleet.Config) { c.Policy = fleet.SpreadSharers })
+
+	placed, err := s.PlaceGroup(ctx, groupOf(t, "gzip", 4, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 4 {
+		t.Fatalf("spread placed %d instances for a 4-thread group, want 4", len(placed))
+	}
+	nodes := map[string]bool{}
+	for _, p := range placed {
+		nodes[p.Node] = true
+	}
+	if len(nodes) != 4 {
+		t.Errorf("4 members landed on %d distinct machines, want 4 (anti-affinity across shards)", len(nodes))
+	}
+}
+
+func TestShardedPlaceGroupFullRollsBack(t *testing.T) {
+	ctx := context.Background()
+	// 2 machines x 2 cores x MaxPerCore 1 = 4 slots, one per shard.
+	s := surfaceFleet(t, 2, 2, func(c *fleet.Config) { c.Policy = fleet.SpreadSharers })
+
+	if _, err := s.PlaceAll(ctx, []*workload.Spec{workload.ByName("mcf"), workload.ByName("art")}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.PlaceGroup(ctx, groupOf(t, "gzip", 3, 0.5))
+	if !errors.Is(err, fleet.ErrFleetFull) {
+		t.Fatalf("oversized group: got %v, want ErrFleetFull", err)
+	}
+	reg := s.Registry()
+	if got := reg.CounterValue("fleet_group_faulted_members_total"); got != 3 {
+		t.Errorf("faulted members = %d, want 3 (whole group)", got)
+	}
+	if got := reg.CounterValue("fleet_groups_rejected_total"); got != 1 {
+		t.Errorf("groups rejected = %d, want 1", got)
+	}
+	if got := reg.CounterValue("fleet_group_placed_members_total"); got != 0 {
+		t.Errorf("placed members = %d after rollback, want 0", got)
+	}
+
+	// The rollback restored both free slots: a 2-thread group fits.
+	placed, err := s.PlaceGroup(ctx, groupOf(t, "gzip", 2, 0.5))
+	if err != nil {
+		t.Fatalf("post-rollback group: %v", err)
+	}
+	if len(placed) != 2 {
+		t.Fatalf("post-rollback group placed %d, want 2", len(placed))
+	}
+}

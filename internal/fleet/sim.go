@@ -15,6 +15,7 @@ import (
 	"mpmc/internal/core"
 	"mpmc/internal/machine"
 	"mpmc/internal/manager"
+	"mpmc/internal/threads"
 	"mpmc/internal/workload"
 	"mpmc/internal/xrand"
 )
@@ -57,6 +58,24 @@ type Scenario struct {
 	RebalanceEvery float64 `json:"rebalance_every,omitempty"`
 	// RebalanceMinImprovement is the Rebalance threshold (total SPI).
 	RebalanceMinImprovement float64 `json:"rebalance_min_improvement,omitempty"`
+	// ThreadGroups, when set, makes arrivals thread GROUPS: each process
+	// draws a member count and sharing fraction (after its legacy draws,
+	// so scenarios without this block replay byte-identically). Groups
+	// with one member take the exact legacy arrival path.
+	ThreadGroups *ThreadGroupConfig `json:"thread_groups,omitempty"`
+}
+
+// ThreadGroupConfig parameterizes thread-group arrivals in a scenario.
+type ThreadGroupConfig struct {
+	// MaxThreads bounds the per-process member count: T is drawn
+	// uniformly from 1..MaxThreads.
+	MaxThreads int `json:"max_threads"`
+	// SharedFracs is the pool of sharing fractions σ; each group draws
+	// one uniformly.
+	SharedFracs []float64 `json:"shared_fracs"`
+	// WriteFrac is ω, the write intensity on shared data (one value for
+	// the whole scenario).
+	WriteFrac float64 `json:"write_frac"`
 }
 
 // LoadScenario reads and validates a scenario file. Unknown fields are
@@ -110,6 +129,28 @@ func (sc *Scenario) Validate() error {
 	if sc.RebalanceEvery < 0 {
 		return errors.New("negative rebalance_every")
 	}
+	if tg := sc.ThreadGroups; tg != nil {
+		if tg.MaxThreads < 1 {
+			return fmt.Errorf("thread_groups: max_threads %d < 1", tg.MaxThreads)
+		}
+		if len(tg.SharedFracs) == 0 {
+			return errors.New("thread_groups: empty shared_fracs")
+		}
+		// Full group validation (σ, ω ranges; MaxThreads·L2RPI ≤ 1 for
+		// every pool workload) so a bad scenario fails at load, not at
+		// the first wide group's arrival.
+		for _, w := range sc.workloadNames() {
+			for _, frac := range tg.SharedFracs {
+				g := threads.GroupSpec{
+					Base: workload.ByName(w), Threads: tg.MaxThreads,
+					SharedFrac: frac, WriteFrac: tg.WriteFrac,
+				}
+				if err := g.Validate(); err != nil {
+					return fmt.Errorf("thread_groups: %w", err)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -136,11 +177,14 @@ func (sc *Scenario) workloadNames() []string {
 }
 
 // TraceProc is one simulated process: what it runs and when it arrives
-// and departs.
+// and departs. Threads and SharedFrac describe its thread group when the
+// scenario enables them (Threads is 1 — a legacy process — otherwise).
 type TraceProc struct {
 	ID             int
 	Spec           *workload.Spec
 	Arrive, Depart float64
+	Threads        int
+	SharedFrac     float64
 }
 
 // expSample draws from Exp(mean) — xrand has no exponential sampler, so
@@ -166,10 +210,18 @@ func (sc *Scenario) Trace() []TraceProc {
 		t += expSample(r, sc.MeanInterarrival)
 		life := expSample(r, sc.MeanLifetime)
 		procs[i] = TraceProc{
-			ID:     i,
-			Spec:   pool[r.Intn(len(pool))],
-			Arrive: t,
-			Depart: t + life,
+			ID:      i,
+			Spec:    pool[r.Intn(len(pool))],
+			Arrive:  t,
+			Depart:  t + life,
+			Threads: 1,
+		}
+		// Group draws come AFTER every legacy draw of this process, so a
+		// scenario without thread_groups consumes the random stream
+		// exactly as before and stays byte-identical.
+		if tg := sc.ThreadGroups; tg != nil {
+			procs[i].Threads = 1 + r.Intn(tg.MaxThreads)
+			procs[i].SharedFrac = tg.SharedFracs[r.Intn(len(tg.SharedFracs))]
 		}
 	}
 	return procs
@@ -203,6 +255,12 @@ type Sim struct {
 	// workers it affects speed, never output — the differential suite
 	// replays scenarios at both settings and asserts byte equality.
 	ScoreCacheCap int
+
+	// AfterEvent, when non-nil, runs after every processed sim event
+	// with the policy's live fleet — the hook the chaos invariant sweep
+	// uses to check model and ledger conservation at every step. An
+	// error aborts the run. It must not mutate the fleet.
+	AfterEvent func(f *Fleet) error
 }
 
 // NewSim builds a simulator. workers caps scoring concurrency (0 =
@@ -224,6 +282,14 @@ type PolicyReport struct {
 	QueueRejected  uint64 `json:"queue_rejected"`
 	Moves          uint64 `json:"moves"`
 	ProfileRuns    uint64 `json:"profile_runs"`
+	// Thread-group ledger (present only when the scenario places groups,
+	// so legacy reports and their goldens are byte-identical): groups
+	// admitted/rejected whole, and the member ledger, which conserves as
+	// members spawned = placed + faulted.
+	GroupsPlaced   uint64 `json:"groups_placed,omitempty"`
+	GroupsRejected uint64 `json:"groups_rejected,omitempty"`
+	MembersPlaced  uint64 `json:"members_placed,omitempty"`
+	MembersFaulted uint64 `json:"members_faulted,omitempty"`
 	// AvgSPI and AvgWatts are time-weighted fleet-wide averages over the
 	// simulated horizon (first arrival to last departure).
 	AvgSPI   float64 `json:"avg_spi"`
@@ -313,13 +379,16 @@ func (s *Sim) buildFleet(pname string) (*Fleet, error) {
 	})
 }
 
-// procState tracks where one trace process currently lives.
+// procState tracks where one trace process currently lives. A
+// thread-group process (Threads > 1) records every member placement;
+// single-thread processes use the legacy resident/queued fields.
 type procState struct {
 	resident bool
 	node     string
 	instance string
 	queued   bool
 	ticket   int
+	members  []Placed
 }
 
 func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, horizon float64) (PolicyReport, error) {
@@ -394,6 +463,24 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 		switch ev.kind {
 		case evArrive:
 			p := trace[ev.proc]
+			if p.Threads > 1 {
+				// Thread groups place as one transactional unit and
+				// bypass the admission queue: a group that does not fit
+				// is rejected whole (the rejection is counted).
+				g := threads.GroupSpec{
+					Base: p.Spec, Threads: p.Threads,
+					SharedFrac: p.SharedFrac, WriteFrac: s.sc.ThreadGroups.WriteFrac,
+				}
+				placed, err := f.PlaceGroup(ctx, g)
+				switch {
+				case err == nil:
+					states[ev.proc] = procState{members: placed}
+				case errors.Is(err, ErrFleetFull):
+				default:
+					return PolicyReport{}, err
+				}
+				break
+			}
 			placed, err := f.Place(ctx, p.Spec)
 			switch {
 			case err == nil:
@@ -411,6 +498,20 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 		case evDepart:
 			st := states[ev.proc]
 			switch {
+			case len(st.members) > 0:
+				// The whole group departs: members leave in placement
+				// order, and each freed slot may pump queued legacy
+				// arrivals in.
+				for _, m := range st.members {
+					admitted, err := f.Remove(ctx, m.Node, m.Name)
+					if err != nil {
+						return PolicyReport{}, err
+					}
+					if err := admit(admitted); err != nil {
+						return PolicyReport{}, err
+					}
+				}
+				states[ev.proc] = procState{}
 			case st.resident:
 				admitted, err := f.Remove(ctx, st.node, st.instance)
 				if err != nil {
@@ -432,12 +533,24 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 			if err == nil {
 				// The migrated process got a fresh instance name on its
 				// new node; keep the departure bookkeeping pointed at it.
+			fixup:
 				for i := range states {
 					if states[i].resident && states[i].node == mv.From && states[i].instance == mv.Name {
 						states[i].node, states[i].instance = mv.To, mv.NewName
 						break
 					}
+					for j, m := range states[i].members {
+						if m.Node == mv.From && m.Name == mv.Name {
+							states[i].members[j].Node, states[i].members[j].Name = mv.To, mv.NewName
+							break fixup
+						}
+					}
 				}
+			}
+		}
+		if s.AfterEvent != nil {
+			if err := s.AfterEvent(f); err != nil {
+				return PolicyReport{}, fmt.Errorf("after event at t=%v: %w", ev.time, err)
 			}
 		}
 	}
@@ -461,6 +574,10 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 		QueueRejected:  reg.CounterValue("fleet_queue_rejected_total"),
 		Moves:          reg.CounterValue("fleet_rebalance_moves_total"),
 		ProfileRuns:    reg.CounterValue("fleet_profile_runs_total"),
+		GroupsPlaced:   reg.CounterValue("fleet_groups_placed_total"),
+		GroupsRejected: reg.CounterValue("fleet_groups_rejected_total"),
+		MembersPlaced:  reg.CounterValue("fleet_group_placed_members_total"),
+		MembersFaulted: reg.CounterValue("fleet_group_faulted_members_total"),
 		AvgSPI:         spiSec / horizon,
 		AvgWatts:       wattSec / horizon,
 		FinalResidents: final,

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestSimThreadsGolden is the thread-group determinism acceptance test:
+// the seeded sharing scenario — mixed group sizes 1..4, sharing fractions
+// {0, 0.5, 0.9} — must replay to a byte-identical report at workers 1, 4,
+// and GOMAXPROCS, pinned by the golden file the CI smoke step also diffs
+// against. T=1 draws ride the legacy placement path, so the golden also
+// pins that the two paths coexist deterministically in one run.
+func TestSimThreadsGolden(t *testing.T) {
+	sc, err := LoadScenario(filepath.Join("testdata", "scenario_threads.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []byte
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		rep, err := NewSim(sc, w).Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := renderReport(t, rep)
+		if ref == nil {
+			ref = got
+			checkGolden(t, "sim_threads.json", got)
+		} else if !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d report differs from workers=1", w)
+		}
+	}
+}
+
+// TestSimThreadsLedger pins the group-ledger arithmetic on the golden
+// sharing scenario: every policy sees the same arrivals, so the group
+// counters must agree across policies, members must balance (spawned =
+// placed + faulted is chaos's invariant; here none fault), and the
+// instance counter must reflect the policy's shaping — one instance per
+// group under colocate-sharers, one per member everywhere else.
+func TestSimThreadsLedger(t *testing.T) {
+	sc, err := LoadScenario(filepath.Join("testdata", "scenario_threads.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewSim(sc, 0).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := 0
+	groups, members := uint64(0), uint64(0)
+	for _, p := range sc.Trace() {
+		if p.Threads > 1 {
+			groups++
+			members += uint64(p.Threads)
+		} else {
+			singles++
+		}
+	}
+	if groups == 0 || singles == 0 {
+		t.Fatalf("scenario must mix group and single arrivals, got %d groups / %d singles", groups, singles)
+	}
+	for _, pr := range rep.Policies {
+		if pr.GroupsPlaced != groups || pr.MembersPlaced != members {
+			t.Errorf("%s: placed %d groups / %d members, want %d / %d",
+				pr.Policy, pr.GroupsPlaced, pr.MembersPlaced, groups, members)
+		}
+		if pr.GroupsRejected != 0 || pr.MembersFaulted != 0 {
+			t.Errorf("%s: %d groups rejected, %d members faulted — want 0/0",
+				pr.Policy, pr.GroupsRejected, pr.MembersFaulted)
+		}
+		want := uint64(singles) + members
+		if pr.Policy == ColocateSharers.String() {
+			want = uint64(singles) + groups
+		}
+		if pr.Placed != want {
+			t.Errorf("%s: %d instances placed, want %d", pr.Policy, pr.Placed, want)
+		}
+	}
+}

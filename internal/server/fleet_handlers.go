@@ -24,11 +24,13 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 
 	"mpmc/internal/fleet"
 	"mpmc/internal/manager"
+	"mpmc/internal/threads"
 	"mpmc/internal/workload"
 )
 
@@ -79,6 +81,9 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error 
 	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
 		return err
 	}
+	if len(req.ThreadGroups) > 0 {
+		return s.handleFleetPlaceGroups(w, r, req)
+	}
 	specs, err := resolveBenches(req.Benches)
 	if err != nil {
 		return err
@@ -96,6 +101,50 @@ func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return err
 	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleFleetPlaceGroups admits thread-group arrivals. Each group is its
+// own transactional unit (PlaceGroup rolls back every member on any
+// failure); groups are admitted in request order, so on error the
+// already-admitted groups stay — the error reports which group failed.
+func (s *Server) handleFleetPlaceGroups(w http.ResponseWriter, r *http.Request, req FleetPlaceRequest) error {
+	if len(req.Benches) > 0 || req.Queue || req.Async || req.Priority != 0 {
+		return badRequest("bad_request", "thread_groups is mutually exclusive with benches, queue, async, and priority")
+	}
+	groups := make([]threads.GroupSpec, len(req.ThreadGroups))
+	for i, tg := range req.ThreadGroups {
+		spec := workload.ByName(tg.Bench)
+		if spec == nil {
+			return badRequest("unknown_benchmark", "thread_groups[%d]: unknown benchmark %q", i, tg.Bench)
+		}
+		g := threads.GroupSpec{
+			Base:       spec,
+			Threads:    tg.Threads,
+			SharedFrac: tg.SharedFrac,
+			WriteFrac:  tg.WriteFrac,
+		}
+		if err := g.Validate(); err != nil {
+			return badRequest("bad_request", "thread_groups[%d]: %v", i, err)
+		}
+		groups[i] = g
+	}
+	resp := &FleetPlaceResponse{Placements: []FleetPlacementInfo{}}
+	for i, g := range groups {
+		placed, err := s.fleet.PlaceGroup(r.Context(), g)
+		if err != nil {
+			// The wrap keeps errors.Is(err, fleet.ErrFleetFull) visible to
+			// toAPIError's 409 mapping while naming the failing group.
+			return fmt.Errorf("thread_groups[%d] (%s x%d): %w", i, g.Base.Name, g.Threads, err)
+		}
+		for _, p := range placed {
+			resp.Placements = append(resp.Placements, FleetPlacementInfo{
+				Bench: g.Base.Name, Node: p.Node, Name: p.Name, Core: p.Core, Watts: p.Watts,
+			})
+		}
+	}
+	resp.QueueDepth = s.fleet.QueueDepth()
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }

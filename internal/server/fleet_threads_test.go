@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"mpmc/internal/fleet"
+)
+
+// TestFleetPlaceThreadGroups drives the thread-group placement surface:
+// a colocate-sharers fleet admits one group as a single instance, a
+// spread-sharers fleet fans the members out across machines, and the
+// mutual-exclusion and validation rules return typed errors.
+func TestFleetPlaceThreadGroups(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.ColocateSharers, 4)
+
+	// One 3-thread group: under colocate-sharers the shared footprint is
+	// one bundle instance, so exactly one placement comes back.
+	status, raw := do(t, ts, "POST", "/v1/fleet/place",
+		`{"thread_groups":[{"bench":"gzip","threads":3,"shared_frac":0.5,"write_frac":0.5}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("group place status %d: %s", status, raw)
+	}
+	var pr FleetPlaceResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 1 {
+		t.Fatalf("colocate-sharers placed %d instances for one group, want 1: %s", len(pr.Placements), raw)
+	}
+	if pr.Placements[0].Bench != "gzip" {
+		t.Errorf("placement bench %q, want gzip", pr.Placements[0].Bench)
+	}
+
+	// A T=1 group is a legacy single placement.
+	status, raw = do(t, ts, "POST", "/v1/fleet/place",
+		`{"thread_groups":[{"bench":"vpr","threads":1,"shared_frac":0}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("T=1 group status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 1 || pr.Placements[0].Bench != "vpr" {
+		t.Fatalf("T=1 group response: %s", raw)
+	}
+
+	// Validation and mutual-exclusion errors.
+	for _, tc := range []struct {
+		body string
+		code string
+	}{
+		{`{"thread_groups":[{"bench":"doom","threads":2,"shared_frac":0.5}]}`, "unknown_benchmark"},
+		{`{"thread_groups":[{"bench":"gzip","threads":0,"shared_frac":0.5}]}`, "bad_request"},
+		{`{"thread_groups":[{"bench":"gzip","threads":2,"shared_frac":1.5}]}`, "bad_request"},
+		{`{"benches":["gzip"],"thread_groups":[{"bench":"gzip","threads":2,"shared_frac":0.5}]}`, "bad_request"},
+		{`{"queue":true,"thread_groups":[{"bench":"gzip","threads":2,"shared_frac":0.5}]}`, "bad_request"},
+		{`{"async":true,"thread_groups":[{"bench":"gzip","threads":2,"shared_frac":0.5}]}`, "bad_request"},
+	} {
+		status, raw := do(t, ts, "POST", "/v1/fleet/place", tc.body)
+		wantAPIError(t, status, raw, http.StatusBadRequest, tc.code)
+	}
+}
+
+// TestFleetPlaceThreadGroupsSpread pins the spread shaping: T member
+// instances come back, on distinct machines while capacity allows.
+func TestFleetPlaceThreadGroupsSpread(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.SpreadSharers, 4)
+
+	status, raw := do(t, ts, "POST", "/v1/fleet/place",
+		`{"thread_groups":[{"bench":"gzip","threads":4,"shared_frac":0.9,"write_frac":0.5}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("spread group status %d: %s", status, raw)
+	}
+	var pr FleetPlaceResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Placements) != 4 {
+		t.Fatalf("spread-sharers placed %d instances for a 4-thread group, want 4: %s", len(pr.Placements), raw)
+	}
+	nodes := map[string]bool{}
+	for _, p := range pr.Placements {
+		nodes[p.Node] = true
+	}
+	if len(nodes) != 4 {
+		t.Errorf("4 members landed on %d distinct machines, want 4 (anti-affinity): %s", len(nodes), raw)
+	}
+}
+
+// TestFleetPlaceGroupFullRollsBack: an oversized group must reject
+// whole — 409 fleet_full, nothing admitted, and the fleet still able to
+// admit a smaller group afterwards.
+func TestFleetPlaceGroupFullRollsBack(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.SpreadSharers, 0)
+
+	// Capacity is 16 slots; fill 14 with legacy placements.
+	for i := 0; i < 7; i++ {
+		status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art"]}`)
+		if status != http.StatusOK {
+			t.Fatalf("fill %d: status %d: %s", i, status, raw)
+		}
+	}
+	status, raw := do(t, ts, "POST", "/v1/fleet/place",
+		`{"thread_groups":[{"bench":"gzip","threads":4,"shared_frac":0.5,"write_frac":0.5}]}`)
+	wantAPIError(t, status, raw, http.StatusConflict, "fleet_full")
+
+	// The rollback left both free slots intact: a 2-thread group fits.
+	status, raw = do(t, ts, "POST", "/v1/fleet/place",
+		`{"thread_groups":[{"bench":"gzip","threads":2,"shared_frac":0.5,"write_frac":0.5}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-rollback group status %d: %s", status, raw)
+	}
+}

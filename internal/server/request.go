@@ -81,7 +81,16 @@ type PlaceRequest struct {
 // possible by design).
 type FleetPlaceRequest struct {
 	Benches []string `json:"benches"`
-	Queue   bool     `json:"queue,omitempty"`
+	// ThreadGroups admits multi-thread process groups instead of
+	// independent benches: each entry spawns Threads member threads of
+	// one base bench sharing shared_frac of their reuse mass, admitted
+	// transactionally per group under the fleet's policy (sharer-aware
+	// policies co-locate or spread the members; every other policy
+	// places them as independent copies). Mutually exclusive with
+	// Benches, Queue, Async, and Priority — a group is already its own
+	// atomic unit.
+	ThreadGroups []ThreadGroupSpec `json:"thread_groups,omitempty"`
+	Queue        bool              `json:"queue,omitempty"`
 	// Async detaches the placement from the request: the response is an
 	// immediate 202 with a ticket, and GET /v1/fleet/ticket/{id} (or its
 	// ?watch=1 long-poll) reports the outcome. Composes with Queue and
@@ -94,6 +103,18 @@ type FleetPlaceRequest struct {
 	// itself a queue operation, and the strict all-or-none batch does not
 	// roll it back, so the transactional path stays class 0.
 	Priority int `json:"priority,omitempty"`
+}
+
+// ThreadGroupSpec is one multi-thread group arrival: Threads member
+// threads of the Bench workload, sharing SharedFrac of their reuse mass,
+// with WriteFrac of the shared accesses being writes (the coherence-miss
+// intensity when members land on distinct caches). threads=1 is a legacy
+// single-instance placement of the bench.
+type ThreadGroupSpec struct {
+	Bench      string  `json:"bench"`
+	Threads    int     `json:"threads"`
+	SharedFrac float64 `json:"shared_frac"`
+	WriteFrac  float64 `json:"write_frac,omitempty"`
 }
 
 // FleetRebalanceRequest triggers one cross-machine rebalance pass.

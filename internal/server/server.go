@@ -44,6 +44,7 @@ import (
 	"mpmc/internal/machine"
 	"mpmc/internal/manager"
 	"mpmc/internal/metrics"
+	"mpmc/internal/threads"
 	"mpmc/internal/workload"
 )
 
@@ -98,6 +99,7 @@ type Config struct {
 type FleetBackend interface {
 	PlaceWith(ctx context.Context, spec *workload.Spec, opts fleet.PlaceOptions) (fleet.Placed, error)
 	PlaceAll(ctx context.Context, specs []*workload.Spec) ([]fleet.Placed, error)
+	PlaceGroup(ctx context.Context, g threads.GroupSpec) ([]fleet.Placed, error)
 	SubmitWith(spec *workload.Spec, tag string, priority int) (int, error)
 	CancelQueued(ticket int) bool
 	QueueDepth() int

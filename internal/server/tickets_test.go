@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mpmc/internal/fleet"
+	"mpmc/internal/threads"
 	"mpmc/internal/workload"
 )
 
@@ -51,6 +52,14 @@ func (g *gatedFleet) PlaceWith(ctx context.Context, spec *workload.Spec, opts fl
 	n := g.placed
 	g.mu.Unlock()
 	return fleet.Placed{Node: "stub0", Name: fmt.Sprintf("%s#%d", spec.Name, n), Core: 0}, nil
+}
+
+func (g *gatedFleet) PlaceGroup(ctx context.Context, gs threads.GroupSpec) ([]fleet.Placed, error) {
+	specs := make([]*workload.Spec, gs.Threads)
+	for i := range specs {
+		specs[i] = gs.Base
+	}
+	return g.PlaceAll(ctx, specs)
 }
 
 func (g *gatedFleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]fleet.Placed, error) {

@@ -1,0 +1,143 @@
+// Property tests for thread-group scenario generation: the group draws
+// ride the fleet scenario's trace, so the properties are checked through
+// the external test package (workload_test imports fleet; the reverse
+// import would cycle).
+package workload_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"mpmc/internal/fleet"
+	"mpmc/internal/workload"
+)
+
+// randScenario draws a small random sharing scenario. Everything is
+// derived from r, so a failing seed reproduces exactly.
+func randScenario(r *rand.Rand) *fleet.Scenario {
+	suite := workload.Suite()
+	pool := make([]string, 0, 3)
+	for _, i := range r.Perm(len(suite))[:3] {
+		pool = append(pool, suite[i].Name)
+	}
+	fracs := make([]float64, 1+r.Intn(3))
+	for i := range fracs {
+		fracs[i] = float64(r.Intn(11)) / 10
+	}
+	return &fleet.Scenario{
+		Seed: r.Uint64(),
+		Machines: []fleet.ScenarioMachine{
+			{Preset: "server", MaxPerCore: 2},
+			{Preset: "workstation", MaxPerCore: 2},
+		},
+		Policies:         []string{"colocate-sharers", "spread-sharers"},
+		Processes:        4 + r.Intn(8),
+		Workloads:        pool,
+		MeanInterarrival: 0.5 + r.Float64(),
+		MeanLifetime:     2 + 4*r.Float64(),
+		ThreadGroups: &fleet.ThreadGroupConfig{
+			MaxThreads:  1 + r.Intn(4),
+			SharedFracs: fracs,
+			WriteFrac:   r.Float64(),
+		},
+	}
+}
+
+// TestScenarioGroupDrawProperties: for any valid sharing scenario, every
+// drawn group size is in [1, MaxThreads], every sharing fraction comes
+// from the configured pool (so it is in [0,1]), and the trace is a pure
+// function of the scenario — repeated calls agree exactly.
+func TestScenarioGroupDrawProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		sc := randScenario(r)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("trial %d: generated scenario invalid: %v", trial, err)
+		}
+		inPool := map[float64]bool{}
+		for _, f := range sc.ThreadGroups.SharedFracs {
+			inPool[f] = true
+		}
+		trace := sc.Trace()
+		if len(trace) != sc.Processes {
+			t.Fatalf("trial %d: trace length %d != processes %d", trial, len(trace), sc.Processes)
+		}
+		for i, p := range trace {
+			if p.Threads < 1 || p.Threads > sc.ThreadGroups.MaxThreads {
+				t.Fatalf("trial %d proc %d: %d threads outside [1,%d]",
+					trial, i, p.Threads, sc.ThreadGroups.MaxThreads)
+			}
+			if !inPool[p.SharedFrac] || p.SharedFrac < 0 || p.SharedFrac > 1 {
+				t.Fatalf("trial %d proc %d: shared_frac %v not from the configured pool %v",
+					trial, i, p.SharedFrac, sc.ThreadGroups.SharedFracs)
+			}
+			if workload.ByName(p.Spec.Name) == nil {
+				t.Fatalf("trial %d proc %d: spec %q not in the suite", trial, i, p.Spec.Name)
+			}
+		}
+		again := sc.Trace()
+		for i := range trace {
+			if trace[i].Threads != again[i].Threads || trace[i].SharedFrac != again[i].SharedFrac ||
+				trace[i].Spec.Name != again[i].Spec.Name {
+				t.Fatalf("trial %d: Trace() not deterministic at proc %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestScenarioSimWorkerInvariance: a random sharing scenario must replay
+// to a byte-identical report at every worker count — the determinism
+// contract extended to group arrivals.
+func TestScenarioSimWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps in -short")
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 3; trial++ {
+		sc := randScenario(r)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var ref []byte
+		for _, w := range []int{1, 3} {
+			rep, err := fleet.NewSim(sc, w).Run(context.Background())
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, w, err)
+			}
+			got, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = got
+			} else if !bytes.Equal(got, ref) {
+				t.Fatalf("trial %d: workers=3 report differs from workers=1", trial)
+			}
+		}
+	}
+}
+
+// TestSpecMembersValidation pins the Members field's contract in the
+// workload package itself: non-negative, with 0 and 1 both meaning an
+// ordinary single-thread process.
+func TestSpecMembersValidation(t *testing.T) {
+	base := workload.ByName("gzip")
+	if base == nil {
+		t.Fatal("gzip missing from suite")
+	}
+	for _, m := range []int{0, 1, 4} {
+		s := *base
+		s.Members = m
+		if err := s.Validate(); err != nil {
+			t.Errorf("Members=%d rejected: %v", m, err)
+		}
+	}
+	s := *base
+	s.Members = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative Members accepted")
+	}
+}

@@ -65,6 +65,13 @@ type Spec struct {
 	// Reuse must then hold the access-weighted mixture distribution (the
 	// best single-phase approximation a profiler would recover).
 	Phases []PhaseSpec
+
+	// Members is the number of member threads this spec stands for when it
+	// is a thread-group bundle (internal/threads): the bundle's Reuse and
+	// event rates already describe the combined stream of Members
+	// co-located threads, and per-group equilibrium terms are weighted by
+	// it. Zero or one means an ordinary single-thread process.
+	Members int
 }
 
 // PhaseSpec is one phase of a multi-phase process.
@@ -93,6 +100,8 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("workload %s: negative instruction-mix rate", s.Name)
 	case s.BaseSPI <= 0:
 		return fmt.Errorf("workload %s: non-positive BaseSPI", s.Name)
+	case s.Members < 0:
+		return fmt.Errorf("workload %s: negative Members", s.Name)
 	}
 	return nil
 }

@@ -45,8 +45,11 @@ if [ "${1:-}" = "-check" ] && git show "HEAD:$out" >/dev/null 2>&1; then
   git show "HEAD:$out" | awk -v cur="$tmp" '
     function mean(sum, n) { return n ? sum / n : 0 }
     # BENCH_fleet.json is append-only; each "# ..." stamp starts a block.
-    # Only the newest committed block is the comparison baseline.
-    /^# / { delete bsum; delete bn }
+    # Only the newest committed FLEET-lane block is the comparison
+    # baseline: serve-stress stamps and report lines must not reset it,
+    # or a serve run appended after the last fleet run would erase the
+    # baseline entirely.
+    /^# / && !/serve-stress/ { delete bsum; delete bn }
     /^Benchmark/ { bsum[$1] += $3; bn[$1]++ }
     END {
       while ((getline line < cur) > 0) {
@@ -65,8 +68,11 @@ if [ "${1:-}" = "-check" ] && git show "HEAD:$out" >/dev/null 2>&1; then
     }'
 fi
 
+# Keyed stamp: every block records the exact commit and toolchain that
+# produced it, parseable without positional guessing. The "# " prefix is
+# load-bearing — the -check parsers key block boundaries on it.
 {
-  echo "# $(go version | awk '{print $3}') $(git rev-parse --short HEAD 2>/dev/null || echo worktree) benchtime=$benchtime count=$count"
+  echo "# commit=$(git rev-parse --short HEAD 2>/dev/null || echo worktree) go=$(go version | awk '{print $3}') lane=fleet benchtime=$benchtime count=$count"
   cat "$tmp"
 } >> "$out"
 echo "appended to $out"

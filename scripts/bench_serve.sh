@@ -40,7 +40,10 @@ if [ "${1:-}" = "-check" ] && git show "HEAD:$out" >/dev/null 2>&1; then
     function mean(sum, n) { return n ? sum / n : 0 }
     # placements/s rides as a custom metric: "<value> placements/s" pairs
     # on each BenchmarkServeSustained line of the newest committed block.
-    /^# / { bsum = 0; bn = 0 }
+    # Only SERVE-lane stamps reset the accumulator: the block/s own
+    # trailing "# serve-stress" report line (and any fleet-lane block
+    # appended later) must not wipe the baseline before END reads it.
+    /^# .*(serve-stress benchtime=|lane=serve-stress)/ { bsum = 0; bn = 0 }
     /^BenchmarkServeSustained/ {
       for (i = 2; i < NF; i++) if ($(i + 1) == "placements/s") { bsum += $i; bn++ }
     }
@@ -61,9 +64,14 @@ if [ "${1:-}" = "-check" ] && git show "HEAD:$out" >/dev/null 2>&1; then
     }'
 fi
 
+# Keyed stamp: every block — and the flattened report line — records the
+# exact commit and toolchain that produced it. The "# " prefix is
+# load-bearing for the -check block parsers in both bench scripts.
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo worktree)
+gover=$(go version | awk '{print $3}')
 {
-  echo "# $(go version | awk '{print $3}') $(git rev-parse --short HEAD 2>/dev/null || echo worktree) serve-stress benchtime=$benchtime count=$count ops=$ops"
+  echo "# commit=$commit go=$gover lane=serve-stress benchtime=$benchtime count=$count ops=$ops"
   cat "$tmp"
-  echo "# serve-stress $report"
+  echo "# serve-stress commit=$commit go=$gover $report"
 } >> "$out"
 echo "appended to $out"
