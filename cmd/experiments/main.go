@@ -56,6 +56,7 @@ var experiments = []experiment{
 	{"stability", "Study: spread of validation error across seeds", wrap(exp.SeedStability)},
 	{"bandwidth", "Study: model error under memory-bandwidth saturation", wrap(exp.BandwidthStudy)},
 	{"threads", "Study: thread-group placement — co-locate vs spread vs oblivious across sharing fractions", wrap(exp.ThreadsStudy)},
+	{"powercap", "Study: power-capped placement — budget sweep over least-degradation vs least-energy vs cap-aware", wrap(exp.PowerCapStudy)},
 }
 
 func main() {

@@ -29,6 +29,7 @@
 //
 //	fleet -scenario scenario.json [-workers 4] [-o report.json]
 //	fleet -scenario scenario.json -chaos-seed 1 [-chaos-rate 0.25] [-chaos-preempt-rate 0.5]
+//	      [-chaos-cap-rate 0.5 -chaos-cap-watts 220]
 //	fleet -serve-stress 40000 [-serve-machines 24] [-serve-shards 4] [-serve-clients 8] [-seed 1]
 //
 // See the README "Fleet" section for the scenario schema.
@@ -55,6 +56,8 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run the chaos harness with this fault-schedule seed")
 	chaosRate := flag.Float64("chaos-rate", 0.25, "chaos fault intensity in [0,1] (with -chaos-seed)")
 	preemptRate := flag.Float64("chaos-preempt-rate", 0, "preemption fault-class intensity in [0,1]: schedules high-priority arrivals, some with commit faults (with -chaos-seed)")
+	capRate := flag.Float64("chaos-cap-rate", 0, "cap-flip fault-class intensity in [0,1]: schedules power-budget flips with enforcement passes (with -chaos-seed)")
+	capWatts := flag.Float64("chaos-cap-watts", 0, "engaged power budget in watts for cap flips (required with -chaos-cap-rate)")
 	serveOps := flag.Int("serve-stress", 0, "run the sustained-load serving lane with this many placement ops (0 = off; ignores -scenario)")
 	serveMachines := flag.Int("serve-machines", 24, "serving-lane fleet size (with -serve-stress)")
 	serveShards := flag.Int("serve-shards", 4, "serving-lane shard count (with -serve-stress)")
@@ -87,7 +90,8 @@ func main() {
 	}
 	chaosMode := false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "chaos-seed" || f.Name == "chaos-rate" || f.Name == "chaos-preempt-rate" {
+		switch f.Name {
+		case "chaos-seed", "chaos-rate", "chaos-preempt-rate", "chaos-cap-rate", "chaos-cap-watts":
 			chaosMode = true
 		}
 	})
@@ -108,6 +112,8 @@ func main() {
 			Workers:     *workers,
 			ColdScore:   *scoreCache < 0,
 			PreemptRate: *preemptRate,
+			CapRate:     *capRate,
+			CapWatts:    *capWatts,
 		}).Run(ctx)
 	} else {
 		sim := fleet.NewSim(sc, *workers)

@@ -61,7 +61,8 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra listener (off by default; keep it private)")
 	fleetSpec := flag.String("fleet", "", "comma-separated machine presets for a fleet (e.g. \"workstation,workstation,server\"); empty = no fleet surface")
-	fleetPolicy := flag.String("fleet-policy", "least-degradation", "least-degradation | least-watts | binpack | spread | colocate-sharers | spread-sharers")
+	fleetPolicy := flag.String("fleet-policy", "least-degradation", "least-degradation | least-watts | binpack | spread | colocate-sharers | spread-sharers | least-energy | cap-aware")
+	fleetCap := flag.Float64("fleet-cap", 0, "fleet-wide power budget in watts (0 = uncapped; adjustable at runtime via PUT /v1/fleet/cap)")
 	fleetMaxPerCore := flag.Int("fleet-max-per-core", 2, "per-core time-sharing cap on fleet machines (0 = unbounded)")
 	fleetQueueCap := flag.Int("fleet-queue-cap", 16, "fleet admission-queue capacity (0 = no queue)")
 	scoreCache := flag.Int("score-cache", 0, "fleet score-memo capacity (0 = default, negative = solve cold; same answers either way)")
@@ -147,7 +148,7 @@ func main() {
 				"residents", len(recovered.Residents), "queued", len(recovered.Queue))
 		}
 		fl, err = buildFleet(ctx, logger, reg, *fleetSpec, *fleetPolicy, *fleetMaxPerCore, *fleetQueueCap,
-			*scoreCache, *shards, m, pm, profile, journal, *seed, *quick, *synthetic, *workers)
+			*scoreCache, *shards, *fleetCap, m, pm, profile, journal, *seed, *quick, *synthetic, *workers)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				logger.Info("fleet construction interrupted")
@@ -246,7 +247,7 @@ type fleetBackend interface {
 // groups; journal, when non-nil, receives every completed mutation's WAL
 // events.
 func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
-	spec, policyName string, maxPerCore, queueCap, scoreCacheCap, shards int,
+	spec, policyName string, maxPerCore, queueCap, scoreCacheCap, shards int, powerCap float64,
 	served *machine.Machine, servedPM *core.PowerModel,
 	profile func(context.Context, *machine.Machine, *workload.Spec, core.ProfileOptions) (*core.FeatureVector, error),
 	journal func([]wal.Event),
@@ -291,6 +292,7 @@ func buildFleet(ctx context.Context, logger *slog.Logger, reg *metrics.Registry,
 		Quick:         quick,
 		Workers:       workers,
 		ScoreCacheCap: scoreCacheCap,
+		PowerCap:      powerCap,
 		Registry:      reg,
 		Profile:       profile,
 		Journal:       journal,

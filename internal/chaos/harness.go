@@ -44,6 +44,18 @@ type Options struct {
 	// pre-existing golden — untouched: the extra random stream is only
 	// split off when the class is enabled.
 	PreemptRate float64
+	// CapRate in (0, 1] enables the cap-flip fault class: the schedule
+	// gains power-budget flips that alternately engage a tight fleet-wide
+	// watt cap (forcing an enforcement pass that down-clocks or migrates
+	// residents) and lift it again. After every event the harness checks
+	// the budget holds (unless the last enforcement reported the floor
+	// exceeds it) and that the watt ledger never drifts from a fresh
+	// fleet-wide estimate. Like PreemptRate, 0 leaves the schedule and
+	// every pre-existing golden untouched.
+	CapRate float64
+	// CapWatts is the budget an engaged flip imposes (jittered ±25% per
+	// flip), in watts. Required when CapRate > 0.
+	CapWatts float64
 }
 
 // Injection is one scheduled fault, recorded before the run executes. The
@@ -85,6 +97,13 @@ type PolicyOutcome struct {
 	PreemptRequeued uint64   `json:"preempt_requeued,omitempty"`
 	PreemptDropped  uint64   `json:"preempt_dropped,omitempty"`
 	PreemptAborted  uint64   `json:"preempt_aborted,omitempty"`
+	// Cap-flip accounting (present only when the cap fault class is
+	// enabled): enforcement actions taken and how many enforcement passes
+	// ended still over budget (the idle floor alone exceeded the cap).
+	CapFlips       int `json:"cap_flips,omitempty"`
+	CapDownclocks  int `json:"cap_downclocks,omitempty"`
+	CapMigrations  int `json:"cap_migrations,omitempty"`
+	CapUnsatisfied int `json:"cap_unsatisfied,omitempty"`
 	NodesLost       int      `json:"nodes_lost"`
 	NodesRestored   int      `json:"nodes_restored"`
 	InvariantChecks int      `json:"invariant_checks"`
@@ -102,6 +121,8 @@ type Transcript struct {
 	ChaosSeed    uint64          `json:"chaos_seed"`
 	Rate         float64         `json:"rate"`
 	PreemptRate  float64         `json:"preempt_rate,omitempty"`
+	CapRate      float64         `json:"cap_rate,omitempty"`
+	CapWatts     float64         `json:"cap_watts,omitempty"`
 	Machines     []string        `json:"machines"`
 	Processes    int             `json:"processes"`
 	BurstProcs   int             `json:"burst_procs"`
@@ -197,6 +218,9 @@ const (
 	// evPreempt sorts after ordinary arrivals at the same timestamp, so a
 	// priority arrival always contends against the fullest fleet.
 	evPreempt
+	// evCapFlip sorts last: a budget change always sees the timestamp's
+	// final layout, mirroring the sim's cap-event ordering.
+	evCapFlip
 )
 
 type event struct {
@@ -215,6 +239,7 @@ type schedule struct {
 	preempts   int               // count of priority procs appended after the bursts
 	classes    []int             // per trace proc: armed fault class
 	prios      []int             // per trace proc: priority class (0 except preempt procs)
+	capFlips   []float64         // cap-flip budgets in schedule order (0 = lift the cap)
 	events     []event
 	rebalFault map[int]bool // rebalance event seq -> inject
 	horizon    float64
@@ -330,6 +355,33 @@ func (h *Harness) buildSchedule() *schedule {
 			if class == classPreemptFault {
 				s.injections = append(s.injections, Injection{Time: at, Kind: "preempt_commit_error", Target: target})
 			}
+		}
+	}
+
+	// Cap flips: alternately engage a jittered budget and lift it, inside
+	// the populated middle of the trace so enforcement has residents to
+	// shed. The stream is only split off when the class is enabled, so a
+	// disabled run draws the exact schedule it always did.
+	if h.opts.CapRate > 0 {
+		capR := base.Split()
+		nFlips := 1 + int(h.opts.CapRate*6+0.5)
+		for k := 0; k < nFlips; k++ {
+			at := (0.15 + 0.7*capR.Float64()) * traceHorizon
+			watts := 0.0
+			kind := "cap_off"
+			if k%2 == 0 {
+				watts = h.opts.CapWatts * (0.75 + 0.5*capR.Float64())
+				kind = "cap_engage"
+			} else {
+				// Burn the second uniform anyway so engage/lift alternation
+				// never shifts the stream layout.
+				capR.Float64()
+			}
+			s.capFlips = append(s.capFlips, watts)
+			s.events = append(s.events, event{time: at, kind: evCapFlip, seq: k, proc: k})
+			s.injections = append(s.injections, Injection{
+				Time: at, Kind: kind, Target: fmt.Sprintf("%.4g W", watts),
+			})
 		}
 	}
 
@@ -471,6 +523,12 @@ func (h *Harness) Run(ctx context.Context) (*Transcript, error) {
 	if h.opts.PreemptRate < 0 || h.opts.PreemptRate > 1 {
 		return nil, fmt.Errorf("chaos: preempt rate %v outside [0, 1]", h.opts.PreemptRate)
 	}
+	if h.opts.CapRate < 0 || h.opts.CapRate > 1 {
+		return nil, fmt.Errorf("chaos: cap rate %v outside [0, 1]", h.opts.CapRate)
+	}
+	if h.opts.CapRate > 0 && h.opts.CapWatts <= 0 {
+		return nil, fmt.Errorf("chaos: cap rate %v needs a positive CapWatts budget", h.opts.CapRate)
+	}
 	if err := h.sc.Validate(); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
@@ -480,6 +538,8 @@ func (h *Harness) Run(ctx context.Context) (*Transcript, error) {
 		ChaosSeed:    h.opts.Seed,
 		Rate:         h.opts.Rate,
 		PreemptRate:  h.opts.PreemptRate,
+		CapRate:      h.opts.CapRate,
+		CapWatts:     h.opts.CapWatts,
 		Processes:    len(s.trace) - s.bursts - s.preempts,
 		BurstProcs:   s.bursts,
 		PreemptProcs: s.preempts,
@@ -585,6 +645,11 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 		return nil
 	}
 
+	// capSatisfied records whether the last enforcement pass got the fleet
+	// under its budget; while it is false the "usage ≤ cap" law is waived
+	// (the idle floor alone exceeds the cap) and only ledger consistency
+	// is checked.
+	capSatisfied := true
 	check := func() {
 		po.InvariantChecks++
 		for _, v := range checker.CheckFleet(ctx, f) {
@@ -592,6 +657,35 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 				po.Violations = append(po.Violations, v.String())
 			}
 		}
+		for _, v := range CheckCap(ctx, f, capSatisfied) {
+			if len(po.Violations) < 16 {
+				po.Violations = append(po.Violations, v.String())
+			}
+		}
+	}
+
+	// enforce runs one cap-enforcement pass and folds its actions into the
+	// outcome, re-pointing any resident the pass migrated.
+	enforce := func() error {
+		rep, err := f.EnforceCap(ctx)
+		if err != nil {
+			return err
+		}
+		po.CapDownclocks += rep.Downclocks
+		po.CapMigrations += rep.Migrations
+		if !rep.Satisfied {
+			po.CapUnsatisfied++
+		}
+		capSatisfied = rep.Satisfied
+		for _, mv := range rep.Moves {
+			for i := range states {
+				if states[i].resident && states[i].node == mv.From && states[i].instance == mv.Name {
+					states[i].node, states[i].instance = mv.To, mv.NewName
+					break
+				}
+			}
+		}
+		return nil
 	}
 
 	// Priority-inversion law: Remove and RestoreNode pump the queue, and
@@ -740,6 +834,14 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 				return PolicyOutcome{}, err
 			}
 			pumped()
+			// A restored machine adds its idle draw without passing the
+			// admission gate; under an engaged budget the cap controller
+			// reacts to the capacity event.
+			if f.PowerCap() > 0 {
+				if err := enforce(); err != nil {
+					return PolicyOutcome{}, err
+				}
+			}
 		case evRebalance:
 			if s.rebalFault[ev.seq] {
 				arm.arm(classRebalance)
@@ -758,6 +860,19 @@ func (h *Harness) runPolicy(ctx context.Context, pname string, s *schedule) (Pol
 				po.RebalanceFaults++
 			case !errors.Is(err, manager.ErrNoImprovement):
 				return PolicyOutcome{}, err
+			}
+		case evCapFlip:
+			watts := s.capFlips[ev.proc]
+			if err := f.SetPowerCap(ctx, watts); err != nil {
+				return PolicyOutcome{}, err
+			}
+			po.CapFlips++
+			if watts > 0 {
+				if err := enforce(); err != nil {
+					return PolicyOutcome{}, err
+				}
+			} else {
+				capSatisfied = true
 			}
 		}
 		check()

@@ -104,6 +104,47 @@ func (c *Checker) CheckFleet(ctx context.Context, f *fleet.Fleet) []Violation {
 	return out
 }
 
+// CheckCap verifies the watt-budget invariants at a quiescent point.
+// Vacuous on uncapped fleets. Two laws:
+//
+//   - Budget: the ledger's tracked draw never exceeds the cap — admission
+//     is cap-gated and enforcement sheds the rest. Waived while satisfied
+//     is false: the last enforcement pass reported that even the floor
+//     (every rung at minimum, no migration shedding watts) exceeds the
+//     budget, so being over-cap is the reported, not silent, condition.
+//   - Ledger: the tracked draw always agrees with a fresh fleet-wide
+//     estimate — per-mutation row updates never drift from re-derivation.
+func CheckCap(ctx context.Context, f *fleet.Fleet, satisfied bool) []Violation {
+	cap := f.PowerCap()
+	if cap <= 0 {
+		return nil
+	}
+	var out []Violation
+	usage := f.CapUsage()
+	if satisfied && usage > cap*(1+1e-9) {
+		out = append(out, Violation{
+			Invariant: "cap/budget",
+			Detail:    fmt.Sprintf("tracked draw %.9g W exceeds the %.9g W budget", usage, cap),
+		})
+	}
+	_, watts, err := f.Totals(ctx)
+	if err != nil {
+		out = append(out, Violation{
+			Invariant: "cap/ledger",
+			Detail:    fmt.Sprintf("fresh estimate failed: %v", err),
+		})
+		return out
+	}
+	tol := 1e-6 * math.Max(1, usage)
+	if math.Abs(watts-usage) > tol {
+		out = append(out, Violation{
+			Invariant: "cap/ledger",
+			Detail:    fmt.Sprintf("ledger %.9g W drifts from fresh estimate %.9g W", usage, watts),
+		})
+	}
+	return out
+}
+
 // PriorityInversions returns the queue entries that are currently both
 // eligible (backoff served) and strictly outranking some resident on an
 // up node — entries a preempting pump should have admitted. An inversion

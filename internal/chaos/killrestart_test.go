@@ -41,6 +41,10 @@ type krBackend interface {
 	QueueDepth() int
 	State(ctx context.Context) (*fleet.State, error)
 	Recover(ctx context.Context, st *wal.State) error
+	EnforceCap(ctx context.Context) (fleet.CapReport, error)
+	CapUsage() float64
+	FreqStates() map[string]int
+	Totals(ctx context.Context) (spi, watts float64, err error)
 }
 
 // krPool is the workload draw for the storm.
@@ -65,6 +69,12 @@ func buildKRFleet(t *testing.T, shards int, journal func([]wal.Event)) krBackend
 		Nodes:    nodes,
 		Policy:   fleet.LeastDegradation,
 		QueueCap: 8,
+		// The watt budget is an operator knob (config/flag), not a journaled
+		// fact, so pre-crash and recovered instances carry the same cap and
+		// recovery only has to reinstate rungs and ledger rows. 40 W binds
+		// against this 5-machine fleet's loaded draw, so storm enforcement
+		// really down-clocks (journaling EvFreq records recovery must replay).
+		PowerCap: 40,
 		Profile: func(_ context.Context, m *machine.Machine, spec *workload.Spec, _ core.ProfileOptions) (*core.FeatureVector, error) {
 			return core.TruthFeature(spec, m), nil
 		},
@@ -165,6 +175,8 @@ func runKillRestart(t *testing.T, seed uint64) {
 			_, _ = f1.FailNode(fmt.Sprintf("m%d", rng.Intn(5)))
 		case r < 0.95:
 			_, _ = f1.RestoreNode(ctx, fmt.Sprintf("m%d", rng.Intn(5)))
+		case r < 0.975:
+			_, _ = f1.EnforceCap(ctx)
 		default:
 			_, _ = f1.Rebalance(ctx, 0)
 		}
@@ -223,6 +235,24 @@ func runKillRestart(t *testing.T, seed uint64) {
 		t.Fatalf("recover: %v", err)
 	}
 
+	// Cap conservation across the crash: rungs replay from EvFreq records
+	// and the ledger rebuilds from fresh estimates, so the recovered
+	// tracked draw must agree with a live fleet-wide estimate, and on
+	// full-history seeds the recovered rungs match the pre-crash ones
+	// exactly.
+	if survivors == len(batches) {
+		pre, post := f1.FreqStates(), f2.FreqStates()
+		preStr, _ := json.Marshal(pre)
+		postStr, _ := json.Marshal(post)
+		if string(preStr) != string(postStr) {
+			t.Fatalf("recovered DVFS rungs diverged:\n pre %s\npost %s", preStr, postStr)
+		}
+	}
+	if _, watts, err := f2.Totals(ctx); err != nil {
+		t.Fatal(err)
+	} else if usage := f2.CapUsage(); usage < watts-1e-6 || usage > watts+1e-6 {
+		t.Fatalf("recovered ledger %.9g W drifts from fresh estimate %.9g W", usage, watts)
+	}
 	// Full-history seeds (no torn tail, and the last operation may have
 	// been a no-op anyway): the recovered serving state must be
 	// byte-identical to the pre-crash /v1/fleet/state payload.
@@ -246,6 +276,15 @@ func runKillRestart(t *testing.T, seed uint64) {
 		if vs := checker.CheckFleet(ctx, ff); len(vs) > 0 {
 			t.Fatalf("invariant violations after recovery: %v", vs)
 		}
+	}
+
+	// An enforcement pass on the recovered fleet restores the budget even
+	// when the crash interrupted one (or a restore re-added idle draw).
+	// Runs after the byte-identity comparison above — it may re-clock.
+	if rep, err := f2.EnforceCap(ctx); err != nil {
+		t.Fatalf("enforce after recovery: %v", err)
+	} else if rep.Satisfied && f2.CapUsage() > rep.Cap*(1+1e-9) {
+		t.Fatalf("satisfied enforcement left usage %.9g above cap %.9g", f2.CapUsage(), rep.Cap)
 	}
 
 	// The recovered fleet keeps serving and journaling: pump whatever

@@ -29,8 +29,10 @@ func MachineByName(name string) (*machine.Machine, error) {
 		return machine.TwoCoreWorkstation(), nil
 	case "laptop":
 		return machine.TwoCoreLaptop(), nil
+	case "little":
+		return machine.FourCoreLittle(), nil
 	}
-	return nil, fmt.Errorf("unknown machine %q (want server, workstation, or laptop)", name)
+	return nil, fmt.Errorf("unknown machine %q (want server, workstation, laptop, or little)", name)
 }
 
 // SolverByName maps CLI solver names to methods.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mpmc/internal/freq"
 	"mpmc/internal/xrand"
 )
 
@@ -133,6 +134,81 @@ func FuzzEquilibriumSolve(f *testing.F) {
 							method, i, math.Float64bits(pair[0]), math.Float64bits(pair[1]))
 					}
 				}
+			}
+		}
+	})
+}
+
+// FuzzFreqScalingMonotone drives the DVFS scaling contract over solved
+// equilibria (the same random-group harness as FuzzEquilibriumSolve) and
+// a random physically-ordered ladder: climbing the ladder (higher clock,
+// higher voltage) must never raise a prediction's SPI and never lower
+// its watts, the base rung of an out-of-order core must return the
+// solver's floats bit for bit, and an in-order core can only be slower.
+func FuzzFreqScalingMonotone(f *testing.F) {
+	f.Add(uint64(1), 8, 2)
+	f.Add(uint64(5), 16, 3)
+	f.Add(uint64(11), 4, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, assocRaw, kRaw int) {
+		assoc := 2 + int(uint(assocRaw)%15)
+		k := 1 + int(uint(kRaw)%4)
+		features := randomGroup(seed, assoc, k)
+		preds, err := PredictGroup(features, assoc, SolverWindow)
+		if err != nil {
+			t.Fatalf("window solver failed: %v", err)
+		}
+
+		// A random DVFS ladder: ratios strictly ascending to 1, voltage
+		// tracking frequency (ascending to 1), as real governors order
+		// their operating points.
+		r := xrand.New(seed ^ 0x9e3779b97f4a7c15)
+		nStates := 2 + int(r.Uint64()%3)
+		ladder := make([]freq.State, nStates)
+		ratio := 1.0
+		for i := nStates - 1; i >= 0; i-- {
+			ladder[i] = freq.State{Ratio: ratio, Voltage: (1 + ratio) / 2}
+			ratio *= 0.55 + 0.4*r.Float64()
+		}
+		dom := &freq.Domain{States: ladder}
+		if err := dom.Validate(); err != nil {
+			t.Fatalf("generated ladder invalid: %v", err)
+		}
+
+		big, little := freq.OutOfOrder(), freq.InOrder()
+		for i, p := range preds {
+			beta := features[i].Beta
+			static := 1.0
+			watts := static + p.MPA*10 // any non-negative dynamic part
+
+			baseSPI := freq.ScaleSPI(p.SPI, beta, freq.SPIFactorAt(big, dom.State(dom.BaseIx())))
+			if math.Float64bits(baseSPI) != math.Float64bits(p.SPI) {
+				t.Fatalf("process %d: base state not bit-identical: %x vs %x",
+					i, math.Float64bits(baseSPI), math.Float64bits(p.SPI))
+			}
+			baseW := freq.ScaleWatts(watts, static, freq.DynScaleAt(big, dom.State(dom.BaseIx())))
+			if math.Float64bits(baseW) != math.Float64bits(watts) {
+				t.Fatalf("process %d: base watts not bit-identical", i)
+			}
+
+			prevSPI, prevW := math.Inf(1), 0.0
+			for ix := 0; ix < dom.NumStates(); ix++ {
+				s := dom.State(ix)
+				spi := freq.ScaleSPI(p.SPI, beta, freq.SPIFactorAt(big, s))
+				w := freq.ScaleWatts(watts, static, freq.DynScaleAt(big, s))
+				if spi > prevSPI {
+					t.Fatalf("process %d rung %d: SPI rose with frequency: %v after %v", i, ix, spi, prevSPI)
+				}
+				if w < prevW {
+					t.Fatalf("process %d rung %d: watts fell with frequency: %v after %v", i, ix, w, prevW)
+				}
+				if spi < features[i].Alpha*p.MPA {
+					t.Fatalf("process %d rung %d: SPI %v below its frequency-invariant memory term %v",
+						i, ix, spi, features[i].Alpha*p.MPA)
+				}
+				if lspi := freq.ScaleSPI(p.SPI, beta, freq.SPIFactorAt(little, s)); lspi < spi {
+					t.Fatalf("process %d rung %d: in-order core faster than out-of-order: %v < %v", i, ix, lspi, spi)
+				}
+				prevSPI, prevW = spi, w
 			}
 		}
 	})

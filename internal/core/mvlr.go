@@ -40,6 +40,22 @@ func (pm *PowerModel) CorePower(r hpc.Rates) float64 {
 	return pm.fit.Predict(r.Vector())
 }
 
+// AtState rescales the trained Eq. 9 coefficients to a DVFS operating
+// point with combined dynamic multiplier d (see internal/freq): the event
+// energies c1..c5 scale by d, the static intercept P_idle stays fixed.
+// Identity-gated: d == 1 returns the receiver itself, so base-state
+// predictions are the exact legacy float64s.
+func (pm *PowerModel) AtState(d float64) *PowerModel {
+	if d == 1 {
+		return pm
+	}
+	coef := append([]float64(nil), pm.fit.Coef...)
+	for i := 1; i < len(coef); i++ {
+		coef[i] *= d
+	}
+	return &PowerModel{fit: &stats.MVLRFit{Coef: coef, R2: pm.fit.R2}}
+}
+
 // ProcessorPower estimates total processor power from per-core rates
 // (idle cores contribute P_idle via zero rates).
 func (pm *PowerModel) ProcessorPower(cores []hpc.Rates) float64 {

@@ -73,6 +73,7 @@ func TestStudyEquivalence(t *testing.T) {
 		{"prefetch_study.json", func(x *Context) (any, error) { return PrefetchStudy(x) }},
 		{"sensitivity_sweep.json", func(x *Context) (any, error) { return SensitivitySweep(x) }},
 		{"threads_study.json", func(x *Context) (any, error) { return ThreadsStudy(x) }},
+		{"powercap_study.json", func(x *Context) (any, error) { return PowerCapStudy(x) }},
 	}
 	for _, st := range studies {
 		var ref []byte

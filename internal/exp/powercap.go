@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mpmc/internal/fleet"
+)
+
+// PowerCapArm is one (budget, policy) cell of the power-cap study.
+type PowerCapArm struct {
+	Policy   string
+	AvgSPI   float64
+	AvgWatts float64
+	EnergyJ  float64
+	// EDP is the energy-delay product proxy AvgSPI·EnergyJ — the objective
+	// the least-energy policy optimizes per placement.
+	EDP         float64
+	Downclocks  uint64
+	Migrations  uint64
+	Unsatisfied uint64
+	// Pareto marks arms on the study-wide (AvgSPI, EnergyJ) front: no
+	// other arm is at least as good on both axes and better on one.
+	Pareto bool
+}
+
+// PowerCapRow is one watt budget's outcome across policies.
+type PowerCapRow struct {
+	Cap  float64
+	Arms []PowerCapArm
+}
+
+// PowerCapResult is the budget sweep: the same arrival trace replayed
+// under each (cap, policy) pair.
+type PowerCapResult struct {
+	Machines  int
+	Processes int
+	Rows      []PowerCapRow
+}
+
+// Format renders one line per (cap, policy) arm with the front marked.
+func (r *PowerCapResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Power-cap study (%d machines, %d arrivals per arm):\n", r.Machines, r.Processes)
+	b.WriteString("cap_w    policy              avg-SPI      energy-J     EDP          clk  mig  unsat  front\n")
+	for _, row := range r.Rows {
+		for _, a := range row.Arms {
+			front := ""
+			if a.Pareto {
+				front = "*"
+			}
+			fmt.Fprintf(&b, "%-8.4f %-19s %-12.3e %-12.6g %-12.4g %-4d %-4d %-6d %s\n",
+				row.Cap, a.Policy, a.AvgSPI, a.EnergyJ, a.EDP,
+				a.Downclocks, a.Migrations, a.Unsatisfied, front)
+		}
+	}
+	return b.String()
+}
+
+// powerCapScenario builds the per-budget scenario: the fleet loads up
+// uncapped, then the budget engages at t=6 — forcing one enforcement
+// pass (down-clocks and migrations) and gating every later admission.
+// Every budget uses the SAME seed, so the arrival trace is identical
+// across rows and only the watt budget moves.
+func powerCapScenario(x *Context, cap float64) *fleet.Scenario {
+	processes := 24
+	if x.Cfg.Quick {
+		processes = 12
+	}
+	sc := &fleet.Scenario{
+		Seed: x.Cfg.Seed + hash("powercap"),
+		Machines: []fleet.ScenarioMachine{
+			{Name: "m0", Preset: "workstation", MaxPerCore: 2},
+			{Name: "m1", Preset: "workstation", MaxPerCore: 2},
+			{Name: "m2", Preset: "laptop", MaxPerCore: 2},
+		},
+		Policies:         []string{"least-degradation", "least-energy", "cap-aware"},
+		Processes:        processes,
+		Workloads:        []string{"gzip", "mcf", "art", "equake"},
+		MeanInterarrival: 0.8,
+		MeanLifetime:     12.0,
+		QueueCap:         4,
+	}
+	if cap > 0 {
+		sc.CapEvents = []fleet.CapEvent{{Time: 6, Watts: cap}}
+	}
+	return sc
+}
+
+// powerCapBudgets slices the fleet's dynamic band: its idle floor is
+// exactly 30 W (static power dominates the synthetic models) and its
+// fully loaded draw ≈ 30.003 W, so budgets a few milliwatts above the
+// floor are what separates generous from tight.
+var powerCapBudgets = []float64{30.0030, 30.0022, 30.0014, 30.0008}
+
+// PowerCapStudy sweeps the fleet watt budget and replays one arrival
+// trace under the cap-blind least-degradation baseline, the EDP-greedy
+// least-energy policy, and the headroom-aware cap-aware policy. The
+// expectation: tightening the budget trades performance (higher SPI) for
+// energy on every policy, and the frequency-aware policies populate the
+// low-energy end of the Pareto front the baseline cannot reach.
+func PowerCapStudy(x *Context) (*PowerCapResult, error) {
+	res := &PowerCapResult{Machines: 3}
+	for _, cap := range powerCapBudgets {
+		sc := powerCapScenario(x, cap)
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		res.Processes = sc.Processes
+		rep, err := fleet.NewSim(sc, x.Cfg.Workers).Run(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("cap %v: %w", cap, err)
+		}
+		row := PowerCapRow{Cap: cap}
+		for _, pr := range rep.Policies {
+			row.Arms = append(row.Arms, PowerCapArm{
+				Policy:      pr.Policy,
+				AvgSPI:      pr.AvgSPI,
+				AvgWatts:    pr.AvgWatts,
+				EnergyJ:     pr.EnergyJ,
+				EDP:         pr.AvgSPI * pr.EnergyJ,
+				Downclocks:  pr.CapDownclocks,
+				Migrations:  pr.CapMigrations,
+				Unsatisfied: pr.CapUnsatisfied,
+			})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	markPareto(res)
+	return res, nil
+}
+
+// markPareto flags every arm not dominated on (AvgSPI, EnergyJ) by any
+// other arm in the sweep (dominated: the other is ≤ on both axes and <
+// on at least one).
+func markPareto(res *PowerCapResult) {
+	type cell struct{ spi, e float64 }
+	var all []cell
+	for _, row := range res.Rows {
+		for _, a := range row.Arms {
+			all = append(all, cell{a.AvgSPI, a.EnergyJ})
+		}
+	}
+	for i := range res.Rows {
+		for j := range res.Rows[i].Arms {
+			a := &res.Rows[i].Arms[j]
+			dominated := false
+			for _, c := range all {
+				if c.spi <= a.AvgSPI && c.e <= a.EnergyJ &&
+					(c.spi < a.AvgSPI || c.e < a.EnergyJ) {
+					dominated = true
+					break
+				}
+			}
+			a.Pareto = !dominated
+		}
+	}
+}

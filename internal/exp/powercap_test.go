@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPowerCapStudyLaws is the study's acceptance criterion: the budget
+// sweep must actually engage enforcement (down-clocks or migrations on
+// every arm once the cap binds), the generous budget must be satisfiable,
+// the EDP-greedy least-energy policy must beat the cap-blind baseline on
+// EDP at every budget, and the marked Pareto front must be exactly the
+// non-dominated arms.
+func TestPowerCapStudyLaws(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps in -short")
+	}
+	x := NewContext(Config{Quick: true, Seed: 42, Workers: 0})
+	r, err := PowerCapStudy(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(powerCapBudgets) {
+		t.Fatalf("expected %d rows, got %d", len(powerCapBudgets), len(r.Rows))
+	}
+	var all []PowerCapArm
+	for ri, row := range r.Rows {
+		if len(row.Arms) != 3 {
+			t.Fatalf("row %d: expected 3 policy arms, got %d", ri, len(row.Arms))
+		}
+		byPolicy := map[string]PowerCapArm{}
+		for _, a := range row.Arms {
+			byPolicy[a.Policy] = a
+			all = append(all, a)
+			if a.EnergyJ <= 0 {
+				t.Errorf("cap %v %s: no energy integrated", row.Cap, a.Policy)
+			}
+			if a.Downclocks+a.Migrations == 0 {
+				t.Errorf("cap %v %s: enforcement never acted", row.Cap, a.Policy)
+			}
+		}
+		le, ld := byPolicy["least-energy"], byPolicy["least-degradation"]
+		if le.EDP >= ld.EDP {
+			t.Errorf("cap %v: least-energy EDP %v not below least-degradation %v",
+				row.Cap, le.EDP, ld.EDP)
+		}
+		if ri == 0 && le.Unsatisfied+ld.Unsatisfied+byPolicy["cap-aware"].Unsatisfied != 0 {
+			t.Errorf("generous budget %v reported unsatisfiable enforcement", row.Cap)
+		}
+	}
+	// The front marking must be exactly the non-dominated set.
+	front := 0
+	for _, a := range all {
+		dominated := false
+		for _, b := range all {
+			if b.AvgSPI <= a.AvgSPI && b.EnergyJ <= a.EnergyJ &&
+				(b.AvgSPI < a.AvgSPI || b.EnergyJ < a.EnergyJ) {
+				dominated = true
+				break
+			}
+		}
+		if a.Pareto == dominated {
+			t.Errorf("%s at spi=%v energy=%v: pareto=%v but dominated=%v",
+				a.Policy, a.AvgSPI, a.EnergyJ, a.Pareto, dominated)
+		}
+		if a.Pareto {
+			front++
+		}
+	}
+	if front == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+// TestMarkParetoAndFormat is the short-lane unit cover for the study's
+// pure pieces: front marking on a hand-built sweep (incl. the tie rule:
+// equal points dominate nothing, both stay on the front) and the Format
+// row shape.
+func TestMarkParetoAndFormat(t *testing.T) {
+	res := &PowerCapResult{
+		Machines:  3,
+		Processes: 12,
+		Rows: []PowerCapRow{
+			{Cap: 30.003, Arms: []PowerCapArm{
+				{Policy: "least-degradation", AvgSPI: 2, EnergyJ: 1, EDP: 2},
+				{Policy: "least-energy", AvgSPI: 1, EnergyJ: 2, EDP: 2},
+			}},
+			{Cap: 30.001, Arms: []PowerCapArm{
+				{Policy: "least-degradation", AvgSPI: 2, EnergyJ: 2, EDP: 4}, // dominated by (2,1)
+				{Policy: "least-energy", AvgSPI: 1, EnergyJ: 2, EDP: 2},      // tie with row 0: both stay
+			}},
+		},
+	}
+	markPareto(res)
+	want := []bool{true, true, false, true}
+	i := 0
+	for _, row := range res.Rows {
+		for _, a := range row.Arms {
+			if a.Pareto != want[i] {
+				t.Errorf("arm %d (%s cap %v): pareto %v, want %v", i, a.Policy, row.Cap, a.Pareto, want[i])
+			}
+			i++
+		}
+	}
+
+	out := res.Format()
+	if !strings.Contains(out, "3 machines, 12 arrivals") {
+		t.Fatalf("header missing from:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+4 {
+		t.Fatalf("expected 2 header + 4 arm lines, got %d:\n%s", len(lines), out)
+	}
+	starred := 0
+	for _, l := range lines[2:] {
+		if strings.HasSuffix(l, "*") {
+			starred++
+		}
+	}
+	if starred != 3 {
+		t.Fatalf("expected 3 front markers, got %d:\n%s", starred, out)
+	}
+}
+
+// TestPowerCapScenarioShape pins the sweep's controlled-variable design:
+// every budget replays the identical seed and trace, only the cap event
+// moves, and cap 0 means a genuinely uncapped scenario (no event at all,
+// preserving the legacy report surface).
+func TestPowerCapScenarioShape(t *testing.T) {
+	x := NewContext(Config{Quick: true, Seed: 42})
+	a, b := powerCapScenario(x, 30.003), powerCapScenario(x, 30.0008)
+	if a.Seed != b.Seed || a.Processes != b.Processes {
+		t.Fatalf("budgets drew different traces: %+v vs %+v", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CapEvents) != 1 || a.CapEvents[0].Watts != 30.003 || a.CapEvents[0].Time <= 0 {
+		t.Fatalf("cap event %+v", a.CapEvents)
+	}
+	if free := powerCapScenario(x, 0); free.PowerCap != 0 || len(free.CapEvents) != 0 {
+		t.Fatalf("cap 0 scenario still capped: %+v", free)
+	}
+	if len(a.Policies) != 3 {
+		t.Fatalf("policies %v", a.Policies)
+	}
+}

@@ -64,6 +64,38 @@ func BenchmarkFleetPlace(b *testing.B) { benchFleetPlace(b, 0) }
 // of the speedup claim.
 func BenchmarkFleetPlaceCold(b *testing.B) { benchFleetPlace(b, -1) }
 
+// BenchmarkFleetPlaceCapAware is the budget-constrained placement path:
+// cap-aware scoring scans every (core, frequency-state) slot against the
+// live ledger headroom and never uses the decision memo, so this is the
+// policy's true per-arrival cost under an active cap.
+func BenchmarkFleetPlaceCapAware(b *testing.B) {
+	ctx := context.Background()
+	f := testFleet(b, CapAware, func(c *Config) { c.PowerCap = 1e9 })
+	if _, err := f.PlaceAll(ctx, sixteenSpecs()[:8]); err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.ByName("mcf")
+	if err := f.resolveFeatures(ctx, []*workload.Spec{spec}); err != nil {
+		b.Fatal(err)
+	}
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		p, err := f.Place(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Remove(ctx, p.Node, p.Name); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	reportP99(b, lat)
+}
+
 // BenchmarkFleetRebalance measures one full cross-machine rebalance scan
 // (the pass is dominated by candidate scoring; the chosen move is never
 // executed because the threshold is prohibitive).

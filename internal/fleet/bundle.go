@@ -89,10 +89,12 @@ func newBundle(f *Fleet) (*bundle, error) {
 	var prio sched.Prioritizer
 	var sel sched.Selector
 	switch f.cfg.Policy {
-	case LeastDegradation, LeastWatts, ColocateSharers, SpreadSharers:
+	case LeastDegradation, LeastWatts, ColocateSharers, SpreadSharers, LeastEnergy, CapAware:
 		// The thread-group policies differ from LeastDegradation only in
 		// how PlaceGroup shapes arrivals into bundles; per-spec scoring
-		// is the same least-total-SPI-increase pipeline.
+		// is the same least-total-SPI-increase pipeline. The frequency-
+		// aware policies widen the per-node scan to (core, state) slots
+		// inside scoreNodeCold but still reduce with min-value.
 		prio, sel = modelPrioritizer{f}, sched.MinValue{}
 	case BinPack:
 		prio, sel = modelPrioritizer{f}, sched.CeilingFirstFit{Ceiling: f.cfg.BinPackCeiling}

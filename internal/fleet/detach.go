@@ -30,6 +30,7 @@ type viewNode struct {
 	feat *core.FeatureVector
 	asg  core.Assignment
 	dkey string
+	fix  int // the node's DVFS rung at capture time
 }
 
 // placeView is a consistent, version-stamped snapshot of every node's
@@ -43,7 +44,7 @@ type placeView struct {
 // arrival. Callers must hold the fleet lock.
 func (f *Fleet) captureNodeLocked(ctx context.Context, i int, spec *workload.Spec) (viewNode, error) {
 	n := f.nodes[i]
-	vn := viewNode{n: n, ver: n.version}
+	vn := viewNode{n: n, ver: n.version, fix: n.freqIx}
 	vn.cand = sched.CandidateNode{
 		Index:      i,
 		Name:       n.cfg.Name,
@@ -143,13 +144,16 @@ func (f *Fleet) scoreNodeDetached(ctx context.Context, vn *viewNode, spec *workl
 			return nodeScore{}, err
 		}
 	}
-	if f.scores != nil {
+	// CapAware never memoizes (see scoreNode): the key cannot encode the
+	// live cap headroom its decisions depend on.
+	useMemo := f.scores != nil && f.cfg.Policy != CapAware
+	if useMemo {
 		if s, ok := f.scores.getDecision(vn.dkey); ok {
 			return s, nil
 		}
 	}
-	s, err := f.scoreNodeCold(ctx, vn.n, vn.feat, vn.asg)
-	if err == nil && f.scores != nil {
+	s, err := f.scoreNodeCold(ctx, vn.n, vn.feat, vn.asg, vn.fix)
+	if err == nil && useMemo {
 		f.scores.putDecision(vn.dkey, s)
 	}
 	return s, err

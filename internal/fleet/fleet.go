@@ -21,10 +21,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"mpmc/internal/core"
+	"mpmc/internal/freq"
 	"mpmc/internal/machine"
 	"mpmc/internal/manager"
 	"mpmc/internal/metrics"
@@ -116,6 +118,12 @@ type Config struct {
 	Solver core.SolverMethod
 	// CacheCap bounds the shared feature-vector LRU (0 = 256 entries).
 	CacheCap int
+	// PowerCap, when positive, is the fleet-wide watt budget: admissions
+	// whose post-placement scaled estimate would push the fleet's total
+	// draw above it are rejected (ErrFleetFull), and EnforceCap brings an
+	// over-budget fleet back under by down-clocking or migrating. Zero
+	// leaves the fleet uncapped (SetPowerCap can engage one later).
+	PowerCap float64
 	// ScoreCacheCap bounds the group-score memo and the shared equilibrium
 	// solver state (0 = 4096 entries each; negative disables both, making
 	// every scoring pass solve cold). Caching never changes any result —
@@ -153,6 +161,10 @@ type Config struct {
 	sharedFeats  *featureCache
 	sharedScores *scoreCache
 	sharedSolver *core.SolverState
+	// sharedCap hands every shard of a Sharded fleet ONE watt ledger, so
+	// the cap is a fleet-wide budget: two shards racing the remaining
+	// headroom serialize on the ledger's own lock.
+	sharedCap *capLedger
 }
 
 // node pairs one machine's manager with its combined model and config.
@@ -164,12 +176,17 @@ type node struct {
 	// rebalancing, and the model totals all skip it until RestoreNode.
 	down bool
 	// version counts this node's state changes (guarded by the fleet
-	// lock): placements, departures, evictions, migrations, down/up.
-	// Detached commits revalidate the WINNING node's stamp only — a
-	// concurrent commit on another node never invalidates a decision,
-	// which is what lets sharded placements on disjoint machines land
-	// without re-scoring each other.
+	// lock): placements, departures, evictions, migrations, down/up,
+	// re-clocks. Detached commits revalidate the WINNING node's stamp
+	// only — a concurrent commit on another node never invalidates a
+	// decision, which is what lets sharded placements on disjoint
+	// machines land without re-scoring each other.
 	version uint64
+	// freqIx is the node's current rung on its machine's DVFS ladder
+	// (guarded by the fleet lock; the base rung for machines without
+	// one). Only setFreqLocked, FailNode (reboot-to-base), recovery, and
+	// the EnforceCap transaction move it.
+	freqIx int
 
 	// asgSnap caches the manager's deep-copied assignment (and asgSuffix
 	// the decision-key bytes derived from it), re-read only when the
@@ -237,6 +254,12 @@ func (f *Fleet) decisionKeyOf(n *node, feat *core.FeatureVector) string {
 	}
 	if feat != n.keyFeat {
 		n.keyFeat, n.keyStr = feat, n.cfg.Name+"\x00"+feat.Name+n.asgSuffix
+		if ix := n.freqIx; ix != n.cfg.Machine.Freq.BaseIx() {
+			// Off-base decisions depend on the rung (the frequency-aware
+			// policies price SPI/watts at it); base-state keys carry zero
+			// extra bytes so legacy memo keys are unchanged.
+			n.keyStr += "\x03" + strconv.Itoa(ix)
+		}
 	}
 	return n.keyStr
 }
@@ -254,7 +277,10 @@ type Fleet struct {
 	// equilibrium solutions; both nil when ScoreCacheCap < 0 (cold mode).
 	scores *scoreCache
 	solver *core.SolverState
-	reg    *metrics.Registry
+	// capL is the power-cap ledger (nil until a cap is configured or set;
+	// shared across shards in a Sharded fleet). It has its own lock.
+	capL *capLedger
+	reg  *metrics.Registry
 
 	// pipe is the policy bundle every placement decides through; built
 	// once in New (immutable afterwards).
@@ -405,10 +431,27 @@ func New(cfg Config) (*Fleet, error) {
 		cm := core.NewCombinedModel(nc.Machine, nc.Power)
 		cm.State = f.solver
 		f.nodes = append(f.nodes, &node{
-			cfg: nc,
-			mgr: mgr,
-			cm:  cm,
+			cfg:    nc,
+			mgr:    mgr,
+			cm:     cm,
+			freqIx: nc.Machine.Freq.BaseIx(),
 		})
+	}
+	if cfg.PowerCap < 0 {
+		return nil, fmt.Errorf("fleet: negative PowerCap %v", cfg.PowerCap)
+	}
+	if cfg.sharedCap != nil {
+		f.capL = cfg.sharedCap
+	} else if cfg.PowerCap > 0 {
+		f.capL = newCapLedger()
+		f.capL.setCap(cfg.PowerCap)
+	}
+	if f.capL != nil {
+		// An empty node's Eq. 10 estimate is exactly its static floor —
+		// per-core idle intercepts — so seeding the ledger needs no solve.
+		for _, n := range f.nodes {
+			f.capL.setNode(n.cfg.Name, staticWatts(n))
+		}
 	}
 	if cfg.MaxFeasible < 0 {
 		return nil, fmt.Errorf("fleet: negative MaxFeasible %d", cfg.MaxFeasible)
@@ -419,7 +462,8 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	f.pipe = pipe
 	f.allowPeek = f.scores != nil && cfg.Intercept == nil &&
-		len(cfg.ExtraPredicates) == 0 && cfg.MaxFeasible == 0 && cfg.Policy != Spread
+		len(cfg.ExtraPredicates) == 0 && cfg.MaxFeasible == 0 &&
+		cfg.Policy != Spread && cfg.Policy != CapAware
 	f.ledger.MaxAttempts = cfg.PreemptMaxAttempts
 	f.ledger.MaxBackoff = cfg.PreemptMaxBackoff
 	f.placed = f.reg.Counter("fleet_place_total")
@@ -599,16 +643,28 @@ func (f *Fleet) PlaceAll(ctx context.Context, specs []*workload.Spec) ([]Placed,
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	snaps := make([]*manager.Snapshot, len(f.nodes))
+	rungs := make([]int, len(f.nodes))
 	for i, n := range f.nodes {
-		snaps[i] = n.mgr.Snapshot()
+		snaps[i], rungs[i] = n.mgr.Snapshot(), n.freqIx
 	}
 	snapRR := f.rrNode
 	admitted := 0
 	rollback := func(cause error) error {
 		for i, n := range f.nodes {
 			n.mgr.Restore(snaps[i])
+			if n.freqIx != rungs[i] {
+				n.freqIx = rungs[i]
+				n.keyFeat, n.keyStr = nil, ""
+			}
 		}
 		f.rrNode = snapRR
+		if f.capActive() {
+			// Committed reservations from the rolled-back prefix are undone
+			// by re-syncing every row against the restored managers.
+			for _, n := range f.nodes {
+				_ = f.resyncNodeCapLocked(ctx, n)
+			}
+		}
 		// Rolled-back placements must leave no trace in the journal (the
 		// version stamp stays bumped — a spurious conflict is harmless,
 		// a missed one is not).
@@ -695,12 +751,55 @@ func (f *Fleet) runner() sched.Runner {
 }
 
 // commitLocked commits one decided slot through its node manager and
-// records the arrival's scheduler-side metadata.
+// records the arrival's scheduler-side metadata. When the score carries
+// a frequency target (the frequency-aware policies), the node is
+// re-clocked as part of the commit; when a power cap is active, the
+// node's post-placement scaled draw is reserved in the watt ledger
+// BEFORE the manager mutates — a failed reservation surfaces as
+// ErrFleetFull with the cluster untouched.
 func (f *Fleet) commitLocked(ctx context.Context, spec *workload.Spec, opts PlaceOptions, best int, s nodeScore) (Placed, error) {
 	n := f.nodes[best]
+	tgt := n.freqIx
+	if s.Freq > 0 {
+		tgt = s.Freq - 1
+	}
+	capOld, capHeld := 0.0, false
+	if f.capActive() {
+		feat, err := f.feats.get(ctx, n.cfg.Machine, spec)
+		if err != nil {
+			return Placed{}, err
+		}
+		w, err := n.cm.EstimateAdditionContext(ctx, f.assignmentOf(n), feat, s.Core)
+		if err != nil {
+			return Placed{}, err
+		}
+		d := freq.DynScaleAt(n.cfg.Machine.Core, n.cfg.Machine.Freq.State(tgt))
+		scaled := freq.ScaleWatts(w, staticWatts(n), d)
+		capOld = f.capL.nodeWatts(n.cfg.Name)
+		if !f.capL.tryReserve(n.cfg.Name, scaled) {
+			return Placed{}, fmt.Errorf("fleet: %w for %s: placing on %s would draw %.6g W against the %.6g W cap",
+				ErrFleetFull, spec.Name, n.cfg.Name,
+				f.capL.usedExcept(n.cfg.Name)+scaled, f.capL.capWatts())
+		}
+		capHeld = true
+	}
 	name, watts, err := n.mgr.PlaceAt(ctx, spec, s.Core)
 	if err != nil {
+		if capHeld {
+			f.capL.setNode(n.cfg.Name, capOld)
+		}
 		return Placed{}, err
+	}
+	if tgt != n.freqIx {
+		f.setFreqLocked(n, tgt)
+	}
+	if capHeld {
+		// The reservation priced the addition prospectively (the atomic
+		// admission gate); re-anchor the row on the canonical
+		// whole-assignment estimate so the ledger is bit-identical to what
+		// a fresh resync — recovery, enforcement — derives. A failure keeps
+		// the reservation's value, equal up to the last ulp.
+		_ = f.resyncNodeCapLocked(ctx, n)
 	}
 	if opts.Tag != "" || opts.Priority != 0 {
 		if n.meta == nil {
@@ -721,6 +820,9 @@ func (f *Fleet) commitLocked(ctx context.Context, spec *workload.Spec, opts Plac
 		Type: wal.EvAdmitted, Node: n.cfg.Name, Name: name, Core: s.Core,
 		Bench: spec.Name, Tag: opts.Tag, Priority: opts.Priority, Ticket: opts.ticket,
 	})
+	// Identity-gated: a base-state out-of-order node reports the exact
+	// legacy float64.
+	watts = freq.ScaleWatts(watts, staticWatts(n), dynScaleOf(n))
 	return Placed{Node: n.cfg.Name, Name: name, Core: s.Core, Watts: watts, Score: score}, nil
 }
 
@@ -1147,6 +1249,11 @@ func (f *Fleet) Remove(ctx context.Context, nodeName, instance string) ([]Placed
 		}
 		delete(n.meta, instance)
 	}
+	if f.capActive() {
+		// A stale (over-stated) row is the safe failure direction; the next
+		// sync heals it, so an estimate error here never blocks a departure.
+		_ = f.resyncNodeCapLocked(ctx, n)
+	}
 	// The departure and its queue cascade are one operation batch: replay
 	// lands on the post-cascade state, never between.
 	out, err := f.pumpLocked(ctx)
@@ -1189,6 +1296,15 @@ func (f *Fleet) FailNode(name string) ([]manager.Resident, error) {
 		}
 	}
 	n.meta = nil
+	// A dead machine draws nothing, and it reboots at its base rung —
+	// replay of EvNodeDown resets both, so no extra event is needed.
+	if ix := n.cfg.Machine.Freq.BaseIx(); n.freqIx != ix {
+		n.freqIx = ix
+		n.keyFeat, n.keyStr = nil, ""
+	}
+	if f.capL != nil {
+		f.capL.setNode(name, 0)
+	}
 	f.version++
 	n.version++
 	// One event covers the eviction cascade: replay evicts the node's
@@ -1219,6 +1335,10 @@ func (f *Fleet) RestoreNode(ctx context.Context, name string) ([]Placed, error) 
 		return nil, fmt.Errorf("fleet: node %q is not down", name)
 	}
 	n.down = false
+	if f.capL != nil {
+		// Back up, empty: the node draws its static floor again.
+		f.capL.setNode(name, staticWatts(n))
+	}
 	// Symmetric with FailNode: a restored machine comes back empty, so any
 	// memoized scores still keyed to its groups (possible when the caller
 	// re-placed workloads elsewhere between fail and restore) are hygiene
@@ -1249,6 +1369,10 @@ type NodeInspection struct {
 	// Residents (class 0 for residents placed without options). The
 	// chaos priority-inversion invariant reads it.
 	Priorities []int
+	// Freq is the node's current rung index on its machine's DVFS ladder
+	// (the base rung for machines without one). The chaos cap invariants
+	// re-price every node's draw from it.
+	Freq int
 }
 
 // Assignment reconstructs the node's model-side assignment from the
@@ -1280,6 +1404,7 @@ func (f *Fleet) Inspect() []NodeInspection {
 			Down:       n.down,
 			Residents:  residents,
 			Priorities: prios,
+			Freq:       n.freqIx,
 		}
 	}
 	return out
@@ -1314,6 +1439,10 @@ type NodeState struct {
 	// zero model estimates. Omitted while the node is up so existing
 	// state consumers (and goldens) see unchanged output.
 	Down bool `json:"down,omitempty"`
+	// FreqState is the node's DVFS rung index + 1 when the node is off
+	// its base state (estimates above are scaled to it); omitted at base
+	// so legacy state consumers and goldens see unchanged output.
+	FreqState int `json:"freq_state,omitempty"`
 }
 
 // State is the fleet-wide view: per-machine residents and model estimates
@@ -1326,6 +1455,10 @@ type State struct {
 	Queued            []string    `json:"queued,omitempty"`
 	TotalWatts        float64     `json:"total_watts"`
 	TotalPredictedSPI float64     `json:"total_predicted_spi"`
+	// PowerCap and CapUsage report the watt budget and the ledger's
+	// current draw estimate; both omitted while the fleet is uncapped.
+	PowerCap float64 `json:"power_cap,omitempty"`
+	CapUsage float64 `json:"cap_usage,omitempty"`
 }
 
 // State reports the current fleet state, computing each machine's power
@@ -1347,6 +1480,10 @@ func (f *Fleet) State(ctx context.Context) (*State, error) {
 	st.QueueDepth = len(f.queue)
 	for _, q := range f.queue {
 		st.Queued = append(st.Queued, q.spec.Name)
+	}
+	if f.capActive() {
+		st.PowerCap = f.capL.capWatts()
+		st.CapUsage = f.capL.usage()
 	}
 	return st, nil
 }
@@ -1382,12 +1519,18 @@ func (f *Fleet) nodeStateLocked(ctx context.Context, n *node) (NodeState, error)
 	if err != nil {
 		return NodeState{}, fmt.Errorf("fleet: estimating %s power: %w", n.cfg.Name, err)
 	}
-	ns.EstimatedWatts = watts
+	// Scale both estimates to the node's current operating point. The
+	// helpers are identity-gated, so an out-of-order node at base reports
+	// the exact legacy floats.
+	ns.EstimatedWatts = freq.ScaleWatts(watts, staticWatts(n), dynScaleOf(n))
 	spi, err := f.nodeSPI(ctx, n.cfg.Machine, asg)
 	if err != nil {
 		return NodeState{}, fmt.Errorf("fleet: estimating %s SPI: %w", n.cfg.Name, err)
 	}
-	ns.PredictedSPI = spi
+	ns.PredictedSPI = freq.ScaleSPI(spi, betaTotal(asg), spiScaleOf(n))
+	if n.freqIx != n.cfg.Machine.Freq.BaseIx() {
+		ns.FreqState = n.freqIx + 1
+	}
 	return ns, nil
 }
 
@@ -1409,8 +1552,8 @@ func (f *Fleet) Totals(ctx context.Context) (spi, watts float64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		watts += w
-		spi += s
+		watts += freq.ScaleWatts(w, staticWatts(n), dynScaleOf(n))
+		spi += freq.ScaleSPI(s, betaTotal(asg), spiScaleOf(n))
 	}
 	return spi, watts, nil
 }
@@ -1446,13 +1589,22 @@ func (f *Fleet) collectGauges(r *metrics.Registry) {
 		r.Gauge(fmt.Sprintf("fleet_machine_free_slots{node=%q}", n.cfg.Name)).Set(free)
 		mw := int64(-1)
 		if w, err := n.cm.EstimateAssignment(n.mgr.Assignment()); err == nil {
-			mw = int64(w * 1000)
+			mw = int64(freq.ScaleWatts(w, staticWatts(n), dynScaleOf(n)) * 1000)
 		}
 		r.Gauge(fmt.Sprintf("fleet_machine_milliwatts{node=%q}", n.cfg.Name)).Set(mw)
+		if n.freqIx != n.cfg.Machine.Freq.BaseIx() {
+			// Lazily registered: fleets that never re-clock keep their
+			// exposition (and the server e2e golden) byte-identical.
+			r.Gauge(fmt.Sprintf("fleet_machine_freq_state{node=%q}", n.cfg.Name)).Set(int64(n.freqIx + 1))
+		}
 	}
 	r.Gauge("fleet_residents").Set(int64(total))
 	r.Gauge("fleet_queue_depth").Set(int64(len(f.queue)))
 	r.Gauge("fleet_machines").Set(int64(len(f.nodes)))
+	if f.capActive() {
+		r.Gauge("fleet_power_cap_milliwatts").Set(int64(f.capL.capWatts() * 1000))
+		r.Gauge("fleet_cap_usage_milliwatts").Set(int64(f.capL.usage() * 1000))
+	}
 }
 
 // SyntheticPowerModel is core.SyntheticPowerModel, re-exported where the

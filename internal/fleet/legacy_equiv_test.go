@@ -60,6 +60,15 @@ func legacyDecide(ctx context.Context, f *Fleet, spec *workload.Spec) (best int,
 				}
 			}
 		}
+	case LeastEnergy, CapAware:
+		// The frequency-aware policies reduce exactly like the model
+		// policies: strict less-than over node order on the per-node best
+		// (core, state) value.
+		for i, sc := range scores {
+			if sc.OK && (best < 0 || sc.Value < scores[best].Value) {
+				best = i
+			}
+		}
 	default:
 		return -1, nodeScore{}, errUnknownPolicy(f.cfg.Policy)
 	}
@@ -67,6 +76,34 @@ func legacyDecide(ctx context.Context, f *Fleet, spec *workload.Spec) (best int,
 		return -1, nodeScore{}, nil
 	}
 	return best, scores[best], nil
+}
+
+// decideColdAs scores every node from scratch under an arbitrary policy
+// (bypassing the decision memo, so nothing is poisoned for the fleet's
+// real policy) and reduces with the model policies' strict less-than.
+// Caller holds f.mu.
+func decideColdAs(ctx context.Context, f *Fleet, spec *workload.Spec, policy Policy) (best int, s nodeScore, err error) {
+	old := f.cfg.Policy
+	f.cfg.Policy = policy
+	defer func() { f.cfg.Policy = old }()
+	best = -1
+	for i, n := range f.nodes {
+		if n.down {
+			continue
+		}
+		feat, err := f.feats.get(ctx, n.cfg.Machine, spec)
+		if err != nil {
+			return -1, nodeScore{}, err
+		}
+		sc, err := f.scoreNodeCold(ctx, n, feat, f.assignmentOf(n), n.freqIx)
+		if err != nil {
+			return -1, nodeScore{}, err
+		}
+		if sc.OK && (best < 0 || sc.Value < s.Value) {
+			best, s = i, sc
+		}
+	}
+	return best, s, nil
 }
 
 // legacySpreadDecide reproduces the pre-refactor placeSpreadLocked scan:
@@ -133,11 +170,14 @@ func equivFleet(t *testing.T, r *rand.Rand, policy Policy, cacheCap int) *Fleet 
 func runEquivSweep(t *testing.T, seed int64, cacheCap int) {
 	t.Helper()
 	r := rand.New(rand.NewSource(seed))
-	// The rotation covers the four legacy policies plus both sharer-aware
-	// ones: at T=1 the latter must be indistinguishable from the legacy
+	// The rotation covers the four legacy policies, both sharer-aware
+	// ones (at T=1 the latter must be indistinguishable from the legacy
 	// model path, and half their arrivals go through PlaceGroup to pin
-	// that a single-thread group IS a legacy Place.
-	pols := append(Policies(), ColocateSharers, SpreadSharers)
+	// that a single-thread group IS a legacy Place), and both
+	// frequency-aware ones — on these uncapped, base-state, out-of-order
+	// fleets cap-aware must decide bit-identically to least-degradation
+	// and neither may ever emit a below-base frequency target.
+	pols := append(Policies(), ColocateSharers, SpreadSharers, LeastEnergy, CapAware)
 	policy := pols[int(seed)%len(pols)]
 	f := equivFleet(t, r, policy, cacheCap)
 	ctx := context.Background()
@@ -165,6 +205,32 @@ func runEquivSweep(t *testing.T, seed int64, cacheCap int) {
 					t.Fatalf("seed %d ev %d: legacy decide: %v", seed, ev, err)
 				}
 				wantNode, wantCore, wantScore = b, s.Core, s.Value
+				if policy == CapAware {
+					// Uncapped on all-out-of-order machines at base state,
+					// cap-aware IS least-degradation: same node, core, and
+					// bit-identical value, with the winner pinned to base.
+					lb, ls, err := decideColdAs(ctx, f, spec, LeastDegradation)
+					if err != nil {
+						f.mu.Unlock()
+						t.Fatalf("seed %d ev %d: LD decide: %v", seed, ev, err)
+					}
+					if lb != b || (b >= 0 && (ls.Core != s.Core || math.Float64bits(ls.Value) != math.Float64bits(s.Value))) {
+						f.mu.Unlock()
+						t.Fatalf("seed %d ev %d: uncapped cap-aware chose node %d core %d value %v; least-degradation node %d core %d value %v",
+							seed, ev, b, s.Core, s.Value, lb, ls.Core, ls.Value)
+					}
+				}
+				// Uncapped cap-aware never leaves base (lower rungs only
+				// inflate the SPI it minimizes); least-energy MAY volunteer
+				// a down-clock — that freedom is its whole point — so only
+				// cap-aware pins the rung.
+				if policy == CapAware && b >= 0 {
+					if base := f.nodes[b].cfg.Machine.Freq.BaseIx(); s.Freq != base+1 {
+						f.mu.Unlock()
+						t.Fatalf("seed %d ev %d: %s emitted frequency target %d (base rung %d) with no cap",
+							seed, ev, policy, s.Freq, base)
+					}
+				}
 			}
 			var got Placed
 			var err error

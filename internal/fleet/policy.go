@@ -42,6 +42,20 @@ const (
 	// its remote siblings. Single-thread arrivals score exactly like
 	// LeastDegradation.
 	SpreadSharers
+	// LeastEnergy is the DVFS-aware policy: candidates are (machine,
+	// core, frequency state) triples and the winner minimizes the
+	// increase in the node's energy-delay product (scaled watts × scaled
+	// total SPI²). It is the policy that voluntarily down-clocks a
+	// memory-bound node: when the compute term is a small share of total
+	// SPI, a lower state sheds f·V² dynamic watts for little delay.
+	LeastEnergy
+	// CapAware is LeastDegradation extended with frequency states and a
+	// fleet-wide watt budget: among (core, state) slots whose scaled
+	// post-placement node watts still fit the remaining power-cap
+	// headroom, it minimizes the increase in scaled total SPI. With no
+	// cap configured it decides exactly like LeastDegradation (the base
+	// state always wins the SPI comparison).
+	CapAware
 )
 
 // String names the policy, matching ParsePolicy's accepted spellings.
@@ -59,6 +73,10 @@ func (p Policy) String() string {
 		return "colocate-sharers"
 	case SpreadSharers:
 		return "spread-sharers"
+	case LeastEnergy:
+		return "least-energy"
+	case CapAware:
+		return "cap-aware"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
@@ -78,16 +96,26 @@ func ParsePolicy(name string) (Policy, error) {
 		return ColocateSharers, nil
 	case "spread-sharers":
 		return SpreadSharers, nil
+	case "least-energy":
+		return LeastEnergy, nil
+	case "cap-aware":
+		return CapAware, nil
 	}
-	return 0, fmt.Errorf("unknown fleet policy %q (want least-degradation, least-watts, binpack, spread, colocate-sharers, or spread-sharers)", name)
+	return 0, fmt.Errorf("unknown fleet policy %q (want least-degradation, least-watts, binpack, spread, colocate-sharers, spread-sharers, least-energy, or cap-aware)", name)
 }
 
 // Policies lists the four legacy policies in a fixed order (the sim
 // report order and the default scenario policy set — the thread-group
-// policies are opt-in, so legacy scenario goldens are unaffected).
+// and energy policies are opt-in, so legacy scenario goldens are
+// unaffected).
 func Policies() []Policy {
 	return []Policy{LeastDegradation, LeastWatts, BinPack, Spread}
 }
+
+// FreqAware reports whether the policy emits per-slot frequency targets
+// (sched.Score.Freq): its decisions may re-clock the winning node at
+// commit time.
+func (p Policy) FreqAware() bool { return p == LeastEnergy || p == CapAware }
 
 // GroupAware reports whether the policy places thread groups with the
 // sharing-aware bundle transformation (internal/threads) rather than

@@ -114,6 +114,12 @@ func (f *Fleet) preemptLocked(ctx context.Context, spec *workload.Spec, opts Pla
 	// The arrival is committed (commitLocked stamped its node); the
 	// victim's node changed too.
 	vnode.version++
+	if f.capActive() {
+		// The eviction lowered the victim node's draw (commitLocked already
+		// re-priced the arrival's node). A failed estimate leaves the stale,
+		// higher row — conservative, healed by the next resync.
+		_ = f.resyncNodeCapLocked(ctx, vnode)
+	}
 	// The arrival is committed; now disposition the victim. Ledger key:
 	// reuse the victim's recorded identity so repeat preemptions escalate
 	// its backoff; first-time victims get the tag or a fresh ticket-based

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mpmc/internal/core"
+	"mpmc/internal/freq"
 	"mpmc/internal/manager"
 	"mpmc/internal/parallel"
 	"mpmc/internal/wal"
@@ -180,6 +181,35 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	// source, re-place on the target; restore both on any failure.
 	cd := cands[best]
 	srcN, dstN := f.nodes[cd.src], f.nodes[cd.dst]
+	capMove := f.capActive()
+	var srcW, dstW float64
+	if capMove {
+		// An SPI-improving move must not bust the watt budget: price both
+		// ends' post-move draw at their current rungs and reject the move
+		// when the fleet total would exceed the cap. The priced draws also
+		// become the ledger rows after execution, so admission check and
+		// accounting can never disagree.
+		srcWU, err := srcN.cm.EstimateAssignmentContext(ctx, withoutResident(f.assignmentOf(srcN), cd.res))
+		if err != nil {
+			return Move{}, err
+		}
+		feat, err := f.feats.get(ctx, dstN.cfg.Machine, cd.res.Spec)
+		if err != nil {
+			return Move{}, err
+		}
+		dstWU, err := dstN.cm.EstimateAdditionContext(ctx, f.assignmentOf(dstN), feat, cd.dstCore)
+		if err != nil {
+			return Move{}, err
+		}
+		srcW = freq.ScaleWatts(srcWU, staticWatts(srcN), dynScaleOf(srcN))
+		dstW = freq.ScaleWatts(dstWU, staticWatts(dstN), dynScaleOf(dstN))
+		next := f.capL.usage() - f.capL.nodeWatts(srcN.cfg.Name) - f.capL.nodeWatts(dstN.cfg.Name) + srcW + dstW
+		if cap := f.capL.capWatts(); next > cap {
+			f.noops.Inc()
+			return Move{}, fmt.Errorf("fleet: %w: best move needs %.4g W against a %.4g W cap",
+				manager.ErrNoImprovement, next, cap)
+		}
+	}
 	srcSnap, dstSnap := srcN.mgr.Snapshot(), dstN.mgr.Snapshot()
 	rollback := func(cause error) error {
 		srcN.mgr.Restore(srcSnap)
@@ -209,6 +239,15 @@ func (f *Fleet) Rebalance(ctx context.Context, minImprovement float64) (Move, er
 	f.version++
 	srcN.version++
 	dstN.version++
+	if capMove {
+		f.capL.setNode(srcN.cfg.Name, srcW)
+		f.capL.setNode(dstN.cfg.Name, dstW)
+		// Re-anchor both rows on the canonical whole-assignment estimate
+		// (the target's dstW was priced via the addition path, which can
+		// differ in the last ulp); a failure keeps the priced values.
+		_ = f.resyncNodeCapLocked(ctx, srcN)
+		_ = f.resyncNodeCapLocked(ctx, dstN)
+	}
 	// Both halves of the migration land in one journal batch, so replay
 	// sees the move atomically (departed first: the new instance appends
 	// at the end of the resident order, exactly like PlaceAt did).

@@ -65,6 +65,19 @@ func (f *Fleet) Recover(ctx context.Context, st *wal.State) error {
 			n.meta[r.Name] = residentMeta{spec: spec, tag: r.Tag, priority: r.Priority}
 		}
 	}
+	for name, rung := range st.Freq {
+		n := f.nodeByNameLocked(name)
+		if n == nil {
+			return fmt.Errorf("fleet: %w %q in recovered frequency state", ErrUnknownNode, name)
+		}
+		ix := rung - 1
+		if ix < 0 || ix >= n.cfg.Machine.Freq.NumStates() {
+			return fmt.Errorf("fleet: recovered rung %d for %q outside its %d-state ladder",
+				rung, name, n.cfg.Machine.Freq.NumStates())
+		}
+		n.freqIx = ix
+		n.keyFeat, n.keyStr = nil, ""
+	}
 	for _, qe := range st.Queue {
 		spec := threads.ResolveSpec(qe.Bench)
 		if spec == nil {
@@ -82,6 +95,17 @@ func (f *Fleet) Recover(ctx context.Context, st *wal.State) error {
 	f.version++
 	for _, n := range f.nodes {
 		n.version++
+	}
+	// Rebuild the watt ledger against the recovered reality: rows for
+	// adopted residents at their recovered rungs, zero for down nodes.
+	// Uncapped fleets skip the estimates — SetPowerCap resyncs every row
+	// when a budget engages.
+	if f.capActive() {
+		for _, n := range f.nodes {
+			if err := f.resyncNodeCapLocked(ctx, n); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

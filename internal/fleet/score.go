@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mpmc/internal/core"
+	"mpmc/internal/freq"
 	"mpmc/internal/machine"
 	"mpmc/internal/sched"
 	"mpmc/internal/workload"
@@ -95,15 +96,19 @@ func (f *Fleet) scoreNode(ctx context.Context, n *node, spec *workload.Spec) (no
 		return nodeScore{}, err
 	}
 	asg := f.assignmentOf(n)
+	// CapAware decisions depend on the live cap headroom, which the
+	// decision key cannot encode; the memo would replay a decision made
+	// under different budget pressure, so the policy always scores cold.
+	useMemo := f.scores != nil && f.cfg.Policy != CapAware
 	var dkey string
-	if f.scores != nil {
+	if useMemo {
 		dkey = f.decisionKeyOf(n, feat)
 		if s, ok := f.scores.getDecision(dkey); ok {
 			return s, nil
 		}
 	}
-	s, err := f.scoreNodeCold(ctx, n, feat, asg)
-	if err == nil && f.scores != nil {
+	s, err := f.scoreNodeCold(ctx, n, feat, asg, n.freqIx)
+	if err == nil && useMemo {
 		f.scores.putDecision(dkey, s)
 	}
 	return s, err
@@ -114,8 +119,12 @@ func (f *Fleet) scoreNode(ctx context.Context, n *node, spec *workload.Spec) (no
 // comparisons so ties resolve to the lowest core. The node's assignment
 // was read once by the caller, so the whole scan scores against a
 // consistent snapshot; the fleet placement lock guarantees nothing commits
-// mid-scan.
-func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVector, asg core.Assignment) (nodeScore, error) {
+// mid-scan. fix is the node's DVFS rung at capture time: frequency-blind
+// policies never read it, while the frequency-aware policies price the
+// node's "before" state at it (detached scoring passes the captured rung,
+// so a concurrent re-clock is caught by version revalidation, not by a
+// torn read here).
+func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVector, asg core.Assignment, fix int) (nodeScore, error) {
 	admissible := func(c int) bool {
 		return n.cfg.MaxPerCore == 0 || len(asg[c]) < n.cfg.MaxPerCore
 	}
@@ -189,6 +198,143 @@ func (f *Fleet) scoreNodeCold(ctx context.Context, n *node, feat *core.FeatureVe
 					rel = (added - solo) / solo
 				}
 				best = nodeScore{OK: true, Core: c, Value: added, Rel: rel}
+			}
+		}
+		return best, nil
+
+	case LeastEnergy:
+		// Candidates are (core, state) pairs: the unscaled delta machinery
+		// is exactly LeastDegradation's, then each ladder rung scales the
+		// candidate's SPI and watts (identity-gated, so the base rung of an
+		// out-of-order machine reproduces the legacy floats bit for bit)
+		// and the winner minimizes the increase in the node's energy-delay
+		// product, scaledWatts·scaledSPI². States iterate from the base
+		// rung downward with strict less-than, so ties resolve to the
+		// lowest core at the base state — the legacy-shaped decision.
+		m := n.cfg.Machine
+		baseGroups, err := f.nodeTerms(ctx, m, asg)
+		if err != nil {
+			return nodeScore{}, err
+		}
+		baseSPI := replayTerms(baseGroups)
+		baseW, err := n.cm.EstimateAssignmentContext(ctx, asg)
+		if err != nil {
+			return nodeScore{}, err
+		}
+		st := staticWatts(n)
+		cur := m.Freq.State(fix)
+		curSPI := freq.ScaleSPI(baseSPI, betaTotal(asg), freq.SPIFactorAt(m.Core, cur))
+		curW := freq.ScaleWatts(baseW, st, freq.DynScaleAt(m.Core, cur))
+		edpBefore := curW * curSPI * curSPI
+		betaAfter := betaTotal(asg) + betaOf(feat)
+		best := nodeScore{}
+		for c := 0; c < m.NumCores; c++ {
+			if !admissible(c) {
+				continue
+			}
+			gi := m.GroupOf(c)
+			cand := withAdditionShared(asg, feat, c)
+			candTerms, err := f.groupTerms(ctx, m, busyCores(m.Groups[gi], cand), cand)
+			if err != nil {
+				return nodeScore{}, err
+			}
+			after := 0.0
+			for g := range baseGroups {
+				terms := baseGroups[g]
+				if g == gi {
+					terms = candTerms
+				}
+				for _, t := range terms {
+					after += t
+				}
+			}
+			wAfter, err := n.cm.EstimateAdditionContext(ctx, asg, feat, c)
+			if err != nil {
+				return nodeScore{}, err
+			}
+			for ix := m.Freq.BaseIx(); ix >= 0; ix-- {
+				s := m.Freq.State(ix)
+				sSPI := freq.ScaleSPI(after, betaAfter, freq.SPIFactorAt(m.Core, s))
+				sW := freq.ScaleWatts(wAfter, st, freq.DynScaleAt(m.Core, s))
+				added := sW*sSPI*sSPI - edpBefore
+				if !best.OK || added < best.Value {
+					best = nodeScore{OK: true, Core: c, Value: added, Freq: ix + 1}
+				}
+			}
+		}
+		return best, nil
+
+	case CapAware:
+		// LeastDegradation over (core, state) candidates, with the power
+		// cap as an admission filter: a slot is only admissible while the
+		// node's scaled post-placement draw fits the remaining fleet
+		// headroom. Uncapped, the base state always wins the strict SPI
+		// comparison (lower rungs only inflate the compute term), so the
+		// values equal LeastDegradation's exactly; commitLocked's
+		// tryReserve remains the authoritative gate — this filter only
+		// steers the decision toward slots that can still be admitted.
+		m := n.cfg.Machine
+		baseGroups, err := f.nodeTerms(ctx, m, asg)
+		if err != nil {
+			return nodeScore{}, err
+		}
+		baseSPI := replayTerms(baseGroups)
+		solo, err := soloSPI(ctx, m, feat, f.cfg.Solver, f.solver)
+		if err != nil {
+			return nodeScore{}, err
+		}
+		betaBase := betaTotal(asg)
+		cur := m.Freq.State(fix)
+		spiBefore := freq.ScaleSPI(baseSPI, betaBase, freq.SPIFactorAt(m.Core, cur))
+		betaAfter := betaBase + betaOf(feat)
+		st := staticWatts(n)
+		capW, usedEx := 0.0, 0.0
+		if f.capActive() {
+			capW = f.capL.capWatts()
+			usedEx = f.capL.usedExcept(n.cfg.Name)
+		}
+		best := nodeScore{}
+		for c := 0; c < m.NumCores; c++ {
+			if !admissible(c) {
+				continue
+			}
+			gi := m.GroupOf(c)
+			cand := withAdditionShared(asg, feat, c)
+			candTerms, err := f.groupTerms(ctx, m, busyCores(m.Groups[gi], cand), cand)
+			if err != nil {
+				return nodeScore{}, err
+			}
+			after := 0.0
+			for g := range baseGroups {
+				terms := baseGroups[g]
+				if g == gi {
+					terms = candTerms
+				}
+				for _, t := range terms {
+					after += t
+				}
+			}
+			wAfter, err := n.cm.EstimateAdditionContext(ctx, asg, feat, c)
+			if err != nil {
+				return nodeScore{}, err
+			}
+			for ix := m.Freq.BaseIx(); ix >= 0; ix-- {
+				s := m.Freq.State(ix)
+				if capW > 0 {
+					sW := freq.ScaleWatts(wAfter, st, freq.DynScaleAt(m.Core, s))
+					if usedEx+sW > capW {
+						continue
+					}
+				}
+				sSPI := freq.ScaleSPI(after, betaAfter, freq.SPIFactorAt(m.Core, s))
+				added := sSPI - spiBefore
+				if !best.OK || added < best.Value {
+					rel := 0.0
+					if solo > 0 {
+						rel = (added - solo) / solo
+					}
+					best = nodeScore{OK: true, Core: c, Value: added, Rel: rel, Freq: ix + 1}
+				}
 			}
 		}
 		return best, nil

@@ -31,6 +31,7 @@ import (
 	"runtime"
 
 	"mpmc/internal/core"
+	"mpmc/internal/freq"
 	"mpmc/internal/manager"
 	"mpmc/internal/metrics"
 	"mpmc/internal/parallel"
@@ -62,6 +63,10 @@ type Sharded struct {
 	start  []int
 	byName map[string]int
 	reg    *metrics.Registry
+	// capL is the ONE watt ledger every shard shares: cross-shard
+	// admission against the power cap serializes on its lock, so two
+	// shards racing the last watts of headroom cannot both win.
+	capL *capLedger
 
 	queue *shardedQueue
 
@@ -128,12 +133,19 @@ func NewSharded(cfg Config, shards int) (*Sharded, error) {
 	if cfg.ScoreCacheCap == 0 {
 		cfg.ScoreCacheCap = 4096
 	}
+	if cfg.PowerCap < 0 {
+		return nil, fmt.Errorf("fleet: negative PowerCap %v", cfg.PowerCap)
+	}
 	s := &Sharded{
 		cfg:    cfg,
 		reg:    cfg.Registry,
 		byName: map[string]int{},
 		queue:  &shardedQueue{mu: newChMutex(), cap: cfg.QueueCap},
+		// Always created (even uncapped) so a later SetPowerCap engages
+		// one budget across every shard; watts 0 keeps admissions free.
+		capL: newCapLedger(),
 	}
+	s.capL.setCap(cfg.PowerCap)
 	shared := cfg
 	shared.Registry = s.reg
 	feats := newFeatureCache(shared, s.reg)
@@ -169,6 +181,7 @@ func NewSharded(cfg Config, shards int) (*Sharded, error) {
 		sub.sharedFeats = feats
 		sub.sharedScores = scores
 		sub.sharedSolver = solver
+		sub.sharedCap = s.capL
 		if scores == nil {
 			// Cold mode everywhere: a shard must not build its own caches.
 			sub.ScoreCacheCap = cfg.ScoreCacheCap
@@ -946,7 +959,83 @@ func (s *Sharded) State(ctx context.Context) (*State, error) {
 		st.Queued = append(st.Queued, e.spec.Name)
 	}
 	s.queue.mu.Unlock()
+	// The shared ledger reports once at the sharded layer (the per-shard
+	// states' copies are not aggregated — each shard would repeat the
+	// same fleet-wide numbers).
+	if cap := s.capL.capWatts(); cap > 0 {
+		st.PowerCap = cap
+		st.CapUsage = s.capL.usage()
+	}
 	return st, nil
+}
+
+// PowerCap returns the active fleet-wide watt budget (0 = uncapped).
+func (s *Sharded) PowerCap() float64 { return s.capL.capWatts() }
+
+// CapUsage returns the shared ledger's current fleet draw estimate.
+func (s *Sharded) CapUsage() float64 { return s.capL.usage() }
+
+// SetPowerCap sets (watts > 0) or clears (watts == 0) the fleet-wide
+// power budget. Every shard's ledger rows are re-synced under all shard
+// locks, so the budget starts measured against current reality.
+func (s *Sharded) SetPowerCap(ctx context.Context, watts float64) error {
+	if watts < 0 {
+		return fmt.Errorf("fleet: negative power cap %v", watts)
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	for _, sh := range s.shards {
+		// Each call sets the SAME shared ledger's budget (idempotent) and
+		// re-syncs that shard's own rows.
+		if err := sh.setPowerCapLocked(ctx, watts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnforceCap brings the sharded fleet back under its watt budget under
+// every shard lock. Enforcement actions are shard-local (down-clocks are
+// per-node anyway; migrations stay within a shard — a documented
+// divergence from the unsharded fleet, like preemption victim choice),
+// but the budget they enforce is the shared fleet-wide ledger total, so
+// shards in index order shed watts until the whole fleet fits.
+func (s *Sharded) EnforceCap(ctx context.Context) (CapReport, error) {
+	s.lockAll()
+	defer s.unlockAll()
+	agg := CapReport{Cap: s.capL.capWatts(), Satisfied: true}
+	if agg.Cap == 0 {
+		return agg, nil
+	}
+	for i, sh := range s.shards {
+		rep, err := sh.enforceCapLocked(ctx)
+		if err != nil {
+			return CapReport{}, err
+		}
+		if i == 0 {
+			agg.WattsBefore = rep.WattsBefore
+		}
+		agg.WattsAfter = rep.WattsAfter
+		agg.Downclocks += rep.Downclocks
+		agg.Migrations += rep.Migrations
+		agg.Moves = append(agg.Moves, rep.Moves...)
+		agg.Satisfied = rep.Satisfied
+		if rep.Satisfied {
+			break
+		}
+	}
+	return agg, nil
+}
+
+// FreqStates reports every node's current DVFS rung, keyed by node name.
+func (s *Sharded) FreqStates() map[string]int {
+	out := map[string]int{}
+	for _, sh := range s.shards {
+		for name, ix := range sh.FreqStates() {
+			out[name] = ix
+		}
+	}
+	return out
 }
 
 // Totals sums the shards' predicted SPI and watts.
@@ -1096,6 +1185,31 @@ func (s *Sharded) Rebalance(ctx context.Context, minImprovement float64) (Move, 
 
 	cd := cands[best]
 	srcRow, dstRow := rows[cd.src], rows[cd.dst]
+	capMove := s.capL.capWatts() > 0
+	var srcW, dstW float64
+	if capMove {
+		// Same budget check as Fleet.Rebalance: the priced post-move draws
+		// double as the ledger rows after execution.
+		srcWU, err := srcRow.n.cm.EstimateAssignmentContext(ctx, withoutResident(srcRow.sh.assignmentOf(srcRow.n), cd.res))
+		if err != nil {
+			return Move{}, err
+		}
+		feat, err := dstRow.sh.feats.get(ctx, dstRow.n.cfg.Machine, cd.res.Spec)
+		if err != nil {
+			return Move{}, err
+		}
+		dstWU, err := dstRow.n.cm.EstimateAdditionContext(ctx, dstRow.sh.assignmentOf(dstRow.n), feat, cd.dstCore)
+		if err != nil {
+			return Move{}, err
+		}
+		srcW = freq.ScaleWatts(srcWU, staticWatts(srcRow.n), dynScaleOf(srcRow.n))
+		dstW = freq.ScaleWatts(dstWU, staticWatts(dstRow.n), dynScaleOf(dstRow.n))
+		next := s.capL.usage() - s.capL.nodeWatts(srcRow.n.cfg.Name) - s.capL.nodeWatts(dstRow.n.cfg.Name) + srcW + dstW
+		if cap := s.capL.capWatts(); next > cap {
+			return Move{}, fmt.Errorf("fleet: %w: best move needs %.4g W against a %.4g W cap",
+				manager.ErrNoImprovement, next, cap)
+		}
+	}
 	srcSnap, dstSnap := srcRow.n.mgr.Snapshot(), dstRow.n.mgr.Snapshot()
 	rollback := func(cause error) error {
 		srcRow.n.mgr.Restore(srcSnap)
@@ -1122,6 +1236,15 @@ func (s *Sharded) Rebalance(ctx context.Context, minImprovement float64) (Move, 
 	dstRow.sh.version++
 	srcRow.n.version++
 	dstRow.n.version++
+	if capMove {
+		s.capL.setNode(srcRow.n.cfg.Name, srcW)
+		s.capL.setNode(dstRow.n.cfg.Name, dstW)
+		// Re-anchor on the canonical whole-assignment estimate (the target
+		// was priced via the addition path — last-ulp hazard vs a fresh
+		// resync); a failure keeps the priced values.
+		_ = srcRow.sh.resyncNodeCapLocked(ctx, srcRow.n)
+		_ = dstRow.sh.resyncNodeCapLocked(ctx, dstRow.n)
+	}
 	s.journal([]wal.Event{
 		{Type: wal.EvDeparted, Node: srcRow.n.cfg.Name, Name: cd.res.Name},
 		{Type: wal.EvAdmitted, Node: dstRow.n.cfg.Name, Name: newName, Core: cd.dstCore,
@@ -1161,6 +1284,16 @@ func (s *Sharded) Recover(ctx context.Context, st *wal.State) error {
 			return fmt.Errorf("fleet: %w %q in recovered state", ErrUnknownNode, r.Node)
 		}
 		subs[si].Residents = append(subs[si].Residents, r)
+	}
+	for name, rung := range st.Freq {
+		si, ok := s.byName[name]
+		if !ok {
+			return fmt.Errorf("fleet: %w %q in recovered frequency state", ErrUnknownNode, name)
+		}
+		if subs[si].Freq == nil {
+			subs[si].Freq = map[string]int{}
+		}
+		subs[si].Freq[name] = rung
 	}
 	for i, sh := range s.shards {
 		if err := sh.Recover(ctx, subs[i]); err != nil {
@@ -1216,9 +1349,12 @@ func (s *Sharded) collectGauges(r *metrics.Registry) {
 			r.Gauge(fmt.Sprintf("fleet_machine_free_slots{node=%q}", n.cfg.Name)).Set(free)
 			mw := int64(-1)
 			if w, err := n.cm.EstimateAssignment(n.mgr.Assignment()); err == nil {
-				mw = int64(w * 1000)
+				mw = int64(freq.ScaleWatts(w, staticWatts(n), dynScaleOf(n)) * 1000)
 			}
 			r.Gauge(fmt.Sprintf("fleet_machine_milliwatts{node=%q}", n.cfg.Name)).Set(mw)
+			if n.freqIx != n.cfg.Machine.Freq.BaseIx() {
+				r.Gauge(fmt.Sprintf("fleet_machine_freq_state{node=%q}", n.cfg.Name)).Set(int64(n.freqIx + 1))
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -1226,4 +1362,8 @@ func (s *Sharded) collectGauges(r *metrics.Registry) {
 	r.Gauge("fleet_queue_depth").Set(int64(s.QueueDepth()))
 	r.Gauge("fleet_machines").Set(int64(len(s.byName)))
 	r.Gauge("fleet_shards").Set(int64(len(s.shards)))
+	if cap := s.capL.capWatts(); cap > 0 {
+		r.Gauge("fleet_power_cap_milliwatts").Set(int64(cap * 1000))
+		r.Gauge("fleet_cap_usage_milliwatts").Set(int64(s.capL.usage() * 1000))
+	}
 }

@@ -63,6 +63,19 @@ type Scenario struct {
 	// so scenarios without this block replay byte-identically). Groups
 	// with one member take the exact legacy arrival path.
 	ThreadGroups *ThreadGroupConfig `json:"thread_groups,omitempty"`
+	// PowerCap, when positive, caps the fleet's watt budget from t=0:
+	// arrivals that would bust it queue or reject, and every cap change
+	// runs an enforcement pass. CapEvents re-set the budget mid-run
+	// (watts 0 = uncap). Scenarios without either replay byte-identically
+	// to pre-DVFS output.
+	PowerCap  float64    `json:"power_cap,omitempty"`
+	CapEvents []CapEvent `json:"cap_events,omitempty"`
+}
+
+// CapEvent is one scheduled power-budget change in a scenario.
+type CapEvent struct {
+	Time  float64 `json:"time"`
+	Watts float64 `json:"watts"`
 }
 
 // ThreadGroupConfig parameterizes thread-group arrivals in a scenario.
@@ -128,6 +141,17 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.RebalanceEvery < 0 {
 		return errors.New("negative rebalance_every")
+	}
+	if sc.PowerCap < 0 {
+		return errors.New("negative power_cap")
+	}
+	for i, ce := range sc.CapEvents {
+		if ce.Time < 0 {
+			return fmt.Errorf("cap_events[%d]: negative time", i)
+		}
+		if ce.Watts < 0 {
+			return fmt.Errorf("cap_events[%d]: negative watts", i)
+		}
 	}
 	if tg := sc.ThreadGroups; tg != nil {
 		if tg.MaxThreads < 1 {
@@ -229,11 +253,13 @@ func (sc *Scenario) Trace() []TraceProc {
 
 // Event kinds, in their same-timestamp processing order: departures free
 // capacity before rebalancing considers the layout, and both run before
-// arrivals claim slots.
+// arrivals claim slots; cap changes apply last, so a budget that tightens
+// at t constrains the state arrivals at t produced.
 const (
 	evDepart = iota
 	evRebalance
 	evArrive
+	evCap
 )
 
 type event struct {
@@ -296,6 +322,16 @@ type PolicyReport struct {
 	AvgWatts float64 `json:"avg_watts"`
 	// FinalResidents should be zero: every trace process departs.
 	FinalResidents int `json:"final_residents"`
+	// Power-cap ledger (present only when the scenario engages a cap, so
+	// legacy reports and their goldens are byte-identical): EnergyJ is the
+	// time-weighted watt integral over the horizon (joules of simulated
+	// energy), CapDownclocks/CapMigrations count enforcement actions, and
+	// CapUnsatisfied counts enforcement passes that could not fit the
+	// budget even at every ladder floor.
+	EnergyJ        float64 `json:"energy_j,omitempty"`
+	CapDownclocks  uint64  `json:"cap_downclocks,omitempty"`
+	CapMigrations  uint64  `json:"cap_migrations,omitempty"`
+	CapUnsatisfied uint64  `json:"cap_unsatisfied,omitempty"`
 }
 
 // Report is the simulation outcome: the scenario identity plus one entry
@@ -370,6 +406,7 @@ func (s *Sim) buildFleet(pname string) (*Fleet, error) {
 		Policy:         policy,
 		BinPackCeiling: s.sc.BinPackCeiling,
 		QueueCap:       s.sc.QueueCap,
+		PowerCap:       s.sc.PowerCap,
 		Seed:           s.sc.Seed,
 		Workers:        s.workers,
 		ScoreCacheCap:  s.ScoreCacheCap,
@@ -409,6 +446,9 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 			events = append(events, event{time: t, kind: evRebalance, seq: k})
 		}
 	}
+	for k := range s.sc.CapEvents {
+		events = append(events, event{time: s.sc.CapEvents[k].Time, kind: evCap, seq: k, proc: k})
+	}
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].time != events[j].time {
 			return events[i].time < events[j].time
@@ -439,6 +479,7 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 	// totals × dt.
 	prevT := 0.0
 	var spiSec, wattSec float64
+	var capDownclocks, capMigrations, capUnsatisfied uint64
 	integrate := func(now float64) error {
 		if now <= prevT {
 			return nil
@@ -525,6 +566,39 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 				f.CancelQueued(st.ticket)
 				states[ev.proc] = procState{}
 			}
+		case evCap:
+			// Budget change: engage (or clear) the cap, then enforce —
+			// down-clocking or migrating residents until the fleet fits.
+			if err := f.SetPowerCap(ctx, s.sc.CapEvents[ev.proc].Watts); err != nil {
+				return PolicyReport{}, err
+			}
+			crep, err := f.EnforceCap(ctx)
+			if err != nil {
+				return PolicyReport{}, err
+			}
+			capDownclocks += uint64(crep.Downclocks)
+			capMigrations += uint64(crep.Migrations)
+			if !crep.Satisfied {
+				capUnsatisfied++
+			}
+			// Enforcement migrations rename residents on their new nodes;
+			// keep the departure bookkeeping pointed at them (same fixup as
+			// evRebalance, once per executed move).
+			for _, mv := range crep.Moves {
+			capfix:
+				for i := range states {
+					if states[i].resident && states[i].node == mv.From && states[i].instance == mv.Name {
+						states[i].node, states[i].instance = mv.To, mv.NewName
+						break
+					}
+					for j, m := range states[i].members {
+						if m.Node == mv.From && m.Name == mv.Name {
+							states[i].members[j].Node, states[i].members[j].Name = mv.To, mv.NewName
+							break capfix
+						}
+					}
+				}
+			}
 		case evRebalance:
 			mv, err := f.Rebalance(ctx, s.sc.RebalanceMinImprovement)
 			if err != nil && !errors.Is(err, manager.ErrNoImprovement) {
@@ -565,7 +639,7 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 			final++
 		}
 	}
-	return PolicyReport{
+	pr := PolicyReport{
 		Policy:         pname,
 		Placed:         reg.CounterValue("fleet_place_total"),
 		Rejected:       reg.CounterValue("fleet_place_rejected_total"),
@@ -581,5 +655,14 @@ func (s *Sim) runPolicy(ctx context.Context, pname string, trace []TraceProc, ho
 		AvgSPI:         spiSec / horizon,
 		AvgWatts:       wattSec / horizon,
 		FinalResidents: final,
-	}, nil
+	}
+	if s.sc.PowerCap > 0 || len(s.sc.CapEvents) > 0 {
+		// Assigned only when the scenario engages a cap, so legacy report
+		// goldens keep their exact bytes.
+		pr.EnergyJ = wattSec
+		pr.CapDownclocks = capDownclocks
+		pr.CapMigrations = capMigrations
+		pr.CapUnsatisfied = capUnsatisfied
+	}
+	return pr, nil
 }

@@ -1,0 +1,120 @@
+package freq
+
+import (
+	"math"
+	"testing"
+)
+
+func ladder() *Domain {
+	return &Domain{States: []State{
+		{Ratio: 0.6, Voltage: 0.85},
+		{Ratio: 0.8, Voltage: 0.92},
+		{Ratio: 1, Voltage: 1},
+	}}
+}
+
+func TestDomainValidate(t *testing.T) {
+	if err := ladder().Validate(); err != nil {
+		t.Fatalf("valid ladder rejected: %v", err)
+	}
+	var nilD *Domain
+	if err := nilD.Validate(); err != nil {
+		t.Fatalf("nil domain must validate: %v", err)
+	}
+	bad := []*Domain{
+		{},
+		{States: []State{{Ratio: 0.5, Voltage: 0.9}}},                         // no base rung
+		{States: []State{{Ratio: 1, Voltage: 1}, {Ratio: 1, Voltage: 1}}},     // not strictly ascending
+		{States: []State{{Ratio: 1.2, Voltage: 1}}},                           // ratio > 1
+		{States: []State{{Ratio: 0.5, Voltage: 0}, {Ratio: 1, Voltage: 1}}},   // voltage 0
+		{States: []State{{Ratio: 0.5, Voltage: 1.1}, {Ratio: 1, Voltage: 1}}}, // voltage > 1
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad domain %d accepted", i)
+		}
+	}
+}
+
+func TestNilDomainAccessors(t *testing.T) {
+	var d *Domain
+	if d.NumStates() != 1 || d.BaseIx() != 0 {
+		t.Fatalf("nil domain: NumStates=%d BaseIx=%d, want 1/0", d.NumStates(), d.BaseIx())
+	}
+	if d.State(0) != Base || d.State(7) != Base || d.State(-1) != Base {
+		t.Fatal("nil domain must return the base state everywhere")
+	}
+	l := ladder()
+	if l.NumStates() != 3 || l.BaseIx() != 2 {
+		t.Fatalf("ladder: NumStates=%d BaseIx=%d", l.NumStates(), l.BaseIx())
+	}
+	if l.State(l.BaseIx()) != Base {
+		t.Fatal("ladder base rung is not the base state")
+	}
+	if l.State(99) != Base {
+		t.Fatal("out-of-range rung must read as base")
+	}
+}
+
+// The identity gates are the byte-identity contract: at the base state
+// on an out-of-order core, scaled values must be the SAME float64, not a
+// recomputed one.
+func TestIdentityGates(t *testing.T) {
+	spi, beta := 0.1+0.2, 0.07 // 0.1+0.2 != 0.3 exactly; gate must preserve it
+	if got := ScaleSPI(spi, beta, 1); got != spi {
+		t.Fatalf("ScaleSPI at k=1 changed bits: %v -> %v", spi, got)
+	}
+	w, st := 95.3000000001, 40.0
+	if got := ScaleWatts(w, st, 1); got != w {
+		t.Fatalf("ScaleWatts at d=1 changed bits: %v -> %v", w, got)
+	}
+	if SPIFactorAt(CoreType{}, Base) != 1 {
+		t.Fatal("zero core type at base must have SPI factor exactly 1")
+	}
+	if DynScaleAt(CoreType{}, Base) != 1 {
+		t.Fatal("zero core type at base must have dyn scale exactly 1")
+	}
+	if DynScaleAt(OutOfOrder(), Base) != 1 {
+		t.Fatal("out-of-order at base must have dyn scale exactly 1")
+	}
+}
+
+// SPI is non-increasing and watts non-decreasing as the ladder climbs.
+func TestMonotoneAcrossLadder(t *testing.T) {
+	d := ladder()
+	for _, ct := range []CoreType{OutOfOrder(), InOrder(), {}} {
+		prevSPI, prevW := math.Inf(1), 0.0
+		for ix := 0; ix < d.NumStates(); ix++ {
+			s := d.State(ix)
+			spi := ScaleSPI(2.5e-9, 1.0e-9, SPIFactorAt(ct, s))
+			w := ScaleWatts(80, 30, DynScaleAt(ct, s))
+			if spi > prevSPI+1e-18 {
+				t.Fatalf("%s: SPI rose climbing to state %d: %v -> %v", ct.Name, ix, prevSPI, spi)
+			}
+			if w < prevW-1e-12 {
+				t.Fatalf("%s: watts fell climbing to state %d: %v -> %v", ct.Name, ix, prevW, w)
+			}
+			prevSPI, prevW = spi, w
+		}
+	}
+}
+
+func TestCoreTypeFactors(t *testing.T) {
+	io := InOrder()
+	if SPIFactorAt(io, Base) != io.SPIFactor {
+		t.Fatalf("in-order at base: SPI factor %v, want %v", SPIFactorAt(io, Base), io.SPIFactor)
+	}
+	s := State{Ratio: 0.5, Voltage: 0.8}
+	if got, want := SPIFactorAt(io, s), io.SPIFactor/0.5; got != want {
+		t.Fatalf("SPI factor at half clock: %v, want %v", got, want)
+	}
+	if got, want := DynScaleAt(io, s), io.DynFactor*s.DynScale(); got != want {
+		t.Fatalf("dyn scale at half clock: %v, want %v", got, want)
+	}
+	if err := (CoreType{SPIFactor: -1}).Validate(); err == nil {
+		t.Fatal("negative SPI factor accepted")
+	}
+	if err := InOrder().Validate(); err != nil {
+		t.Fatalf("in-order rejected: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"mpmc/internal/cache"
+	"mpmc/internal/freq"
 	"mpmc/internal/power"
 )
 
@@ -75,6 +76,17 @@ type Machine struct {
 	// measurement chain.
 	Oracle power.OracleParams
 	Sensor power.SensorParams
+
+	// Freq is the machine's discrete DVFS ladder (nil = one fixed state,
+	// the base — exactly the pre-DVFS behavior). The fleet scheduler may
+	// clock a machine to any rung; every model quantity scales per the
+	// internal/freq contract and is bit-identical to the unscaled value
+	// at the base rung.
+	Freq *freq.Domain
+	// Core tags the preset's core microarchitecture (big/LITTLE-style
+	// parameter sets). The zero value reads as the out-of-order baseline
+	// with both scaling factors exactly 1.
+	Core freq.CoreType
 }
 
 // Validate reports configuration inconsistencies.
@@ -127,6 +139,12 @@ func (m *Machine) Validate() error {
 			}
 		}
 	}
+	if err := m.Freq.Validate(); err != nil {
+		return fmt.Errorf("machine %s: %w", m.Name, err)
+	}
+	if err := m.Core.Validate(); err != nil {
+		return fmt.Errorf("machine %s: %w", m.Name, err)
+	}
 	return nil
 }
 
@@ -177,6 +195,19 @@ func (m *Machine) CacheConfig(seed uint64) cache.Config {
 	}
 }
 
+// StandardLadder is the three-rung DVFS domain every stock preset
+// carries: two reduced points plus the base. Adding the ladder changes
+// nothing at the base rung (the scaling helpers are identity-gated), so
+// pre-DVFS goldens stay byte-identical; it only gives the energy-aware
+// policies and the power-cap enforcer rungs to move along.
+func StandardLadder() *freq.Domain {
+	return &freq.Domain{States: []freq.State{
+		{Ratio: 0.6, Voltage: 0.85},
+		{Ratio: 0.8, Voltage: 0.92},
+		{Ratio: 1, Voltage: 1},
+	}}
+}
+
 // FourCoreServer returns the Q6600-like reference machine used for
 // Table 1, Table 3, Table 4, and Figure 2.
 func FourCoreServer() *Machine {
@@ -207,6 +238,8 @@ func FourCoreServer() *Machine {
 			WanderTau: 17,
 		},
 		Sensor: power.DefaultSensor(),
+		Freq:   StandardLadder(),
+		Core:   freq.OutOfOrder(),
 	}
 	mustValidate(m)
 	return m
@@ -242,6 +275,8 @@ func TwoCoreWorkstation() *Machine {
 			WanderTau: 17,
 		},
 		Sensor: power.DefaultSensor(),
+		Freq:   StandardLadder(),
+		Core:   freq.OutOfOrder(),
 	}
 	mustValidate(m)
 	return m
@@ -278,6 +313,46 @@ func TwoCoreLaptop() *Machine {
 			WanderTau: 17,
 		},
 		Sensor: power.DefaultSensor(),
+		Freq:   StandardLadder(),
+		Core:   freq.OutOfOrder(),
+	}
+	mustValidate(m)
+	return m
+}
+
+// FourCoreLittle returns a little-core variant of the server: same cache
+// geometry and die layout, but in-order cores (higher compute SPI, lower
+// dynamic event energy) — the heterogeneous half of a big/LITTLE fleet.
+func FourCoreLittle() *Machine {
+	m := &Machine{
+		Name:         "4-core-little",
+		NumCores:     4,
+		Groups:       [][]int{{0, 1}, {2, 3}},
+		NumSets:      64,
+		Assoc:        16,
+		Policy:       cache.LRU,
+		MemLatency:   6.0e-5,
+		MLPOverlap:   0.15,
+		Timeslice:    2.0,
+		CtxSwitch:    1.0e-4,
+		SamplePeriod: 0.03,
+		Oracle: power.OracleParams{
+			CoreIdle:  3.5,
+			Uncore:    9.0,
+			L1Ref:     5.5e-6,
+			L2Ref:     9.0e-5,
+			L2Miss:    -1.1e-4,
+			Branch:    5.0e-6,
+			FPOp:      4.0e-6,
+			SatL1:     4.5e5,
+			QuadL2:    1.6e-9,
+			NoiseStd:  0.30,
+			WanderStd: 0.5,
+			WanderTau: 17,
+		},
+		Sensor: power.DefaultSensor(),
+		Freq:   StandardLadder(),
+		Core:   freq.InOrder(),
 	}
 	mustValidate(m)
 	return m

@@ -4,14 +4,36 @@ import (
 	"testing"
 
 	"mpmc/internal/cache"
+	"mpmc/internal/freq"
 	"mpmc/internal/power"
 )
 
 func TestPresetsValid(t *testing.T) {
-	for _, m := range []*Machine{FourCoreServer(), TwoCoreWorkstation(), TwoCoreLaptop()} {
+	for _, m := range []*Machine{FourCoreServer(), TwoCoreWorkstation(), TwoCoreLaptop(), FourCoreLittle()} {
 		if err := m.Validate(); err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}
+	}
+}
+
+func TestLittlePresetIsTheServersInOrderTwin(t *testing.T) {
+	big, little := FourCoreServer(), FourCoreLittle()
+	if little.NumCores != big.NumCores || little.Assoc != big.Assoc ||
+		little.NumSets != big.NumSets || len(little.Groups) != len(big.Groups) {
+		t.Fatalf("little geometry %+v diverges from the server's", little)
+	}
+	if little.Core.Name != "in-order" {
+		t.Fatalf("little core type %q, want in-order", little.Core.Name)
+	}
+	if big.Core.Name != "out-of-order" {
+		t.Fatalf("server core type %q, want out-of-order", big.Core.Name)
+	}
+	if little.Freq.NumStates() < 2 {
+		t.Fatalf("little ladder has %d states, want a real DVFS range", little.Freq.NumStates())
+	}
+	// The LITTLE trade: cheaper dynamic events, not a different die.
+	if little.Oracle.L2Ref >= big.Oracle.L2Ref || little.Oracle.CoreIdle >= big.Oracle.CoreIdle {
+		t.Fatalf("little oracle %+v not below the server's %+v", little.Oracle, big.Oracle)
 	}
 }
 
@@ -71,6 +93,10 @@ func TestValidateCatchesBadMachines(t *testing.T) {
 		func(m *Machine) { m.NumSets = 0 },
 		func(m *Machine) { m.MemLatency = 0 },
 		func(m *Machine) { m.CtxSwitch = -1 },
+		func(m *Machine) { m.MLPOverlap = 1 },
+		func(m *Machine) { m.MemBandwidth = -1 },
+		func(m *Machine) { m.Freq = &freq.Domain{} }, // empty ladder
+		func(m *Machine) { m.Core = freq.CoreType{SPIFactor: -1} },
 	}
 	for i, mut := range cases {
 		m := base()
@@ -79,6 +105,15 @@ func TestValidateCatchesBadMachines(t *testing.T) {
 			t.Fatalf("case %d: invalid machine accepted", i)
 		}
 	}
+}
+
+func TestMustValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mustValidate accepted a coreless machine")
+		}
+	}()
+	mustValidate(&Machine{Name: "broken"})
 }
 
 func TestOraclesDiffer(t *testing.T) {

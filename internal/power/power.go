@@ -71,6 +71,27 @@ type OracleParams struct {
 	WanderTau float64
 }
 
+// AtState returns the oracle parameters at a DVFS operating point whose
+// combined dynamic multiplier is d (the core type's dynamic factor times
+// the state's f·V², see internal/freq): every dynamic event energy —
+// including the quadratic L2 queueing term — scales by d, while the
+// static terms (CoreIdle, Uncore), the saturation threshold, and the
+// noise processes stay fixed. Identity-gated: d == 1 returns p unchanged,
+// so a machine at its base state has exactly its legacy oracle.
+func (p OracleParams) AtState(d float64) OracleParams {
+	if d == 1 {
+		return p
+	}
+	q := p
+	q.L1Ref *= d
+	q.L2Ref *= d
+	q.L2Miss *= d
+	q.Branch *= d
+	q.FPOp *= d
+	q.QuadL2 *= d
+	return q
+}
+
 // Oracle computes ground-truth processor power from per-core activity.
 type Oracle struct {
 	p      OracleParams

@@ -229,3 +229,47 @@ func TestOracleParamsAccessor(t *testing.T) {
 		t.Fatal("Params round trip")
 	}
 }
+
+// TestAtStateScalesOnlyDynamicTerms pins the DVFS oracle contract: every
+// per-event energy (including the quadratic L2 queueing term) scales by
+// the combined multiplier, the static floor and the noise/saturation
+// shape parameters stay fixed, and d == 1 is a bitwise identity.
+func TestAtStateScalesOnlyDynamicTerms(t *testing.T) {
+	p := testParams()
+	p.SatL1 = 4e5
+	p.QuadL2 = 2e-9
+	p.WanderStd, p.WanderTau = 0.5, 17
+
+	if got := p.AtState(1); got != p {
+		t.Fatalf("AtState(1) = %+v, want the receiver unchanged", got)
+	}
+
+	const d = 0.4335
+	q := p.AtState(d)
+	for _, c := range []struct {
+		name       string
+		base, want float64
+	}{
+		{"L1Ref", p.L1Ref, p.L1Ref * d},
+		{"L2Ref", p.L2Ref, p.L2Ref * d},
+		{"L2Miss", p.L2Miss, p.L2Miss * d},
+		{"Branch", p.Branch, p.Branch * d},
+		{"FPOp", p.FPOp, p.FPOp * d},
+		{"QuadL2", p.QuadL2, p.QuadL2 * d},
+	} {
+		got := map[string]float64{
+			"L1Ref": q.L1Ref, "L2Ref": q.L2Ref, "L2Miss": q.L2Miss,
+			"Branch": q.Branch, "FPOp": q.FPOp, "QuadL2": q.QuadL2,
+		}[c.name]
+		if got != c.want {
+			t.Fatalf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if q.CoreIdle != p.CoreIdle || q.Uncore != p.Uncore {
+		t.Fatalf("static terms moved: %+v", q)
+	}
+	if q.SatL1 != p.SatL1 || q.NoiseStd != p.NoiseStd ||
+		q.WanderStd != p.WanderStd || q.WanderTau != p.WanderTau {
+		t.Fatalf("shape/noise parameters moved: %+v", q)
+	}
+}

@@ -77,6 +77,11 @@ type Score struct {
 	Value float64
 	// Rel is the relative SPI degradation (CeilingFirstFit's metric).
 	Rel float64
+	// Freq, when positive, is the winning slot's target DVFS state index
+	// + 1 on the host's frequency ladder. The +1 keeps the zero value —
+	// which every frequency-blind prioritizer produces — meaning "keep
+	// the node's current state".
+	Freq int
 }
 
 // Decision is the pipeline's outcome for one arrival.

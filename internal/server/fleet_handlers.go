@@ -7,6 +7,8 @@
 //	DELETE /v1/fleet/place/{node}/{name} remove a fleet resident (process exit)
 //	POST   /v1/fleet/rebalance          one cross-machine rebalance pass
 //	GET    /v1/fleet/state              per-machine residents, model estimates, queue
+//	GET    /v1/fleet/cap                fleet power budget + current estimated draw
+//	PUT    /v1/fleet/cap                set the budget (a positive cap is enforced immediately)
 //
 // A rebalance pass that finds no move worth making is a successful
 // no-op — HTTP 200 with moved:false — not an error: "nothing to improve"
@@ -74,6 +76,8 @@ func (s *Server) fleetRoutes() {
 	s.mux.HandleFunc("DELETE /v1/fleet/ticket/{id}", s.instrument("fleet_ticket_cancel", s.handleFleetTicketCancel))
 	s.mux.HandleFunc("POST /v1/fleet/rebalance", s.instrument("fleet_rebalance", s.handleFleetRebalance))
 	s.mux.HandleFunc("GET /v1/fleet/state", s.instrument("fleet_state", s.handleFleetState))
+	s.mux.HandleFunc("GET /v1/fleet/cap", s.instrument("fleet_cap_get", s.handleFleetCapGet))
+	s.mux.HandleFunc("PUT /v1/fleet/cap", s.instrument("fleet_cap_set", s.handleFleetCapSet))
 }
 
 func (s *Server) handleFleetPlace(w http.ResponseWriter, r *http.Request) error {
@@ -303,6 +307,52 @@ func (s *Server) handleFleetRebalance(w http.ResponseWriter, r *http.Request) er
 		return err
 	}
 	writeJSON(w, http.StatusOK, FleetRebalanceResponse{Moved: true, Move: &mv})
+	return nil
+}
+
+// FleetCapResponse answers both cap endpoints: the configured budget, the
+// ledger's current estimated draw, and — after a PUT that engaged a
+// positive budget — the enforcement pass that brought the fleet under it.
+type FleetCapResponse struct {
+	Watts  float64          `json:"watts"`
+	Usage  float64          `json:"usage"`
+	Report *fleet.CapReport `json:"report,omitempty"`
+}
+
+func (s *Server) handleFleetCapGet(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, FleetCapResponse{
+		Watts: s.fleet.PowerCap(),
+		Usage: s.fleet.CapUsage(),
+	})
+	return nil
+}
+
+func (s *Server) handleFleetCapSet(w http.ResponseWriter, r *http.Request) error {
+	var req FleetCapRequest
+	if err := decodeRequest(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		return err
+	}
+	if req.Watts == nil {
+		return badRequest("bad_request", "watts is required (0 disables the budget)")
+	}
+	if *req.Watts < 0 {
+		return badRequest("bad_request", "watts must be non-negative")
+	}
+	if err := s.fleet.SetPowerCap(r.Context(), *req.Watts); err != nil {
+		return err
+	}
+	resp := FleetCapResponse{Watts: s.fleet.PowerCap()}
+	if *req.Watts > 0 {
+		// Engaging a budget immediately enforces it: the fleet the client
+		// reads back is already under the cap (or the report says why not).
+		rep, err := s.fleet.EnforceCap(r.Context())
+		if err != nil {
+			return err
+		}
+		resp.Report = &rep
+	}
+	resp.Usage = s.fleet.CapUsage()
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 

@@ -429,3 +429,148 @@ func TestFleetShardedBackend(t *testing.T) {
 		t.Fatalf("unplace status %d: %s", status, raw)
 	}
 }
+
+// TestFleetCapEndpoint drives the /v1/fleet/cap surface: read the
+// disabled default, engage a generous budget (enforcement is a no-op),
+// tighten it (the report must account for the shed), disable it again,
+// and pin the typed validation errors.
+func TestFleetCapEndpoint(t *testing.T) {
+	_, ts := newFleetServer(t, fleet.LeastDegradation, 4)
+
+	status, raw := do(t, ts, "GET", "/v1/fleet/cap", "")
+	if status != http.StatusOK {
+		t.Fatalf("cap get status %d: %s", status, raw)
+	}
+	var cr FleetCapResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Watts != 0 || cr.Usage != 0 || cr.Report != nil {
+		t.Fatalf("untracked default cap %s", raw)
+	}
+
+	if status, raw = do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art","gzip","vpr"]}`); status != http.StatusOK {
+		t.Fatalf("place status %d: %s", status, raw)
+	}
+
+	// A generous budget: enforcement runs but has nothing to shed.
+	status, raw = do(t, ts, "PUT", "/v1/fleet/cap", `{"watts":100000}`)
+	if status != http.StatusOK {
+		t.Fatalf("cap put status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Watts != 100000 || cr.Usage <= 0 || cr.Report == nil {
+		t.Fatalf("generous cap response %s", raw)
+	}
+	if !cr.Report.Satisfied || cr.Report.Downclocks != 0 || cr.Report.Migrations != 0 {
+		t.Fatalf("generous cap should be a no-op enforcement: %s", raw)
+	}
+	loose := cr.Usage
+
+	// Tighten below the current draw: enforcement must act, and whatever
+	// it reports must agree with the usage it leaves behind.
+	tight := fmt.Sprintf(`{"watts":%.6f}`, loose*0.98)
+	status, raw = do(t, ts, "PUT", "/v1/fleet/cap", tight)
+	if status != http.StatusOK {
+		t.Fatalf("tight cap put status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Report == nil {
+		t.Fatalf("tight cap response missing report: %s", raw)
+	}
+	if cr.Report.Satisfied {
+		if cr.Usage > cr.Watts {
+			t.Fatalf("satisfied report but usage %.4f > cap %.4f", cr.Usage, cr.Watts)
+		}
+		if cr.Report.Downclocks == 0 && cr.Report.Migrations == 0 {
+			t.Fatalf("over-budget fleet satisfied with no actions: %s", raw)
+		}
+	}
+	// The cap gauge must now be exported alongside the fleet gauges.
+	status, mraw := do(t, ts, "GET", "/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	if !strings.Contains(string(mraw), "fleet_power_cap_milliwatts") {
+		t.Fatalf("metrics missing fleet_power_cap_milliwatts:\n%s", mraw)
+	}
+
+	// Disable: watts 0 turns the budget off (usage stays tracked).
+	status, raw = do(t, ts, "PUT", "/v1/fleet/cap", `{"watts":0}`)
+	if status != http.StatusOK {
+		t.Fatalf("cap disable status %d: %s", status, raw)
+	}
+	cr = FleetCapResponse{}
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Watts != 0 || cr.Report != nil {
+		t.Fatalf("disabled cap response %s", raw)
+	}
+
+	status, raw = do(t, ts, "PUT", "/v1/fleet/cap", `{"watts":-5}`)
+	wantAPIError(t, status, raw, http.StatusBadRequest, "bad_request")
+	status, raw = do(t, ts, "PUT", "/v1/fleet/cap", `{}`)
+	wantAPIError(t, status, raw, http.StatusBadRequest, "bad_request")
+}
+
+// TestFleetCapShardedBackend pins the same surface against the sharded
+// backend, whose shards share one watt ledger.
+func TestFleetCapShardedBackend(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pm := fitPowerModel(t)
+	var nodes []fleet.NodeConfig
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, fleet.NodeConfig{
+			Machine:    machine.TwoCoreWorkstation(),
+			Power:      pm,
+			MaxPerCore: 2,
+		})
+	}
+	fl, err := fleet.NewSharded(fleet.Config{
+		Nodes:    nodes,
+		Policy:   fleet.LeastDegradation,
+		QueueCap: 4,
+		Seed:     1,
+		Workers:  2,
+		Profile:  fleet.ProfileFunc(oracleProfile(nil, 0)),
+		Registry: reg,
+	}, 2)
+	if err != nil {
+		t.Fatalf("fleet.NewSharded: %v", err)
+	}
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Fleet = fl
+		c.Registry = reg
+	})
+
+	if status, raw := do(t, ts, "POST", "/v1/fleet/place", `{"benches":["mcf","art"]}`); status != http.StatusOK {
+		t.Fatalf("place status %d: %s", status, raw)
+	}
+	status, raw := do(t, ts, "PUT", "/v1/fleet/cap", `{"watts":100000}`)
+	if status != http.StatusOK {
+		t.Fatalf("cap put status %d: %s", status, raw)
+	}
+	var cr FleetCapResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Watts != 100000 || cr.Usage <= 0 || cr.Report == nil || !cr.Report.Satisfied {
+		t.Fatalf("sharded cap response %s", raw)
+	}
+	var st fleet.State
+	status, sraw := do(t, ts, "GET", "/v1/fleet/state", "")
+	if status != http.StatusOK {
+		t.Fatalf("state status %d: %s", status, sraw)
+	}
+	if err := json.Unmarshal(sraw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PowerCap != 100000 || st.CapUsage != cr.Usage {
+		t.Fatalf("sharded state cap fields: %s", sraw)
+	}
+}

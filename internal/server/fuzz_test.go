@@ -29,6 +29,7 @@ func FuzzDecodeRequest(f *testing.F) {
 			new(PlaceRequest),
 			new(FleetPlaceRequest),
 			new(FleetRebalanceRequest),
+			new(FleetCapRequest),
 		}
 		for _, dst := range targets {
 			r := httptest.NewRequest("POST", "/v1/fuzz", strings.NewReader(body))

@@ -117,6 +117,14 @@ type ThreadGroupSpec struct {
 	WriteFrac  float64 `json:"write_frac,omitempty"`
 }
 
+// FleetCapRequest sets the fleet-wide power budget. Watts is required
+// (a pointer so "cap": 0 — disable the budget — is distinguishable from
+// an absent field); engaging a positive budget also runs one enforcement
+// pass so the response reports a fleet already under the new cap.
+type FleetCapRequest struct {
+	Watts *float64 `json:"watts"`
+}
+
 // FleetRebalanceRequest triggers one cross-machine rebalance pass.
 type FleetRebalanceRequest struct {
 	// MinImprovement is the minimum fleet-wide predicted-SPI saving that

@@ -107,6 +107,10 @@ type FleetBackend interface {
 	Remove(ctx context.Context, node, instance string) ([]fleet.Placed, error)
 	Rebalance(ctx context.Context, minImprovement float64) (fleet.Move, error)
 	State(ctx context.Context) (*fleet.State, error)
+	PowerCap() float64
+	CapUsage() float64
+	SetPowerCap(ctx context.Context, watts float64) error
+	EnforceCap(ctx context.Context) (fleet.CapReport, error)
 }
 
 // Server is the resident prediction and placement service.

@@ -87,6 +87,12 @@ func (g *gatedFleet) Rebalance(context.Context, float64) (fleet.Move, error) {
 	return fleet.Move{}, nil
 }
 func (g *gatedFleet) State(context.Context) (*fleet.State, error) { return &fleet.State{}, nil }
+func (g *gatedFleet) PowerCap() float64                           { return 0 }
+func (g *gatedFleet) CapUsage() float64                           { return 0 }
+func (g *gatedFleet) SetPowerCap(context.Context, float64) error  { return nil }
+func (g *gatedFleet) EnforceCap(context.Context) (fleet.CapReport, error) {
+	return fleet.CapReport{}, nil
+}
 
 // TestAsyncPlaceLifecycle drives the happy path against a real fleet:
 // 202 + queued ticket on submit, watch=1 long-poll resolves to placed

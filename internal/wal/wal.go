@@ -51,9 +51,13 @@ const (
 	// placement failure.
 	EvDropped = "dropped"
 	// EvNodeDown / EvNodeUp record machine loss and recovery. A down node
-	// implicitly evicts every resident it held.
+	// implicitly evicts every resident it held (and reboots to its base
+	// DVFS state, so it also clears the node's recorded frequency rung).
 	EvNodeDown = "node_down"
 	EvNodeUp   = "node_up"
+	// EvFreq records a node re-clocking to a DVFS rung (Freq = rung index
+	// + 1, so the field stays omitempty-friendly).
+	EvFreq = "freq"
 )
 
 // Event is one fleet mutation. Fields are sparse per type; omitempty
@@ -68,6 +72,8 @@ type Event struct {
 	Priority int    `json:"prio,omitempty"`
 	Ticket   int    `json:"ticket,omitempty"`
 	Requeued bool   `json:"requeued,omitempty"`
+	// Freq is the EvFreq target rung index + 1 (0 = field absent).
+	Freq int `json:"freq,omitempty"`
 }
 
 // Resident is one recovered instance. Order in State.Residents is global
@@ -101,6 +107,11 @@ type State struct {
 	// Seq is the highest queue ticket ever issued (the fleet's ticket
 	// source resumes above it so recovered tickets stay unique).
 	Seq int `json:"seq,omitempty"`
+	// Freq maps node name → current DVFS rung index + 1 for every node an
+	// EvFreq ever re-clocked (a node loss reboots to base and drops the
+	// entry). Fleets that never re-clock keep the map nil, so pre-DVFS
+	// states serialize byte-identically.
+	Freq map[string]int `json:"freq,omitempty"`
 }
 
 // Apply folds one event into the state. Unknown residents, tickets, or
@@ -159,6 +170,13 @@ func (s *State) Apply(e Event) error {
 			}
 		}
 		s.Down = append(s.Down, e.Node)
+		// A lost machine reboots at its base DVFS state.
+		if s.Freq != nil {
+			delete(s.Freq, e.Node)
+			if len(s.Freq) == 0 {
+				s.Freq = nil
+			}
+		}
 		// Processes die with their machine; one event covers the cascade.
 		kept := s.Residents[:0]
 		for _, r := range s.Residents {
@@ -182,6 +200,15 @@ func (s *State) Apply(e Event) error {
 			}
 		}
 		return fmt.Errorf("wal: node %q was not down", e.Node)
+	case EvFreq:
+		if e.Freq <= 0 {
+			return fmt.Errorf("wal: freq event for %q without a rung", e.Node)
+		}
+		if s.Freq == nil {
+			s.Freq = map[string]int{}
+		}
+		s.Freq[e.Node] = e.Freq
+		return nil
 	default:
 		return fmt.Errorf("wal: unknown event type %q", e.Type)
 	}
@@ -220,6 +247,12 @@ func (s *State) Clone() *State {
 	c.Residents = append([]Resident(nil), s.Residents...)
 	c.Queue = append([]QueueEntry(nil), s.Queue...)
 	c.Down = append([]string(nil), s.Down...)
+	if s.Freq != nil {
+		c.Freq = make(map[string]int, len(s.Freq))
+		for k, v := range s.Freq {
+			c.Freq[k] = v
+		}
+	}
 	return c
 }
 

@@ -265,3 +265,75 @@ func TestAppendAfterCloseFails(t *testing.T) {
 		t.Fatal("append after close succeeded")
 	}
 }
+
+// TestFreqEvents pins the EvFreq state machinery: rungs fold into the
+// Freq map, a node loss reboots the node to base (entry dropped, map
+// nil'd when empty so pre-DVFS states stay byte-identical), a rungless
+// event is corruption, Clone deep-copies the map, and the rungs survive
+// a compaction + reopen round trip.
+func TestFreqEvents(t *testing.T) {
+	s := &State{}
+	if err := s.Apply(Event{Type: EvFreq, Node: "m0"}); err == nil {
+		t.Fatal("rungless freq event accepted")
+	}
+	for _, e := range []Event{
+		{Type: EvAdmitted, Node: "m0", Name: "mcf#1", Bench: "mcf"},
+		{Type: EvFreq, Node: "m0", Freq: 1},
+		{Type: EvFreq, Node: "m1", Freq: 2},
+		{Type: EvFreq, Node: "m0", Freq: 3},
+	} {
+		if err := s.Apply(e); err != nil {
+			t.Fatalf("Apply(%+v): %v", e, err)
+		}
+	}
+	if !reflect.DeepEqual(s.Freq, map[string]int{"m0": 3, "m1": 2}) {
+		t.Fatalf("Freq map %+v", s.Freq)
+	}
+
+	c := s.Clone()
+	c.Freq["m0"] = 1
+	if s.Freq["m0"] != 3 {
+		t.Fatal("Clone shares the Freq map with its source")
+	}
+
+	// Node loss reboots to base: the entry goes, and an empty map decays
+	// to nil so a fleet that re-clocked once serializes like one that
+	// never did.
+	if err := s.Apply(Event{Type: EvNodeDown, Node: "m0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Freq["m0"]; ok {
+		t.Fatal("down node kept its rung")
+	}
+	if err := s.Apply(Event{Type: EvNodeDown, Node: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Freq != nil {
+		t.Fatalf("empty Freq map not nil'd: %+v", s.Freq)
+	}
+
+	// Durable round trip: rungs written, compacted into the snapshot, and
+	// recovered across reopen.
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.Append([]Event{
+		{Type: EvAdmitted, Node: "m0", Name: "mcf#1", Bench: "mcf"},
+		{Type: EvFreq, Node: "m0", Freq: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Event{{Type: EvFreq, Node: "m2", Freq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, st := mustOpen(t, dir)
+	defer l2.Close()
+	if !reflect.DeepEqual(st.Freq, map[string]int{"m0": 2, "m2": 1}) {
+		t.Fatalf("recovered Freq %+v", st.Freq)
+	}
+}
